@@ -1,0 +1,125 @@
+// Command bmatch runs a b-matching algorithm over an edge-list graph
+// file (as produced by cmd/datagen) and reports the solution quality and
+// the MapReduce cost.
+//
+// Usage:
+//
+//	bmatch -in graph.txt -algo greedymr
+//	bmatch -in graph.txt -algo stackmr -eps 0.5 -seed 7 -v
+//
+// Algorithms: greedymr, stackmr, stackgreedymr, stackmrstrict, greedy,
+// stackseq.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	socialmatch "repro"
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input graph file (edge-list format); - or empty reads stdin")
+		algo    = flag.String("algo", "greedymr", "greedymr | stackmr | stackgreedymr | stackmrstrict | greedy | stackseq")
+		eps     = flag.Float64("eps", 1, "stack slackness parameter")
+		seed    = flag.Int64("seed", 1, "random seed")
+		sigma   = flag.Float64("sigma", 0, "drop edges below this weight before matching")
+		verbose = flag.Bool("v", false, "print every matched edge")
+		compare = flag.Bool("compare", false, "run every algorithm and print a comparison table")
+		exact   = flag.Bool("exact", false, "with -compare: also solve exactly via min-cost flow (small graphs only)")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" && *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := graph.Read(r)
+	if err != nil {
+		fail(err)
+	}
+	if *sigma > 0 {
+		g = g.FilterEdges(*sigma)
+	}
+
+	if *compare {
+		compareAll(g, *eps, *seed, *exact)
+		return
+	}
+
+	res, err := socialmatch.Match(context.Background(), g, socialmatch.Options{
+		Algorithm: socialmatch.Algorithm(*algo),
+		Eps:       *eps,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	m := res.Matching
+	fmt.Printf("algorithm:        %s\n", *algo)
+	fmt.Printf("graph:            |T|=%d |C|=%d |E|=%d\n", g.NumItems(), g.NumConsumers(), g.NumEdges())
+	fmt.Printf("matching value:   %.4f\n", m.Value())
+	fmt.Printf("matched edges:    %d\n", m.Size())
+	fmt.Printf("MapReduce rounds: %d\n", res.Rounds)
+	fmt.Printf("violation eps':   %.6f (max stretch %.3f)\n", m.Violation(), m.MaxViolationFactor())
+	if *verbose {
+		for _, e := range m.Edges() {
+			fmt.Printf("match item=%d consumer=%d w=%.4f\n",
+				int(e.Item), int(e.Consumer)-g.NumItems(), e.Weight)
+		}
+	}
+}
+
+// compareAll runs every algorithm on the same graph and prints one row
+// per algorithm; with exact it appends the flow-based optimum and a
+// value/OPT column.
+func compareAll(g *graph.Bipartite, eps float64, seed int64, exact bool) {
+	ctx := context.Background()
+	opt := 0.0
+	if exact {
+		_, v, err := flow.MaxWeightBMatching(g)
+		if err != nil {
+			fail(err)
+		}
+		opt = v
+	}
+	fmt.Printf("graph: |T|=%d |C|=%d |E|=%d\n", g.NumItems(), g.NumConsumers(), g.NumEdges())
+	fmt.Printf("%-14s %12s %8s %8s %10s", "algorithm", "value", "edges", "rounds", "eps'")
+	if exact {
+		fmt.Printf(" %10s", "value/OPT")
+	}
+	fmt.Println()
+	for _, alg := range socialmatch.Algorithms() {
+		res, err := socialmatch.Match(ctx, g.Clone(), socialmatch.Options{
+			Algorithm: alg, Eps: eps, Seed: seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		m := res.Matching
+		fmt.Printf("%-14s %12.2f %8d %8d %10.5f", alg, m.Value(), m.Size(), res.Rounds, m.Violation())
+		if exact && opt > 0 {
+			fmt.Printf(" %10.3f", m.Value()/opt)
+		}
+		fmt.Println()
+	}
+	if exact {
+		fmt.Printf("%-14s %12.2f\n", "exact(flow)", opt)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bmatch:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph() *graph.Bipartite {
+	g := graph.NewBipartite(3, 2)
+	g.SetCapacity(g.ItemID(0), 1)
+	g.SetCapacity(g.ItemID(1), 1)
+	g.SetCapacity(g.ItemID(2), 1)
+	g.SetCapacity(g.ConsumerID(0), 2)
+	g.SetCapacity(g.ConsumerID(1), 1)
+	g.AddEdge(g.ItemID(0), g.ConsumerID(0), 1.5)
+	g.AddEdge(g.ItemID(1), g.ConsumerID(0), 0.5)
+	g.AddEdge(g.ItemID(2), g.ConsumerID(1), 2.0)
+	return g
+}
+
+func TestCompareAllRunsEveryAlgorithm(t *testing.T) {
+	// compareAll must complete without error on a well-formed graph,
+	// both with and without the exact oracle.
+	compareAll(testGraph(), 1, 1, false)
+	compareAll(testGraph(), 1, 1, true)
+}

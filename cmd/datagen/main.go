@@ -1,0 +1,153 @@
+// Command datagen generates the synthetic datasets of the reproduction
+// and writes them as edge-list graph files consumable by cmd/bmatch.
+//
+// Usage:
+//
+//	datagen -dataset flickr-small -sigma 4 -alpha 1 -o graph.txt
+//	datagen -dataset synthetic -items 100000 -consumers 10000 -o big.txt
+//
+// Datasets: flickr-small, flickr-large, yahoo-answers (vector corpora
+// with Section-4 capacities), synthetic (direct edge-level generator for
+// scale runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/extsort"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		name      = flag.String("dataset", "flickr-small", "flickr-small | flickr-large | yahoo-answers | synthetic")
+		sigma     = flag.Float64("sigma", 0, "similarity threshold for candidate edges (0 keeps all positive pairs)")
+		alpha     = flag.Float64("alpha", 1, "consumer capacity multiplier b(u) = alpha * n(u)")
+		scale     = flag.Float64("scale", 1, "corpus size scale factor in (0,1]")
+		out       = flag.String("o", "", "output file (default stdout)")
+		items     = flag.Int("items", 20000, "synthetic: number of items")
+		consumers = flag.Int("consumers", 2000, "synthetic: number of consumers")
+		degree    = flag.Int("degree", 10, "synthetic: mean item degree")
+		seed      = flag.Int64("seed", 1, "random seed")
+		sorted    = flag.Bool("sort", false, "write edges in descending weight order (bounded-memory external sort)")
+	)
+	flag.Parse()
+
+	g, err := build(*name, *sigma, *alpha, *scale, *items, *consumers, *degree, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if *sorted {
+		if g, err = sortEdges(g); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.Write(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: %s |T|=%d |C|=%d |E|=%d\n",
+		*name, g.NumItems(), g.NumConsumers(), g.NumEdges())
+}
+
+func build(name string, sigma, alpha, scale float64, items, consumers, degree int, seed int64) (*graph.Bipartite, error) {
+	if name == "synthetic" {
+		return dataset.Synthetic(dataset.SyntheticConfig{
+			NumItems: items, NumConsumers: consumers, MeanDegree: degree,
+			DegreeAlpha: 1.4, WeightScale: 1, CapacityAlpha: 1.2,
+			CapacityMax: 200, Seed: seed,
+		}), nil
+	}
+	var c *dataset.Corpus
+	switch name {
+	case "flickr-small":
+		cfg := dataset.FlickrSmallConfig()
+		cfg.Seed = seed
+		scaleCfg(&cfg.NumItems, &cfg.NumConsumers, scale)
+		c = dataset.Flickr(name, cfg)
+	case "flickr-large":
+		cfg := dataset.FlickrLargeConfig()
+		cfg.Seed = seed
+		scaleCfg(&cfg.NumItems, &cfg.NumConsumers, scale)
+		c = dataset.Flickr(name, cfg)
+	case "yahoo-answers":
+		cfg := dataset.AnswersScaledConfig()
+		cfg.Seed = seed
+		scaleCfg(&cfg.NumItems, &cfg.NumConsumers, scale)
+		c = dataset.Answers(name, cfg)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+	g := c.BuildGraph(sigma)
+	if err := c.ApplyCapacities(g, alpha); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// sortEdges rebuilds the graph with edges in descending weight order,
+// using the external sorter so the tool stays within a bounded memory
+// buffer even for graphs far larger than RAM would comfortably hold.
+func sortEdges(g *graph.Bipartite) (*graph.Bipartite, error) {
+	s := extsort.New(extsort.ByWeightDesc, extsort.EdgeCodec{},
+		extsort.Config{MaxInMemory: 1 << 20})
+	for _, e := range g.Edges() {
+		rec := extsort.WeightedEdgeRec{
+			Item:     int32(e.Item),
+			Consumer: int32(int(e.Consumer) - g.NumItems()),
+			Weight:   e.Weight,
+		}
+		if err := s.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := graph.NewBipartite(g.NumItems(), g.NumConsumers())
+	for v := 0; v < g.NumNodes(); v++ {
+		out.SetCapacity(graph.NodeID(v), g.Capacity(graph.NodeID(v)))
+	}
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.AddEdge(out.ItemID(int(rec.Item)), out.ConsumerID(int(rec.Consumer)), rec.Weight)
+	}
+}
+
+func scaleCfg(items, consumers *int, scale float64) {
+	if scale <= 0 || scale >= 1 {
+		return
+	}
+	*items = int(float64(*items) * scale)
+	*consumers = int(float64(*consumers) * scale)
+	if *items < 10 {
+		*items = 10
+	}
+	if *consumers < 10 {
+		*consumers = 10
+	}
+}

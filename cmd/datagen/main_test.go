@@ -1,0 +1,91 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBuildKnownDatasets(t *testing.T) {
+	for _, name := range []string{"flickr-small", "flickr-large", "yahoo-answers"} {
+		g, err := build(name, 0.5, 1, 0.03, 0, 0, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s: no edges", name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Capacities applied.
+		anyCap := false
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.Capacity(graph.NodeID(v)) > 0 {
+				anyCap = true
+				break
+			}
+		}
+		if !anyCap {
+			t.Errorf("%s: no capacities set", name)
+		}
+	}
+}
+
+func TestBuildSynthetic(t *testing.T) {
+	g, err := build("synthetic", 0, 1, 1, 500, 100, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumItems() != 500 || g.NumConsumers() != 100 {
+		t.Errorf("sizes %d %d", g.NumItems(), g.NumConsumers())
+	}
+}
+
+func TestBuildUnknownDataset(t *testing.T) {
+	if _, err := build("nope", 0, 1, 1, 0, 0, 0, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestSortEdges(t *testing.T) {
+	g, err := build("synthetic", 0, 1, 1, 200, 40, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := sortEdges(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d -> %d", g.NumEdges(), sorted.NumEdges())
+	}
+	for i := 1; i < sorted.NumEdges(); i++ {
+		if sorted.Edge(i).Weight > sorted.Edge(i-1).Weight {
+			t.Fatal("edges not in descending weight order")
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if sorted.Capacity(graph.NodeID(v)) != g.Capacity(graph.NodeID(v)) {
+			t.Fatal("capacities lost in sort")
+		}
+	}
+}
+
+func TestScaleCfg(t *testing.T) {
+	items, consumers := 1000, 500
+	scaleCfg(&items, &consumers, 0.1)
+	if items != 100 || consumers != 50 {
+		t.Errorf("scaled to %d %d", items, consumers)
+	}
+	items, consumers = 1000, 500
+	scaleCfg(&items, &consumers, 1)
+	if items != 1000 {
+		t.Error("scale 1 must not change sizes")
+	}
+	items, consumers = 20, 20
+	scaleCfg(&items, &consumers, 0.01)
+	if items < 10 || consumers < 10 {
+		t.Error("floor not applied")
+	}
+}

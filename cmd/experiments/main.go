@@ -1,0 +1,135 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints them as text tables (optionally teeing
+// to a file). A full run at -scale 1 takes several minutes on one core;
+// -quick runs a reduced version in seconds.
+//
+// Usage:
+//
+//	experiments               # everything, full scale
+//	experiments -quick        # everything, reduced corpora
+//	experiments -only fig4    # one experiment (table1, fig1..fig7)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run with reduced corpora")
+		scale = flag.Float64("scale", 0, "explicit corpus scale in (0,1] (overrides -quick)")
+		only  = flag.String("only", "", "run a single experiment: table1, fig1..fig7")
+		out   = flag.String("o", "", "also write the report to this file")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Defaults()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	cfg.Seed = *seed
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	ctx := context.Background()
+	run := func(name string, fn func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		t0 := time.Now()
+		fmt.Fprintf(w, "=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(w, "(%s in %s)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", func() error {
+		fmt.Fprint(w, experiments.RenderTable1(experiments.Table1(cfg)))
+		return nil
+	})
+	for i, ds := range []string{"flickr-small", "flickr-large", "yahoo-answers"} {
+		name := fmt.Sprintf("fig%d", i+1)
+		ds := ds
+		run(name, func() error {
+			res, err := experiments.Quality(ctx, cfg, ds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, res.Render())
+			return nil
+		})
+	}
+	run("fig4", func() error {
+		for _, ds := range []string{"flickr-large", "yahoo-answers"} {
+			res, err := experiments.Violations(ctx, cfg, ds,
+				[]float64{0.25, 1}, []float64{1, 2})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, res.Render())
+		}
+		return nil
+	})
+	run("fig5", func() error {
+		for _, ds := range []string{"flickr-small", "flickr-large", "yahoo-answers"} {
+			res, err := experiments.Convergence(ctx, cfg, ds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, res.Render())
+		}
+		return nil
+	})
+	run("scalability", func() error {
+		res, err := experiments.Scalability(ctx, cfg, 500, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Render())
+		return nil
+	})
+	run("fig6", func() error {
+		for _, c := range cfg.Datasets() {
+			fmt.Fprint(w, experiments.SimilarityDistribution(c).Render())
+		}
+		return nil
+	})
+	run("fig7", func() error {
+		for _, c := range cfg.Datasets() {
+			for _, side := range []graph.Side{graph.ItemSide, graph.ConsumerSide} {
+				res, err := experiments.CapacityDistribution(c, cfg.Alpha, side)
+				if err != nil {
+					return err
+				}
+				fmt.Fprint(w, res.Render())
+			}
+		}
+		return nil
+	})
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

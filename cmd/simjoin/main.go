@@ -1,0 +1,109 @@
+// Command simjoin runs the MapReduce prefix-filtered similarity join on
+// a generated corpus, reporting the candidate-edge statistics of the
+// paper's Section 5.1 (pruning power, join size, shuffle volume) and
+// optionally writing the resulting candidate graph.
+//
+// Usage:
+//
+//	simjoin -dataset flickr-small -sigma 4
+//	simjoin -dataset yahoo-answers -sigma 0.2 -scale 0.2 -o graph.txt
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/simjoin"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "flickr-small", "flickr-small | flickr-large | yahoo-answers")
+		sigma = flag.Float64("sigma", 4, "similarity threshold (must be > 0)")
+		alpha = flag.Float64("alpha", 1, "capacity multiplier applied when writing the graph")
+		scale = flag.Float64("scale", 1, "corpus size scale factor in (0,1]")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("o", "", "write the candidate graph (with capacities) to this file")
+	)
+	flag.Parse()
+
+	c, err := corpus(*name, *scale, *seed)
+	if err != nil {
+		fail(err)
+	}
+	res, err := simjoin.Join(context.Background(), c.Items, c.Consumers, *sigma, simjoin.Options{})
+	if err != nil {
+		fail(err)
+	}
+
+	pairs := int64(c.NumItems()) * int64(c.NumConsumers())
+	fmt.Printf("dataset:        %s (|T|=%d |C|=%d, %d possible pairs)\n",
+		c.Name, c.NumItems(), c.NumConsumers(), pairs)
+	fmt.Printf("sigma:          %g\n", *sigma)
+	fmt.Printf("MR rounds:      %d\n", res.Rounds)
+	fmt.Printf("index postings: %d\n", res.PostingEntries)
+	fmt.Printf("candidates:     %d (%.4f%% of all pairs)\n",
+		res.Candidates, 100*float64(res.Candidates)/float64(pairs))
+	fmt.Printf("edges >= sigma: %d (%.1f%% of candidates survive verification)\n",
+		len(res.Edges), 100*float64(len(res.Edges))/float64(max64(res.Candidates, 1)))
+	fmt.Printf("shuffle:        %d records\n", res.Shuffle.ShuffleRecords)
+
+	if *out != "" {
+		g := simjoin.ToGraph(res.Edges, c.NumItems(), c.NumConsumers())
+		if err := c.ApplyCapacities(g, *alpha); err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := graph.Write(f, g); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote:          %s\n", *out)
+	}
+}
+
+func corpus(name string, scale float64, seed int64) (*dataset.Corpus, error) {
+	apply := func(items, consumers *int) {
+		if scale > 0 && scale < 1 {
+			*items = int(float64(*items) * scale)
+			*consumers = int(float64(*consumers) * scale)
+		}
+	}
+	switch name {
+	case "flickr-small":
+		cfg := dataset.FlickrSmallConfig()
+		cfg.Seed = seed
+		apply(&cfg.NumItems, &cfg.NumConsumers)
+		return dataset.Flickr(name, cfg), nil
+	case "flickr-large":
+		cfg := dataset.FlickrLargeConfig()
+		cfg.Seed = seed
+		apply(&cfg.NumItems, &cfg.NumConsumers)
+		return dataset.Flickr(name, cfg), nil
+	case "yahoo-answers":
+		cfg := dataset.AnswersScaledConfig()
+		cfg.Seed = seed
+		apply(&cfg.NumItems, &cfg.NumConsumers)
+		return dataset.Answers(name, cfg), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", name)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "simjoin:", err)
+	os.Exit(1)
+}

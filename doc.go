@@ -1,0 +1,31 @@
+// Package socialmatch reproduces "Social Content Matching in MapReduce"
+// (De Francisci Morales, Gionis, Sozio; PVLDB 4(7), 2011): distributing
+// content items to consumers in social-media applications by solving
+// approximate maximum-weight b-matching entirely in the MapReduce model.
+//
+// The package is a facade over the building blocks in internal/:
+//
+//   - internal/mapreduce — the in-memory MapReduce engine (the paper's
+//     Hadoop substrate);
+//   - internal/simjoin — candidate-edge generation by prefix-filtered
+//     similarity join (Section 5.1);
+//   - internal/core — the matching algorithms: GreedyMR, StackMR,
+//     StackGreedyMR, plus centralized references (Sections 5.2-5.4);
+//   - internal/dataset, internal/capacity — synthetic stand-ins for the
+//     paper's datasets and the Section-4 capacity policies;
+//   - internal/experiments — the harness regenerating every table and
+//     figure of Section 6.
+//
+// Quick start:
+//
+//	g := socialmatch.NewGraph(numItems, numConsumers)
+//	g.AddEdge(item, consumer, weight)   // similarity-weighted edges
+//	g.SetCapacity(node, b)              // per-node budgets
+//	rep, err := socialmatch.Match(ctx, g, socialmatch.Options{
+//		Algorithm: socialmatch.GreedyMRAlgorithm,
+//	})
+//
+// or run the full pipeline from term vectors with Pipeline.Run, which
+// joins items to consumers at a similarity threshold, applies the
+// activity-based capacities, and matches.
+package socialmatch

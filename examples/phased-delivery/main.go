@@ -1,0 +1,120 @@
+// Phased-delivery: the operating model of the paper's Section 4
+// ("Scenario"). The application runs in consecutive phases; before phase
+// i starts, it tentatively allocates the items produced during phase i-1
+// (plus the leftovers that were never delivered) to the consumers
+// expected to be active in phase i.
+//
+// This example simulates four phases of a content site: each phase new
+// items arrive, consumer activity estimates change, capacities are
+// recomputed from the fresh estimates, and a new b-matching is computed.
+// Undelivered items (matched to nobody) roll over to the next phase.
+//
+//	go run ./examples/phased-delivery
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	socialmatch "repro"
+	"repro/internal/capacity"
+	"repro/internal/dataset"
+	"repro/internal/vector"
+)
+
+const (
+	numConsumers  = 80
+	itemsPerPhase = 150
+	phases        = 4
+	sigma         = 3.0
+)
+
+func main() {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(99))
+	tags := dataset.NewZipf(rng, 0.9, 500)
+
+	// Stable consumer population with per-phase activity estimates.
+	consumerVecs := make([]vector.Sparse, numConsumers)
+	for j := range consumerVecs {
+		b := vector.NewBuilder()
+		for k := 0; k < 25; k++ {
+			b.AddCount(vector.TermID(tags.Draw()))
+		}
+		consumerVecs[j] = b.Vector()
+	}
+
+	newItem := func() vector.Sparse {
+		b := vector.NewBuilder()
+		for k := 0; k < 6; k++ {
+			b.AddCount(vector.TermID(tags.Draw()))
+		}
+		return b.Vector()
+	}
+
+	var backlog []vector.Sparse // undelivered items roll over
+	for phase := 1; phase <= phases; phase++ {
+		// Items for this phase: last phase's production + backlog.
+		items := append([]vector.Sparse{}, backlog...)
+		for i := 0; i < itemsPerPhase; i++ {
+			items = append(items, newItem())
+		}
+
+		// Fresh activity estimates (e.g. from the previous phase's
+		// logs): expected logins per consumer this phase.
+		activity := make([]float64, numConsumers)
+		for j := range activity {
+			activity[j] = float64(1 + rng.Intn(6))
+		}
+
+		// Build candidate edges and capacities for this phase.
+		g := graphFromVectors(items, consumerVecs)
+		bandwidth, err := capacity.ConsumerActivity(g, activity, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := capacity.UniformItems(g, bandwidth); err != nil {
+			log.Fatal(err)
+		}
+
+		res, err := socialmatch.Match(ctx, g, socialmatch.Options{
+			Algorithm: socialmatch.GreedyMRAlgorithm,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Items with no delivery roll over to the next phase.
+		delivered := make([]bool, len(items))
+		for _, e := range res.Matching.Edges() {
+			delivered[int(e.Item)] = true
+		}
+		var next []vector.Sparse
+		for i, d := range delivered {
+			if !d {
+				next = append(next, items[i])
+			}
+		}
+		fmt.Printf("phase %d: %4d items (%3d rolled over) | %5d candidate edges | "+
+			"matched %4d pairs, value %8.1f, %2d MR rounds | %3d undelivered\n",
+			phase, len(items), len(backlog), g.NumEdges(),
+			res.Matching.Size(), res.Matching.Value(), res.Rounds, len(next))
+		backlog = next
+	}
+}
+
+// graphFromVectors scores all item-consumer pairs and keeps those above
+// the similarity threshold.
+func graphFromVectors(items, consumers []vector.Sparse) *socialmatch.Graph {
+	g := socialmatch.NewGraph(len(items), len(consumers))
+	for i, iv := range items {
+		for j, cv := range consumers {
+			if sim := iv.Dot(cv); sim >= sigma {
+				g.AddEdge(g.ItemID(i), g.ConsumerID(j), sim)
+			}
+		}
+	}
+	return g
+}

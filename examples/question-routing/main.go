@@ -1,0 +1,112 @@
+// Question-routing: the Yahoo! Answers scenario. Open questions are
+// proposed to users whose past answers suggest they can answer them
+// (paper Section 6: "The motivating application is to propose unanswered
+// questions to users").
+//
+// Unlike the other examples this one runs the entire text pipeline on
+// raw English strings: tokenization, stop-word removal, Porter stemming,
+// tf·idf weighting, the MapReduce similarity join, and finally the
+// b-matching — i.e. every substrate of the reproduction in one pass.
+//
+//	go run ./examples/question-routing
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	socialmatch "repro"
+	"repro/internal/text"
+	"repro/internal/vector"
+)
+
+// Open questions awaiting answers.
+var questions = []string{
+	"How do I sharpen photos taken at night with a cheap camera?",
+	"What lens should I buy for portrait photography on a budget?",
+	"Why does my sourdough bread collapse after baking in the oven?",
+	"Best way to knead dough for pizza without a stand mixer?",
+	"How can I train my dog to stop barking at the mailman?",
+	"Is it safe to feed my dog raw chicken bones?",
+	"Which programming language should a beginner learn first?",
+	"How do I debug a memory leak in a long running program?",
+}
+
+// Each user's past answers, concatenated: their expertise profile.
+var userAnswers = map[string]string{
+	"ansel": `Shooting at night requires a tripod and long exposures.
+		Use a fast lens and raise the ISO carefully; photography at night
+		rewards patience. For portraits, prime lenses give sharper photos.`,
+	"julia": `Bread collapses when the dough is overproofed. Knead the
+		dough until the gluten develops, proof the sourdough slowly in
+		the fridge, and bake with steam in a hot oven.`,
+	"cesar": `Dogs bark at the mailman because of territorial instinct.
+		Train with positive reinforcement and treats. Never feed a dog
+		cooked bones; raw bones are safer but supervise chewing.`,
+	"grace": `Start with a language that has a gentle learning curve and
+		a good debugger. Memory leaks in a program are found by profiling
+		allocations while the program runs.`,
+	"lurker": `I mostly read and never answer anything interesting.`,
+}
+
+func main() {
+	// 1. Text pipeline: tokenize, drop stop words, stem, count terms.
+	vocab := text.NewVocabulary()
+	toVector := func(doc string) vector.Sparse {
+		b := vector.NewBuilder()
+		for _, tok := range text.Preprocess(doc) {
+			b.AddCount(vector.TermID(vocab.ID(tok)))
+		}
+		return b.Vector()
+	}
+	items := make([]vector.Sparse, len(questions))
+	for i, q := range questions {
+		items[i] = toVector(q)
+	}
+	userNames := make([]string, 0, len(userAnswers))
+	for name := range userAnswers {
+		userNames = append(userNames, name)
+	}
+	// Deterministic order for the demo output.
+	for i := 0; i < len(userNames); i++ {
+		for j := i + 1; j < len(userNames); j++ {
+			if userNames[j] < userNames[i] {
+				userNames[i], userNames[j] = userNames[j], userNames[i]
+			}
+		}
+	}
+	consumers := make([]vector.Sparse, len(userNames))
+	activity := make([]float64, len(userNames))
+	for j, name := range userNames {
+		consumers[j] = toVector(userAnswers[name])
+		// Activity proxy n(u): length of the user's answer history.
+		activity[j] = float64(consumers[j].Len())
+	}
+
+	// 2. tf·idf over the joint corpus, then unit-normalize so the join
+	// threshold is a cosine.
+	all := append(append([]vector.Sparse{}, items...), consumers...)
+	weighted := vector.NormalizeAll(vector.TFIDF(all))
+	items = weighted[:len(items)]
+	consumers = weighted[len(items):]
+
+	// 3. Similarity join + capacities + matching, via the pipeline.
+	rep, err := socialmatch.Pipeline{
+		Sigma: 0.08, // cosine threshold for candidate edges
+		Alpha: 0.2,  // each user gets about n(u)/5 proposals
+		Match: socialmatch.Options{Algorithm: socialmatch.GreedyMRAlgorithm},
+	}.Run(context.Background(), items, consumers, activity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("vocabulary: %d stems; candidate edges: %d (join in %d MR rounds)\n",
+		vocab.Size(), rep.CandidateEdges, rep.JoinRounds)
+	fmt.Printf("matched %d question-user pairs, total relevance %.3f, %d match rounds\n\n",
+		len(rep.Assignments), rep.Value, rep.MatchRounds)
+	for _, a := range rep.Assignments {
+		fmt.Printf("-> ask %-6s (cos %.3f): %q\n",
+			userNames[a.Consumer], a.Similarity, questions[a.Item])
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: build a small item-consumer graph by hand, set capacities,
+// and match with GreedyMR.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	socialmatch "repro"
+)
+
+func main() {
+	// Three photos to feature, two users. Edge weights are relevance
+	// scores (e.g. tag-vector dot products).
+	g := socialmatch.NewGraph(3, 2)
+
+	alice := g.ConsumerID(0)
+	bob := g.ConsumerID(1)
+
+	// Alice logs in often: show her up to 2 items. Bob gets 1.
+	g.SetCapacity(alice, 2)
+	g.SetCapacity(bob, 1)
+	// Every photo may be shown at most twice in this phase.
+	for i := 0; i < 3; i++ {
+		g.SetCapacity(g.ItemID(i), 2)
+	}
+
+	g.AddEdge(g.ItemID(0), alice, 0.9) // sunset photo, Alice loves sunsets
+	g.AddEdge(g.ItemID(0), bob, 0.4)
+	g.AddEdge(g.ItemID(1), alice, 0.7)
+	g.AddEdge(g.ItemID(1), bob, 0.8) // street shot, Bob's favourite genre
+	g.AddEdge(g.ItemID(2), alice, 0.3)
+
+	res, err := socialmatch.Match(context.Background(), g, socialmatch.Options{
+		Algorithm: socialmatch.GreedyMRAlgorithm,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := []string{"alice", "bob"}
+	fmt.Printf("matched %d edges, total relevance %.2f, in %d MapReduce rounds\n",
+		res.Matching.Size(), res.Matching.Value(), res.Rounds)
+	for _, e := range res.Matching.Edges() {
+		fmt.Printf("  show photo %d to %s (relevance %.2f)\n",
+			int(e.Item), names[int(e.Consumer)-g.NumItems()], e.Weight)
+	}
+}

@@ -1,0 +1,183 @@
+package socialmatch
+
+// End-to-end integration tests: the full system path (generate corpus →
+// similarity join → capacities → match) plus cross-checks between the
+// file format, the algorithms, and the exact oracle.
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/simjoin"
+)
+
+// miniCorpus builds a small but realistic flickr-style corpus.
+func miniCorpus(seed int64) *dataset.Corpus {
+	cfg := dataset.FlickrSmallConfig()
+	cfg.NumItems, cfg.NumConsumers, cfg.Seed = 250, 70, seed
+	return dataset.Flickr("integration", cfg)
+}
+
+func TestEndToEndAllAlgorithmsOnGeneratedCorpus(t *testing.T) {
+	ctx := context.Background()
+	c := miniCorpus(5)
+	const sigma = 3
+	jr, err := simjoin.Join(ctx, c.Items, c.Consumers, sigma, simjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := simjoin.ToGraph(jr.Edges, c.NumItems(), c.NumConsumers())
+	if err := c.ApplyCapacities(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no candidate edges")
+	}
+
+	values := map[Algorithm]float64{}
+	for _, alg := range Algorithms() {
+		res, err := Match(ctx, g.Clone(), Options{Algorithm: alg, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		slack := 1.0
+		if alg == StackMRAlgorithm || alg == StackGreedyMRAlgorithm {
+			slack = 2 // eps defaults to 1
+		}
+		if err := res.Matching.Validate(slack); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		values[alg] = res.Matching.Value()
+	}
+
+	// Quality ordering sanity: greedy family ≥ stack family / 2 here
+	// (far looser than observed, tight enough to catch regressions).
+	if values[GreedyMRAlgorithm] < values[StackMRAlgorithm]/2 {
+		t.Errorf("GreedyMR %v unexpectedly far below StackMR %v",
+			values[GreedyMRAlgorithm], values[StackMRAlgorithm])
+	}
+	// GreedyMR equals centralized greedy on distinct weights.
+	if math.Abs(values[GreedyMRAlgorithm]-values[GreedyAlgorithm]) > 1e-6 {
+		t.Errorf("GreedyMR %v != Greedy %v", values[GreedyMRAlgorithm], values[GreedyAlgorithm])
+	}
+}
+
+func TestEndToEndGraphFileRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	c := miniCorpus(7)
+	g := c.BuildGraph(4)
+	if err := c.ApplyCapacities(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graph.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The matching on the round-tripped graph must agree exactly
+	// (weights survive the text format at full precision for these
+	// integer-ish values).
+	a, err := Match(ctx, g, Options{Algorithm: GreedyAlgorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Match(ctx, back, Options{Algorithm: GreedyAlgorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Matching.Value()-b.Matching.Value()) > 1e-9 {
+		t.Errorf("value changed across file round trip: %v -> %v",
+			a.Matching.Value(), b.Matching.Value())
+	}
+}
+
+func TestEndToEndAgainstExactOracle(t *testing.T) {
+	// On a small corpus the exact optimum is computable; all
+	// approximation guarantees must hold on the real pipeline output,
+	// not just on random graphs.
+	ctx := context.Background()
+	cfg := dataset.FlickrSmallConfig()
+	cfg.NumItems, cfg.NumConsumers, cfg.Seed = 60, 25, 11
+	c := dataset.Flickr("oracle", cfg)
+	g := c.BuildGraph(3)
+	if err := c.ApplyCapacities(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := flow.MaxWeightBMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt <= 0 {
+		t.Fatal("trivial oracle optimum")
+	}
+	greedy, err := Match(ctx, g.Clone(), Options{Algorithm: GreedyMRAlgorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Matching.Value() < opt/2-1e-9 {
+		t.Errorf("GreedyMR %v < OPT/2 (%v)", greedy.Matching.Value(), opt/2)
+	}
+	stack, err := Match(ctx, g.Clone(), Options{Algorithm: StackMRAlgorithm, Eps: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.Matching.Value() < opt/7-1e-9 {
+		t.Errorf("StackMR %v < OPT/7 (%v)", stack.Matching.Value(), opt/7)
+	}
+}
+
+func TestParallelEdgesSupported(t *testing.T) {
+	// Two parallel edges between the same pair count separately against
+	// capacities — the b-matching semantics over multigraphs.
+	ctx := context.Background()
+	g := NewGraph(1, 1)
+	g.SetCapacity(0, 2)
+	g.SetCapacity(1, 2)
+	g.AddEdge(0, 1, 1.0)
+	g.AddEdge(0, 1, 0.5)
+	for _, alg := range []Algorithm{GreedyAlgorithm, GreedyMRAlgorithm} {
+		res, err := Match(ctx, g.Clone(), Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Matching.Size() != 2 {
+			t.Errorf("%s: matched %d parallel edges, want 2", alg, res.Matching.Size())
+		}
+	}
+	picked, value, err := flow.MaxWeightBMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 || math.Abs(value-1.5) > 1e-9 {
+		t.Errorf("flow on multigraph: %v %v", picked, value)
+	}
+}
+
+func TestStackMRViolationMetricsOnPipeline(t *testing.T) {
+	ctx := context.Background()
+	c := miniCorpus(13)
+	g := c.BuildGraph(2)
+	if err := c.ApplyCapacities(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.StackMR(ctx, g, core.StackOptions{Eps: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε′ small (paper: 0-6%) and stretch within (1+ε).
+	if v := res.Matching.Violation(); v > 0.06 {
+		t.Errorf("eps' = %v above the paper's observed range", v)
+	}
+	if f := res.Matching.MaxViolationFactor(); f > 2+1e-9 {
+		t.Errorf("stretch %v beyond 1+eps", f)
+	}
+}

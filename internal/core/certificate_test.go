@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+func TestStackMRCertificateValid(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 15; seed++ {
+		g := graph.RandomBipartite(graph.RandomConfig{
+			NumItems: 10, NumConsumers: 8, EdgeProb: 0.5,
+			MaxWeight: 5, MaxCapacity: 3, Seed: seed,
+		})
+		res, err := StackMR(ctx, g, stackOpts(1, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Certificate == nil {
+			t.Fatal("no certificate produced")
+		}
+		if err := res.Certificate.Verify(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCertificateBoundsOptimum(t *testing.T) {
+	// The certificate's whole purpose: Bound() ≥ OPT, verified against
+	// the exact oracle.
+	ctx := context.Background()
+	for seed := int64(0); seed < 20; seed++ {
+		g := graph.RandomBipartite(graph.RandomConfig{
+			NumItems: 7, NumConsumers: 6, EdgeProb: 0.5,
+			MaxWeight: 5, MaxCapacity: 2, Seed: seed + 700,
+		})
+		res, err := StackMR(ctx, g, stackOpts(1, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := flow.MaxWeightBMatching(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := res.Certificate.Bound()
+		if bound < opt-1e-9 {
+			t.Errorf("seed %d: certified bound %v < OPT %v", seed, bound, opt)
+		}
+		// The certified ratio is a valid lower bound on the true ratio.
+		if opt > 0 {
+			certified := res.Certificate.CertifiedRatio(res.Matching.Value())
+			actual := res.Matching.Value() / opt
+			if certified > actual+1e-9 {
+				t.Errorf("seed %d: certified ratio %v above actual %v", seed, certified, actual)
+			}
+		}
+	}
+}
+
+func TestCertificateStrictVariant(t *testing.T) {
+	ctx := context.Background()
+	g := graph.RandomBipartite(graph.RandomConfig{
+		NumItems: 10, NumConsumers: 8, EdgeProb: 0.4,
+		MaxWeight: 3, MaxCapacity: 2, Seed: 44,
+	})
+	res, err := StackMRStrict(ctx, g, stackOpts(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certificate == nil {
+		t.Fatal("strict variant lost the certificate")
+	}
+	if err := res.Certificate.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCertificateDetectsBogusDuals(t *testing.T) {
+	g := graph.NewBipartite(1, 1)
+	g.SetCapacity(0, 1)
+	g.SetCapacity(1, 1)
+	g.AddEdge(0, 1, 10)
+	c := &DualCertificate{Y: []float64{0, 0}, Eps: 1, g: g}
+	if err := c.Verify(); err == nil {
+		t.Error("zero duals accepted for a weighted edge")
+	}
+	empty := &DualCertificate{Y: nil, Eps: 1}
+	if err := empty.Verify(); err == nil {
+		t.Error("graphless certificate accepted")
+	}
+	if c.CertifiedRatio(5) != 0 {
+		t.Error("zero bound should give ratio 0")
+	}
+}
+
+func TestGreedyMRHasNoCertificate(t *testing.T) {
+	ctx := context.Background()
+	g := graph.NewBipartite(1, 1)
+	g.SetCapacity(0, 1)
+	g.SetCapacity(1, 1)
+	g.AddEdge(0, 1, 1)
+	res, err := GreedyMR(ctx, g, GreedyMROptions{MR: testMR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certificate != nil {
+		t.Error("greedy algorithms do not produce dual certificates")
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// Greedy computes a b-matching with the classical centralized greedy
+// algorithm (paper Section 5.4 and Appendix A): process edges in order of
+// decreasing weight and include an edge when both endpoints still have
+// residual capacity. The result is feasible and a 1/2-approximation of
+// the maximum-weight b-matching (Theorem 2).
+//
+// Ties are broken deterministically on (item, consumer) ids, so Greedy is
+// a pure function of the graph.
+func Greedy(g *graph.Bipartite) *Result {
+	residual := make([]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		residual[v] = intCap(g, graph.NodeID(v))
+	}
+	var picked []int32
+	for _, ei := range g.SortEdgesByWeightDesc() {
+		e := g.Edge(int(ei))
+		if residual[e.Item] > 0 && residual[e.Consumer] > 0 {
+			picked = append(picked, ei)
+			residual[e.Item]--
+			residual[e.Consumer]--
+		}
+	}
+	return &Result{Matching: NewMatching(g, picked)}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+)
+
+func TestGreedyPicksHeaviestFirst(t *testing.T) {
+	g := smallGraph(t)
+	res := Greedy(g)
+	// Sorted desc: 0.9 (e1), 0.7 (e3), 0.5 (e0), 0.3 (e2).
+	// e1: item1(b2), c0(b2) ok. e3: item2(b1), c1(b1) ok.
+	// e0: item0(b1), c0(b1 left) ok. e2: item1(b1 left), c1 exhausted -> no.
+	if !res.Matching.Contains(1) || !res.Matching.Contains(3) || !res.Matching.Contains(0) {
+		t.Errorf("greedy picked %v", res.Matching.EdgeIndexes())
+	}
+	if res.Matching.Contains(2) {
+		t.Error("greedy violated consumer capacity")
+	}
+	if math.Abs(res.Matching.Value()-2.1) > 1e-12 {
+		t.Errorf("value = %v, want 2.1", res.Matching.Value())
+	}
+}
+
+func TestGreedyFeasible(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := graph.RandomBipartite(graph.RandomConfig{
+			NumItems: 10, NumConsumers: 8, EdgeProb: 0.5,
+			MaxWeight: 4, MaxCapacity: 3, Seed: seed,
+		})
+		res := Greedy(g)
+		return res.Matching.Validate(1) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyHalfApproximation(t *testing.T) {
+	// Theorem 2: greedy ≥ OPT/2, verified against the exact flow oracle.
+	for seed := int64(0); seed < 60; seed++ {
+		g := graph.RandomBipartite(graph.RandomConfig{
+			NumItems: 7, NumConsumers: 6, EdgeProb: 0.5,
+			MaxWeight: 5, MaxCapacity: 2, Seed: seed,
+		})
+		res := Greedy(g)
+		_, opt, err := flow.MaxWeightBMatching(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Matching.Value() < opt/2-1e-9 {
+			t.Errorf("seed %d: greedy %v < OPT/2 = %v", seed, res.Matching.Value(), opt/2)
+		}
+		if res.Matching.Value() > opt+1e-9 {
+			t.Errorf("seed %d: greedy %v exceeds OPT %v", seed, res.Matching.Value(), opt)
+		}
+	}
+}
+
+func TestGreedyTightCaseIsTight(t *testing.T) {
+	// The paper's tightness example: greedy gets 1+eps, OPT gets 2.
+	g := graph.GreedyTightCase(0.1)
+	res := Greedy(g)
+	if math.Abs(res.Matching.Value()-1.1) > 1e-12 {
+		t.Errorf("greedy = %v, want 1.1", res.Matching.Value())
+	}
+	_, opt, err := flow.MaxWeightBMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-2) > 1e-9 {
+		t.Errorf("OPT = %v, want 2", opt)
+	}
+}
+
+func TestGreedyMaximality(t *testing.T) {
+	// No remaining edge can be added: for every unpicked edge some
+	// endpoint is saturated.
+	g := graph.RandomBipartite(graph.RandomConfig{
+		NumItems: 12, NumConsumers: 9, EdgeProb: 0.4,
+		MaxWeight: 2, MaxCapacity: 2, Seed: 3,
+	})
+	res := Greedy(g)
+	deg := res.Matching.Degrees()
+	for i := 0; i < g.NumEdges(); i++ {
+		if res.Matching.Contains(int32(i)) {
+			continue
+		}
+		e := g.Edge(i)
+		itemFull := deg[e.Item] >= g.IntCapacity(e.Item)
+		consFull := deg[e.Consumer] >= g.IntCapacity(e.Consumer)
+		if !itemFull && !consFull {
+			t.Errorf("edge %d could be added: greedy not maximal", i)
+		}
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	g := graph.RandomBipartite(graph.RandomConfig{
+		NumItems: 15, NumConsumers: 15, EdgeProb: 0.3,
+		MaxWeight: 3, MaxCapacity: 2, Seed: 5,
+	})
+	a := Greedy(g).Matching.EdgeIndexes()
+	b := Greedy(g).Matching.EdgeIndexes()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic selection")
+		}
+	}
+}
+
+// greedyVsGreedyMR: the MapReduce adaptation must compute a maximal
+// feasible matching of comparable value (not necessarily identical: the
+// parallel intersection rule can deviate from strict weight order).
+func TestGreedyMRMatchesGreedyOnSmallGraphs(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 30; seed++ {
+		g := graph.RandomBipartite(graph.RandomConfig{
+			NumItems: 6, NumConsumers: 5, EdgeProb: 0.5,
+			MaxWeight: 4, MaxCapacity: 2, Seed: seed,
+		})
+		res, err := GreedyMR(ctx, g, GreedyMROptions{MR: mapreduce.Config{Mappers: 2, Reducers: 2}})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.Matching.Validate(1); err != nil {
+			t.Fatalf("seed %d: infeasible: %v", seed, err)
+		}
+		want := Greedy(g).Matching.Value()
+		if got := res.Matching.Value(); math.Abs(got-want) > 1e-9 {
+			// GreedyMR matches exactly the greedy solution when edge
+			// weights are distinct, which holds almost surely for
+			// random float weights.
+			t.Errorf("seed %d: greedymr %v != greedy %v", seed, got, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+)
+
+// GreedyMROptions configures GreedyMR.
+type GreedyMROptions struct {
+	// MR is the MapReduce configuration for every round.
+	MR mapreduce.Config
+	// MaxRounds aborts the computation when exceeded (a safety net:
+	// GreedyMR always terminates, but its round count can be linear in
+	// the worst case). Zero means 4·|E|+16, which is always enough
+	// because every round matches or drops at least one edge.
+	MaxRounds int
+	// StopAfterRounds, when positive, stops the algorithm early and
+	// returns the current (feasible) solution: the any-time property
+	// of Section 5.4.
+	StopAfterRounds int
+}
+
+// GreedyMR computes a b-matching with the MapReduce adaptation of the
+// greedy algorithm (paper Section 5.4, Algorithm 3).
+//
+// Each MapReduce round: in the map phase every node v proposes its
+// (residual) b(v) heaviest incident edges to its neighbors; in the reduce
+// phase every node intersects its own proposals with those of its
+// neighbors, includes the intersection in the matching, decrements its
+// capacity, and drops out when saturated. The solution after every round
+// is feasible, so the algorithm can be stopped at any time.
+//
+// The returned Result has one ValueTrace entry per round (Figure 5 plots
+// exactly this trace) and Rounds equal to the number of MapReduce jobs,
+// one per greedy iteration.
+func GreedyMR(ctx context.Context, g *graph.Bipartite, opts GreedyMROptions) (*Result, error) {
+	driver := mapreduce.NewDriver(opts.MR)
+	driver.MaxRounds = opts.MaxRounds
+	if driver.MaxRounds == 0 {
+		driver.MaxRounds = 4*g.NumEdges() + 16
+	}
+
+	records := nodeRecords(g)
+	var matched []int32
+	var trace []float64
+	value := 0.0
+
+	for len(records) > 0 {
+		if opts.StopAfterRounds > 0 && driver.Rounds() >= opts.StopAfterRounds {
+			break
+		}
+		out, err := mapreduce.RunJob(ctx, driver, "greedymr-round", records,
+			greedyMap, greedyReduce(g))
+		if err != nil {
+			return nil, fmt.Errorf("core: greedymr round %d: %w", driver.Rounds(), err)
+		}
+		records = records[:0]
+		for _, p := range out {
+			if p.Value.state != nil {
+				records = append(records, mapreduce.P(p.Key, *p.Value.state))
+			}
+			for _, ei := range p.Value.matched {
+				matched = append(matched, ei)
+				value += g.Edge(int(ei)).Weight
+			}
+		}
+		trace = append(trace, value)
+	}
+
+	res := &Result{
+		Matching:   NewMatching(g, matched),
+		Rounds:     driver.Rounds(),
+		Phases:     driver.Rounds(),
+		Shuffle:    driver.Total(),
+		RoundStats: driver.Trace(),
+		ValueTrace: trace,
+	}
+	return res, nil
+}
+
+// greedyMsg is the intermediate value of a GreedyMR round: either a
+// node's own state forwarded to itself, or a proposal flag sent to the
+// other endpoint of an edge.
+type greedyMsg struct {
+	self     *nodeState
+	edge     int32
+	proposed bool
+}
+
+// greedyOut is the output value of a GreedyMR round: the node's next
+// state (nil when the node drops out) plus the matched edges reported by
+// their item-side endpoint.
+type greedyOut struct {
+	state   *nodeState
+	matched []int32
+}
+
+// greedyMap implements the map phase of Algorithm 3: node v proposes its
+// top-b(v) incident edges.
+func greedyMap(v graph.NodeID, st nodeState, out mapreduce.Emitter[graph.NodeID, greedyMsg]) error {
+	stCopy := st
+	out.Emit(v, greedyMsg{self: &stCopy})
+	proposals := edgeSet(st.Adj, topByWeight(st.Adj, st.B))
+	for _, h := range st.Adj {
+		out.Emit(h.Other, greedyMsg{edge: h.ID, proposed: proposals[h.ID]})
+	}
+	return nil
+}
+
+// greedyReduce implements the reduce phase of Algorithm 3: node u
+// intersects its own proposals with its neighbors' and updates its state.
+// Edges for which no message arrived have a dead neighbor and are
+// dropped. The proposal set of u is recomputed here with the same
+// deterministic rule the mapper used, so both endpoints of an edge reach
+// the same verdict.
+func greedyReduce(g *graph.Bipartite) mapreduce.ReduceFunc[graph.NodeID, greedyMsg, graph.NodeID, greedyOut] {
+	return func(u graph.NodeID, msgs []greedyMsg, out mapreduce.Emitter[graph.NodeID, greedyOut]) error {
+		var self *nodeState
+		incoming := make(map[int32]bool) // edge id -> proposed by other side
+		seen := make(map[int32]bool)
+		for _, m := range msgs {
+			if m.self != nil {
+				self = m.self
+				continue
+			}
+			seen[m.edge] = true
+			if m.proposed {
+				incoming[m.edge] = true
+			}
+		}
+		if self == nil {
+			// The node died in an earlier round; stray proposals from
+			// neighbors that have not yet noticed are ignored.
+			return nil
+		}
+		mine := edgeSet(self.Adj, topByWeight(self.Adj, self.B))
+		var res greedyOut
+		next := nodeState{B: self.B}
+		for _, h := range self.Adj {
+			switch {
+			case !seen[h.ID]:
+				// Neighbor is gone: drop the edge.
+			case incoming[h.ID] && mine[h.ID]:
+				// Both endpoints proposed: matched.
+				next.B--
+				if g.SideOf(u) == graph.ItemSide {
+					res.matched = append(res.matched, h.ID)
+				}
+			default:
+				next.Adj = append(next.Adj, h)
+			}
+		}
+		if next.B > 0 && len(next.Adj) > 0 {
+			res.state = &next
+		}
+		if res.state != nil || len(res.matched) > 0 {
+			out.Emit(u, res)
+		}
+		return nil
+	}
+}

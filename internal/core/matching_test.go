@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// smallGraph builds the 3×2 fixture shared by the type tests.
+func smallGraph(t testing.TB) *graph.Bipartite {
+	t.Helper()
+	g := graph.NewBipartite(3, 2)
+	g.SetCapacity(g.ItemID(0), 1)
+	g.SetCapacity(g.ItemID(1), 2)
+	g.SetCapacity(g.ItemID(2), 1)
+	g.SetCapacity(g.ConsumerID(0), 2)
+	g.SetCapacity(g.ConsumerID(1), 1)
+	g.AddEdge(g.ItemID(0), g.ConsumerID(0), 0.5) // edge 0
+	g.AddEdge(g.ItemID(1), g.ConsumerID(0), 0.9) // edge 1
+	g.AddEdge(g.ItemID(1), g.ConsumerID(1), 0.3) // edge 2
+	g.AddEdge(g.ItemID(2), g.ConsumerID(1), 0.7) // edge 3
+	return g
+}
+
+func TestNewMatchingDedupSortValue(t *testing.T) {
+	g := smallGraph(t)
+	m := NewMatching(g, []int32{3, 0, 3, 1})
+	if m.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (dedup)", m.Size())
+	}
+	idx := m.EdgeIndexes()
+	if idx[0] != 0 || idx[1] != 1 || idx[2] != 3 {
+		t.Errorf("EdgeIndexes = %v, want sorted [0 1 3]", idx)
+	}
+	if math.Abs(m.Value()-2.1) > 1e-12 {
+		t.Errorf("Value = %v, want 2.1", m.Value())
+	}
+	if !m.Contains(1) || m.Contains(2) {
+		t.Error("Contains wrong")
+	}
+	if len(m.Edges()) != 3 {
+		t.Error("Edges length wrong")
+	}
+	if m.Graph() != g {
+		t.Error("Graph accessor wrong")
+	}
+}
+
+func TestMatchingDegrees(t *testing.T) {
+	g := smallGraph(t)
+	m := NewMatching(g, []int32{0, 1, 2})
+	deg := m.Degrees()
+	if deg[g.ItemID(1)] != 2 {
+		t.Errorf("deg(item1) = %d, want 2", deg[g.ItemID(1)])
+	}
+	if deg[g.ConsumerID(0)] != 2 {
+		t.Errorf("deg(c0) = %d, want 2", deg[g.ConsumerID(0)])
+	}
+	if deg[g.ItemID(2)] != 0 {
+		t.Errorf("deg(item2) = %d, want 0", deg[g.ItemID(2)])
+	}
+}
+
+func TestMatchingValidate(t *testing.T) {
+	g := smallGraph(t)
+	// Feasible matching.
+	if err := NewMatching(g, []int32{0, 1, 3}).Validate(1); err != nil {
+		t.Errorf("feasible matching rejected: %v", err)
+	}
+	// Item 0 has capacity 1: edges 0 alone ok, but force a violation
+	// through consumer 1 (capacity 1, edges 2 and 3).
+	m := NewMatching(g, []int32{2, 3})
+	if err := m.Validate(1); err == nil {
+		t.Error("violating matching accepted at slack 1")
+	}
+	if err := m.Validate(2); err != nil {
+		t.Errorf("matching rejected at slack 2: %v", err)
+	}
+	if err := m.Validate(0.5); err == nil {
+		t.Error("slack < 1 accepted")
+	}
+	if err := (&Matching{g: g, edges: []int32{99}}).Validate(1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestMatchingViolation(t *testing.T) {
+	g := smallGraph(t)
+	// Feasible: violation 0.
+	if v := NewMatching(g, []int32{0, 1}).Violation(); v != 0 {
+		t.Errorf("violation of feasible matching = %v", v)
+	}
+	// Consumer 1 (capacity 1) matched twice: over by 1, relative 1/1,
+	// averaged over 5 nodes = 0.2.
+	m := NewMatching(g, []int32{2, 3})
+	if v := m.Violation(); math.Abs(v-0.2) > 1e-12 {
+		t.Errorf("violation = %v, want 0.2", v)
+	}
+	if f := m.MaxViolationFactor(); math.Abs(f-2) > 1e-12 {
+		t.Errorf("MaxViolationFactor = %v, want 2", f)
+	}
+}
+
+func TestEmptyMatching(t *testing.T) {
+	g := smallGraph(t)
+	m := NewMatching(g, nil)
+	if m.Size() != 0 || m.Value() != 0 || m.Violation() != 0 {
+		t.Error("empty matching not neutral")
+	}
+	if m.MaxViolationFactor() != 0 {
+		t.Error("empty MaxViolationFactor != 0")
+	}
+	if err := m.Validate(1); err != nil {
+		t.Errorf("empty matching invalid: %v", err)
+	}
+}
+
+func TestResultTraceHelpers(t *testing.T) {
+	r := &Result{ValueTrace: []float64{1, 5, 9, 9.5, 10}}
+	fr := r.FractionOfFinal()
+	if math.Abs(fr[0]-0.1) > 1e-12 || fr[4] != 1 {
+		t.Errorf("FractionOfFinal = %v", fr)
+	}
+	if it := r.IterationsToFraction(0.95); it != 4 {
+		t.Errorf("IterationsToFraction(0.95) = %d, want 4", it)
+	}
+	if it := r.IterationsToFraction(0.1); it != 1 {
+		t.Errorf("IterationsToFraction(0.1) = %d, want 1", it)
+	}
+	empty := &Result{}
+	if empty.FractionOfFinal() != nil || empty.IterationsToFraction(0.5) != 0 {
+		t.Error("empty trace helpers wrong")
+	}
+	zero := &Result{ValueTrace: []float64{0, 0}}
+	if zero.FractionOfFinal() != nil {
+		t.Error("zero-final trace should return nil")
+	}
+}

@@ -1,0 +1,478 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+)
+
+// This file implements the randomized distributed maximal b-matching
+// procedure of Garrido, Jarominek, Lingas and Rytter (IPL 57(2), 1996)
+// in MapReduce, following the adaptation in Section 5.3 of the paper.
+// Each iteration consists of four stages, each one MapReduce job over the
+// node-based view of the graph:
+//
+//	marking   — every node v marks ⌈b(v)/2⌉ of its incident edges
+//	            (uniformly at random, or the heaviest ones under the
+//	            greedy strategy of StackGreedyMR);
+//	selection — every node selects max{⌊b(v)/2⌋, 1} edges among those
+//	            marked by its neighbors, uniformly at random;
+//	matching  — a node with capacity 1 and two incident selected edges
+//	            deletes one of them at random, making the selected set F
+//	            a valid b-matching;
+//	cleanup   — F joins the matching, capacities decrease, saturated
+//	            nodes leave the graph together with their edges.
+//
+// Iterations repeat until no edge is left; the expected number of
+// iterations is O(log^3 n). An edge disappears only by being matched or
+// by losing an endpoint to saturation, which is exactly the maximality
+// guarantee the stack algorithm requires.
+
+// mmEdge is one endpoint's view of an edge during the maximal-matching
+// procedure, with the paper's per-edge state (E/K/F/D/M) tracked as
+// flags from the perspective of this endpoint.
+type mmEdge struct {
+	half
+	markedBySelf  bool
+	markedByOther bool
+	selBySelf     bool
+	selByOther    bool
+	inF           bool
+}
+
+// inSelected reports whether the edge is in the selected set F: it was
+// marked by one endpoint and selected by the other. Both endpoints
+// compute this from the same four flags, so their views agree.
+func (e *mmEdge) inSelected() bool {
+	return (e.markedBySelf && e.selByOther) || (e.markedByOther && e.selBySelf)
+}
+
+// mmNode is the per-node record of the maximal-matching procedure.
+type mmNode struct {
+	B   int
+	Adj []mmEdge
+}
+
+// mmMsg is the intermediate value exchanged in every stage: either the
+// node's own record, or a per-edge flag for the other endpoint.
+type mmMsg struct {
+	self *mmNode
+	edge int32
+	flag bool
+}
+
+// mmOut is the cleanup-stage output: the node's next-iteration record
+// (nil when saturated or isolated) plus matched edges reported by their
+// item-side endpoint.
+type mmOut struct {
+	state   *mmNode
+	matched []int32
+}
+
+// MarkingStrategy selects which edges a node marks in the marking stage.
+type MarkingStrategy int
+
+const (
+	// MarkRandom marks edges uniformly at random (StackMR).
+	MarkRandom MarkingStrategy = iota
+	// MarkHeaviest marks the heaviest edges (StackGreedyMR).
+	MarkHeaviest
+)
+
+// String returns the strategy name.
+func (s MarkingStrategy) String() string {
+	if s == MarkHeaviest {
+		return "heaviest"
+	}
+	return "random"
+}
+
+// maximalConfig parameterizes one maximal b-matching computation.
+type maximalConfig struct {
+	strategy MarkingStrategy
+	seed     int64
+}
+
+// nodeRand returns a deterministic per-node, per-iteration random source:
+// local random decisions in mappers must be reproducible and independent
+// of scheduling.
+func nodeRand(seed int64, v graph.NodeID, iter int) *rand.Rand {
+	h := int64(mix64(uint64(seed) ^ uint64(uint32(v))<<20 ^ uint64(iter)*0x9e37))
+	return rand.New(rand.NewSource(h))
+}
+
+// maximalBMatching computes a maximal b-matching over the node view recs
+// (whose B fields hold the per-layer capacities), running its jobs under
+// the given driver. It returns the matched edge ids.
+func maximalBMatching(
+	ctx context.Context,
+	driver *mapreduce.Driver,
+	recs []mapreduce.Pair[graph.NodeID, nodeState],
+	cfg maximalConfig,
+) ([]int32, error) {
+	// Convert to the flagged representation.
+	cur := make([]mapreduce.Pair[graph.NodeID, mmNode], 0, len(recs))
+	for _, r := range recs {
+		adj := make([]mmEdge, len(r.Value.Adj))
+		for i, h := range r.Value.Adj {
+			adj[i] = mmEdge{half: h}
+		}
+		cur = append(cur, mapreduce.P(r.Key, mmNode{B: r.Value.B, Adj: adj}))
+	}
+
+	var matched []int32
+	for iter := 0; ; iter++ {
+		live := 0
+		for _, r := range cur {
+			live += len(r.Value.Adj)
+		}
+		if live == 0 {
+			break
+		}
+		var err error
+		if cur, err = mmStage(ctx, driver, "mm-marking", cur, markingMap(cfg, iter)); err != nil {
+			return nil, err
+		}
+		if cur, err = mmStage(ctx, driver, "mm-selection", cur, selectionMap(cfg, iter)); err != nil {
+			return nil, err
+		}
+		if cur, err = mmStage(ctx, driver, "mm-matching", cur, matchingMap(cfg, iter)); err != nil {
+			return nil, err
+		}
+		next, found, err := mmCleanup(ctx, driver, cur)
+		if err != nil {
+			return nil, err
+		}
+		matched = append(matched, found...)
+		cur = next
+	}
+	return matched, nil
+}
+
+// mmStage runs one flag-propagation stage: the map function makes local
+// decisions and emits per-edge flags; the shared reducer unifies the two
+// views of each edge.
+func mmStage(
+	ctx context.Context,
+	driver *mapreduce.Driver,
+	name string,
+	cur []mapreduce.Pair[graph.NodeID, mmNode],
+	mapFn mapreduce.MapFunc[graph.NodeID, mmNode, graph.NodeID, mmMsg],
+) ([]mapreduce.Pair[graph.NodeID, mmNode], error) {
+	out, err := mapreduce.RunJob(ctx, driver, name, cur, mapFn, unifyReduce(name))
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	return out, nil
+}
+
+// markingMap marks ⌈B/2⌉ edges per node. The flag sent to the other
+// endpoint means "I marked this edge".
+func markingMap(cfg maximalConfig, iter int) mapreduce.MapFunc[graph.NodeID, mmNode, graph.NodeID, mmMsg] {
+	return func(v graph.NodeID, st mmNode, out mapreduce.Emitter[graph.NodeID, mmMsg]) error {
+		k := (st.B + 1) / 2
+		var chosen []int
+		if cfg.strategy == MarkHeaviest {
+			chosen = topByWeight(halves(st.Adj), k)
+		} else {
+			chosen = pickRandom(len(st.Adj), k, nodeRand(cfg.seed, v, iter*4))
+		}
+		isChosen := make(map[int]bool, len(chosen))
+		for _, i := range chosen {
+			isChosen[i] = true
+		}
+		next := st
+		next.Adj = append([]mmEdge(nil), st.Adj...)
+		for i := range next.Adj {
+			next.Adj[i].markedBySelf = isChosen[i]
+			next.Adj[i].markedByOther = false
+		}
+		out.Emit(v, mmMsg{self: &next})
+		for i, e := range next.Adj {
+			out.Emit(e.Other, mmMsg{edge: e.ID, flag: isChosen[i]})
+		}
+		return nil
+	}
+}
+
+// selectionMap selects max{⌊B/2⌋, 1} edges among those marked by
+// neighbors. The flag sent means "I selected your mark".
+func selectionMap(cfg maximalConfig, iter int) mapreduce.MapFunc[graph.NodeID, mmNode, graph.NodeID, mmMsg] {
+	return func(v graph.NodeID, st mmNode, out mapreduce.Emitter[graph.NodeID, mmMsg]) error {
+		var candidates []int
+		for i, e := range st.Adj {
+			if e.markedByOther {
+				candidates = append(candidates, i)
+			}
+		}
+		k := st.B / 2
+		if k < 1 {
+			k = 1
+		}
+		rng := nodeRand(cfg.seed, v, iter*4+1)
+		sel := pickFrom(candidates, k, rng)
+		isSel := make(map[int]bool, len(sel))
+		for _, i := range sel {
+			isSel[i] = true
+		}
+		next := st
+		next.Adj = append([]mmEdge(nil), st.Adj...)
+		for i := range next.Adj {
+			next.Adj[i].selBySelf = isSel[i]
+			next.Adj[i].selByOther = false
+		}
+		out.Emit(v, mmMsg{self: &next})
+		for i, e := range next.Adj {
+			out.Emit(e.Other, mmMsg{edge: e.ID, flag: isSel[i]})
+		}
+		return nil
+	}
+}
+
+// matchingMap enforces validity at capacity-1 nodes: keep one incident
+// selected edge at random, drop the rest. The flag sent means "I dropped
+// this edge from F".
+func matchingMap(cfg maximalConfig, iter int) mapreduce.MapFunc[graph.NodeID, mmNode, graph.NodeID, mmMsg] {
+	return func(v graph.NodeID, st mmNode, out mapreduce.Emitter[graph.NodeID, mmMsg]) error {
+		var fIdx []int
+		for i := range st.Adj {
+			if st.Adj[i].inSelected() {
+				fIdx = append(fIdx, i)
+			}
+		}
+		drop := make(map[int]bool)
+		if st.B == 1 && len(fIdx) > 1 {
+			rng := nodeRand(cfg.seed, v, iter*4+2)
+			keep := fIdx[rng.Intn(len(fIdx))]
+			for _, i := range fIdx {
+				if i != keep {
+					drop[i] = true
+				}
+			}
+		}
+		next := st
+		next.Adj = append([]mmEdge(nil), st.Adj...)
+		for i := range next.Adj {
+			next.Adj[i].inF = next.Adj[i].inSelected() && !drop[i]
+		}
+		out.Emit(v, mmMsg{self: &next})
+		for i, e := range next.Adj {
+			out.Emit(e.Other, mmMsg{edge: e.ID, flag: drop[i]})
+		}
+		return nil
+	}
+}
+
+// unifyReduce merges the two endpoint views of every edge after a stage:
+// the self record carries this endpoint's fresh local flags and the
+// per-edge messages deliver the other endpoint's decision for the flag
+// relevant to the completed stage.
+func unifyReduce(stage string) mapreduce.ReduceFunc[graph.NodeID, mmMsg, graph.NodeID, mmNode] {
+	return func(v graph.NodeID, msgs []mmMsg, out mapreduce.Emitter[graph.NodeID, mmNode]) error {
+		var self *mmNode
+		flags := make(map[int32]bool)
+		seen := make(map[int32]bool)
+		for _, m := range msgs {
+			if m.self != nil {
+				self = m.self
+				continue
+			}
+			seen[m.edge] = true
+			if m.flag {
+				flags[m.edge] = true
+			}
+		}
+		if self == nil {
+			return nil
+		}
+		kept := self.Adj[:0]
+		for _, e := range self.Adj {
+			if !seen[e.ID] {
+				// Dead neighbor: edge disappears.
+				continue
+			}
+			switch stage {
+			case "mm-marking":
+				e.markedByOther = flags[e.ID]
+			case "mm-selection":
+				e.selByOther = flags[e.ID]
+			case "mm-matching":
+				// The other endpoint may have dropped the edge from F.
+				if flags[e.ID] {
+					e.inF = false
+				}
+			}
+			kept = append(kept, e)
+		}
+		self.Adj = kept
+		out.Emit(v, *self)
+		return nil
+	}
+}
+
+// mmCleanup runs the cleanup stage: matched edges leave the graph and are
+// reported, capacities decrease, saturated nodes die and their remaining
+// edges are removed from the neighbors' views.
+func mmCleanup(
+	ctx context.Context,
+	driver *mapreduce.Driver,
+	cur []mapreduce.Pair[graph.NodeID, mmNode],
+) (next []mapreduce.Pair[graph.NodeID, mmNode], matched []int32, err error) {
+	out, err := mapreduce.RunJob(ctx, driver, "mm-cleanup", cur, cleanupMap, cleanupReduce)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: mm-cleanup: %w", err)
+	}
+	for _, p := range out {
+		if p.Value.state != nil {
+			next = append(next, mapreduce.P(p.Key, *p.Value.state))
+		}
+		matched = append(matched, p.Value.matched...)
+	}
+	return next, matched, nil
+}
+
+// cleanupMsg carries the cleanup-stage information: the node's own
+// record, or an "I am still alive" beacon along a surviving edge.
+type cleanupMsg struct {
+	self  *mmNode
+	edge  int32
+	alive bool
+}
+
+// cleanupMap removes F edges locally, updates the capacity, reports
+// matched edges (from the item side, to count each edge once), and tells
+// every surviving neighbor whether this node is still alive.
+func cleanupMap(v graph.NodeID, st mmNode, out mapreduce.Emitter[graph.NodeID, cleanupMsg]) error {
+	next := mmNode{B: st.B}
+	var matchedHere []mmEdge
+	for _, e := range st.Adj {
+		if e.inF {
+			matchedHere = append(matchedHere, e)
+			next.B--
+		} else {
+			next.Adj = append(next.Adj, mmEdge{half: e.half})
+		}
+	}
+	alive := next.B > 0
+	out.Emit(v, cleanupMsg{self: &next})
+	for _, e := range next.Adj {
+		out.Emit(e.Other, cleanupMsg{edge: e.ID, alive: alive})
+	}
+	// Matched edges are final; report them on the item side. The item
+	// side of a bipartite edge is the endpoint with the smaller id, but
+	// rather than assuming that, both ends could report and the caller
+	// dedupe; reporting from the endpoint with smaller id is simpler
+	// and side-agnostic.
+	for _, e := range matchedHere {
+		if v < e.Other {
+			out.Emit(v, cleanupMsg{edge: e.ID, alive: true})
+		}
+	}
+	return nil
+}
+
+// cleanupReduce assembles the next-iteration record: it keeps only edges
+// whose other endpoint is still alive, and forwards matched-edge reports.
+// A message for an edge still present in the node's own adjacency is an
+// alive-beacon from the neighbor; a message for an edge the mapper
+// already removed is this node's own matched-edge report (matched edges
+// vanish from both endpoints' lists, so the neighbor never beacons them).
+func cleanupReduce(v graph.NodeID, msgs []cleanupMsg, out mapreduce.Emitter[graph.NodeID, mmOut]) error {
+	var self *mmNode
+	for _, m := range msgs {
+		if m.self != nil {
+			self = m.self
+			break
+		}
+	}
+	if self == nil {
+		return nil
+	}
+	res := mmOut{}
+	aliveOther := make(map[int32]bool)
+	for _, m := range msgs {
+		switch {
+		case m.self != nil:
+		case adjContains(self.Adj, m.edge):
+			if m.alive {
+				aliveOther[m.edge] = true
+			}
+		case m.alive:
+			res.matched = append(res.matched, m.edge)
+		}
+	}
+	kept := self.Adj[:0]
+	for _, e := range self.Adj {
+		if aliveOther[e.ID] {
+			kept = append(kept, e)
+		}
+	}
+	self.Adj = kept
+	if self.B > 0 && len(self.Adj) > 0 {
+		res.state = self
+	}
+	if res.state != nil || len(res.matched) > 0 {
+		out.Emit(v, res)
+	}
+	return nil
+}
+
+// adjContains reports whether the adjacency list holds the given edge id.
+func adjContains(adj []mmEdge, id int32) bool {
+	for _, e := range adj {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// halves projects flagged adjacency entries back to plain halves for the
+// shared topByWeight helper.
+func halves(adj []mmEdge) []half {
+	out := make([]half, len(adj))
+	for i, e := range adj {
+		out[i] = e.half
+	}
+	return out
+}
+
+// pickRandom picks k distinct indexes from [0, n) uniformly at random
+// (all of them when k ≥ n), in deterministic order given the source.
+func pickRandom(n, k int, rng *rand.Rand) []int {
+	if k >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	perm := rng.Perm(n)
+	return perm[:k]
+}
+
+// pickFrom picks min(k, len(candidates)) elements from candidates
+// uniformly at random.
+func pickFrom(candidates []int, k int, rng *rand.Rand) []int {
+	if k >= len(candidates) {
+		return candidates
+	}
+	perm := rng.Perm(len(candidates))
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = candidates[perm[i]]
+	}
+	return out
+}
+
+// mix64 is the SplitMix64 finalizer (duplicated from the mapreduce
+// package to keep the packages decoupled).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+)
+
+// The MapReduce matching algorithms use a "node-based" representation of
+// the graph (paper Section 5.3): the input and output of every job is a
+// consistent view of the graph as adjacency lists, one record per live
+// node. Mappers make decisions locally to a node and emit the decisions
+// along the node's incident edges; reducers unify the diverging views of
+// each edge at its two endpoints.
+
+// half is one endpoint's view of an incident edge.
+type half struct {
+	// ID is the edge index in the underlying graph.
+	ID int32
+	// Other is the opposite endpoint.
+	Other graph.NodeID
+	// W is the edge weight.
+	W float64
+}
+
+// nodeState is the per-node record carried between rounds.
+type nodeState struct {
+	// B is the node's residual capacity.
+	B int
+	// Adj lists the live incident edges.
+	Adj []half
+}
+
+// nodeRecords builds the initial node-based view of a graph: one record
+// per node with positive capacity and at least one incident edge whose
+// other endpoint also has positive capacity.
+func nodeRecords(g *graph.Bipartite) []mapreduce.Pair[graph.NodeID, nodeState] {
+	n := g.NumNodes()
+	var recs []mapreduce.Pair[graph.NodeID, nodeState]
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		b := intCap(g, id)
+		if b == 0 {
+			continue
+		}
+		inc := g.IncidentEdges(id)
+		adj := make([]half, 0, len(inc))
+		for _, ei := range inc {
+			e := g.Edge(int(ei))
+			other := e.Other(id)
+			if intCap(g, other) == 0 {
+				continue
+			}
+			adj = append(adj, half{ID: ei, Other: other, W: e.Weight})
+		}
+		if len(adj) == 0 {
+			continue
+		}
+		recs = append(recs, mapreduce.P(id, nodeState{B: b, Adj: adj}))
+	}
+	return recs
+}
+
+// topByWeight returns the indexes (into adj) of the k heaviest edges,
+// with deterministic tie-breaking on edge id. It is the cLv selection of
+// GreedyMR (Algorithm 3) and the greedy marking strategy of
+// StackGreedyMR.
+func topByWeight(adj []half, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, len(adj))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := adj[idx[a]], adj[idx[b]]
+		if ea.W != eb.W {
+			return ea.W > eb.W
+		}
+		return ea.ID < eb.ID
+	})
+	if k < len(idx) {
+		idx = idx[:k]
+	}
+	return idx
+}
+
+// edgeSet converts chosen adjacency indexes to a set of edge ids.
+func edgeSet(adj []half, chosen []int) map[int32]bool {
+	s := make(map[int32]bool, len(chosen))
+	for _, i := range chosen {
+		s[adj[i].ID] = true
+	}
+	return s
+}
+
+// countLiveEdges sums adjacency lengths over records; every live edge is
+// counted once per endpoint, so the result is twice the edge count for a
+// consistent view.
+func countLiveEdges(recs []mapreduce.Pair[graph.NodeID, nodeState]) int {
+	total := 0
+	for _, r := range recs {
+		total += len(r.Value.Adj)
+	}
+	return total
+}

@@ -1,0 +1,175 @@
+package core
+
+// Property-based tests over random instances: the cross-algorithm
+// invariants that Section 5 proves, checked with testing/quick.
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+)
+
+// genGraph derives a small random instance from arbitrary quick inputs.
+func genGraph(seed int64, nItems, nCons, prob uint8) *graph.Bipartite {
+	return graph.RandomBipartite(graph.RandomConfig{
+		NumItems:     int(nItems)%10 + 2,
+		NumConsumers: int(nCons)%8 + 2,
+		EdgeProb:     0.2 + float64(prob%60)/100,
+		MaxWeight:    5,
+		MaxCapacity:  3,
+		Seed:         seed,
+	})
+}
+
+func TestPropertyGreedyMREqualsGreedy(t *testing.T) {
+	// With almost-surely-distinct float weights, the parallel
+	// locally-dominant process computes exactly the sequential greedy
+	// matching (the b-Suitor equivalence).
+	ctx := context.Background()
+	prop := func(seed int64, nItems, nCons, prob uint8) bool {
+		g := genGraph(seed, nItems, nCons, prob)
+		res, err := GreedyMR(ctx, g, GreedyMROptions{MR: testMR})
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Matching.Value()-Greedy(g).Matching.Value()) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAllAlgorithmsRespectSlack(t *testing.T) {
+	ctx := context.Background()
+	prop := func(seed int64, nItems, nCons, prob uint8) bool {
+		g := genGraph(seed, nItems, nCons, prob)
+		gm, err := GreedyMR(ctx, g, GreedyMROptions{MR: testMR})
+		if err != nil || gm.Matching.Validate(1) != nil {
+			return false
+		}
+		sm, err := StackMR(ctx, g, StackOptions{MR: testMR, Eps: 1, Seed: seed})
+		if err != nil || sm.Matching.Validate(2) != nil {
+			return false
+		}
+		ss, err := StackMRStrict(ctx, g, StackOptions{MR: testMR, Eps: 1, Seed: seed})
+		if err != nil || ss.Matching.Validate(1) != nil {
+			return false
+		}
+		return StackSequential(g, 1).Matching.Validate(1) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMatchingValueEqualsSumOfWeights(t *testing.T) {
+	prop := func(seed int64, nItems, nCons, prob uint8) bool {
+		g := genGraph(seed, nItems, nCons, prob)
+		m := Greedy(g).Matching
+		var sum float64
+		for _, e := range m.Edges() {
+			sum += e.Weight
+		}
+		return math.Abs(sum-m.Value()) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStackDualsCoverStackedEdges(t *testing.T) {
+	// Primal-dual invariant: after the push phase every edge was either
+	// stacked (its duals were raised to cover it) or weakly covered.
+	// Observable consequence: the stack algorithms never return an
+	// empty matching on a graph that has at least one edge between
+	// positive-capacity nodes.
+	ctx := context.Background()
+	prop := func(seed int64, nItems, nCons uint8) bool {
+		g := genGraph(seed, nItems, nCons, 50)
+		hasLiveEdge := false
+		for _, e := range g.Edges() {
+			if g.IntCapacity(e.Item) > 0 && g.IntCapacity(e.Consumer) > 0 {
+				hasLiveEdge = true
+				break
+			}
+		}
+		res, err := StackMR(ctx, g, StackOptions{MR: testMR, Eps: 1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if hasLiveEdge && res.Matching.Size() == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyResultsUnchangedUnderInjectedFailures(t *testing.T) {
+	// The fault-tolerance contract end to end: running the full
+	// GreedyMR computation with 30% simulated task failures must give
+	// the identical matching (tasks are pure, re-execution transparent).
+	ctx := context.Background()
+	prop := func(seed int64, nItems, nCons, prob uint8) bool {
+		g := genGraph(seed, nItems, nCons, prob)
+		clean, err := GreedyMR(ctx, g, GreedyMROptions{MR: testMR})
+		if err != nil {
+			return false
+		}
+		faultyMR := mapreduce.Config{Mappers: 3, Reducers: 3,
+			FailureRate: 0.3, FailureSeed: seed, MaxAttempts: 16}
+		faulty, err := GreedyMR(ctx, g, GreedyMROptions{MR: faultyMR})
+		if err != nil {
+			return false
+		}
+		a, b := clean.Matching.EdgeIndexes(), faulty.Matching.EdgeIndexes()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackMRUnderInjectedFailures(t *testing.T) {
+	// The randomized algorithm is seeded independently of task
+	// scheduling, so injected failures must not change its output
+	// either.
+	ctx := context.Background()
+	g := graph.RandomBipartite(graph.RandomConfig{
+		NumItems: 12, NumConsumers: 10, EdgeProb: 0.4,
+		MaxWeight: 4, MaxCapacity: 2, Seed: 17,
+	})
+	clean, err := StackMR(ctx, g, StackOptions{MR: testMR, Eps: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := StackMR(ctx, g, StackOptions{
+		MR:   mapreduce.Config{Mappers: 2, Reducers: 2, FailureRate: 0.25, FailureSeed: 4, MaxAttempts: 16},
+		Eps:  1,
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Matching.Value() != faulty.Matching.Value() {
+		t.Errorf("value changed under failures: %v vs %v",
+			clean.Matching.Value(), faulty.Matching.Value())
+	}
+	if faulty.Shuffle.MapTaskRetries+faulty.Shuffle.ReduceTaskRetries == 0 {
+		t.Error("no retries recorded at 25% failure rate")
+	}
+}

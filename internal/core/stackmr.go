@@ -1,0 +1,391 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+)
+
+// StackOptions configures the stack algorithms.
+type StackOptions struct {
+	// MR is the MapReduce configuration for every job.
+	MR mapreduce.Config
+	// Eps is the slackness parameter ε > 0 of Algorithm 2. It controls
+	// the layer capacities (⌈ε·b(v)⌉ edges per node per layer), the
+	// weakly-covered threshold w(e)/(3+2ε), the capacity-violation
+	// bound (1+ε), and the approximation guarantee 1/(6+ε). The
+	// paper's experiments use ε = 1. Zero defaults to 1.
+	Eps float64
+	// Strategy selects the marking strategy of the maximal-matching
+	// subroutine: MarkRandom for StackMR, MarkHeaviest for
+	// StackGreedyMR.
+	Strategy MarkingStrategy
+	// Seed drives all randomized decisions; runs with equal seeds are
+	// identical.
+	Seed int64
+	// MaxRounds aborts the computation when exceeded. Zero means
+	// 64·|E|+256, far above the poly-logarithmic expectation; hitting
+	// it indicates a bug.
+	MaxRounds int
+}
+
+func (o *StackOptions) setDefaults(g *graph.Bipartite) {
+	if o.Eps == 0 {
+		o.Eps = 1
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 64*g.NumEdges() + 256
+	}
+}
+
+// StackMR computes a b-matching with the primal-dual stack algorithm of
+// Section 5.2 (Algorithm 2). The algorithm has an approximation
+// guarantee of 1/(6+ε) and may violate node capacities by a factor of at
+// most (1+ε).
+//
+// Push phase: repeatedly compute a maximal matching with per-layer node
+// capacities ⌈ε·b(v)⌉ (the Garrido et al. procedure, four MapReduce jobs
+// per iteration), push it on the stack as a layer, raise the dual
+// variables of the pushed edges by δ(e) = (w(e) − y_u/b(u) − y_v/b(v))/2,
+// and delete every edge that became weakly covered
+// (y_u/b(u) + y_v/b(v) ≥ w(e)/(3+2ε)). Stacked edges leave the working
+// graph, so the push phase ends once every edge is stacked or removed.
+//
+// Pop phase: layers pop in LIFO order; all edges of a layer whose
+// endpoints are still present join the solution in parallel (one
+// MapReduce job per layer), capacities decrease, and exhausted nodes are
+// removed together with their not-yet-popped edges. Because a layer may
+// hold up to ⌈ε·b(v)⌉ edges of a node, the final degree can overshoot
+// b(v) — this is the (1+ε) violation that Figure 4 measures.
+func StackMR(ctx context.Context, g *graph.Bipartite, opts StackOptions) (*Result, error) {
+	opts.setDefaults(g)
+	if opts.Eps < 0 {
+		return nil, fmt.Errorf("core: negative eps %v", opts.Eps)
+	}
+	driver := mapreduce.NewDriver(opts.MR)
+	driver.MaxRounds = opts.MaxRounds
+
+	st := &stackState{g: g, opts: opts, y: make([]float64, g.NumNodes()),
+		delta: make(map[int32]float64)}
+	if err := st.push(ctx, driver); err != nil {
+		return nil, err
+	}
+	included, err := st.pop(ctx, driver)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Matching:    NewMatching(g, included),
+		Rounds:      driver.Rounds(),
+		Phases:      len(st.layers),
+		Shuffle:     driver.Total(),
+		RoundStats:  driver.Trace(),
+		Certificate: &DualCertificate{Y: st.y, Eps: opts.Eps, g: g},
+	}, nil
+}
+
+// StackGreedyMR is StackMR with the greedy marking strategy: in the
+// maximal-matching subroutine nodes mark their heaviest incident edges
+// instead of random ones (paper Section 6, "Variants").
+func StackGreedyMR(ctx context.Context, g *graph.Bipartite, opts StackOptions) (*Result, error) {
+	opts.Strategy = MarkHeaviest
+	return StackMR(ctx, g, opts)
+}
+
+// stackState carries the evolving algorithm state between jobs.
+type stackState struct {
+	g    *graph.Bipartite
+	opts StackOptions
+	// y holds the dual variables, indexed by node.
+	y []float64
+	// layers holds the stacked edge ids, one slice per layer in push
+	// order.
+	layers [][]int32
+	// delta records δ(e) for every stacked edge; the strict variant
+	// (Algorithm 1) prioritizes overflow edges by these values.
+	delta map[int32]float64
+}
+
+// layerCap returns the per-layer capacity ⌈ε·b(v)⌉ (at least 1 for nodes
+// with positive capacity).
+func (st *stackState) layerCap(b int) int {
+	lc := int(math.Ceil(st.opts.Eps * float64(b)))
+	if lc < 1 {
+		lc = 1
+	}
+	if lc > b {
+		lc = b
+	}
+	return lc
+}
+
+// push runs the push phase: maximal matching, dual update, weakly-covered
+// removal, until the working graph is empty.
+func (st *stackState) push(ctx context.Context, driver *mapreduce.Driver) error {
+	records := nodeRecords(st.g)
+	layerNo := 0
+	for countLiveEdges(records) > 0 {
+		// Per-layer capacities for the maximal matching.
+		layerRecs := make([]mapreduce.Pair[graph.NodeID, nodeState], len(records))
+		for i, r := range records {
+			layerRecs[i] = mapreduce.P(r.Key, nodeState{B: st.layerCap(r.Value.B), Adj: r.Value.Adj})
+		}
+		layer, err := maximalBMatching(ctx, driver, layerRecs, maximalConfig{
+			strategy: st.opts.Strategy,
+			seed:     st.opts.Seed + int64(layerNo)*7919,
+		})
+		if err != nil {
+			return fmt.Errorf("core: stack push layer %d: %w", layerNo, err)
+		}
+		if len(layer) == 0 {
+			// A maximal matching over a non-empty graph is non-empty;
+			// guard against an impossible stall anyway.
+			return fmt.Errorf("core: stack push layer %d: empty maximal matching over %d live half-edges",
+				layerNo, countLiveEdges(records))
+		}
+		st.layers = append(st.layers, layer)
+		// Record δ(e) from the pre-layer duals (the same values the
+		// update job's reducers compute).
+		for _, ei := range layer {
+			e := st.g.Edge(int(ei))
+			bu := float64(intCap(st.g, e.Item))
+			bv := float64(intCap(st.g, e.Consumer))
+			st.delta[ei] = (e.Weight - st.y[e.Item]/bu - st.y[e.Consumer]/bv) / 2
+		}
+
+		// Dual update job: δ contributions flow along layer edges.
+		if err := st.updateDuals(ctx, driver, records, layer); err != nil {
+			return err
+		}
+		// Filter job: stacked edges leave the graph, weakly covered
+		// edges are removed.
+		records, err = st.filterEdges(ctx, driver, records, layer)
+		if err != nil {
+			return err
+		}
+		layerNo++
+	}
+	return nil
+}
+
+// dualMsg carries y_u/b(u) of the sending endpoint along a layer edge,
+// or the node's own record.
+type dualMsg struct {
+	self   *nodeState
+	edge   int32
+	yOverB float64
+}
+
+// updateDuals runs one MapReduce job in which every node raises its dual
+// variable by the sum of δ(e) over its layer edges, computed from the
+// pre-layer duals of both endpoints (all edges of a layer push in
+// parallel, as in the parallel algorithm of Section 5.2).
+func (st *stackState) updateDuals(
+	ctx context.Context,
+	driver *mapreduce.Driver,
+	records []mapreduce.Pair[graph.NodeID, nodeState],
+	layer []int32,
+) error {
+	inLayer := make(map[int32]bool, len(layer))
+	for _, ei := range layer {
+		inLayer[ei] = true
+	}
+	y := st.y
+	out, err := mapreduce.RunJob(ctx, driver, "stack-update", records,
+		func(v graph.NodeID, s nodeState, out mapreduce.Emitter[graph.NodeID, dualMsg]) error {
+			sCopy := s
+			out.Emit(v, dualMsg{self: &sCopy})
+			yb := y[v] / float64(s.B)
+			for _, h := range s.Adj {
+				if inLayer[h.ID] {
+					out.Emit(h.Other, dualMsg{edge: h.ID, yOverB: yb})
+				}
+			}
+			return nil
+		},
+		func(v graph.NodeID, msgs []dualMsg, out mapreduce.Emitter[graph.NodeID, float64]) error {
+			var self *nodeState
+			for _, m := range msgs {
+				if m.self != nil {
+					self = m.self
+					break
+				}
+			}
+			if self == nil {
+				return nil
+			}
+			ybSelf := y[v] / float64(self.B)
+			var sumDelta float64
+			for _, m := range msgs {
+				if m.self != nil {
+					continue
+				}
+				h := findHalf(self.Adj, m.edge)
+				if h == nil {
+					continue
+				}
+				delta := (h.W - ybSelf - m.yOverB) / 2
+				if delta > 0 {
+					sumDelta += delta
+				}
+			}
+			if sumDelta > 0 {
+				out.Emit(v, sumDelta)
+			}
+			return nil
+		})
+	if err != nil {
+		return fmt.Errorf("core: stack-update: %w", err)
+	}
+	for _, p := range out {
+		st.y[p.Key] += p.Value
+	}
+	return nil
+}
+
+// filterMsg carries the post-update y_u/b(u) of the sending endpoint
+// along every edge, or the node's own record.
+type filterMsg struct {
+	self   *nodeState
+	edge   int32
+	yOverB float64
+}
+
+// filterEdges runs one MapReduce job that removes stacked edges and
+// weakly covered edges (Definition 1) from the working graph. Both
+// endpoints evaluate the same inequality on the same values, so their
+// views stay consistent.
+func (st *stackState) filterEdges(
+	ctx context.Context,
+	driver *mapreduce.Driver,
+	records []mapreduce.Pair[graph.NodeID, nodeState],
+	layer []int32,
+) ([]mapreduce.Pair[graph.NodeID, nodeState], error) {
+	inLayer := make(map[int32]bool, len(layer))
+	for _, ei := range layer {
+		inLayer[ei] = true
+	}
+	y := st.y
+	threshold := 1.0 / (3 + 2*st.opts.Eps)
+	out, err := mapreduce.RunJob(ctx, driver, "stack-filter", records,
+		func(v graph.NodeID, s nodeState, out mapreduce.Emitter[graph.NodeID, filterMsg]) error {
+			sCopy := s
+			out.Emit(v, filterMsg{self: &sCopy})
+			yb := y[v] / float64(s.B)
+			for _, h := range s.Adj {
+				out.Emit(h.Other, filterMsg{edge: h.ID, yOverB: yb})
+			}
+			return nil
+		},
+		func(v graph.NodeID, msgs []filterMsg, out mapreduce.Emitter[graph.NodeID, nodeState]) error {
+			var self *nodeState
+			for _, m := range msgs {
+				if m.self != nil {
+					self = m.self
+					break
+				}
+			}
+			if self == nil {
+				return nil
+			}
+			ybSelf := y[v] / float64(self.B)
+			otherYB := make(map[int32]float64, len(msgs))
+			for _, m := range msgs {
+				if m.self == nil {
+					otherYB[m.edge] = m.yOverB
+				}
+			}
+			next := nodeState{B: self.B}
+			for _, h := range self.Adj {
+				if inLayer[h.ID] {
+					continue // stacked: leaves the working graph
+				}
+				yb, ok := otherYB[h.ID]
+				if !ok {
+					continue // neighbor gone
+				}
+				if ybSelf+yb >= threshold*h.W-1e-15 {
+					continue // weakly covered: removed
+				}
+				next.Adj = append(next.Adj, h)
+			}
+			if len(next.Adj) > 0 {
+				out.Emit(v, next)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("core: stack-filter: %w", err)
+	}
+	next := make([]mapreduce.Pair[graph.NodeID, nodeState], 0, len(out))
+	for _, p := range out {
+		next = append(next, mapreduce.P(p.Key, p.Value))
+	}
+	return next, nil
+}
+
+// pop runs the pop phase: one MapReduce job per layer, in LIFO order.
+// The job's mappers emit, for each stacked edge of the layer, whether its
+// endpoint is still present; the reducers (keyed by edge) include the
+// edge when both endpoints are. Capacity bookkeeping happens between
+// jobs, exactly as Algorithm 2 lines 13-16 prescribe.
+func (st *stackState) pop(ctx context.Context, driver *mapreduce.Driver) ([]int32, error) {
+	g := st.g
+	residual := make([]int, g.NumNodes())
+	for v := range residual {
+		residual[v] = intCap(g, graph.NodeID(v))
+	}
+	var included []int32
+	for l := len(st.layers) - 1; l >= 0; l-- {
+		layer := st.layers[l]
+		// Node-based view of the layer: node -> its stacked edges.
+		perNode := make(map[graph.NodeID][]int32)
+		for _, ei := range layer {
+			e := g.Edge(int(ei))
+			perNode[e.Item] = append(perNode[e.Item], ei)
+			perNode[e.Consumer] = append(perNode[e.Consumer], ei)
+		}
+		input := make([]mapreduce.Pair[graph.NodeID, []int32], 0, len(perNode))
+		for v, edges := range perNode {
+			input = append(input, mapreduce.P(v, edges))
+		}
+		out, err := mapreduce.RunJob(ctx, driver, "stack-pop", input,
+			func(v graph.NodeID, edges []int32, out mapreduce.Emitter[int32, bool]) error {
+				alive := residual[v] > 0
+				for _, ei := range edges {
+					out.Emit(ei, alive)
+				}
+				return nil
+			},
+			func(ei int32, alive []bool, out mapreduce.Emitter[int32, bool]) error {
+				ok := len(alive) == 2 && alive[0] && alive[1]
+				if ok {
+					out.Emit(ei, true)
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("core: stack-pop layer %d: %w", l, err)
+		}
+		for _, p := range out {
+			e := g.Edge(int(p.Key))
+			included = append(included, p.Key)
+			residual[e.Item]--
+			residual[e.Consumer]--
+		}
+	}
+	return included, nil
+}
+
+// findHalf locates the adjacency entry for an edge id.
+func findHalf(adj []half, id int32) *half {
+	for i := range adj {
+		if adj[i].ID == id {
+			return &adj[i]
+		}
+	}
+	return nil
+}

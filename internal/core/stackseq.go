@@ -1,0 +1,99 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// StackSequential is the centralized stack algorithm of Section 5.2: a
+// sequential reference for the primal-dual mechanism that StackMR
+// parallelizes. Edges are pushed on a stack in arbitrary (scan) order;
+// pushing edge e = (u, v) raises both duals by
+// δ(e) = (w(e) − y_u/b(u) − y_v/b(v))/2 (Equation 4). Edges that become
+// weakly covered (Definition 1 with the given ε) are deleted from the
+// graph; an edge that is pushed but not yet covered stays in the graph
+// and may be pushed again, exactly as in the centralized description.
+// When no edge is left, stack entries pop in LIFO order and an edge joins
+// the solution when it is not already included and both endpoints have
+// residual capacity, so the result is strictly feasible.
+//
+// Tests use StackSequential to sanity-check the MapReduce variant.
+func StackSequential(g *graph.Bipartite, eps float64) *Result {
+	if eps <= 0 {
+		eps = 1
+	}
+	n := g.NumNodes()
+	y := make([]float64, n)
+	bcap := make([]float64, n)
+	for v := 0; v < n; v++ {
+		bcap[v] = float64(intCap(g, graph.NodeID(v)))
+	}
+	threshold := 1.0 / (3 + 2*eps)
+
+	covered := func(e graph.Edge) bool {
+		return y[e.Item]/bcap[e.Item]+y[e.Consumer]/bcap[e.Consumer] >=
+			threshold*e.Weight-1e-15
+	}
+
+	alive := make([]bool, g.NumEdges())
+	remaining := 0
+	for i := range alive {
+		e := g.Edge(i)
+		if bcap[e.Item] > 0 && bcap[e.Consumer] > 0 {
+			alive[i] = true
+			remaining++
+		}
+	}
+
+	var stack []int32
+	// Push phase. Every push raises the covering sum of the pushed edge
+	// by at least (w−sum)/max(b_u,b_v), so the sum approaches w
+	// geometrically and crosses the weak-cover threshold after finitely
+	// many pushes; the pass limit is a defensive guard far above that.
+	const maxPasses = 1 << 20
+	for pass := 0; remaining > 0 && pass < maxPasses; pass++ {
+		for i := 0; i < g.NumEdges(); i++ {
+			if !alive[i] {
+				continue
+			}
+			e := g.Edge(i)
+			if covered(e) {
+				alive[i] = false
+				remaining--
+				continue
+			}
+			delta := (e.Weight - y[e.Item]/bcap[e.Item] - y[e.Consumer]/bcap[e.Consumer]) / 2
+			y[e.Item] += delta
+			y[e.Consumer] += delta
+			stack = append(stack, int32(i))
+			if covered(e) {
+				alive[i] = false
+				remaining--
+			}
+		}
+	}
+
+	// Pop phase: LIFO, strict feasibility, each edge at most once.
+	residual := make([]int, n)
+	for v := 0; v < n; v++ {
+		residual[v] = intCap(g, graph.NodeID(v))
+	}
+	inSolution := make([]bool, g.NumEdges())
+	var included []int32
+	for i := len(stack) - 1; i >= 0; i-- {
+		ei := stack[i]
+		e := g.Edge(int(ei))
+		if inSolution[ei] {
+			continue
+		}
+		if residual[e.Item] > 0 && residual[e.Consumer] > 0 {
+			inSolution[ei] = true
+			included = append(included, ei)
+			residual[e.Item]--
+			residual[e.Consumer]--
+		}
+	}
+	return &Result{
+		Matching: NewMatching(g, included),
+		Phases:   len(stack),
+	}
+}

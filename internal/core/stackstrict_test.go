@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+func TestStackMRStrictAlwaysFeasible(t *testing.T) {
+	// Algorithm 1's whole point: no capacity violations, ever.
+	ctx := context.Background()
+	for _, eps := range []float64{0.25, 1} {
+		for seed := int64(0); seed < 15; seed++ {
+			g := graph.RandomBipartite(graph.RandomConfig{
+				NumItems: 12, NumConsumers: 9, EdgeProb: 0.5,
+				MaxWeight: 4, MaxCapacity: 3, Seed: seed,
+			})
+			res, err := StackMRStrict(ctx, g, stackOpts(eps, seed))
+			if err != nil {
+				t.Fatalf("eps=%v seed=%d: %v", eps, seed, err)
+			}
+			if err := res.Matching.Validate(1); err != nil {
+				t.Errorf("eps=%v seed=%d: %v", eps, seed, err)
+			}
+			if res.Matching.Violation() != 0 {
+				t.Errorf("eps=%v seed=%d: violation %v", eps, seed, res.Matching.Violation())
+			}
+		}
+	}
+}
+
+func TestStackMRStrictQuality(t *testing.T) {
+	// Same 1/(6+ε) flavour of guarantee as the relaxed variant.
+	ctx := context.Background()
+	const eps = 1.0
+	for seed := int64(0); seed < 20; seed++ {
+		g := graph.RandomBipartite(graph.RandomConfig{
+			NumItems: 7, NumConsumers: 6, EdgeProb: 0.5,
+			MaxWeight: 5, MaxCapacity: 2, Seed: seed + 500,
+		})
+		res, err := StackMRStrict(ctx, g, stackOpts(eps, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := flow.MaxWeightBMatching(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matching.Value() < opt/(6+eps)-1e-9 {
+			t.Errorf("seed %d: strict %v < OPT/(6+eps) = %v",
+				seed, res.Matching.Value(), opt/(6+eps))
+		}
+	}
+}
+
+func TestStackMRStrictCostsMoreRoundsThanRelaxed(t *testing.T) {
+	// The paper excludes Algorithm 1 from the evaluation because the
+	// overflow machinery is inefficient; verify the direction of the
+	// gap in aggregate.
+	ctx := context.Background()
+	var strictRounds, relaxedRounds int
+	for seed := int64(0); seed < 8; seed++ {
+		g := graph.RandomBipartite(graph.RandomConfig{
+			NumItems: 15, NumConsumers: 12, EdgeProb: 0.45,
+			MaxWeight: 6, MaxCapacity: 3, Seed: seed + 40,
+		})
+		rs, err := StackMRStrict(ctx, g, stackOpts(1, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := StackMR(ctx, g, stackOpts(1, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		strictRounds += rs.Rounds
+		relaxedRounds += rr.Rounds
+	}
+	if strictRounds < relaxedRounds {
+		t.Logf("note: strict=%d relaxed=%d (strict usually pays extra rounds)",
+			strictRounds, relaxedRounds)
+	}
+	if strictRounds <= 0 || relaxedRounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestStackMRStrictDeterministic(t *testing.T) {
+	ctx := context.Background()
+	g := graph.RandomBipartite(graph.RandomConfig{
+		NumItems: 10, NumConsumers: 10, EdgeProb: 0.4,
+		MaxWeight: 3, MaxCapacity: 2, Seed: 70,
+	})
+	a, err := StackMRStrict(ctx, g, stackOpts(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StackMRStrict(ctx, g, stackOpts(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, ib := a.Matching.EdgeIndexes(), b.Matching.EdgeIndexes()
+	if len(ia) != len(ib) {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatal("same seed, different matchings")
+		}
+	}
+}
+
+func TestStackMRStrictSmallCases(t *testing.T) {
+	ctx := context.Background()
+	// Single edge.
+	g := graph.NewBipartite(1, 1)
+	g.SetCapacity(0, 1)
+	g.SetCapacity(1, 1)
+	g.AddEdge(0, 1, 2)
+	res, err := StackMRStrict(ctx, g, stackOpts(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Size() != 1 {
+		t.Errorf("single edge not matched")
+	}
+	// Empty graph.
+	e := graph.NewBipartite(2, 2)
+	e.SetAllCapacities(graph.ItemSide, 1)
+	e.SetAllCapacities(graph.ConsumerSide, 1)
+	res, err = StackMRStrict(ctx, e, stackOpts(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Size() != 0 {
+		t.Error("matched edges in empty graph")
+	}
+	// Star forcing overflow: center capacity 1, many competing edges
+	// with similar duals.
+	const leaves = 8
+	s := graph.NewBipartite(1, leaves)
+	s.SetCapacity(s.ItemID(0), 1)
+	for j := 0; j < leaves; j++ {
+		s.SetCapacity(s.ConsumerID(j), 1)
+		s.AddEdge(s.ItemID(0), s.ConsumerID(j), 1+float64(j)/100)
+	}
+	res, err = StackMRStrict(ctx, s, stackOpts(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Size() != 1 {
+		t.Errorf("star matched %d edges, want exactly 1", res.Matching.Size())
+	}
+	if err := res.Matching.Validate(1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackMRStrictOnPath(t *testing.T) {
+	ctx := context.Background()
+	g := graph.PathGraph(30)
+	res, err := StackMRStrict(ctx, g, stackOpts(1, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Matching.Validate(1); err != nil {
+		t.Error(err)
+	}
+	if res.Matching.Size() == 0 {
+		t.Error("empty matching on path")
+	}
+}

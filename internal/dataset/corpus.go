@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/capacity"
+	"repro/internal/graph"
+	"repro/internal/vector"
+)
+
+// Corpus is a generated dataset before matching: the term vectors of
+// items and consumers plus the activity and quality proxies that drive
+// capacities.
+type Corpus struct {
+	// Name identifies the dataset ("flickr-small", ...).
+	Name string
+	// Items holds one sparse term vector per item (photo tags,
+	// question words).
+	Items []vector.Sparse
+	// Consumers holds one sparse term vector per consumer (the tags or
+	// words of everything the user touched).
+	Consumers []vector.Sparse
+	// Activity holds the per-consumer activity proxy n(u) (photos
+	// posted, answers written); consumer capacities are b(u) = α·n(u).
+	Activity []float64
+	// Favorites holds the per-item favorite counts f(p) for
+	// favorites-proportional item capacities; nil means items get the
+	// constant capacity B/|T| (the yahoo-answers policy).
+	Favorites []float64
+}
+
+// NumItems returns |T|.
+func (c *Corpus) NumItems() int { return len(c.Items) }
+
+// NumConsumers returns |C|.
+func (c *Corpus) NumConsumers() int { return len(c.Consumers) }
+
+// BuildGraph materializes every item-consumer edge with dot-product
+// similarity ≥ sigma as a bipartite graph (capacities unset; see
+// ApplyCapacities). It scores pairs exactly with an inverted-index
+// accumulator over the smaller side, which is the same join the
+// MapReduce similarity join of internal/simjoin computes; experiments
+// use whichever fits, and tests cross-check the two.
+func (c *Corpus) BuildGraph(sigma float64) *graph.Bipartite {
+	g := graph.NewBipartite(c.NumItems(), c.NumConsumers())
+	if sigma <= 0 {
+		sigma = 1e-12 // only strictly positive similarities become edges
+	}
+
+	// Inverted index over items: term -> (item, weight).
+	type posting struct {
+		doc int32
+		w   float64
+	}
+	index := make(map[vector.TermID][]posting)
+	for i, v := range c.Items {
+		for _, e := range v.Entries() {
+			index[e.Term] = append(index[e.Term], posting{doc: int32(i), w: e.Weight})
+		}
+	}
+
+	scores := make([]float64, c.NumItems())
+	touched := make([]int32, 0, 1024)
+	for j, u := range c.Consumers {
+		for _, e := range u.Entries() {
+			for _, p := range index[e.Term] {
+				if scores[p.doc] == 0 {
+					touched = append(touched, p.doc)
+				}
+				scores[p.doc] += e.Weight * p.w
+			}
+		}
+		for _, i := range touched {
+			if scores[i] >= sigma {
+				g.AddEdge(g.ItemID(int(i)), g.ConsumerID(j), scores[i])
+			}
+			scores[i] = 0
+		}
+		touched = touched[:0]
+	}
+	return g
+}
+
+// ApplyCapacities sets the Section-6 capacities on g for the given
+// activity multiplier α: consumer capacities b(u) = α·n(u), and item
+// capacities either favorites-proportional (flickr) or constant
+// (yahoo-answers), splitting the consumer-side bandwidth B.
+func (c *Corpus) ApplyCapacities(g *graph.Bipartite, alpha float64) error {
+	if g.NumItems() != c.NumItems() || g.NumConsumers() != c.NumConsumers() {
+		return fmt.Errorf("dataset: graph size mismatch (%d×%d vs corpus %d×%d)",
+			g.NumItems(), g.NumConsumers(), c.NumItems(), c.NumConsumers())
+	}
+	bandwidth, err := capacity.ConsumerActivity(g, c.Activity, alpha)
+	if err != nil {
+		return err
+	}
+	if c.Favorites != nil {
+		return capacity.FavoritesProportional(g, c.Favorites, bandwidth)
+	}
+	return capacity.ConstantPerItem(g, bandwidth)
+}
+
+// Stats summarizes a corpus for Table 1: part sizes and the number of
+// non-zero-similarity pairs at the given threshold.
+type Stats struct {
+	Name         string
+	NumItems     int
+	NumConsumers int
+	NumEdges     int
+}
+
+// TableStats builds the Table 1 row for this corpus.
+func (c *Corpus) TableStats(sigma float64) Stats {
+	g := c.BuildGraph(sigma)
+	return Stats{
+		Name:         c.Name,
+		NumItems:     c.NumItems(),
+		NumConsumers: c.NumConsumers(),
+		NumEdges:     g.NumEdges(),
+	}
+}

@@ -1,0 +1,286 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func TestZipfBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 0.8, 50)
+	if z.N() != 50 {
+		t.Errorf("N = %d", z.N())
+	}
+	for i := 0; i < 10000; i++ {
+		d := z.Draw()
+		if d < 0 || d >= 50 {
+			t.Fatalf("draw %d out of range", d)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Rank 0 must be drawn far more often than rank 40.
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 1.0, 50)
+	counts := make([]int, 50)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] < 4*counts[40] {
+		t.Errorf("zipf not skewed: c0=%d c40=%d", counts[0], counts[40])
+	}
+	// Counts roughly monotone at the head.
+	if counts[0] < counts[1] || counts[1] < counts[5] {
+		t.Errorf("zipf head not monotone: %v", counts[:6])
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, fn := range map[string]func(){
+		"n=0": func() { NewZipf(rng, 1, 0) },
+		"s=0": func() { NewZipf(rng, 0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParetoIntBoundsAndSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ones := 0
+	for i := 0; i < 20000; i++ {
+		x := ParetoInt(rng, 1, 100, 1.3)
+		if x < 1 || x > 100 {
+			t.Fatalf("pareto %d out of [1,100]", x)
+		}
+		if x == 1 {
+			ones++
+		}
+	}
+	// Power law: the minimum dominates.
+	if ones < 8000 {
+		t.Errorf("pareto not heavy at xmin: %d ones of 20000", ones)
+	}
+	if x := ParetoInt(rng, 5, 3, 1); x != 5 {
+		t.Errorf("xmax < xmin: got %d, want clamp to 5", x)
+	}
+}
+
+func TestFlickrCorpusShape(t *testing.T) {
+	cfg := FlickrSmallConfig()
+	cfg.NumItems, cfg.NumConsumers, cfg.Seed = 200, 80, 7
+	c := Flickr("t", cfg)
+	if c.NumItems() != 200 || c.NumConsumers() != 80 {
+		t.Fatalf("sizes %d %d", c.NumItems(), c.NumConsumers())
+	}
+	if len(c.Activity) != 80 || len(c.Favorites) != 200 {
+		t.Fatal("metadata length wrong")
+	}
+	for _, v := range c.Items {
+		if v.IsZero() {
+			t.Fatal("empty item vector")
+		}
+	}
+	for j, a := range c.Activity {
+		if a < 1 {
+			t.Fatalf("activity[%d] = %v < 1", j, a)
+		}
+	}
+	for _, f := range c.Favorites {
+		if f < 0 {
+			t.Fatal("negative favorites")
+		}
+	}
+}
+
+func TestFlickrDeterministic(t *testing.T) {
+	cfg := FlickrSmallConfig()
+	cfg.NumItems, cfg.NumConsumers = 100, 40
+	a := Flickr("a", cfg)
+	b := Flickr("b", cfg)
+	ga, gb := a.BuildGraph(1), b.BuildGraph(1)
+	if ga.NumEdges() != gb.NumEdges() {
+		t.Error("same config produced different graphs")
+	}
+}
+
+func TestBuildGraphThresholdMonotone(t *testing.T) {
+	cfg := FlickrSmallConfig()
+	cfg.NumItems, cfg.NumConsumers, cfg.Seed = 150, 60, 11
+	c := Flickr("t", cfg)
+	prev := -1
+	for _, sigma := range []float64{1, 2, 4, 8} {
+		n := c.BuildGraph(sigma).NumEdges()
+		if prev >= 0 && n > prev {
+			t.Errorf("edges increased when sigma rose: %d -> %d", prev, n)
+		}
+		prev = n
+	}
+}
+
+func TestBuildGraphMatchesDotProducts(t *testing.T) {
+	cfg := FlickrSmallConfig()
+	cfg.NumItems, cfg.NumConsumers, cfg.Seed = 60, 30, 13
+	c := Flickr("t", cfg)
+	const sigma = 2
+	g := c.BuildGraph(sigma)
+	// Every edge weight equals the dot product; every qualifying pair
+	// appears.
+	found := make(map[[2]int]float64)
+	for _, e := range g.Edges() {
+		found[[2]int{int(e.Item), int(e.Consumer) - g.NumItems()}] = e.Weight
+	}
+	for i, iv := range c.Items {
+		for j, cv := range c.Consumers {
+			dot := iv.Dot(cv)
+			w, ok := found[[2]int{i, j}]
+			if dot >= sigma {
+				if !ok {
+					t.Fatalf("pair (%d,%d) dot %v missing", i, j, dot)
+				}
+				if math.Abs(w-dot) > 1e-9 {
+					t.Fatalf("pair (%d,%d) weight %v != dot %v", i, j, w, dot)
+				}
+			} else if ok {
+				t.Fatalf("pair (%d,%d) dot %v below sigma included", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestApplyCapacities(t *testing.T) {
+	cfg := FlickrSmallConfig()
+	cfg.NumItems, cfg.NumConsumers, cfg.Seed = 80, 40, 17
+	c := Flickr("t", cfg)
+	g := c.BuildGraph(1)
+	if err := c.ApplyCapacities(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Consumer capacities = max(1, 2*n(u)).
+	for j := 0; j < g.NumConsumers(); j++ {
+		want := 2 * c.Activity[j]
+		if want < 1 {
+			want = 1
+		}
+		if got := g.Capacity(g.ConsumerID(j)); got != want {
+			t.Fatalf("b(c%d) = %v, want %v", j, got, want)
+		}
+	}
+	// Item capacities positive.
+	for i := 0; i < g.NumItems(); i++ {
+		if g.Capacity(g.ItemID(i)) < 1 {
+			t.Fatalf("b(t%d) = %v < 1", i, g.Capacity(g.ItemID(i)))
+		}
+	}
+	// Size mismatch rejected.
+	if err := c.ApplyCapacities(graph.NewBipartite(1, 1), 1); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestAnswersCorpusShape(t *testing.T) {
+	cfg := AnswersScaledConfig()
+	cfg.NumItems, cfg.NumConsumers, cfg.Seed = 300, 100, 23
+	c := Answers("t", cfg)
+	if c.Favorites != nil {
+		t.Error("answers corpus must use constant item capacities")
+	}
+	// tf·idf + normalization: all similarities are cosines in [0, 1].
+	g := c.BuildGraph(0)
+	_, wmax := g.WeightRange()
+	if wmax > 1+1e-9 {
+		t.Errorf("cosine similarity %v > 1", wmax)
+	}
+	if g.NumEdges() == 0 {
+		t.Error("no edges generated")
+	}
+	// Topic structure: the graph must be sparser than flickr's.
+	density := float64(g.NumEdges()) / float64(c.NumItems()*c.NumConsumers())
+	if density > 0.6 {
+		t.Errorf("answers density %v suspiciously high", density)
+	}
+}
+
+func TestAnswersCapacitiesConstantPerItem(t *testing.T) {
+	cfg := AnswersScaledConfig()
+	cfg.NumItems, cfg.NumConsumers, cfg.Seed = 120, 60, 29
+	c := Answers("t", cfg)
+	g := c.BuildGraph(0.01)
+	if err := c.ApplyCapacities(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	first := g.Capacity(g.ItemID(0))
+	for i := 1; i < g.NumItems(); i++ {
+		if g.Capacity(g.ItemID(i)) != first {
+			t.Fatal("question capacities not constant")
+		}
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	cfg := FlickrSmallConfig()
+	cfg.NumItems, cfg.NumConsumers, cfg.Seed = 50, 20, 31
+	c := Flickr("stats-test", cfg)
+	s := c.TableStats(1)
+	if s.Name != "stats-test" || s.NumItems != 50 || s.NumConsumers != 20 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.NumEdges != c.BuildGraph(1).NumEdges() {
+		t.Error("edge count mismatch")
+	}
+}
+
+func TestSyntheticGraph(t *testing.T) {
+	g := Synthetic(SyntheticConfig{
+		NumItems: 500, NumConsumers: 100, MeanDegree: 5,
+		DegreeAlpha: 1.5, WeightScale: 1, CapacityAlpha: 1.2,
+		CapacityMax: 50, Seed: 37,
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 500 {
+		t.Errorf("too few edges: %d", g.NumEdges())
+	}
+	// Every node has a positive capacity.
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Capacity(graph.NodeID(v)) < 1 {
+			t.Fatalf("capacity of %d below 1", v)
+		}
+	}
+	// Degrees heavy-tailed: max degree well above the mean.
+	var degs []float64
+	for i := 0; i < g.NumItems(); i++ {
+		degs = append(degs, float64(g.Degree(g.ItemID(i))))
+	}
+	s := stats.Summarize(degs)
+	if s.Max < 3*s.Mean {
+		t.Errorf("degree distribution not heavy-tailed: max=%v mean=%v", s.Max, s.Mean)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{NumItems: 100, NumConsumers: 50, MeanDegree: 4,
+		DegreeAlpha: 1.5, WeightScale: 1, CapacityAlpha: 1.3, CapacityMax: 20, Seed: 5}
+	a, b := Synthetic(cfg), Synthetic(cfg)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("nondeterministic synthetic graph")
+	}
+	for i := range a.Edges() {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatal("edge mismatch")
+		}
+	}
+}

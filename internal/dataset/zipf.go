@@ -1,0 +1,80 @@
+// Package dataset generates the synthetic stand-ins for the paper's
+// proprietary corpora (flickr-small, flickr-large, yahoo-answers).
+//
+// The matching algorithms only observe a weighted bipartite graph and
+// node capacities, so the generators aim to reproduce the statistical
+// properties the paper's evaluation depends on, not the raw data:
+// Zipf-distributed tag/term popularity (which yields the exponential-ish
+// edge-similarity tails of Figure 6), power-law user activity and photo
+// favorites (which yield the heavy-tailed capacity distributions of
+// Figure 7), and the relative part sizes of Table 1 (items ≫ consumers
+// for flickr; both large for yahoo-answers). flickr-small is generated
+// at the paper's original size; the two large datasets are scaled down
+// to laptop size with their shape parameters preserved (see DESIGN.md).
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples from a Zipf distribution over {0, ..., n-1} with
+// P(i) ∝ 1/(i+1)^s for any exponent s > 0 (the stdlib sampler requires
+// s > 1; tag popularity in social media typically has s ≈ 0.7–1.2, so
+// both regimes are needed). Sampling is by binary search over the
+// precomputed CDF: O(log n) per draw, deterministic given the source.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf precomputes the distribution. It panics on invalid parameters.
+func NewZipf(rng *rand.Rand, s float64, n int) *Zipf {
+	if n < 1 || s <= 0 {
+		panic("dataset: invalid zipf parameters")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Draw samples one rank.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// ParetoInt samples a discrete Pareto (power-law) value in [xmin, xmax]:
+// the integer part of xmin·U^(-1/alpha) clamped to xmax. User activity
+// (photos posted, answers written) and photo favorites follow such laws.
+func ParetoInt(rng *rand.Rand, xmin, xmax int, alpha float64) int {
+	if xmin < 1 {
+		xmin = 1
+	}
+	if xmax < xmin {
+		xmax = xmin
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	x := int(float64(xmin) * math.Pow(u, -1/alpha))
+	if x > xmax {
+		x = xmax
+	}
+	if x < xmin {
+		x = xmin
+	}
+	return x
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Table1Row is one row of Table 1: dataset characteristics.
+type Table1Row struct {
+	Dataset      string
+	NumItems     int
+	NumConsumers int
+	NumEdges     int // item-user pairs with non-zero similarity
+}
+
+// Table1 reproduces Table 1 over the generated corpora.
+func Table1(cfg Config) []Table1Row {
+	var rows []Table1Row
+	for _, c := range cfg.Datasets() {
+		s := c.TableStats(0)
+		rows = append(rows, Table1Row{
+			Dataset:      s.Name,
+			NumItems:     s.NumItems,
+			NumConsumers: s.NumConsumers,
+			NumEdges:     s.NumEdges,
+		})
+	}
+	return rows
+}
+
+// RenderTable1 formats Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: dataset characteristics\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %12s\n", "dataset", "|T|", "|C|", "|E|")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10d %10d %12d\n", r.Dataset, r.NumItems, r.NumConsumers, r.NumEdges)
+	}
+	return b.String()
+}
+
+// DistributionResult is one histogram panel of Figures 6-7.
+type DistributionResult struct {
+	Dataset string
+	What    string // "similarity" or "capacity(item)" / "capacity(consumer)"
+	Hist    *stats.LogHistogram
+	Summary stats.Summary
+}
+
+// SimilarityDistribution reproduces Figure 6 for one corpus: the
+// distribution of edge similarities over all positive pairs.
+func SimilarityDistribution(c *dataset.Corpus) *DistributionResult {
+	g := c.BuildGraph(0)
+	ws := make([]float64, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		ws = append(ws, e.Weight)
+	}
+	lo := 1e-4
+	if wmin, _ := g.WeightRange(); wmin > lo {
+		lo = wmin
+	}
+	h := stats.NewLogHistogram(lo, 1.6, 32)
+	for _, w := range ws {
+		h.Add(w)
+	}
+	return &DistributionResult{
+		Dataset: c.Name,
+		What:    "similarity",
+		Hist:    h,
+		Summary: stats.Summarize(ws),
+	}
+}
+
+// CapacityDistribution reproduces Figure 7 for one corpus and side at
+// the given α.
+func CapacityDistribution(c *dataset.Corpus, alpha float64, side graph.Side) (*DistributionResult, error) {
+	g := c.BuildGraph(0)
+	if err := c.ApplyCapacities(g, alpha); err != nil {
+		return nil, err
+	}
+	var caps []float64
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.SideOf(graph.NodeID(v)) == side {
+			caps = append(caps, g.Capacity(graph.NodeID(v)))
+		}
+	}
+	h := stats.NewLogHistogram(1, 1.6, 24)
+	for _, b := range caps {
+		h.Add(b)
+	}
+	return &DistributionResult{
+		Dataset: c.Name,
+		What:    "capacity(" + side.String() + ")",
+		Hist:    h,
+		Summary: stats.Summarize(caps),
+	}, nil
+}
+
+// Render formats one histogram panel with log-scaled bars.
+func (r *DistributionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: distribution of %s (n=%d, mean=%.3g, p99=%.3g, gini=%.2f)\n",
+		r.Dataset, r.What, r.Summary.Count, r.Summary.Mean, r.Summary.P99,
+		r.Summary.GiniCoefficent)
+	maxCount := 0
+	for _, c := range r.Hist.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range r.Hist.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := int(40 * float64(c) / float64(maxCount))
+		fmt.Fprintf(&b, "  [%8.3g, %8.3g) %9d %s\n",
+			r.Hist.BinLow(i), r.Hist.BinLow(i+1), c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6):
+//
+//	Table 1  — dataset characteristics (Table1)
+//	Figures 1-3 — matching value and MapReduce iterations as a function
+//	           of the number of edges, per dataset (Quality)
+//	Figure 4 — capacity violations of StackMR (Violations)
+//	Figure 5 — GreedyMR value as a function of the iteration
+//	           (Convergence)
+//	Figure 6 — distribution of edge similarities (SimilarityDistribution)
+//	Figure 7 — distribution of capacities (CapacityDistribution)
+//
+// Each experiment returns plain row structs that the Render* helpers
+// format as aligned text tables; cmd/experiments drives them all and
+// EXPERIMENTS.md records the measured-vs-paper comparison.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+	"repro/internal/stats"
+)
+
+// Config bundles the knobs shared by all experiments.
+type Config struct {
+	// MR configures every MapReduce job.
+	MR mapreduce.Config
+	// Alpha is the consumer-activity multiplier (capacities
+	// b(u) = α·n(u)); the paper sweeps it, 1 is the base setting.
+	Alpha float64
+	// Eps is the stack slackness parameter; the paper's experiments use
+	// 1 (with 0.25 appearing in the violation study).
+	Eps float64
+	// Seed drives all randomized algorithms.
+	Seed int64
+	// Scale in (0, 1] shrinks the generated corpora for quick runs;
+	// 1 reproduces the DESIGN.md sizes.
+	Scale float64
+}
+
+// Defaults returns the full-size configuration used by cmd/experiments.
+func Defaults() Config {
+	return Config{Alpha: 1, Eps: 1, Seed: 42, Scale: 1}
+}
+
+// Quick returns a configuration scaled down for tests and -short
+// benchmarks.
+func Quick() Config {
+	c := Defaults()
+	c.Scale = 0.12
+	return c
+}
+
+// scaleCorpusSizes applies cfg.Scale to a part size, keeping at least a
+// workable floor.
+func (c Config) scaled(n int) int {
+	if c.Scale <= 0 || c.Scale >= 1 {
+		return n
+	}
+	s := int(math.Round(float64(n) * c.Scale))
+	if s < 30 {
+		s = 30
+	}
+	return s
+}
+
+// Datasets generates the three corpora at the configured scale.
+func (c Config) Datasets() []*dataset.Corpus {
+	fs := dataset.FlickrSmallConfig()
+	fs.NumItems, fs.NumConsumers = c.scaled(fs.NumItems), c.scaled(fs.NumConsumers)
+	fl := dataset.FlickrLargeConfig()
+	fl.NumItems, fl.NumConsumers = c.scaled(fl.NumItems), c.scaled(fl.NumConsumers)
+	ya := dataset.AnswersScaledConfig()
+	ya.NumItems, ya.NumConsumers = c.scaled(ya.NumItems), c.scaled(ya.NumConsumers)
+	return []*dataset.Corpus{
+		dataset.Flickr("flickr-small", fs),
+		dataset.Flickr("flickr-large", fl),
+		dataset.Answers("yahoo-answers", ya),
+	}
+}
+
+// SigmaGrid returns the similarity-threshold sweep for a dataset: the
+// paper varies σ to control the number of candidate edges. Flickr
+// similarities are tag-overlap counts, yahoo-answers similarities are
+// cosines, so the grids differ.
+func SigmaGrid(corpusName string) []float64 {
+	if corpusName == "yahoo-answers" {
+		return []float64{0.30, 0.22, 0.16, 0.11, 0.08}
+	}
+	return []float64{8, 6, 4, 3, 2}
+}
+
+// prepared is a corpus with its full candidate graph materialized once;
+// σ sweeps reuse it through FilterEdges.
+type prepared struct {
+	corpus *dataset.Corpus
+	full   *graph.Bipartite
+}
+
+func prepare(c *dataset.Corpus) *prepared {
+	return &prepared{corpus: c, full: c.BuildGraph(0)}
+}
+
+// at returns the candidate graph at threshold sigma with capacities for
+// the given α applied.
+func (p *prepared) at(sigma, alpha float64) (*graph.Bipartite, error) {
+	g := p.full.FilterEdges(sigma)
+	if err := p.corpus.ApplyCapacities(g, alpha); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", p.corpus.Name, err)
+	}
+	return g, nil
+}
+
+// runStack dispatches to StackMR or StackGreedyMR.
+func runStack(ctx context.Context, g *graph.Bipartite, cfg Config, strategy core.MarkingStrategy) (*core.Result, error) {
+	return core.StackMR(ctx, g, core.StackOptions{
+		MR:       cfg.MR,
+		Eps:      cfg.Eps,
+		Seed:     cfg.Seed,
+		Strategy: strategy,
+	})
+}
+
+// stat helper: mean of a float slice (0 when empty).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return stats.Summarize(xs).Mean
+}

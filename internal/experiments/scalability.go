@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// ScalabilityRow is one point of the scalability study: graph size vs
+// MapReduce rounds for both algorithm families. The paper's Section 6
+// concludes that "the performance of StackMR is almost unaffected by
+// increasing the number of edges" while GreedyMR's round count grows;
+// this experiment isolates that claim on synthetic graphs whose size
+// grows geometrically.
+type ScalabilityRow struct {
+	Items    int
+	Edges    int
+	GreedyMR struct {
+		Rounds int
+		Value  float64
+	}
+	StackMR struct {
+		Rounds int
+		Value  float64
+	}
+}
+
+// ScalabilityResult is the full sweep.
+type ScalabilityResult struct {
+	Rows []ScalabilityRow
+}
+
+// Scalability runs both algorithms on synthetic graphs of geometrically
+// increasing size (factor 2 per step, `steps` steps from `baseItems`).
+func Scalability(ctx context.Context, cfg Config, baseItems, steps int) (*ScalabilityResult, error) {
+	res := &ScalabilityResult{}
+	items := baseItems
+	for s := 0; s < steps; s++ {
+		g := dataset.Synthetic(dataset.SyntheticConfig{
+			NumItems:      items,
+			NumConsumers:  items / 5,
+			MeanDegree:    10,
+			DegreeAlpha:   1.4,
+			WeightScale:   1,
+			CapacityAlpha: 1.2,
+			CapacityMax:   60,
+			Seed:          cfg.Seed + int64(s),
+		})
+		var row ScalabilityRow
+		row.Items = items
+		row.Edges = g.NumEdges()
+
+		gm, err := core.GreedyMR(ctx, g, core.GreedyMROptions{MR: cfg.MR})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scalability greedymr n=%d: %w", items, err)
+		}
+		row.GreedyMR.Rounds = gm.Rounds
+		row.GreedyMR.Value = gm.Matching.Value()
+
+		sm, err := runStack(ctx, g, cfg, core.MarkRandom)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scalability stackmr n=%d: %w", items, err)
+		}
+		row.StackMR.Rounds = sm.Rounds
+		row.StackMR.Value = sm.Matching.Value()
+
+		res.Rows = append(res.Rows, row)
+		items *= 2
+	}
+	return res, nil
+}
+
+// RoundGrowth returns (last/first) round ratios for both algorithms; the
+// paper's claim translates to the StackMR ratio staying near 1 while the
+// GreedyMR ratio grows with the size sweep.
+func (r *ScalabilityResult) RoundGrowth() (greedy, stack float64) {
+	if len(r.Rows) < 2 {
+		return 1, 1
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if first.GreedyMR.Rounds > 0 {
+		greedy = float64(last.GreedyMR.Rounds) / float64(first.GreedyMR.Rounds)
+	}
+	if first.StackMR.Rounds > 0 {
+		stack = float64(last.StackMR.Rounds) / float64(first.StackMR.Rounds)
+	}
+	return greedy, stack
+}
+
+// Render formats the sweep.
+func (r *ScalabilityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scalability: MapReduce rounds vs graph size (synthetic)\n")
+	fmt.Fprintf(&b, "%8s %9s | %8s %12s | %8s %12s\n",
+		"items", "edges", "it(G)", "value(G)", "it(S)", "value(S)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %9d | %8d %12.1f | %8d %12.1f\n",
+			row.Items, row.Edges,
+			row.GreedyMR.Rounds, row.GreedyMR.Value,
+			row.StackMR.Rounds, row.StackMR.Value)
+	}
+	g, s := r.RoundGrowth()
+	fmt.Fprintf(&b, "round growth over sweep: GreedyMR x%.2f, StackMR x%.2f\n", g, s)
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ViolationRow is one point of Figure 4: the average relative capacity
+// violation ε′ of StackMR for one (ε, α, σ) combination.
+type ViolationRow struct {
+	Eps      float64
+	Alpha    float64
+	Sigma    float64
+	Edges    int
+	EpsPrime float64 // the paper's ε′ metric
+	MaxOver  float64 // worst-case |M(v)|/b(v)
+}
+
+// ViolationResult is the Figure 4 panel for one dataset.
+type ViolationResult struct {
+	Dataset string
+	Rows    []ViolationRow
+}
+
+// Violations reproduces Figure 4: StackMR capacity violations as a
+// function of the number of edges, for combinations of ε and α. The
+// paper finds violations between ~0 and 6%, growing with more edges
+// (lower σ) and larger capacities (higher α), and near zero on
+// yahoo-answers.
+func Violations(ctx context.Context, cfg Config, corpusName string, epses, alphas []float64) (*ViolationResult, error) {
+	var p *prepared
+	for _, c := range cfg.Datasets() {
+		if c.Name == corpusName {
+			p = prepare(c)
+			break
+		}
+	}
+	if p == nil {
+		return nil, fmt.Errorf("experiments: unknown dataset %q", corpusName)
+	}
+	res := &ViolationResult{Dataset: corpusName}
+	for _, eps := range epses {
+		for _, alpha := range alphas {
+			for _, sigma := range SigmaGrid(corpusName) {
+				g, err := p.at(sigma, alpha)
+				if err != nil {
+					return nil, err
+				}
+				run := cfg
+				run.Eps = eps
+				sm, err := runStack(ctx, g, run, core.MarkRandom)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: violations ε=%v α=%v σ=%v: %w",
+						eps, alpha, sigma, err)
+				}
+				res.Rows = append(res.Rows, ViolationRow{
+					Eps: eps, Alpha: alpha, Sigma: sigma,
+					Edges:    g.NumEdges(),
+					EpsPrime: sm.Matching.Violation(),
+					MaxOver:  sm.Matching.MaxViolationFactor(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// MaxEpsPrime returns the worst ε′ across the panel.
+func (r *ViolationResult) MaxEpsPrime() float64 {
+	worst := 0.0
+	for _, row := range r.Rows {
+		if row.EpsPrime > worst {
+			worst = row.EpsPrime
+		}
+	}
+	return worst
+}
+
+// Render formats the panel.
+func (r *ViolationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: StackMR capacity violations eps' vs #edges\n", r.Dataset)
+	fmt.Fprintf(&b, "%6s %6s %8s %9s | %10s %8s\n", "eps", "alpha", "sigma", "edges", "eps'", "max b-stretch")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6.2f %6.2f %8.3g %9d | %10.5f %8.3f\n",
+			row.Eps, row.Alpha, row.Sigma, row.Edges, row.EpsPrime, row.MaxOver)
+	}
+	fmt.Fprintf(&b, "worst eps' on %s: %.5f\n", r.Dataset, r.MaxEpsPrime())
+	return b.String()
+}

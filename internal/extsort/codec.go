@@ -1,0 +1,57 @@
+package extsort
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+)
+
+// WeightedEdgeRec is the record type the cmd tools sort externally: an
+// edge with its endpoints and weight.
+type WeightedEdgeRec struct {
+	Item     int32
+	Consumer int32
+	Weight   float64
+}
+
+// EdgeCodec serializes WeightedEdgeRec as 16 fixed little-endian bytes.
+type EdgeCodec struct{}
+
+// Encode writes one record.
+func (EdgeCodec) Encode(w io.Writer, rec WeightedEdgeRec) error {
+	var buf [16]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(rec.Item))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(rec.Consumer))
+	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(rec.Weight))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// Decode reads one record, returning io.EOF cleanly at a run boundary.
+func (EdgeCodec) Decode(r io.Reader) (WeightedEdgeRec, error) {
+	var buf [16]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return WeightedEdgeRec{}, err
+	}
+	return WeightedEdgeRec{
+		Item:     int32(binary.LittleEndian.Uint32(buf[0:4])),
+		Consumer: int32(binary.LittleEndian.Uint32(buf[4:8])),
+		Weight:   math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16])),
+	}, nil
+}
+
+// ByWeightDesc orders edges by decreasing weight with deterministic
+// (item, consumer) tie-breaking — the processing order of the
+// centralized greedy algorithm.
+func ByWeightDesc(a, b WeightedEdgeRec) bool {
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	if a.Item != b.Item {
+		return a.Item < b.Item
+	}
+	return a.Consumer < b.Consumer
+}

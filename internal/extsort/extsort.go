@@ -1,0 +1,237 @@
+// Package extsort implements bounded-memory external merge sort:
+// records are buffered in memory, spilled as sorted runs to temporary
+// files, and streamed back through a k-way heap merge. It is the
+// classical database technique behind the shuffle of a real MapReduce
+// implementation (Hadoop spills map output exactly this way) and backs
+// the tools in cmd/ when a generated edge list outgrows memory.
+//
+// Serialization is caller-supplied through the Codec interface, so any
+// record type can be sorted without reflection.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Codec serializes records of type T for spill files. Encode and Decode
+// must round-trip: Decode(Encode(x)) == x. Decode returns io.EOF at the
+// end of a run.
+type Codec[T any] interface {
+	Encode(w io.Writer, rec T) error
+	Decode(r io.Reader) (T, error)
+}
+
+// Config bounds the sorter's resource usage.
+type Config struct {
+	// MaxInMemory is the number of records buffered before a spill
+	// (default 1<<20).
+	MaxInMemory int
+	// TempDir is the directory for spill files (default os.TempDir()).
+	TempDir string
+}
+
+func (c Config) maxInMemory() int {
+	if c.MaxInMemory > 0 {
+		return c.MaxInMemory
+	}
+	return 1 << 20
+}
+
+// Sorter accumulates records and produces a sorted iterator. Not safe
+// for concurrent use.
+type Sorter[T any] struct {
+	less   func(a, b T) bool
+	codec  Codec[T]
+	cfg    Config
+	buf    []T
+	runs   []*os.File
+	sorted bool
+}
+
+// New creates a Sorter ordering records by less.
+func New[T any](less func(a, b T) bool, codec Codec[T], cfg Config) *Sorter[T] {
+	return &Sorter[T]{less: less, codec: codec, cfg: cfg}
+}
+
+// Add appends one record, spilling a sorted run to disk when the memory
+// budget fills.
+func (s *Sorter[T]) Add(rec T) error {
+	if s.sorted {
+		return errors.New("extsort: Add after Sort")
+	}
+	s.buf = append(s.buf, rec)
+	if len(s.buf) >= s.cfg.maxInMemory() {
+		return s.spill()
+	}
+	return nil
+}
+
+// spill writes the sorted buffer as one run file.
+func (s *Sorter[T]) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	f, err := os.CreateTemp(s.cfg.TempDir, "extsort-run-*.bin")
+	if err != nil {
+		return fmt.Errorf("extsort: spill: %w", err)
+	}
+	// The file is unlinked after open on close; keep the handle for the
+	// merge and remove the name now so crashes do not leak files.
+	defer os.Remove(f.Name())
+	bw := bufio.NewWriter(f)
+	for _, rec := range s.buf {
+		if err := s.codec.Encode(bw, rec); err != nil {
+			f.Close()
+			return fmt.Errorf("extsort: encode: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: flush: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: rewind: %w", err)
+	}
+	s.runs = append(s.runs, f)
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Runs returns the number of spilled runs so far (exposed for tests and
+// stats).
+func (s *Sorter[T]) Runs() int { return len(s.runs) }
+
+// Sort finalizes the sorter and returns an iterator over all records in
+// order. The Sorter must not be used afterwards; the iterator must be
+// closed.
+func (s *Sorter[T]) Sort() (*Iterator[T], error) {
+	if s.sorted {
+		return nil, errors.New("extsort: Sort called twice")
+	}
+	s.sorted = true
+	if len(s.runs) == 0 {
+		// Pure in-memory path.
+		sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+		return &Iterator[T]{mem: s.buf}, nil
+	}
+	if err := s.spill(); err != nil {
+		return nil, err
+	}
+	it := &Iterator[T]{codec: s.codec, less: s.less}
+	for _, f := range s.runs {
+		src := &runSource[T]{r: bufio.NewReader(f), f: f}
+		rec, err := s.codec.Decode(src.r)
+		if err == io.EOF {
+			f.Close()
+			continue
+		}
+		if err != nil {
+			it.Close()
+			return nil, fmt.Errorf("extsort: prime run: %w", err)
+		}
+		src.head = rec
+		it.srcs = append(it.srcs, src)
+	}
+	heap.Init((*mergeHeap[T])(it))
+	return it, nil
+}
+
+// runSource is one spilled run during the merge.
+type runSource[T any] struct {
+	r    *bufio.Reader
+	f    *os.File
+	head T
+}
+
+// Iterator streams records in sorted order.
+type Iterator[T any] struct {
+	// in-memory path
+	mem []T
+	pos int
+	// merge path
+	codec Codec[T]
+	less  func(a, b T) bool
+	srcs  []*runSource[T]
+}
+
+// Next returns the next record; ok is false at the end of the stream.
+func (it *Iterator[T]) Next() (rec T, ok bool, err error) {
+	if it.srcs == nil {
+		if it.pos >= len(it.mem) {
+			var zero T
+			return zero, false, nil
+		}
+		rec = it.mem[it.pos]
+		it.pos++
+		return rec, true, nil
+	}
+	if len(it.srcs) == 0 {
+		var zero T
+		return zero, false, nil
+	}
+	top := it.srcs[0]
+	rec = top.head
+	next, derr := it.codec.Decode(top.r)
+	switch {
+	case derr == io.EOF:
+		top.f.Close()
+		heap.Pop((*mergeHeap[T])(it))
+	case derr != nil:
+		var zero T
+		return zero, false, fmt.Errorf("extsort: merge decode: %w", derr)
+	default:
+		top.head = next
+		heap.Fix((*mergeHeap[T])(it), 0)
+	}
+	return rec, true, nil
+}
+
+// Close releases any remaining run files. Safe to call multiple times.
+func (it *Iterator[T]) Close() {
+	for _, src := range it.srcs {
+		src.f.Close()
+	}
+	it.srcs = it.srcs[:0]
+	it.mem = nil
+}
+
+// Drain reads the remaining records into a slice (convenience for tests
+// and small outputs) and closes the iterator.
+func (it *Iterator[T]) Drain() ([]T, error) {
+	defer it.Close()
+	var out []T
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}
+
+// mergeHeap adapts Iterator's sources to container/heap.
+type mergeHeap[T any] Iterator[T]
+
+func (h *mergeHeap[T]) Len() int { return len(h.srcs) }
+func (h *mergeHeap[T]) Less(i, j int) bool {
+	return h.less(h.srcs[i].head, h.srcs[j].head)
+}
+func (h *mergeHeap[T]) Swap(i, j int) { h.srcs[i], h.srcs[j] = h.srcs[j], h.srcs[i] }
+func (h *mergeHeap[T]) Push(x any)    { h.srcs = append(h.srcs, x.(*runSource[T])) }
+func (h *mergeHeap[T]) Pop() any {
+	n := len(h.srcs)
+	x := h.srcs[n-1]
+	h.srcs = h.srcs[:n-1]
+	return x
+}

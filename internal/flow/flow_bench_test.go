@@ -1,0 +1,35 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkExactSolver(b *testing.B) {
+	for _, size := range []struct {
+		name           string
+		items, cons    int
+		prob           float64
+		maxW, capacity int
+	}{
+		{"tiny-8x6", 8, 6, 0.5, 5, 2},
+		{"small-40x20", 40, 20, 0.2, 5, 3},
+		{"medium-150x50", 150, 50, 0.08, 5, 4},
+	} {
+		size := size
+		b.Run(size.name, func(b *testing.B) {
+			g := graph.RandomBipartite(graph.RandomConfig{
+				NumItems: size.items, NumConsumers: size.cons,
+				EdgeProb: size.prob, MaxWeight: float64(size.maxW),
+				MaxCapacity: size.capacity, Seed: 9,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := MaxWeightBMatching(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSingleEdge(t *testing.T) {
+	g := graph.NewBipartite(1, 1)
+	g.SetCapacity(0, 1)
+	g.SetCapacity(1, 1)
+	g.AddEdge(0, 1, 2.5)
+	picked, value, err := MaxWeightBMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 1 || value != 2.5 {
+		t.Errorf("picked=%v value=%v", picked, value)
+	}
+}
+
+func TestPrefersHeavierEdge(t *testing.T) {
+	// One item with capacity 1, two consumers: must take the heavier.
+	g := graph.NewBipartite(1, 2)
+	g.SetCapacity(g.ItemID(0), 1)
+	g.SetCapacity(g.ConsumerID(0), 1)
+	g.SetCapacity(g.ConsumerID(1), 1)
+	g.AddEdge(g.ItemID(0), g.ConsumerID(0), 1)
+	g.AddEdge(g.ItemID(0), g.ConsumerID(1), 3)
+	picked, value, err := MaxWeightBMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 1 || value != 3 {
+		t.Errorf("picked=%v value=%v, want the weight-3 edge", picked, value)
+	}
+}
+
+func TestBeatsGreedyOnTightCase(t *testing.T) {
+	// Greedy takes the middle edge (1+eps); the optimum takes the two
+	// outer edges (2).
+	g := graph.GreedyTightCase(0.25)
+	_, value, err := MaxWeightBMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(value-2) > 1e-9 {
+		t.Errorf("OPT = %v, want 2", value)
+	}
+}
+
+func TestRespectsCapacities(t *testing.T) {
+	g := graph.RandomBipartite(graph.RandomConfig{
+		NumItems: 8, NumConsumers: 6, EdgeProb: 0.6,
+		MaxWeight: 5, MaxCapacity: 3, Seed: 11,
+	})
+	picked, _, err := MaxWeightBMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := make(map[graph.NodeID]int)
+	for _, ei := range picked {
+		e := g.Edge(int(ei))
+		deg[e.Item]++
+		deg[e.Consumer]++
+	}
+	for v, d := range deg {
+		if d > g.IntCapacity(v) {
+			t.Errorf("node %d: degree %d > capacity %d", v, d, g.IntCapacity(v))
+		}
+	}
+}
+
+func TestZeroCapacityNodesExcluded(t *testing.T) {
+	g := graph.NewBipartite(1, 1)
+	g.SetCapacity(0, 0)
+	g.SetCapacity(1, 5)
+	g.AddEdge(0, 1, 10)
+	picked, value, err := MaxWeightBMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 0 || value != 0 {
+		t.Errorf("zero-capacity node matched: %v %v", picked, value)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBipartite(3, 3)
+	g.SetAllCapacities(graph.ItemSide, 1)
+	g.SetAllCapacities(graph.ConsumerSide, 1)
+	picked, value, err := MaxWeightBMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 0 || value != 0 {
+		t.Errorf("empty graph matched: %v %v", picked, value)
+	}
+}
+
+// bruteForce enumerates all edge subsets and returns the best feasible
+// value. Only viable for tiny graphs.
+func bruteForce(g *graph.Bipartite) float64 {
+	nE := g.NumEdges()
+	best := 0.0
+	for mask := 0; mask < 1<<nE; mask++ {
+		deg := make(map[graph.NodeID]int)
+		value := 0.0
+		ok := true
+		for i := 0; i < nE && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			e := g.Edge(i)
+			deg[e.Item]++
+			deg[e.Consumer]++
+			if deg[e.Item] > g.IntCapacity(e.Item) || deg[e.Consumer] > g.IntCapacity(e.Consumer) {
+				ok = false
+			}
+			value += e.Weight
+		}
+		if ok && value > best {
+			best = value
+		}
+	}
+	return best
+}
+
+func TestMatchesBruteForceOnRandomInstances(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		g := graph.RandomBipartite(graph.RandomConfig{
+			NumItems: 4, NumConsumers: 3, EdgeProb: 0.7,
+			MaxWeight: 3, MaxCapacity: 2, Seed: seed,
+		})
+		if g.NumEdges() > 14 {
+			continue // keep brute force tractable
+		}
+		_, value, err := MaxWeightBMatching(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := bruteForce(g)
+		if math.Abs(value-want) > 1e-9 {
+			t.Errorf("seed %d: flow=%v brute=%v", seed, value, want)
+		}
+	}
+}
+
+func TestIntegralityWithFractionalCapacities(t *testing.T) {
+	// Fractional capacities round up, like in internal/core.
+	g := graph.NewBipartite(1, 2)
+	g.SetCapacity(g.ItemID(0), 1.2) // behaves as 2
+	g.SetCapacity(g.ConsumerID(0), 1)
+	g.SetCapacity(g.ConsumerID(1), 1)
+	g.AddEdge(g.ItemID(0), g.ConsumerID(0), 1)
+	g.AddEdge(g.ItemID(0), g.ConsumerID(1), 1)
+	picked, value, err := MaxWeightBMatching(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 || math.Abs(value-2) > 1e-9 {
+		t.Errorf("picked=%v value=%v, want both edges", picked, value)
+	}
+}

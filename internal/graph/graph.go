@@ -1,0 +1,317 @@
+// Package graph provides the weighted bipartite graph model used by the
+// social-content-matching algorithms: items T on one side, consumers C on
+// the other, weighted edges between them, and integer node capacities
+// b(v) (Problem 1 of the paper).
+//
+// Node identifiers are dense int32 indexes. Items occupy [0, NumItems)
+// and consumers occupy [NumItems, NumItems+NumConsumers); the Side and
+// index helpers convert between the global id space and per-side indexes.
+// The algorithms themselves work on any undirected graph, but the
+// bipartite structure is what the application scenarios produce and what
+// the dataset generators emit.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node in the bipartite graph. Item nodes come first,
+// consumer nodes after them.
+type NodeID int32
+
+// Side distinguishes the two parts of the bipartite graph.
+type Side int8
+
+const (
+	// ItemSide marks item (content) nodes.
+	ItemSide Side = iota
+	// ConsumerSide marks consumer (user) nodes.
+	ConsumerSide
+)
+
+// String returns "item" or "consumer".
+func (s Side) String() string {
+	if s == ItemSide {
+		return "item"
+	}
+	return "consumer"
+}
+
+// Edge is a weighted undirected edge between an item and a consumer.
+// Item is always the item-side endpoint and Consumer the consumer-side
+// endpoint in a bipartite graph.
+type Edge struct {
+	Item     NodeID
+	Consumer NodeID
+	Weight   float64
+}
+
+// Bipartite is a weighted bipartite graph with node capacities. The zero
+// value is unusable; construct with NewBipartite.
+type Bipartite struct {
+	numItems     int
+	numConsumers int
+	edges        []Edge
+	caps         []float64 // indexed by NodeID, length numItems+numConsumers
+	adjBuilt     bool
+	adj          [][]int32 // node -> indexes into edges
+}
+
+// NewBipartite creates an empty bipartite graph with the given part
+// sizes. All capacities start at zero; set them with SetCapacity or
+// SetAllCapacities before matching.
+func NewBipartite(numItems, numConsumers int) *Bipartite {
+	if numItems < 0 || numConsumers < 0 {
+		panic(fmt.Sprintf("graph: negative part size (%d, %d)", numItems, numConsumers))
+	}
+	return &Bipartite{
+		numItems:     numItems,
+		numConsumers: numConsumers,
+		caps:         make([]float64, numItems+numConsumers),
+	}
+}
+
+// NumItems returns |T|.
+func (g *Bipartite) NumItems() int { return g.numItems }
+
+// NumConsumers returns |C|.
+func (g *Bipartite) NumConsumers() int { return g.numConsumers }
+
+// NumNodes returns |T| + |C|.
+func (g *Bipartite) NumNodes() int { return g.numItems + g.numConsumers }
+
+// NumEdges returns |E|.
+func (g *Bipartite) NumEdges() int { return len(g.edges) }
+
+// ItemID converts an item index in [0, NumItems) to its NodeID.
+func (g *Bipartite) ItemID(i int) NodeID {
+	if i < 0 || i >= g.numItems {
+		panic(fmt.Sprintf("graph: item index %d out of range [0,%d)", i, g.numItems))
+	}
+	return NodeID(i)
+}
+
+// ConsumerID converts a consumer index in [0, NumConsumers) to its NodeID.
+func (g *Bipartite) ConsumerID(j int) NodeID {
+	if j < 0 || j >= g.numConsumers {
+		panic(fmt.Sprintf("graph: consumer index %d out of range [0,%d)", j, g.numConsumers))
+	}
+	return NodeID(g.numItems + j)
+}
+
+// SideOf reports which part a node belongs to.
+func (g *Bipartite) SideOf(v NodeID) Side {
+	if int(v) < g.numItems {
+		return ItemSide
+	}
+	return ConsumerSide
+}
+
+// ValidNode reports whether v is a node of this graph.
+func (g *Bipartite) ValidNode(v NodeID) bool {
+	return v >= 0 && int(v) < g.NumNodes()
+}
+
+// AddEdge appends the edge (item, consumer, weight). It panics on ids
+// from the wrong side, out-of-range ids, or non-positive weights, all of
+// which indicate programming errors in callers (the paper assumes
+// strictly positive weights).
+func (g *Bipartite) AddEdge(item, consumer NodeID, weight float64) {
+	if !g.ValidNode(item) || g.SideOf(item) != ItemSide {
+		panic(fmt.Sprintf("graph: %d is not an item node", item))
+	}
+	if !g.ValidNode(consumer) || g.SideOf(consumer) != ConsumerSide {
+		panic(fmt.Sprintf("graph: %d is not a consumer node", consumer))
+	}
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		panic(fmt.Sprintf("graph: invalid edge weight %v", weight))
+	}
+	g.edges = append(g.edges, Edge{Item: item, Consumer: consumer, Weight: weight})
+	g.adjBuilt = false
+}
+
+// Edge returns the i-th edge.
+func (g *Bipartite) Edge(i int) Edge { return g.edges[i] }
+
+// Edges returns the backing edge slice. Callers must not modify it.
+func (g *Bipartite) Edges() []Edge { return g.edges }
+
+// SetCapacity sets b(v).
+func (g *Bipartite) SetCapacity(v NodeID, b float64) {
+	if !g.ValidNode(v) {
+		panic(fmt.Sprintf("graph: node %d out of range", v))
+	}
+	if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+		panic(fmt.Sprintf("graph: invalid capacity %v", b))
+	}
+	g.caps[v] = b
+}
+
+// Capacity returns b(v).
+func (g *Bipartite) Capacity(v NodeID) float64 { return g.caps[v] }
+
+// IntCapacity returns ⌈b(v)⌉ as an int, the integral capacity used when a
+// matching requires whole edges.
+func (g *Bipartite) IntCapacity(v NodeID) int {
+	return int(math.Ceil(g.caps[v]))
+}
+
+// SetAllCapacities assigns the same capacity to every node of the given
+// side.
+func (g *Bipartite) SetAllCapacities(side Side, b float64) {
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.SideOf(NodeID(v)) == side {
+			g.SetCapacity(NodeID(v), b)
+		}
+	}
+}
+
+// TotalCapacity returns the sum of b(v) over the given side. The paper
+// calls the consumer-side total B, the distribution bandwidth.
+func (g *Bipartite) TotalCapacity(side Side) float64 {
+	var sum float64
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.SideOf(NodeID(v)) == side {
+			sum += g.caps[v]
+		}
+	}
+	return sum
+}
+
+// buildAdj constructs the node -> incident edge index lists.
+func (g *Bipartite) buildAdj() {
+	if g.adjBuilt {
+		return
+	}
+	g.adj = make([][]int32, g.NumNodes())
+	deg := make([]int32, g.NumNodes())
+	for _, e := range g.edges {
+		deg[e.Item]++
+		deg[e.Consumer]++
+	}
+	for v := range g.adj {
+		g.adj[v] = make([]int32, 0, deg[v])
+	}
+	for i, e := range g.edges {
+		g.adj[e.Item] = append(g.adj[e.Item], int32(i))
+		g.adj[e.Consumer] = append(g.adj[e.Consumer], int32(i))
+	}
+	g.adjBuilt = true
+}
+
+// IncidentEdges returns the indexes (into Edges) of the edges incident to
+// v. The returned slice is shared; callers must not modify it.
+func (g *Bipartite) IncidentEdges(v NodeID) []int32 {
+	g.buildAdj()
+	return g.adj[v]
+}
+
+// Degree returns the number of edges incident to v.
+func (g *Bipartite) Degree(v NodeID) int {
+	g.buildAdj()
+	return len(g.adj[v])
+}
+
+// Other returns the endpoint of edge e opposite to v.
+func (e Edge) Other(v NodeID) NodeID {
+	if e.Item == v {
+		return e.Consumer
+	}
+	return e.Item
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Bipartite) TotalWeight() float64 {
+	var sum float64
+	for _, e := range g.edges {
+		sum += e.Weight
+	}
+	return sum
+}
+
+// WeightRange returns the minimum and maximum edge weight. It returns
+// (0, 0) for an edgeless graph. StackMR's round bound depends on the
+// ratio wmax/wmin.
+func (g *Bipartite) WeightRange() (wmin, wmax float64) {
+	if len(g.edges) == 0 {
+		return 0, 0
+	}
+	wmin, wmax = g.edges[0].Weight, g.edges[0].Weight
+	for _, e := range g.edges[1:] {
+		if e.Weight < wmin {
+			wmin = e.Weight
+		}
+		if e.Weight > wmax {
+			wmax = e.Weight
+		}
+	}
+	return wmin, wmax
+}
+
+// FilterEdges returns a new graph with the same nodes and capacities but
+// only the edges with weight ≥ sigma. This is how the experiments sweep
+// the similarity threshold.
+func (g *Bipartite) FilterEdges(sigma float64) *Bipartite {
+	out := NewBipartite(g.numItems, g.numConsumers)
+	copy(out.caps, g.caps)
+	for _, e := range g.edges {
+		if e.Weight >= sigma {
+			out.edges = append(out.edges, e)
+		}
+	}
+	return out
+}
+
+// SortEdgesByWeightDesc returns the edge indexes sorted by decreasing
+// weight, with deterministic tie-breaking on (item, consumer). The
+// centralized greedy algorithm processes edges in this order.
+func (g *Bipartite) SortEdgesByWeightDesc() []int32 {
+	idx := make([]int32, len(g.edges))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ea, eb := g.edges[idx[a]], g.edges[idx[b]]
+		if ea.Weight != eb.Weight {
+			return ea.Weight > eb.Weight
+		}
+		if ea.Item != eb.Item {
+			return ea.Item < eb.Item
+		}
+		return ea.Consumer < eb.Consumer
+	})
+	return idx
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Bipartite) Clone() *Bipartite {
+	out := NewBipartite(g.numItems, g.numConsumers)
+	out.edges = append([]Edge(nil), g.edges...)
+	copy(out.caps, g.caps)
+	return out
+}
+
+// Validate checks structural invariants: endpoints on the correct sides,
+// positive finite weights, non-negative capacities. It returns the first
+// violation found.
+func (g *Bipartite) Validate() error {
+	for i, e := range g.edges {
+		if !g.ValidNode(e.Item) || g.SideOf(e.Item) != ItemSide {
+			return fmt.Errorf("graph: edge %d has bad item endpoint %d", i, e.Item)
+		}
+		if !g.ValidNode(e.Consumer) || g.SideOf(e.Consumer) != ConsumerSide {
+			return fmt.Errorf("graph: edge %d has bad consumer endpoint %d", i, e.Consumer)
+		}
+		if e.Weight <= 0 || math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) {
+			return fmt.Errorf("graph: edge %d has invalid weight %v", i, e.Weight)
+		}
+	}
+	for v, b := range g.caps {
+		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("graph: node %d has invalid capacity %v", v, b)
+		}
+	}
+	return nil
+}

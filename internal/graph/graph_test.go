@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *Bipartite {
+	t.Helper()
+	g := NewBipartite(3, 2)
+	g.SetCapacity(g.ItemID(0), 1)
+	g.SetCapacity(g.ItemID(1), 2)
+	g.SetCapacity(g.ItemID(2), 1)
+	g.SetCapacity(g.ConsumerID(0), 2)
+	g.SetCapacity(g.ConsumerID(1), 1)
+	g.AddEdge(g.ItemID(0), g.ConsumerID(0), 0.5)
+	g.AddEdge(g.ItemID(1), g.ConsumerID(0), 0.9)
+	g.AddEdge(g.ItemID(1), g.ConsumerID(1), 0.3)
+	g.AddEdge(g.ItemID(2), g.ConsumerID(1), 0.7)
+	return g
+}
+
+func TestSizes(t *testing.T) {
+	g := small(t)
+	if g.NumItems() != 3 || g.NumConsumers() != 2 || g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Errorf("sizes: items=%d consumers=%d nodes=%d edges=%d",
+			g.NumItems(), g.NumConsumers(), g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestIDConversions(t *testing.T) {
+	g := small(t)
+	if g.ItemID(2) != 2 {
+		t.Errorf("ItemID(2) = %d", g.ItemID(2))
+	}
+	if g.ConsumerID(0) != 3 {
+		t.Errorf("ConsumerID(0) = %d", g.ConsumerID(0))
+	}
+	if g.SideOf(2) != ItemSide || g.SideOf(3) != ConsumerSide {
+		t.Error("SideOf wrong")
+	}
+	if ItemSide.String() != "item" || ConsumerSide.String() != "consumer" {
+		t.Error("Side.String wrong")
+	}
+}
+
+func TestIDPanics(t *testing.T) {
+	g := small(t)
+	for name, fn := range map[string]func(){
+		"item out of range":     func() { g.ItemID(3) },
+		"negative item":         func() { g.ItemID(-1) },
+		"consumer out of range": func() { g.ConsumerID(2) },
+		"edge wrong side":       func() { g.AddEdge(g.ConsumerID(0), g.ConsumerID(1), 1) },
+		"zero weight":           func() { g.AddEdge(g.ItemID(0), g.ConsumerID(0), 0) },
+		"nan weight":            func() { g.AddEdge(g.ItemID(0), g.ConsumerID(0), math.NaN()) },
+		"negative capacity":     func() { g.SetCapacity(0, -1) },
+		"capacity bad node":     func() { g.SetCapacity(99, 1) },
+		"negative part":         func() { NewBipartite(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	g := small(t)
+	if g.Capacity(g.ItemID(1)) != 2 {
+		t.Errorf("Capacity = %v", g.Capacity(g.ItemID(1)))
+	}
+	if got := g.TotalCapacity(ItemSide); got != 4 {
+		t.Errorf("TotalCapacity(items) = %v, want 4", got)
+	}
+	if got := g.TotalCapacity(ConsumerSide); got != 3 {
+		t.Errorf("TotalCapacity(consumers) = %v, want 3", got)
+	}
+	g.SetAllCapacities(ItemSide, 5)
+	if g.TotalCapacity(ItemSide) != 15 {
+		t.Error("SetAllCapacities did not apply")
+	}
+	if g.TotalCapacity(ConsumerSide) != 3 {
+		t.Error("SetAllCapacities leaked to other side")
+	}
+	g.SetCapacity(0, 1.3)
+	if g.IntCapacity(0) != 2 {
+		t.Errorf("IntCapacity(1.3) = %d, want 2", g.IntCapacity(0))
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := small(t)
+	if g.Degree(g.ConsumerID(0)) != 2 {
+		t.Errorf("Degree(c0) = %d, want 2", g.Degree(g.ConsumerID(0)))
+	}
+	inc := g.IncidentEdges(g.ItemID(1))
+	if len(inc) != 2 {
+		t.Fatalf("item 1 incident = %v", inc)
+	}
+	for _, ei := range inc {
+		e := g.Edge(int(ei))
+		if e.Item != g.ItemID(1) {
+			t.Errorf("incident edge %v does not touch item 1", e)
+		}
+	}
+	// Adding an edge invalidates and rebuilds adjacency.
+	g.AddEdge(g.ItemID(0), g.ConsumerID(1), 0.1)
+	if g.Degree(g.ItemID(0)) != 2 {
+		t.Errorf("Degree after AddEdge = %d, want 2", g.Degree(g.ItemID(0)))
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{Item: 1, Consumer: 4, Weight: 1}
+	if e.Other(1) != 4 || e.Other(4) != 1 {
+		t.Error("Other wrong")
+	}
+}
+
+func TestWeightHelpers(t *testing.T) {
+	g := small(t)
+	if got := g.TotalWeight(); math.Abs(got-2.4) > 1e-12 {
+		t.Errorf("TotalWeight = %v, want 2.4", got)
+	}
+	wmin, wmax := g.WeightRange()
+	if wmin != 0.3 || wmax != 0.9 {
+		t.Errorf("WeightRange = (%v, %v)", wmin, wmax)
+	}
+	empty := NewBipartite(1, 1)
+	wmin, wmax = empty.WeightRange()
+	if wmin != 0 || wmax != 0 {
+		t.Errorf("empty WeightRange = (%v, %v)", wmin, wmax)
+	}
+}
+
+func TestFilterEdges(t *testing.T) {
+	g := small(t)
+	f := g.FilterEdges(0.5)
+	if f.NumEdges() != 3 {
+		t.Errorf("FilterEdges(0.5) kept %d edges, want 3", f.NumEdges())
+	}
+	if f.Capacity(g.ItemID(1)) != g.Capacity(g.ItemID(1)) {
+		t.Error("FilterEdges dropped capacities")
+	}
+	// Original untouched.
+	if g.NumEdges() != 4 {
+		t.Error("FilterEdges mutated receiver")
+	}
+	for _, e := range f.Edges() {
+		if e.Weight < 0.5 {
+			t.Errorf("edge below threshold survived: %v", e)
+		}
+	}
+}
+
+func TestSortEdgesByWeightDesc(t *testing.T) {
+	g := small(t)
+	order := g.SortEdgesByWeightDesc()
+	prev := math.Inf(1)
+	for _, ei := range order {
+		w := g.Edge(int(ei)).Weight
+		if w > prev {
+			t.Errorf("order not descending: %v after %v", w, prev)
+		}
+		prev = w
+	}
+	if len(order) != g.NumEdges() {
+		t.Errorf("order length %d != %d edges", len(order), g.NumEdges())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := small(t)
+	c := g.Clone()
+	c.AddEdge(c.ItemID(0), c.ConsumerID(1), 0.2)
+	c.SetCapacity(0, 9)
+	if g.NumEdges() != 4 || g.Capacity(0) != 1 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := small(t)
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+	// Corrupt an edge weight directly.
+	bad := g.Clone()
+	bad.edges[0].Weight = -1
+	if bad.Validate() == nil {
+		t.Error("negative weight not caught")
+	}
+	bad2 := g.Clone()
+	bad2.edges[0].Item = 99
+	if bad2.Validate() == nil {
+		t.Error("bad endpoint not caught")
+	}
+	bad3 := g.Clone()
+	bad3.caps[0] = math.NaN()
+	if bad3.Validate() == nil {
+		t.Error("NaN capacity not caught")
+	}
+}
+
+func TestRandomBipartiteProperties(t *testing.T) {
+	prop := func(seed int64, nItems, nCons uint8, probNum uint8) bool {
+		cfg := RandomConfig{
+			NumItems:     int(nItems)%12 + 1,
+			NumConsumers: int(nCons)%12 + 1,
+			EdgeProb:     float64(probNum%100) / 100,
+			MaxWeight:    2,
+			MaxCapacity:  3,
+			Seed:         seed,
+		}
+		g := RandomBipartite(cfg)
+		if g.Validate() != nil {
+			return false
+		}
+		if g.NumItems() != cfg.NumItems || g.NumConsumers() != cfg.NumConsumers {
+			return false
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			b := g.Capacity(NodeID(v))
+			if b < 1 || b > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomBipartiteDeterministic(t *testing.T) {
+	cfg := RandomConfig{NumItems: 10, NumConsumers: 10, EdgeProb: 0.5,
+		MaxWeight: 1, MaxCapacity: 4, Seed: 42}
+	a := RandomBipartite(cfg)
+	b := RandomBipartite(cfg)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different edge counts")
+	}
+	for i := range a.Edges() {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatal("same seed, different edges")
+		}
+	}
+}
+
+func TestPathGraph(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5, 10, 11} {
+		g := PathGraph(k)
+		if g.NumEdges() != k-1 {
+			t.Errorf("PathGraph(%d) has %d edges, want %d", k, g.NumEdges(), k-1)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("PathGraph(%d): %v", k, err)
+		}
+		// Weights strictly increase along the path.
+		for i := 0; i+1 < g.NumEdges(); i++ {
+			if g.Edge(i).Weight >= g.Edge(i+1).Weight {
+				t.Errorf("PathGraph(%d): weights not increasing", k)
+			}
+		}
+		// Every node capacity is 1 and degree ≤ 2.
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.Capacity(NodeID(v)) != 1 {
+				t.Errorf("PathGraph(%d): capacity != 1", k)
+			}
+			if g.Degree(NodeID(v)) > 2 {
+				t.Errorf("PathGraph(%d): degree > 2", k)
+			}
+		}
+	}
+}
+
+func TestGreedyTightCase(t *testing.T) {
+	g := GreedyTightCase(0.1)
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, wmax := g.WeightRange()
+	if math.Abs(wmax-1.1) > 1e-12 {
+		t.Errorf("wmax = %v, want 1.1", wmax)
+	}
+}

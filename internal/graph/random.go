@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// RandomConfig parameterizes RandomBipartite.
+type RandomConfig struct {
+	// NumItems and NumConsumers are the part sizes.
+	NumItems     int
+	NumConsumers int
+	// EdgeProb is the independent probability of each item-consumer
+	// pair being an edge.
+	EdgeProb float64
+	// MaxWeight bounds the uniform edge weights in (0, MaxWeight].
+	MaxWeight float64
+	// MaxCapacity bounds the uniform integer node capacities in
+	// [1, MaxCapacity].
+	MaxCapacity int
+	// Seed makes the graph reproducible.
+	Seed int64
+}
+
+// RandomBipartite generates a G(n,m,p)-style random weighted bipartite
+// graph with random integer capacities. It is the workhorse of the
+// property-based tests: small random instances are cheap to solve exactly
+// with the flow oracle and to check invariants against.
+func RandomBipartite(cfg RandomConfig) *Bipartite {
+	if cfg.MaxWeight <= 0 {
+		cfg.MaxWeight = 1
+	}
+	if cfg.MaxCapacity < 1 {
+		cfg.MaxCapacity = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := NewBipartite(cfg.NumItems, cfg.NumConsumers)
+	for v := 0; v < g.NumNodes(); v++ {
+		g.SetCapacity(NodeID(v), float64(1+rng.Intn(cfg.MaxCapacity)))
+	}
+	for i := 0; i < cfg.NumItems; i++ {
+		for j := 0; j < cfg.NumConsumers; j++ {
+			if rng.Float64() < cfg.EdgeProb {
+				// Strictly positive weight: nextafter(0,1) is
+				// effectively impossible from Float64, but guard
+				// anyway.
+				w := rng.Float64() * cfg.MaxWeight
+				for w == 0 {
+					w = rng.Float64() * cfg.MaxWeight
+				}
+				g.AddEdge(g.ItemID(i), g.ConsumerID(j), w)
+			}
+		}
+	}
+	return g
+}
+
+// PathGraph builds the GreedyMR worst case from Section 5.4: a path
+// u1-u2-...-uk embedded in a bipartite graph (odd positions are items,
+// even positions consumers) with strictly increasing weights along the
+// path and unit capacities everywhere. GreedyMR needs a linear number of
+// rounds on it because each round only the currently heaviest pending
+// edge's endpoints agree.
+func PathGraph(k int) *Bipartite {
+	if k < 2 {
+		panic("graph: path needs at least 2 nodes")
+	}
+	nItems := (k + 1) / 2
+	nCons := k / 2
+	g := NewBipartite(nItems, nCons)
+	for v := 0; v < g.NumNodes(); v++ {
+		g.SetCapacity(NodeID(v), 1)
+	}
+	for i := 0; i+1 < k; i++ {
+		w := 1.0 + float64(i)
+		if i%2 == 0 {
+			// node i is item i/2, node i+1 is consumer i/2
+			g.AddEdge(g.ItemID(i/2), g.ConsumerID(i/2), w)
+		} else {
+			// node i is consumer (i-1)/2, node i+1 is item (i+1)/2
+			g.AddEdge(g.ItemID((i+1)/2), g.ConsumerID((i-1)/2), w)
+		}
+	}
+	return g
+}
+
+// GreedyTightCase builds the bipartite analogue of the greedy tightness
+// example from the paper's appendix (Theorem 2, which uses an odd cycle):
+// a 3-edge path t0-c0-t1-c1 with unit capacities where the middle edge
+// weighs 1+eps and the outer edges weigh 1 each. Greedy takes the middle
+// edge (value 1+eps), blocking both outer edges; the optimum takes the
+// two outer edges (value 2), so the ratio tends to 1/2 as eps tends to 0.
+func GreedyTightCase(eps float64) *Bipartite {
+	g := NewBipartite(2, 2)
+	g.SetCapacity(g.ItemID(0), 1)
+	g.SetCapacity(g.ItemID(1), 1)
+	g.SetCapacity(g.ConsumerID(0), 1)
+	g.SetCapacity(g.ConsumerID(1), 1)
+	g.AddEdge(g.ItemID(0), g.ConsumerID(0), 1)
+	g.AddEdge(g.ItemID(1), g.ConsumerID(0), 1+eps)
+	g.AddEdge(g.ItemID(1), g.ConsumerID(1), 1)
+	return g
+}

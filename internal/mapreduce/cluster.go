@@ -1,0 +1,93 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ClusterModel estimates the wall-clock time a real MapReduce cluster
+// would spend on a job, from the job's record counts. The engine in this
+// package runs in memory, so its own wall-clock says nothing about a
+// Hadoop deployment; the model restores the quantity the paper's
+// efficiency discussion is really about. Its shape follows the standard
+// cost model for Hadoop-era clusters:
+//
+//	time(job) = RoundOverhead                              (scheduling)
+//	          + mapRecords    / (Workers · MapThroughput)
+//	          + shuffleRecords / ShuffleThroughput          (network)
+//	          + reduceRecords / (Workers · ReduceThroughput)
+//
+// The per-job constant RoundOverhead dominates iterative algorithms with
+// many small rounds — exactly why the paper counts MapReduce iterations
+// and why StackMR's poly-logarithmic round bound matters. The defaults
+// approximate a small 2010-era cluster; they are knobs, not truths.
+type ClusterModel struct {
+	// Workers is the number of parallel task slots.
+	Workers int
+	// RoundOverhead is the fixed per-job cost in seconds (job setup,
+	// scheduling, barrier).
+	RoundOverhead float64
+	// MapThroughput and ReduceThroughput are records per second per
+	// worker.
+	MapThroughput    float64
+	ReduceThroughput float64
+	// ShuffleThroughput is records per second across the network
+	// fabric (shared, not per worker).
+	ShuffleThroughput float64
+}
+
+// DefaultCluster models a modest cluster: 50 workers, 15 s of per-job
+// overhead (Hadoop 0.20-era JobTracker scheduling), 200k records/s per
+// worker for map and reduce, 2M records/s of shuffle fabric.
+func DefaultCluster() ClusterModel {
+	return ClusterModel{
+		Workers:           50,
+		RoundOverhead:     15,
+		MapThroughput:     200_000,
+		ReduceThroughput:  200_000,
+		ShuffleThroughput: 2_000_000,
+	}
+}
+
+// Validate reports the first nonsensical parameter.
+func (m ClusterModel) Validate() error {
+	switch {
+	case m.Workers < 1:
+		return fmt.Errorf("mapreduce: cluster model needs >= 1 worker")
+	case m.RoundOverhead < 0:
+		return fmt.Errorf("mapreduce: negative round overhead")
+	case m.MapThroughput <= 0 || m.ReduceThroughput <= 0 || m.ShuffleThroughput <= 0:
+		return fmt.Errorf("mapreduce: throughputs must be positive")
+	}
+	return nil
+}
+
+// EstimateJob returns the simulated seconds for one job.
+func (m ClusterModel) EstimateJob(s *Stats) float64 {
+	if s == nil {
+		return m.RoundOverhead
+	}
+	t := m.RoundOverhead
+	t += float64(s.MapInputRecords) / (float64(m.Workers) * m.MapThroughput)
+	t += float64(s.ShuffleRecords) / m.ShuffleThroughput
+	t += float64(s.ShuffleRecords) / (float64(m.Workers) * m.ReduceThroughput)
+	return t
+}
+
+// EstimateTrace returns the simulated seconds for an iterative
+// computation from its per-round statistics (Driver.Trace).
+func (m ClusterModel) EstimateTrace(trace []Stats) float64 {
+	var total float64
+	for i := range trace {
+		total += m.EstimateJob(&trace[i])
+	}
+	return total
+}
+
+// Describe renders the model parameters on one line.
+func (m ClusterModel) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d workers, %.0fs/job overhead, %.0fk rec/s/worker map, %.1fM rec/s shuffle",
+		m.Workers, m.RoundOverhead, m.MapThroughput/1000, m.ShuffleThroughput/1e6)
+	return b.String()
+}

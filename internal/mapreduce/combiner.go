@@ -1,0 +1,102 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+)
+
+// CombineFunc locally folds the values of one intermediate key inside a
+// map task, before the shuffle — Hadoop's combiner. It must be
+// associative and commutative with respect to the reduce function, and
+// is applied once per map split per key.
+type CombineFunc[K comparable, V any] func(key K, values []V) []V
+
+// RunCombined executes a MapReduce job like Run, but applies a combiner
+// to each map split's output before the shuffle. The paper's Section 3.1
+// notes that the shuffle "strongly affects the efficiency of any
+// MapReduce-based implementation"; a combiner is the standard lever, and
+// Stats.ShuffleRecords < Stats.MapOutputRecords measures what it saved
+// (see BenchmarkAblationCombiner).
+func RunCombined[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	input []Pair[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	combineFn CombineFunc[K2, V2],
+	reduceFn ReduceFunc[K2, V2, K3, V3],
+) ([]Pair[K3, V3], *Stats, error) {
+	if combineFn == nil {
+		return Run(ctx, cfg, input, mapFn, reduceFn)
+	}
+	if mapFn == nil || reduceFn == nil {
+		return nil, nil, errParams()
+	}
+	stats := newStats(cfg.Name)
+	stats.MapInputRecords = int64(len(input))
+
+	workers := cfg.mappers()
+	splits := splitRange(len(input), workers)
+	outs := make([][]Pair[K2, V2], len(splits))
+	var produced int64Slice = make([]int64, len(splits))
+
+	grp := newErrGroup(ctx)
+	for i, sp := range splits {
+		i, sp := i, sp
+		grp.Go(func(ctx context.Context) error {
+			buf := &emitBuf[K2, V2]{}
+			for j := sp.lo; j < sp.hi; j++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if err := mapFn(input[j].Key, input[j].Value, buf); err != nil {
+					return fmt.Errorf("mapreduce: map record %d: %w", j, err)
+				}
+			}
+			produced[i] = int64(len(buf.pairs))
+			outs[i] = combineSplit(buf.pairs, combineFn)
+			return nil
+		})
+	}
+	if err := grp.Wait(); err != nil {
+		return nil, stats, err
+	}
+	var all []Pair[K2, V2]
+	for i, o := range outs {
+		stats.MapOutputRecords += produced[i]
+		all = append(all, o...)
+	}
+	partitions := shuffle(cfg, all, stats)
+	output, err := runReducePhase(ctx, cfg, partitions, reduceFn, stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.ReduceOutputRecords = int64(len(output))
+	sortPairs(output)
+	return output, stats, nil
+}
+
+// combineSplit groups one split's output by key (preserving first-seen
+// key order and per-key emission order) and applies the combiner.
+func combineSplit[K comparable, V any](pairs []Pair[K, V], combineFn CombineFunc[K, V]) []Pair[K, V] {
+	groups := make(map[K][]V)
+	var order []K
+	for _, p := range pairs {
+		if _, ok := groups[p.Key]; !ok {
+			order = append(order, p.Key)
+		}
+		groups[p.Key] = append(groups[p.Key], p.Value)
+	}
+	var out []Pair[K, V]
+	for _, k := range order {
+		for _, v := range combineFn(k, groups[k]) {
+			out = append(out, Pair[K, V]{Key: k, Value: v})
+		}
+	}
+	return out
+}
+
+type int64Slice []int64
+
+func errParams() error {
+	return fmt.Errorf("mapreduce: nil map or reduce function")
+}

@@ -1,0 +1,130 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sumCombiner folds int values into their sum.
+func sumCombiner(_ string, values []int) []int {
+	total := 0
+	for _, v := range values {
+		total += v
+	}
+	return []int{total}
+}
+
+func TestRunCombinedMatchesRun(t *testing.T) {
+	text := "a b a c\nb a b c c\na a"
+	input := []Pair[int, string]{}
+	for i, line := range strings.Split(text, "\n") {
+		input = append(input, P(i, line))
+	}
+	mapFn := func(_ int, line string, out Emitter[string, int]) error {
+		for _, w := range strings.Fields(line) {
+			out.Emit(w, 1)
+		}
+		return nil
+	}
+	redFn := func(w string, vs []int, out Emitter[string, int]) error {
+		total := 0
+		for _, v := range vs {
+			total += v
+		}
+		out.Emit(w, total)
+		return nil
+	}
+	plain, _, err := Run(context.Background(), Config{Mappers: 2, Reducers: 2},
+		input, mapFn, redFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, stats, err := RunCombined(context.Background(), Config{Mappers: 2, Reducers: 2},
+		input, mapFn, sumCombiner, redFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, combined) {
+		t.Errorf("combined output differs:\nplain:    %v\ncombined: %v", plain, combined)
+	}
+	// The combiner must actually shrink the shuffle.
+	if stats.ShuffleRecords >= stats.MapOutputRecords {
+		t.Errorf("no shuffle reduction: shuffle=%d mapout=%d",
+			stats.ShuffleRecords, stats.MapOutputRecords)
+	}
+}
+
+func TestRunCombinedNilCombinerFallsBack(t *testing.T) {
+	input := []Pair[int, int]{P(1, 2)}
+	out, _, err := RunCombined[int, int, int, int, int, int](context.Background(), Config{},
+		input, Identity[int, int](), nil,
+		func(k int, vs []int, o Emitter[int, int]) error {
+			o.Emit(k, vs[0])
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Value != 2 {
+		t.Errorf("fallback output %v", out)
+	}
+}
+
+func TestRunCombinedMapError(t *testing.T) {
+	sentinel := errors.New("map fail")
+	_, _, err := RunCombined(context.Background(), Config{Mappers: 2},
+		[]Pair[int, int]{P(1, 1), P(2, 2)},
+		func(k, v int, out Emitter[string, int]) error { return sentinel },
+		sumCombiner,
+		func(k string, vs []int, out Emitter[string, int]) error { return nil })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunCombinedNilFunctions(t *testing.T) {
+	_, _, err := RunCombined[int, int, string, int, string, int](
+		context.Background(), Config{}, nil, nil, sumCombiner, nil)
+	if err == nil {
+		t.Error("nil map/reduce accepted")
+	}
+}
+
+func TestRunCombinedPreservesPerKeyOrderWithinSplit(t *testing.T) {
+	// A pass-through combiner must keep per-key emission order.
+	passthrough := func(_ string, vs []int) []int { return vs }
+	input := []Pair[int, int]{P(0, 0)}
+	out, _, err := RunCombined(context.Background(), Config{Mappers: 1, Reducers: 1},
+		input,
+		func(_, _ int, out Emitter[string, int]) error {
+			for i := 0; i < 5; i++ {
+				out.Emit("k", i)
+			}
+			return nil
+		},
+		passthrough,
+		func(k string, vs []int, out Emitter[string, []int]) error {
+			out.Emit(k, vs)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out[0].Value, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("order broken: %v", out[0].Value)
+	}
+}
+
+func TestCombineSplitGroups(t *testing.T) {
+	pairs := []Pair[string, int]{
+		{"x", 1}, {"y", 2}, {"x", 3}, {"y", 4}, {"z", 5},
+	}
+	out := combineSplit(pairs, sumCombiner)
+	want := []Pair[string, int]{{"x", 4}, {"y", 6}, {"z", 5}}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("combineSplit = %v, want %v", out, want)
+	}
+}

@@ -1,0 +1,112 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Driver coordinates an iterative MapReduce computation: a chain of jobs
+// executed until a fixed point. It owns the round counter that the
+// paper's experimental section reports ("number of MapReduce iterations")
+// and aggregates per-job statistics.
+//
+// Algorithms register each job execution through RunJob (or record an
+// externally run job with Observe). MaxRounds guards against runaway
+// iteration; the b-matching algorithms are proven to converge, so hitting
+// the limit indicates a bug and surfaces as ErrRoundLimit.
+type Driver struct {
+	cfg Config
+	// MaxRounds aborts the computation when exceeded. Zero means no
+	// limit.
+	MaxRounds int
+
+	rounds int
+	total  Stats
+	trace  []Stats
+}
+
+// ErrRoundLimit is returned when a Driver exceeds its MaxRounds budget.
+var ErrRoundLimit = errors.New("mapreduce: round limit exceeded")
+
+// NewDriver returns a Driver that runs its jobs with the given base
+// configuration.
+func NewDriver(cfg Config) *Driver {
+	return &Driver{cfg: cfg}
+}
+
+// Config returns the Driver's base job configuration with the given name
+// applied; use it when invoking Run directly. Under failure injection
+// the round index is mixed into the failure seed so that every round
+// draws fresh (but still reproducible) failure coins — otherwise a task
+// doomed in round one would be doomed in every round.
+func (d *Driver) Config(name string) Config {
+	c := d.cfg
+	c.Name = name
+	if c.FailureRate > 0 {
+		c.FailureSeed = int64(mix64(uint64(c.FailureSeed) ^ uint64(d.rounds)<<32))
+	}
+	return c
+}
+
+// Rounds returns the number of jobs executed so far.
+func (d *Driver) Rounds() int { return d.rounds }
+
+// Total returns aggregate statistics over all rounds.
+func (d *Driver) Total() Stats { return d.total }
+
+// Trace returns per-round statistics in execution order.
+func (d *Driver) Trace() []Stats { return d.trace }
+
+// Observe records one executed job against the round budget.
+func (d *Driver) Observe(s *Stats) error {
+	d.rounds++
+	if s != nil {
+		d.total.Add(s)
+		d.trace = append(d.trace, *s)
+	} else {
+		d.trace = append(d.trace, Stats{})
+	}
+	if d.MaxRounds > 0 && d.rounds > d.MaxRounds {
+		return fmt.Errorf("%w (%d rounds)", ErrRoundLimit, d.rounds)
+	}
+	return nil
+}
+
+// RunJob executes one MapReduce job under this driver, counting it as a
+// round. Type parameters are inferred from the map and reduce functions.
+func RunJob[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	d *Driver,
+	name string,
+	input []Pair[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	reduceFn ReduceFunc[K2, V2, K3, V3],
+) ([]Pair[K3, V3], error) {
+	out, stats, err := Run(ctx, d.Config(name), input, mapFn, reduceFn)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Observe(stats); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Identity returns a map function that forwards its input unchanged.
+// Useful for jobs whose work happens entirely in the reducer.
+func Identity[K comparable, V any]() MapFunc[K, V, K, V] {
+	return func(key K, value V, out Emitter[K, V]) error {
+		out.Emit(key, value)
+		return nil
+	}
+}
+
+// CollectValues is a reduce function that re-emits the key with the slice
+// of its values, for jobs whose work happens entirely in the mapper.
+func CollectValues[K comparable, V any]() ReduceFunc[K, V, K, []V] {
+	return func(key K, values []V, out Emitter[K, []V]) error {
+		out.Emit(key, values)
+		return nil
+	}
+}

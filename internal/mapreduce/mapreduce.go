@@ -1,0 +1,388 @@
+// Package mapreduce implements an in-memory MapReduce engine that mirrors
+// the programming model of Dean & Ghemawat (CACM 2008): a user-defined map
+// function is applied in parallel to input key-value pairs, the emitted
+// intermediate pairs are shuffled (partitioned by key and grouped), and a
+// user-defined reduce function is applied to every group, again in
+// parallel.
+//
+// The engine stands in for the Hadoop cluster used in the paper "Social
+// Content Matching in MapReduce" (De Francisci Morales, Gionis, Sozio;
+// VLDB 2011). The paper's efficiency results are stated in terms of the
+// number of MapReduce iterations and the communication cost per job, both
+// of which this engine measures exactly: every Run records counters and
+// shuffle statistics, and the Driver type counts rounds for iterative
+// algorithms.
+//
+// Unlike a toy fork-join loop, the engine keeps the essential contract of
+// the model that the paper's algorithms depend on:
+//
+//   - mappers see a single pair at a time and communicate only by emitting
+//     intermediate pairs;
+//   - all pairs sharing a key meet in exactly one reduce call;
+//   - reducers for different keys run concurrently, so a reduce function
+//     must not rely on cross-key ordering;
+//   - jobs are deterministic given deterministic user functions (groups
+//     are processed in sorted key order within every partition, and output
+//     order is normalized).
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Pair is a key-value pair, the unit of data flowing through a job.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// P is a convenience constructor for Pair.
+func P[K comparable, V any](k K, v V) Pair[K, V] {
+	return Pair[K, V]{Key: k, Value: v}
+}
+
+// Emitter collects the pairs produced by a map or reduce function.
+// Implementations are safe for use by a single task; tasks never share an
+// Emitter.
+type Emitter[K comparable, V any] interface {
+	// Emit adds one pair to the task output.
+	Emit(key K, value V)
+}
+
+// MapFunc transforms one input pair into any number of intermediate pairs.
+// It must be safe to call concurrently from multiple goroutines.
+type MapFunc[K1 comparable, V1 any, K2 comparable, V2 any] func(key K1, value V1, out Emitter[K2, V2]) error
+
+// ReduceFunc folds all intermediate values that share a key into any
+// number of output pairs. Values arrive in deterministic order (the order
+// mappers emitted them, with ties between mappers broken by input split
+// index). It must be safe to call concurrently for distinct keys.
+type ReduceFunc[K2 comparable, V2 any, K3 comparable, V3 any] func(key K2, values []V2, out Emitter[K3, V3]) error
+
+// Config controls the parallelism, partitioning, and fault injection of
+// a job.
+type Config struct {
+	// Mappers is the number of parallel map workers. Zero means
+	// GOMAXPROCS.
+	Mappers int
+	// Reducers is the number of partitions (and parallel reduce
+	// workers). Zero means GOMAXPROCS.
+	Reducers int
+	// Name is an optional label recorded in the job Stats.
+	Name string
+
+	// FailureRate injects simulated task failures: each map or reduce
+	// task attempt fails independently with this probability and is
+	// re-executed, exactly as a MapReduce framework re-runs the tasks
+	// of lost workers. User functions must therefore be pure
+	// (re-runnable), which all algorithms in this repository satisfy.
+	// Failures are deterministic given FailureSeed.
+	FailureRate float64
+	// MaxAttempts bounds the retries per task (default 4, Hadoop's
+	// mapreduce.map.maxattempts). A task failing MaxAttempts times
+	// fails the job.
+	MaxAttempts int
+	// FailureSeed seeds the injected-failure randomness.
+	FailureSeed int64
+}
+
+func (c Config) mappers() int {
+	if c.Mappers > 0 {
+		return c.Mappers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) reducers() int {
+	if c.Reducers > 0 {
+		return c.Reducers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+
+// taskFails reports whether the injected-failure coin lands on failure
+// for the given task attempt. The decision is a pure function of the
+// configuration and the (phase, task, attempt) coordinates, so a job is
+// reproducible regardless of scheduling.
+func (c Config) taskFails(phase, task, attempt int) bool {
+	if c.FailureRate <= 0 {
+		return false
+	}
+	h := mix64(uint64(c.FailureSeed) ^
+		uint64(phase)<<40 ^ uint64(task)<<16 ^ uint64(attempt))
+	return float64(h>>11)/(1<<53) < c.FailureRate
+}
+
+// emitBuf is the concrete Emitter used by both phases.
+type emitBuf[K comparable, V any] struct {
+	pairs []Pair[K, V]
+}
+
+func (e *emitBuf[K, V]) Emit(key K, value V) {
+	e.pairs = append(e.pairs, Pair[K, V]{Key: key, Value: value})
+}
+
+// Run executes one MapReduce job over the input pairs and returns the
+// reduce output together with the job statistics. The output is sorted by
+// the string form of its keys so that identical jobs produce identical
+// slices, which keeps the randomized matching algorithms reproducible
+// under a fixed seed.
+//
+// Run returns the first error produced by any map or reduce invocation;
+// the remaining tasks are cancelled.
+func Run[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	input []Pair[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	reduceFn ReduceFunc[K2, V2, K3, V3],
+) ([]Pair[K3, V3], *Stats, error) {
+	if mapFn == nil {
+		return nil, nil, errors.New("mapreduce: nil map function")
+	}
+	if reduceFn == nil {
+		return nil, nil, errors.New("mapreduce: nil reduce function")
+	}
+	stats := newStats(cfg.Name)
+	stats.MapInputRecords = int64(len(input))
+
+	intermediate, err := runMapPhase(ctx, cfg, input, mapFn, stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	partitions := shuffle(cfg, intermediate, stats)
+	output, err := runReducePhase(ctx, cfg, partitions, reduceFn, stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.ReduceOutputRecords = int64(len(output))
+	sortPairs(output)
+	return output, stats, nil
+}
+
+// runMapPhase splits the input among workers and applies mapFn.
+// The per-split outputs are concatenated in split order so that the
+// intermediate sequence is independent of goroutine scheduling.
+func runMapPhase[K1 comparable, V1 any, K2 comparable, V2 any](
+	ctx context.Context,
+	cfg Config,
+	input []Pair[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	stats *Stats,
+) ([]Pair[K2, V2], error) {
+	workers := cfg.mappers()
+	splits := splitRange(len(input), workers)
+	outs := make([][]Pair[K2, V2], len(splits))
+
+	grp := newErrGroup(ctx)
+	for i, sp := range splits {
+		i, sp := i, sp
+		grp.Go(func(ctx context.Context) error {
+			for attempt := 1; ; attempt++ {
+				if attempt > cfg.maxAttempts() {
+					return fmt.Errorf("mapreduce: map task %d exceeded %d attempts", i, cfg.maxAttempts())
+				}
+				buf := &emitBuf[K2, V2]{}
+				for j := sp.lo; j < sp.hi; j++ {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					if err := mapFn(input[j].Key, input[j].Value, buf); err != nil {
+						return fmt.Errorf("mapreduce: map record %d: %w", j, err)
+					}
+				}
+				if cfg.taskFails(0, i, attempt) {
+					// Simulated worker loss: discard the attempt's
+					// output and re-execute, as the framework would.
+					stats.addMapRetry()
+					continue
+				}
+				outs[i] = buf.pairs
+				return nil
+			}
+		})
+	}
+	if err := grp.Wait(); err != nil {
+		return nil, err
+	}
+	var total int
+	for _, o := range outs {
+		total += len(o)
+	}
+	all := make([]Pair[K2, V2], 0, total)
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	stats.MapOutputRecords = int64(total)
+	return all, nil
+}
+
+// shuffle partitions the intermediate pairs by key hash and groups each
+// partition by key. Grouping preserves emission order within a key.
+func shuffle[K2 comparable, V2 any](
+	cfg Config,
+	intermediate []Pair[K2, V2],
+	stats *Stats,
+) []map[K2][]V2 {
+	r := cfg.reducers()
+	partitions := make([]map[K2][]V2, r)
+	for i := range partitions {
+		partitions[i] = make(map[K2][]V2)
+	}
+	for _, p := range intermediate {
+		idx := partitionIndex(p.Key, r)
+		partitions[idx][p.Key] = append(partitions[idx][p.Key], p.Value)
+	}
+	stats.ShuffleRecords = int64(len(intermediate))
+	var groups int64
+	for _, m := range partitions {
+		groups += int64(len(m))
+	}
+	stats.ReduceGroups = groups
+	return partitions
+}
+
+// runReducePhase applies reduceFn to every key group. Within a partition
+// keys are processed in sorted order for determinism; partitions run in
+// parallel.
+func runReducePhase[K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	partitions []map[K2][]V2,
+	reduceFn ReduceFunc[K2, V2, K3, V3],
+	stats *Stats,
+) ([]Pair[K3, V3], error) {
+	outs := make([][]Pair[K3, V3], len(partitions))
+	grp := newErrGroup(ctx)
+	for i, part := range partitions {
+		i, part := i, part
+		grp.Go(func(ctx context.Context) error {
+			keys := make([]K2, 0, len(part))
+			for k := range part {
+				keys = append(keys, k)
+			}
+			sortKeys(keys)
+			for attempt := 1; ; attempt++ {
+				if attempt > cfg.maxAttempts() {
+					return fmt.Errorf("mapreduce: reduce task %d exceeded %d attempts", i, cfg.maxAttempts())
+				}
+				buf := &emitBuf[K3, V3]{}
+				for _, k := range keys {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					if err := reduceFn(k, part[k], buf); err != nil {
+						return fmt.Errorf("mapreduce: reduce key %v: %w", k, err)
+					}
+				}
+				if cfg.taskFails(1, i, attempt) {
+					stats.addReduceRetry()
+					continue
+				}
+				outs[i] = buf.pairs
+				return nil
+			}
+		})
+	}
+	if err := grp.Wait(); err != nil {
+		return nil, err
+	}
+	var total int
+	for _, o := range outs {
+		total += len(o)
+	}
+	all := make([]Pair[K3, V3], 0, total)
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return all, nil
+}
+
+// span is a half-open index range [lo, hi).
+type span struct{ lo, hi int }
+
+// splitRange cuts n records into at most w near-equal contiguous spans.
+func splitRange(n, w int) []span {
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if n == 0 {
+		return nil
+	}
+	spans := make([]span, 0, w)
+	base, rem := n/w, n%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		spans = append(spans, span{lo, lo + size})
+		lo += size
+	}
+	return spans
+}
+
+// errGroup is a minimal errgroup built on the stdlib: first error wins and
+// cancels the derived context.
+type errGroup struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+	err    error
+}
+
+func newErrGroup(ctx context.Context) *errGroup {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	return &errGroup{ctx: cctx, cancel: cancel}
+}
+
+func (g *errGroup) Go(fn func(ctx context.Context) error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(g.ctx); err != nil {
+			g.once.Do(func() {
+				g.err = err
+				g.cancel()
+			})
+		}
+	}()
+}
+
+func (g *errGroup) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}
+
+// sortPairs orders output pairs by key for reproducible results.
+func sortPairs[K comparable, V any](pairs []Pair[K, V]) {
+	sort.SliceStable(pairs, func(i, j int) bool {
+		return lessKey(pairs[i].Key, pairs[j].Key)
+	})
+}
+
+// sortKeys orders a key slice deterministically.
+func sortKeys[K comparable](keys []K) {
+	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
+}

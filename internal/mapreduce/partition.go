@@ -1,0 +1,87 @@
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// partitionIndex assigns a key to one of r partitions. It special-cases
+// the key types used throughout this repository (integer node and term
+// identifiers, strings, and small integer tuples) and falls back to
+// hashing the fmt representation for anything else. The mapping is pure:
+// the same key always lands in the same partition, which is the only
+// property the algorithms rely on.
+func partitionIndex[K comparable](key K, r int) int {
+	if r <= 1 {
+		return 0
+	}
+	return int(hashKey(key) % uint64(r))
+}
+
+// hashKey produces a stable 64-bit hash for a key.
+func hashKey[K comparable](key K) uint64 {
+	switch k := any(key).(type) {
+	case int:
+		return mix64(uint64(k))
+	case int32:
+		return mix64(uint64(uint32(k)))
+	case int64:
+		return mix64(uint64(k))
+	case uint32:
+		return mix64(uint64(k))
+	case uint64:
+		return mix64(k)
+	case string:
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(k))
+		return h.Sum64()
+	case float64:
+		return mix64(math.Float64bits(k))
+	case [2]int32:
+		return mix64(uint64(uint32(k[0]))<<32 | uint64(uint32(k[1])))
+	default:
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%v", key)
+		return h.Sum64()
+	}
+}
+
+// mix64 is the SplitMix64 finalizer; it spreads consecutive integer ids
+// uniformly across partitions.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// lessKey imposes a deterministic total order on keys of a comparable
+// type. Like hashKey it special-cases the common key types and falls back
+// to the fmt representation.
+func lessKey[K comparable](a, b K) bool {
+	switch x := any(a).(type) {
+	case int:
+		return x < any(b).(int)
+	case int32:
+		return x < any(b).(int32)
+	case int64:
+		return x < any(b).(int64)
+	case uint32:
+		return x < any(b).(uint32)
+	case uint64:
+		return x < any(b).(uint64)
+	case string:
+		return x < any(b).(string)
+	case float64:
+		return x < any(b).(float64)
+	case [2]int32:
+		y := any(b).([2]int32)
+		if x[0] != y[0] {
+			return x[0] < y[0]
+		}
+		return x[1] < y[1]
+	default:
+		return fmt.Sprint(a) < fmt.Sprint(b)
+	}
+}

@@ -1,0 +1,132 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats records the measurable footprint of one MapReduce job. The paper
+// reports efficiency as the number of MapReduce iterations and reasons
+// about the communication cost of each job (O(|E|) records per round for
+// the matching algorithms); these fields make both quantities observable.
+type Stats struct {
+	// Name is the job label from Config.Name.
+	Name string
+	// MapInputRecords is the number of input pairs.
+	MapInputRecords int64
+	// MapOutputRecords is the number of intermediate pairs emitted by
+	// all mappers.
+	MapOutputRecords int64
+	// ShuffleRecords is the number of intermediate pairs moved during
+	// the shuffle (equal to MapOutputRecords in this engine; kept
+	// separate because a combiner would make them differ).
+	ShuffleRecords int64
+	// ReduceGroups is the number of distinct intermediate keys.
+	ReduceGroups int64
+	// ReduceOutputRecords is the number of output pairs.
+	ReduceOutputRecords int64
+	// MapTaskRetries and ReduceTaskRetries count re-executed task
+	// attempts under injected failures (Config.FailureRate).
+	MapTaskRetries    int64
+	ReduceTaskRetries int64
+}
+
+// addMapRetry records one re-executed map attempt (called concurrently
+// by task goroutines).
+func (s *Stats) addMapRetry() { atomic.AddInt64(&s.MapTaskRetries, 1) }
+
+// addReduceRetry records one re-executed reduce attempt.
+func (s *Stats) addReduceRetry() { atomic.AddInt64(&s.ReduceTaskRetries, 1) }
+
+func newStats(name string) *Stats {
+	return &Stats{Name: name}
+}
+
+// Add accumulates another job's footprint into s (used by Driver to total
+// an iterative computation).
+func (s *Stats) Add(o *Stats) {
+	if o == nil {
+		return
+	}
+	s.MapInputRecords += o.MapInputRecords
+	s.MapOutputRecords += o.MapOutputRecords
+	s.ShuffleRecords += o.ShuffleRecords
+	s.ReduceGroups += o.ReduceGroups
+	s.ReduceOutputRecords += o.ReduceOutputRecords
+	s.MapTaskRetries += atomic.LoadInt64(&o.MapTaskRetries)
+	s.ReduceTaskRetries += atomic.LoadInt64(&o.ReduceTaskRetries)
+}
+
+// String renders the stats on one line.
+func (s *Stats) String() string {
+	name := s.Name
+	if name == "" {
+		name = "job"
+	}
+	return fmt.Sprintf("%s: in=%d mapout=%d shuffle=%d groups=%d out=%d",
+		name, s.MapInputRecords, s.MapOutputRecords, s.ShuffleRecords,
+		s.ReduceGroups, s.ReduceOutputRecords)
+}
+
+// Counters is a set of named monotone counters shared by the tasks of a
+// computation, mirroring Hadoop job counters. It is safe for concurrent
+// use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Inc adds delta to the named counter.
+func (c *Counters) Inc(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the value of the named counter (zero if never incremented).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters as "name=value" pairs in sorted order.
+func (c *Counters) String() string {
+	names := c.Names()
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, c.Get(n)))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,87 @@
+package simjoin
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+func randomCorpus(seed int64, nItems, nConsumers, vocab, maxTerms int) (items, consumers []vector.Sparse) {
+	rng := rand.New(rand.NewSource(seed))
+	gen := func() vector.Sparse {
+		b := vector.NewBuilder()
+		n := 1 + rng.Intn(maxTerms)
+		for k := 0; k < n; k++ {
+			b.Add(vector.TermID(rng.Intn(vocab)), 0.1+rng.Float64())
+		}
+		return b.Vector()
+	}
+	items = make([]vector.Sparse, nItems)
+	consumers = make([]vector.Sparse, nConsumers)
+	for i := range items {
+		items[i] = gen()
+	}
+	for j := range consumers {
+		consumers[j] = gen()
+	}
+	return items, consumers
+}
+
+func TestJoinFullIndexMatchesBruteForce(t *testing.T) {
+	items, consumers := randomCorpus(19, 70, 50, 35, 9)
+	for _, sigma := range []float64{0.3, 1, 2.5} {
+		res, err := JoinFullIndex(context.Background(), items, consumers, sigma, testMR)
+		if err != nil {
+			t.Fatalf("sigma=%v: %v", sigma, err)
+		}
+		sameEdges(t, res.Edges, BruteForce(items, consumers, sigma))
+	}
+}
+
+func TestJoinFullIndexMatchesPrefixJoin(t *testing.T) {
+	items, consumers := randomCorpus(23, 90, 60, 40, 8)
+	const sigma = 1.2
+	full, err := JoinFullIndex(context.Background(), items, consumers, sigma, testMR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := Join(context.Background(), items, consumers, sigma, testMR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEdges(t, prefix.Edges, full.Edges)
+	// The whole point of prefix filtering: fewer candidates, smaller
+	// index, less shuffle.
+	if prefix.Candidates > full.Candidates {
+		t.Errorf("prefix join generated MORE candidates: %d > %d",
+			prefix.Candidates, full.Candidates)
+	}
+	if prefix.PostingEntries >= full.PostingEntries {
+		t.Errorf("prefix index not smaller: %d >= %d",
+			prefix.PostingEntries, full.PostingEntries)
+	}
+}
+
+func TestJoinFullIndexExactScores(t *testing.T) {
+	// Scores accumulated from partial products must equal real dots.
+	items, consumers := randomCorpus(31, 40, 30, 20, 6)
+	res, err := JoinFullIndex(context.Background(), items, consumers, 0.5, testMR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Edges {
+		want := items[e.Item].Dot(consumers[e.Consumer])
+		if math.Abs(e.Sim-want) > 1e-9 {
+			t.Fatalf("pair (%d,%d): accumulated %v, dot %v", e.Item, e.Consumer, e.Sim, want)
+		}
+	}
+}
+
+func TestJoinFullIndexRejectsNonPositiveSigma(t *testing.T) {
+	if _, err := JoinFullIndex(context.Background(), nil, nil, 0, testMR); err == nil {
+		t.Error("sigma=0 accepted")
+	}
+}

@@ -1,0 +1,263 @@
+package text
+
+// Stem reduces an English word to its stem using the Porter stemming
+// algorithm (M.F. Porter, "An algorithm for suffix stripping", Program
+// 14(3), 1980). The input must already be lowercased; Stem returns inputs
+// shorter than three characters unchanged, as the original algorithm
+// specifies.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	w := &stemWord{b: []byte(word)}
+	w.step1a()
+	w.step1b()
+	w.step1c()
+	w.step2()
+	w.step3()
+	w.step4()
+	w.step5a()
+	w.step5b()
+	return string(w.b)
+}
+
+// stemWord carries the working buffer for one stemming run.
+type stemWord struct {
+	b []byte
+}
+
+// isConsonant reports whether position i holds a consonant in Porter's
+// sense: a letter other than a, e, i, o, u, where 'y' counts as a
+// consonant only when preceded by a vowel... more precisely, 'y' is a
+// consonant when it is the first letter or follows a vowel-position
+// letter that is itself a consonant.
+func (w *stemWord) isConsonant(i int) bool {
+	switch w.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !w.isConsonant(i - 1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of vowel-consonant sequences
+// [C](VC)^m[V] in the first k bytes of the word.
+func (w *stemWord) measure(k int) int {
+	m := 0
+	i := 0
+	// Skip initial consonant run.
+	for i < k && w.isConsonant(i) {
+		i++
+	}
+	for {
+		// Skip vowel run.
+		for i < k && !w.isConsonant(i) {
+			i++
+		}
+		if i >= k {
+			return m
+		}
+		// Skip consonant run: one full VC cycle.
+		for i < k && w.isConsonant(i) {
+			i++
+		}
+		m++
+	}
+}
+
+// hasVowel reports whether the first k bytes contain a vowel.
+func (w *stemWord) hasVowel(k int) bool {
+	for i := 0; i < k; i++ {
+		if !w.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether the first k bytes end in a double
+// consonant (e.g. -tt, -ss).
+func (w *stemWord) endsDoubleConsonant(k int) bool {
+	if k < 2 {
+		return false
+	}
+	return w.b[k-1] == w.b[k-2] && w.isConsonant(k-1)
+}
+
+// endsCVC reports whether the first k bytes end consonant-vowel-consonant
+// where the final consonant is not w, x, or y (Porter's *o condition).
+func (w *stemWord) endsCVC(k int) bool {
+	if k < 3 {
+		return false
+	}
+	if !w.isConsonant(k-3) || w.isConsonant(k-2) || !w.isConsonant(k-1) {
+		return false
+	}
+	switch w.b[k-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the word currently ends with s.
+func (w *stemWord) hasSuffix(s string) bool {
+	n := len(w.b)
+	if len(s) > n {
+		return false
+	}
+	return string(w.b[n-len(s):]) == s
+}
+
+// stemLen returns the length of the word with suffix s removed.
+func (w *stemWord) stemLen(s string) int { return len(w.b) - len(s) }
+
+// replace replaces suffix s with r if the measure of the remaining stem
+// is greater than m. It reports whether s matched (not whether the
+// replacement fired), matching the control flow of Porter's rule lists
+// where the first matching suffix consumes the step.
+func (w *stemWord) replace(s, r string, m int) bool {
+	if !w.hasSuffix(s) {
+		return false
+	}
+	if w.measure(w.stemLen(s)) > m {
+		w.b = append(w.b[:w.stemLen(s)], r...)
+	}
+	return true
+}
+
+// step1a handles plurals: sses→ss, ies→i, ss→ss, s→"".
+func (w *stemWord) step1a() {
+	switch {
+	case w.hasSuffix("sses"):
+		w.b = w.b[:len(w.b)-2]
+	case w.hasSuffix("ies"):
+		w.b = w.b[:len(w.b)-2]
+	case w.hasSuffix("ss"):
+		// keep
+	case w.hasSuffix("s"):
+		w.b = w.b[:len(w.b)-1]
+	}
+}
+
+// step1b handles -eed, -ed, -ing.
+func (w *stemWord) step1b() {
+	if w.hasSuffix("eed") {
+		if w.measure(w.stemLen("eed")) > 0 {
+			w.b = w.b[:len(w.b)-1]
+		}
+		return
+	}
+	fired := false
+	if w.hasSuffix("ed") && w.hasVowel(w.stemLen("ed")) {
+		w.b = w.b[:w.stemLen("ed")]
+		fired = true
+	} else if w.hasSuffix("ing") && w.hasVowel(w.stemLen("ing")) {
+		w.b = w.b[:w.stemLen("ing")]
+		fired = true
+	}
+	if !fired {
+		return
+	}
+	// Cleanup after stripping -ed/-ing.
+	switch {
+	case w.hasSuffix("at"), w.hasSuffix("bl"), w.hasSuffix("iz"):
+		w.b = append(w.b, 'e')
+	case w.endsDoubleConsonant(len(w.b)):
+		last := w.b[len(w.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			w.b = w.b[:len(w.b)-1]
+		}
+	case w.measure(len(w.b)) == 1 && w.endsCVC(len(w.b)):
+		w.b = append(w.b, 'e')
+	}
+}
+
+// step1c turns terminal y into i when the stem contains a vowel.
+func (w *stemWord) step1c() {
+	if w.hasSuffix("y") && w.hasVowel(w.stemLen("y")) {
+		w.b[len(w.b)-1] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m > 0.
+func (w *stemWord) step2() {
+	rules := []struct{ s, r string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"},
+		{"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+		{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+		{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+		{"iviti", "ive"}, {"biliti", "ble"},
+	}
+	for _, rule := range rules {
+		if w.replace(rule.s, rule.r, 0) {
+			return
+		}
+	}
+}
+
+// step3 strips -icate, -ative, etc. when m > 0.
+func (w *stemWord) step3() {
+	rules := []struct{ s, r string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+		{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, rule := range rules {
+		if w.replace(rule.s, rule.r, 0) {
+			return
+		}
+	}
+}
+
+// step4 strips residual suffixes when m > 1.
+func (w *stemWord) step4() {
+	suffixes := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+		"ement", "ment", "ent", "ion", "ou", "ism", "ate", "iti",
+		"ous", "ive", "ize",
+	}
+	for _, s := range suffixes {
+		if !w.hasSuffix(s) {
+			continue
+		}
+		k := w.stemLen(s)
+		if s == "ion" {
+			// -ion only strips after s or t.
+			if k > 0 && (w.b[k-1] == 's' || w.b[k-1] == 't') && w.measure(k) > 1 {
+				w.b = w.b[:k]
+			}
+			return
+		}
+		if w.measure(k) > 1 {
+			w.b = w.b[:k]
+		}
+		return
+	}
+}
+
+// step5a removes a terminal e when m > 1, or when m == 1 and the stem
+// does not end CVC.
+func (w *stemWord) step5a() {
+	if !w.hasSuffix("e") {
+		return
+	}
+	k := w.stemLen("e")
+	m := w.measure(k)
+	if m > 1 || (m == 1 && !w.endsCVC(k)) {
+		w.b = w.b[:k]
+	}
+}
+
+// step5b collapses a terminal double l when m > 1.
+func (w *stemWord) step5b() {
+	if w.measure(len(w.b)) > 1 && w.hasSuffix("ll") {
+		w.b = w.b[:len(w.b)-1]
+	}
+}

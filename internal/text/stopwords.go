@@ -1,0 +1,44 @@
+package text
+
+// stopWords is a standard English stop-word list (the classic Glasgow /
+// SMART-style core), covering determiners, pronouns, prepositions,
+// conjunctions, auxiliaries, and high-frequency adverbs. It is applied
+// after lowercasing, before stemming.
+var stopWords = map[string]struct{}{}
+
+func init() {
+	list := []string{
+		"a", "about", "above", "after", "again", "against", "all", "am",
+		"an", "and", "any", "are", "aren", "as", "at", "be", "because",
+		"been", "before", "being", "below", "between", "both", "but",
+		"by", "can", "cannot", "could", "couldn", "did", "didn", "do",
+		"does", "doesn", "doing", "don", "down", "during", "each", "few",
+		"for", "from", "further", "had", "hadn", "has", "hasn", "have",
+		"haven", "having", "he", "her", "here", "hers", "herself", "him",
+		"himself", "his", "how", "i", "if", "in", "into", "is", "isn",
+		"it", "its", "itself", "just", "ll", "me", "more", "most",
+		"mustn", "my", "myself", "no", "nor", "not", "now", "of", "off",
+		"on", "once", "only", "or", "other", "ought", "our", "ours",
+		"ourselves", "out", "over", "own", "re", "same", "shan", "she",
+		"should", "shouldn", "so", "some", "such", "than", "that", "the",
+		"their", "theirs", "them", "themselves", "then", "there",
+		"these", "they", "this", "those", "through", "to", "too",
+		"under", "until", "up", "ve", "very", "was", "wasn", "we",
+		"were", "weren", "what", "when", "where", "which", "while",
+		"who", "whom", "why", "will", "with", "won", "would", "wouldn",
+		"you", "your", "yours", "yourself", "yourselves",
+	}
+	for _, w := range list {
+		stopWords[w] = struct{}{}
+	}
+}
+
+// IsStopWord reports whether the (lowercased) token is on the stop list.
+func IsStopWord(token string) bool {
+	_, ok := stopWords[token]
+	return ok
+}
+
+// StopWordCount returns the size of the stop list (exported for tests and
+// documentation).
+func StopWordCount() int { return len(stopWords) }

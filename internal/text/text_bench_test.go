@@ -1,0 +1,29 @@
+package text
+
+import "testing"
+
+var benchDoc = `The quick brown foxes were jumping over the lazy dogs
+while photographers adjusted their cameras, hoping that the generalization
+of their relational conditioning would eventually rationalize the
+sensitivities of the national optimization communities.`
+
+func BenchmarkTokenize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Tokenize(benchDoc)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"generalization", "photographers", "conditioning",
+		"rationalize", "sensitivities", "optimization", "jumping", "lazy"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkPreprocess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Preprocess(benchDoc)
+	}
+}

@@ -1,0 +1,221 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"it's a test-case", []string{"it", "test", "case"}},
+		{"", nil},
+		{"...!!!", nil},
+		{"C3PO and R2D2", []string{"c3po", "and", "r2d2"}},
+		{"one  two\tthree\nfour", []string{"one", "two", "three", "four"}},
+		{"a b c", nil}, // single-char tokens dropped
+		{"Ünïcödé wörds", []string{"ünïcödé", "wörds"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStopWords(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "is", "was", "you"} {
+		if !IsStopWord(w) {
+			t.Errorf("IsStopWord(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"photography", "camera", "question", ""} {
+		if IsStopWord(w) {
+			t.Errorf("IsStopWord(%q) = true", w)
+		}
+	}
+	if StopWordCount() < 100 {
+		t.Errorf("stop list suspiciously small: %d", StopWordCount())
+	}
+}
+
+// Classic Porter test vectors, from the published algorithm description
+// and its reference implementation's vocabulary.
+func TestStemVectors(t *testing.T) {
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "go"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem should usually be a no-op; check on a realistic
+	// vocabulary rather than arbitrary strings (Porter is not formally
+	// idempotent on all inputs).
+	words := []string{
+		"photography", "question", "answer", "match", "content",
+		"consumer", "algorithm", "relevance", "capacity", "iteration",
+		"similarity", "threshold", "distribution", "social", "media",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not idempotent on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemNeverPanicsAndShrinks(t *testing.T) {
+	prop := func(raw []byte) bool {
+		// Build a plausible lowercase word from arbitrary bytes.
+		var word []byte
+		for _, b := range raw {
+			word = append(word, 'a'+b%26)
+		}
+		s := Stem(string(word))
+		return len(s) <= len(word)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreprocess(t *testing.T) {
+	got := Preprocess("The cats are running quickly through the gardens!")
+	want := []string{"cat", "run", "quickli", "garden"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Preprocess = %v, want %v", got, want)
+	}
+}
+
+func TestPreprocessDropsStopWordsAndShortStems(t *testing.T) {
+	got := Preprocess("it is was the a an")
+	if len(got) != 0 {
+		t.Errorf("Preprocess(stopwords) = %v, want empty", got)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	a := v.ID("apple")
+	b := v.ID("banana")
+	if a == b {
+		t.Error("distinct tokens share an id")
+	}
+	if got := v.ID("apple"); got != a {
+		t.Errorf("re-intern changed id: %d != %d", got, a)
+	}
+	if v.Size() != 2 {
+		t.Errorf("Size = %d", v.Size())
+	}
+	if v.Token(a) != "apple" || v.Token(b) != "banana" {
+		t.Error("Token lookup broken")
+	}
+	if id, ok := v.Lookup("apple"); !ok || id != a {
+		t.Error("Lookup(apple) failed")
+	}
+	if _, ok := v.Lookup("cherry"); ok {
+		t.Error("Lookup invented a token")
+	}
+}
+
+func TestVocabularyDenseIDs(t *testing.T) {
+	v := NewVocabulary()
+	for i := 0; i < 100; i++ {
+		id := v.ID(string(rune('a'+i%26)) + string(rune('a'+i/26)))
+		if int(id) >= 100 {
+			t.Fatalf("id %d not dense", id)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package text implements the document preprocessing pipeline the paper
+// applies to the Yahoo! Answers corpus (Section 6): "We preprocess the
+// answers to remove punctuation and stop-words, stem words, and apply
+// tf·idf weighting." It provides a tokenizer, an English stop-word list,
+// a Porter stemmer, and a vocabulary that interns token strings to dense
+// term ids for the vector package.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases the input and splits it into maximal runs of
+// letters and digits, discarding punctuation and other symbols. Tokens
+// of a single character are dropped: they are almost always noise in
+// user-generated text and carry no tf·idf signal.
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 1 {
+			tokens = append(tokens, cur.String())
+		}
+		cur.Reset()
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Preprocess runs the full pipeline on a raw document: tokenize, drop
+// stop-words, stem. It returns the processed token stream (with
+// duplicates preserved, so callers can count term frequencies).
+func Preprocess(s string) []string {
+	raw := Tokenize(s)
+	out := raw[:0]
+	for _, tok := range raw {
+		if IsStopWord(tok) {
+			continue
+		}
+		stem := Stem(tok)
+		if len(stem) > 1 && !IsStopWord(stem) {
+			out = append(out, stem)
+		}
+	}
+	return out
+}
+
+// Vocabulary interns token strings to dense int32 term identifiers.
+// The zero value is not usable; call NewVocabulary.
+type Vocabulary struct {
+	ids    map[string]int32
+	tokens []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]int32)}
+}
+
+// ID returns the term id for a token, assigning the next free id on
+// first sight.
+func (v *Vocabulary) ID(token string) int32 {
+	if id, ok := v.ids[token]; ok {
+		return id
+	}
+	id := int32(len(v.tokens))
+	v.ids[token] = id
+	v.tokens = append(v.tokens, token)
+	return id
+}
+
+// Lookup returns the id of a token without interning; ok is false if the
+// token has never been seen.
+func (v *Vocabulary) Lookup(token string) (id int32, ok bool) {
+	id, ok = v.ids[token]
+	return id, ok
+}
+
+// Token returns the token string for an id.
+func (v *Vocabulary) Token(id int32) string { return v.tokens[id] }
+
+// Size returns the number of interned tokens.
+func (v *Vocabulary) Size() int { return len(v.tokens) }

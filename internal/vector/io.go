@@ -1,0 +1,72 @@
+package vector
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The corpus text format serializes collections of sparse vectors, one
+// per line, so generated corpora can move between cmd/datagen and
+// cmd/simjoin without regeneration:
+//
+//	# comments and blank lines are ignored
+//	v <term>:<weight> <term>:<weight> ...
+//
+// An empty vector is the line "v" alone. Term ids are non-negative
+// integers; weights positive floats.
+
+// WriteCorpus serializes vectors in the corpus text format.
+func WriteCorpus(w io.Writer, docs []Sparse) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range docs {
+		bw.WriteByte('v')
+		for _, e := range d.Entries() {
+			fmt.Fprintf(bw, " %d:%g", e.Term, e.Weight)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus parses vectors in the corpus text format.
+func ReadCorpus(r io.Reader) ([]Sparse, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var docs []Sparse
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "v" {
+			return nil, fmt.Errorf("vector: line %d: expected 'v' record, got %q", lineNo, fields[0])
+		}
+		entries := make([]Entry, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon <= 0 {
+				return nil, fmt.Errorf("vector: line %d: malformed entry %q", lineNo, f)
+			}
+			term, err := strconv.Atoi(f[:colon])
+			if err != nil || term < 0 {
+				return nil, fmt.Errorf("vector: line %d: bad term in %q", lineNo, f)
+			}
+			weight, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil || weight <= 0 {
+				return nil, fmt.Errorf("vector: line %d: bad weight in %q", lineNo, f)
+			}
+			entries = append(entries, Entry{Term: TermID(term), Weight: weight})
+		}
+		docs = append(docs, FromEntries(entries))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vector: read corpus: %w", err)
+	}
+	return docs, nil
+}

@@ -1,0 +1,78 @@
+package vector
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCorpusRoundTrip(t *testing.T) {
+	docs := []Sparse{
+		vec(1, 0.5, 7, 2.25),
+		{},
+		vec(0, 1),
+		vec(3, 0.125, 4, 0.25, 5, 0.0625),
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, docs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(docs) {
+		t.Fatalf("count %d -> %d", len(docs), len(back))
+	}
+	for i := range docs {
+		if docs[i].Len() != back[i].Len() {
+			t.Fatalf("doc %d len %d -> %d", i, docs[i].Len(), back[i].Len())
+		}
+		for _, e := range docs[i].Entries() {
+			if math.Abs(back[i].Weight(e.Term)-e.Weight) > 1e-12 {
+				t.Fatalf("doc %d term %d weight %v -> %v",
+					i, e.Term, e.Weight, back[i].Weight(e.Term))
+			}
+		}
+	}
+}
+
+func TestReadCorpusCommentsAndBlanks(t *testing.T) {
+	in := "# corpus\n\nv 1:0.5\n# more\nv\n"
+	docs, err := ReadCorpus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[0].Len() != 1 || docs[1].Len() != 0 {
+		t.Errorf("parsed %d docs: %v", len(docs), docs)
+	}
+}
+
+func TestReadCorpusErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong record":   "x 1:2\n",
+		"missing colon":  "v 12\n",
+		"empty term":     "v :2\n",
+		"bad term":       "v a:2\n",
+		"negative term":  "v -1:2\n",
+		"bad weight":     "v 1:x\n",
+		"zero weight":    "v 1:0\n",
+		"negativeWeight": "v 1:-3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCorpus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteCorpusFormatStable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, []Sparse{vec(2, 0.5, 1, 1.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "v 1:1.5 2:0.5\n" {
+		t.Errorf("WriteCorpus = %q", got)
+	}
+}

@@ -1,0 +1,65 @@
+package vector
+
+import "math"
+
+// TFIDF reweights a corpus of raw term-count vectors with tf·idf scores,
+// the weighting the paper applies to the Yahoo! Answers text (Section 6:
+// "stem words, and apply tf·idf weighting").
+//
+// The weight of term t in document d is tf(t,d) · idf(t) with
+// tf(t,d) the raw count and idf(t) = ln(N / df(t)), where N is the corpus
+// size and df(t) the number of documents containing t. Terms appearing in
+// every document get idf 0 and vanish, which is the desired behaviour for
+// stop-word-like terms that survive the stop list.
+func TFIDF(docs []Sparse) []Sparse {
+	df := DocumentFrequencies(docs)
+	n := float64(len(docs))
+	out := make([]Sparse, len(docs))
+	for i, d := range docs {
+		entries := make([]Entry, 0, d.Len())
+		for _, e := range d.Entries() {
+			idf := math.Log(n / float64(df[e.Term]))
+			if w := e.Weight * idf; w > 0 {
+				entries = append(entries, Entry{Term: e.Term, Weight: w})
+			}
+		}
+		out[i] = FromEntries(entries)
+	}
+	return out
+}
+
+// DocumentFrequencies counts, for every term, the number of documents in
+// which it appears.
+func DocumentFrequencies(docs []Sparse) map[TermID]int {
+	df := make(map[TermID]int)
+	for _, d := range docs {
+		for _, e := range d.Entries() {
+			df[e.Term]++
+		}
+	}
+	return df
+}
+
+// MaxWeights returns, for every term occurring in the corpus, the largest
+// weight it takes in any document. The similarity join uses these bounds
+// to size prefixes.
+func MaxWeights(docs []Sparse) map[TermID]float64 {
+	mw := make(map[TermID]float64)
+	for _, d := range docs {
+		for _, e := range d.Entries() {
+			if e.Weight > mw[e.Term] {
+				mw[e.Term] = e.Weight
+			}
+		}
+	}
+	return mw
+}
+
+// NormalizeAll returns the corpus with every vector scaled to unit norm.
+func NormalizeAll(docs []Sparse) []Sparse {
+	out := make([]Sparse, len(docs))
+	for i, d := range docs {
+		out[i] = d.Normalize()
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomVec(rng *rand.Rand, terms, vocab int) Sparse {
+	b := NewBuilder()
+	for i := 0; i < terms; i++ {
+		b.Add(TermID(rng.Intn(vocab)), rng.Float64()+0.1)
+	}
+	return b.Vector()
+}
+
+func BenchmarkDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomVec(rng, 50, 2000)
+	y := randomVec(rng, 200, 2000)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += x.Dot(y)
+	}
+	_ = sink
+}
+
+func BenchmarkFromEntries(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	entries := make([]Entry, 300)
+	for i := range entries {
+		entries[i] = Entry{Term: TermID(rng.Intn(100)), Weight: rng.Float64() + 0.1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEntries(entries)
+	}
+}
+
+func BenchmarkTFIDF(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	docs := make([]Sparse, 500)
+	for i := range docs {
+		docs[i] = randomVec(rng, 40, 5000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TFIDF(docs)
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	v := randomVec(rng, 200, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Normalize()
+	}
+}
