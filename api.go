@@ -24,6 +24,8 @@ type (
 	Vector = vector.Sparse
 	// VectorEntry is one (term, weight) component of a Vector.
 	VectorEntry = vector.Entry
+	// TermID identifies a term in a Vector.
+	TermID = vector.TermID
 	// Matching is a computed b-matching.
 	Matching = core.Matching
 	// Result couples a Matching with its computation cost.
@@ -67,6 +69,19 @@ func Algorithms() []Algorithm {
 		StackMRStrictAlgorithm, GreedyAlgorithm, StackSequentialAlgorithm}
 }
 
+// ShuffleKind selects the MapReduce shuffle backend of every job.
+type ShuffleKind = mapreduce.ShuffleKind
+
+const (
+	// ShuffleMemory groups all intermediate pairs in memory (default;
+	// fastest while the job fits in RAM).
+	ShuffleMemory = mapreduce.ShuffleMemory
+	// ShuffleSpill bounds shuffle memory: past the budget, sorted runs
+	// spill to disk and key groups are merge-streamed to reducers, so
+	// matchings over graphs far larger than RAM still complete.
+	ShuffleSpill = mapreduce.ShuffleSpill
+)
+
 // Options configures Match.
 type Options struct {
 	// Algorithm defaults to GreedyMRAlgorithm.
@@ -79,10 +94,28 @@ type Options struct {
 	// (default GOMAXPROCS).
 	Mappers  int
 	Reducers int
+	// Shuffle selects the shuffle backend (default ShuffleMemory). The
+	// matching output is identical on either backend.
+	Shuffle ShuffleKind
+	// ShuffleMemoryBudget caps the intermediate records the spilling
+	// backend buffers in memory per job (default 1<<20). Ignored by
+	// the memory backend.
+	ShuffleMemoryBudget int
+	// ShuffleTempDir is the directory for spill files (default
+	// os.TempDir()).
+	ShuffleTempDir string
 }
 
 func (o Options) mr() mapreduce.Config {
-	return mapreduce.Config{Mappers: o.Mappers, Reducers: o.Reducers}
+	return mapreduce.Config{
+		Mappers:  o.Mappers,
+		Reducers: o.Reducers,
+		Shuffle: mapreduce.ShuffleConfig{
+			Backend:      o.Shuffle,
+			MemoryBudget: o.ShuffleMemoryBudget,
+			TempDir:      o.ShuffleTempDir,
+		},
+	}
 }
 
 // Match computes a b-matching of g with the selected algorithm. The

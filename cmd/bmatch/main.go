@@ -29,11 +29,20 @@ func main() {
 		eps     = flag.Float64("eps", 1, "stack slackness parameter")
 		seed    = flag.Int64("seed", 1, "random seed")
 		sigma   = flag.Float64("sigma", 0, "drop edges below this weight before matching")
+		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill")
+		budget  = flag.Int("spill-budget", 0, "max in-memory intermediate records per job for -shuffle spill (0 = default 1M)")
+		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
 		verbose = flag.Bool("v", false, "print every matched edge")
 		compare = flag.Bool("compare", false, "run every algorithm and print a comparison table")
 		exact   = flag.Bool("exact", false, "with -compare: also solve exactly via min-cost flow (small graphs only)")
 	)
 	flag.Parse()
+
+	shuffleOpts := socialmatch.Options{
+		Shuffle:             socialmatch.ShuffleKind(*shuffle),
+		ShuffleMemoryBudget: *budget,
+		ShuffleTempDir:      *tempdir,
+	}
 
 	r := os.Stdin
 	if *in != "" && *in != "-" {
@@ -53,15 +62,15 @@ func main() {
 	}
 
 	if *compare {
-		compareAll(g, *eps, *seed, *exact)
+		compareAll(g, *eps, *seed, *exact, shuffleOpts)
 		return
 	}
 
-	res, err := socialmatch.Match(context.Background(), g, socialmatch.Options{
-		Algorithm: socialmatch.Algorithm(*algo),
-		Eps:       *eps,
-		Seed:      *seed,
-	})
+	opts := shuffleOpts
+	opts.Algorithm = socialmatch.Algorithm(*algo)
+	opts.Eps = *eps
+	opts.Seed = *seed
+	res, err := socialmatch.Match(context.Background(), g, opts)
 	if err != nil {
 		fail(err)
 	}
@@ -73,6 +82,10 @@ func main() {
 	fmt.Printf("matched edges:    %d\n", m.Size())
 	fmt.Printf("MapReduce rounds: %d\n", res.Rounds)
 	fmt.Printf("violation eps':   %.6f (max stretch %.3f)\n", m.Violation(), m.MaxViolationFactor())
+	if res.Shuffle.SpilledRecords > 0 {
+		fmt.Printf("shuffle spill:    %d records in %d runs\n",
+			res.Shuffle.SpilledRecords, res.Shuffle.SpillRuns)
+	}
 	if *verbose {
 		for _, e := range m.Edges() {
 			fmt.Printf("match item=%d consumer=%d w=%.4f\n",
@@ -84,7 +97,7 @@ func main() {
 // compareAll runs every algorithm on the same graph and prints one row
 // per algorithm; with exact it appends the flow-based optimum and a
 // value/OPT column.
-func compareAll(g *graph.Bipartite, eps float64, seed int64, exact bool) {
+func compareAll(g *graph.Bipartite, eps float64, seed int64, exact bool, shuffleOpts socialmatch.Options) {
 	ctx := context.Background()
 	opt := 0.0
 	if exact {
@@ -101,9 +114,11 @@ func compareAll(g *graph.Bipartite, eps float64, seed int64, exact bool) {
 	}
 	fmt.Println()
 	for _, alg := range socialmatch.Algorithms() {
-		res, err := socialmatch.Match(ctx, g.Clone(), socialmatch.Options{
-			Algorithm: alg, Eps: eps, Seed: seed,
-		})
+		opts := shuffleOpts
+		opts.Algorithm = alg
+		opts.Eps = eps
+		opts.Seed = seed
+		res, err := socialmatch.Match(ctx, g.Clone(), opts)
 		if err != nil {
 			fail(err)
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	socialmatch "repro"
 	"repro/internal/graph"
 )
 
@@ -22,6 +23,13 @@ func testGraph() *graph.Bipartite {
 func TestCompareAllRunsEveryAlgorithm(t *testing.T) {
 	// compareAll must complete without error on a well-formed graph,
 	// both with and without the exact oracle.
-	compareAll(testGraph(), 1, 1, false)
-	compareAll(testGraph(), 1, 1, true)
+	compareAll(testGraph(), 1, 1, false, socialmatch.Options{})
+	compareAll(testGraph(), 1, 1, true, socialmatch.Options{})
+}
+
+func TestCompareAllOnSpillBackend(t *testing.T) {
+	compareAll(testGraph(), 1, 1, false, socialmatch.Options{
+		Shuffle:             socialmatch.ShuffleSpill,
+		ShuffleMemoryBudget: 8,
+	})
 }

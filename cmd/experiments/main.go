@@ -20,15 +20,19 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/mapreduce"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run with reduced corpora")
-		scale = flag.Float64("scale", 0, "explicit corpus scale in (0,1] (overrides -quick)")
-		only  = flag.String("only", "", "run a single experiment: table1, fig1..fig7")
-		out   = flag.String("o", "", "also write the report to this file")
-		seed  = flag.Int64("seed", 42, "random seed")
+		quick   = flag.Bool("quick", false, "run with reduced corpora")
+		scale   = flag.Float64("scale", 0, "explicit corpus scale in (0,1] (overrides -quick)")
+		only    = flag.String("only", "", "run a single experiment: table1, fig1..fig7")
+		out     = flag.String("o", "", "also write the report to this file")
+		seed    = flag.Int64("seed", 42, "random seed")
+		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill")
+		budget  = flag.Int("spill-budget", 0, "max in-memory intermediate records per job for -shuffle spill (0 = default 1M)")
+		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
 	)
 	flag.Parse()
 
@@ -40,6 +44,11 @@ func main() {
 		cfg.Scale = *scale
 	}
 	cfg.Seed = *seed
+	cfg.MR.Shuffle = mapreduce.ShuffleConfig{
+		Backend:      mapreduce.ShuffleKind(*shuffle),
+		MemoryBudget: *budget,
+		TempDir:      *tempdir,
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

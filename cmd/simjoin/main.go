@@ -17,17 +17,21 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/graph"
+	"repro/internal/mapreduce"
 	"repro/internal/simjoin"
 )
 
 func main() {
 	var (
-		name  = flag.String("dataset", "flickr-small", "flickr-small | flickr-large | yahoo-answers")
-		sigma = flag.Float64("sigma", 4, "similarity threshold (must be > 0)")
-		alpha = flag.Float64("alpha", 1, "capacity multiplier applied when writing the graph")
-		scale = flag.Float64("scale", 1, "corpus size scale factor in (0,1]")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("o", "", "write the candidate graph (with capacities) to this file")
+		name    = flag.String("dataset", "flickr-small", "flickr-small | flickr-large | yahoo-answers")
+		sigma   = flag.Float64("sigma", 4, "similarity threshold (must be > 0)")
+		alpha   = flag.Float64("alpha", 1, "capacity multiplier applied when writing the graph")
+		scale   = flag.Float64("scale", 1, "corpus size scale factor in (0,1]")
+		seed    = flag.Int64("seed", 1, "random seed")
+		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill")
+		budget  = flag.Int("spill-budget", 0, "max in-memory intermediate records per job for -shuffle spill (0 = default 1M)")
+		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
+		out     = flag.String("o", "", "write the candidate graph (with capacities) to this file")
 	)
 	flag.Parse()
 
@@ -35,7 +39,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := simjoin.Join(context.Background(), c.Items, c.Consumers, *sigma, simjoin.Options{})
+	mr := mapreduce.Config{Shuffle: mapreduce.ShuffleConfig{
+		Backend:      mapreduce.ShuffleKind(*shuffle),
+		MemoryBudget: *budget,
+		TempDir:      *tempdir,
+	}}
+	res, err := simjoin.Join(context.Background(), c.Items, c.Consumers, *sigma, simjoin.Options{MR: mr})
 	if err != nil {
 		fail(err)
 	}
@@ -51,6 +60,10 @@ func main() {
 	fmt.Printf("edges >= sigma: %d (%.1f%% of candidates survive verification)\n",
 		len(res.Edges), 100*float64(len(res.Edges))/float64(max64(res.Candidates, 1)))
 	fmt.Printf("shuffle:        %d records\n", res.Shuffle.ShuffleRecords)
+	if res.Shuffle.SpilledRecords > 0 {
+		fmt.Printf("spilled:        %d records in %d runs\n",
+			res.Shuffle.SpilledRecords, res.Shuffle.SpillRuns)
+	}
 
 	if *out != "" {
 		g := simjoin.ToGraph(res.Edges, c.NumItems(), c.NumConsumers())

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -179,5 +180,82 @@ func TestStackMRViolationMetricsOnPipeline(t *testing.T) {
 	}
 	if f := res.Matching.MaxViolationFactor(); f > 2+1e-9 {
 		t.Errorf("stretch %v beyond 1+eps", f)
+	}
+}
+
+// TestSpillBackendMatchesMemoryBackendAt10x is the external-memory
+// acceptance test: a matching job whose per-round shuffle volume exceeds
+// the configured memory budget by at least 10x must complete on the
+// spilling shuffle backend and produce the exact matching the in-memory
+// backend produces.
+func TestSpillBackendMatchesMemoryBackendAt10x(t *testing.T) {
+	ctx := context.Background()
+	g := graph.RandomBipartite(graph.RandomConfig{
+		NumItems:     300,
+		NumConsumers: 200,
+		EdgeProb:     0.08,
+		MaxWeight:    2,
+		MaxCapacity:  3,
+		Seed:         17,
+	})
+	const budget = 500
+
+	mem, err := Match(ctx, g.Clone(), Options{Algorithm: GreedyMRAlgorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := Match(ctx, g.Clone(), Options{
+		Algorithm:           GreedyMRAlgorithm,
+		Shuffle:             ShuffleSpill,
+		ShuffleMemoryBudget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The budget must really be exceeded >= 10x by the shuffle volume
+	// of at least one round (the first GreedyMR round moves ~2 records
+	// per live edge plus one per node).
+	maxRound := int64(0)
+	for _, rs := range spill.RoundStats {
+		if rs.ShuffleRecords > maxRound {
+			maxRound = rs.ShuffleRecords
+		}
+	}
+	if maxRound < 10*budget {
+		t.Fatalf("largest round shuffled %d records, want >= %d for a 10x stress",
+			maxRound, 10*budget)
+	}
+	if spill.Shuffle.SpilledRecords == 0 {
+		t.Fatal("spilling backend never spilled")
+	}
+	if !reflect.DeepEqual(mem.Matching.Edges(), spill.Matching.Edges()) {
+		t.Fatalf("spill matching (value %v) differs from memory matching (value %v)",
+			spill.Matching.Value(), mem.Matching.Value())
+	}
+	t.Logf("10x stress: max round shuffle=%d, spilled=%d records in %d runs (budget %d)",
+		maxRound, spill.Shuffle.SpilledRecords, spill.Shuffle.SpillRuns, budget)
+}
+
+// TestPipelineRunsOnSpillBackend drives the whole paper pipeline
+// (similarity join + capacities + matching) on the spilling backend.
+func TestPipelineRunsOnSpillBackend(t *testing.T) {
+	ctx := context.Background()
+	c := miniCorpus(5)
+	run := func(opts Options) *Report {
+		rep, err := Pipeline{Sigma: 3, Match: opts}.Run(ctx, c.Items, c.Consumers, c.Activity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	mem := run(Options{Algorithm: GreedyMRAlgorithm})
+	spill := run(Options{
+		Algorithm:           GreedyMRAlgorithm,
+		Shuffle:             ShuffleSpill,
+		ShuffleMemoryBudget: 64,
+	})
+	if !reflect.DeepEqual(mem, spill) {
+		t.Fatalf("pipeline reports differ across shuffle backends:\nmemory: %+v\nspill:  %+v", mem, spill)
 	}
 }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+)
+
+func spillMR(budget int) mapreduce.Config {
+	return mapreduce.Config{
+		Mappers: 4, Reducers: 4,
+		Shuffle: mapreduce.ShuffleConfig{
+			Backend:      mapreduce.ShuffleSpill,
+			MemoryBudget: budget,
+		},
+	}
+}
+
+func randomTestGraph(t *testing.T, items, consumers int, edgeProb float64) *graph.Bipartite {
+	t.Helper()
+	return graph.RandomBipartite(graph.RandomConfig{
+		NumItems:     items,
+		NumConsumers: consumers,
+		EdgeProb:     edgeProb,
+		MaxWeight:    2,
+		MaxCapacity:  4,
+		Seed:         99,
+	})
+}
+
+// TestAlgorithmsIdenticalAcrossShuffleBackends runs every MapReduce
+// algorithm on both shuffle backends with a spill budget far below the
+// shuffle volume and requires bit-identical matchings: the spill path
+// must reproduce the memory path's grouping and value order exactly,
+// including the round-trip of every message type in spill.go.
+func TestAlgorithmsIdenticalAcrossShuffleBackends(t *testing.T) {
+	g := randomTestGraph(t, 60, 40, 0.15)
+	ctx := context.Background()
+	memMR := mapreduce.Config{Mappers: 4, Reducers: 4}
+
+	runs := []struct {
+		name string
+		run  func(mr mapreduce.Config) (*Result, error)
+	}{
+		{"greedymr", func(mr mapreduce.Config) (*Result, error) {
+			return GreedyMR(ctx, g.Clone(), GreedyMROptions{MR: mr})
+		}},
+		{"stackmr", func(mr mapreduce.Config) (*Result, error) {
+			return StackMR(ctx, g.Clone(), StackOptions{MR: mr, Seed: 5})
+		}},
+		{"stackgreedymr", func(mr mapreduce.Config) (*Result, error) {
+			return StackGreedyMR(ctx, g.Clone(), StackOptions{MR: mr, Seed: 5})
+		}},
+		{"stackmrstrict", func(mr mapreduce.Config) (*Result, error) {
+			return StackMRStrict(ctx, g.Clone(), StackOptions{MR: mr, Seed: 5})
+		}},
+	}
+	for _, tc := range runs {
+		t.Run(tc.name, func(t *testing.T) {
+			mem, err := tc.run(memMR)
+			if err != nil {
+				t.Fatalf("memory backend: %v", err)
+			}
+			spill, err := tc.run(spillMR(200))
+			if err != nil {
+				t.Fatalf("spill backend: %v", err)
+			}
+			if !reflect.DeepEqual(mem.Matching.Edges(), spill.Matching.Edges()) {
+				t.Fatalf("matchings differ: memory value=%v spill value=%v",
+					mem.Matching.Value(), spill.Matching.Value())
+			}
+			if mem.Rounds != spill.Rounds {
+				t.Fatalf("round counts differ: %d vs %d", mem.Rounds, spill.Rounds)
+			}
+			if spill.Shuffle.SpilledRecords == 0 {
+				t.Fatalf("spill backend never spilled (shuffle=%d records)",
+					spill.Shuffle.ShuffleRecords)
+			}
+		})
+	}
+}
+
+// TestMessageCodecsRoundTrip exercises the MarshalBinary/UnmarshalBinary
+// pairs directly, including the nil-state variants whose presence bit
+// the reducers branch on.
+func TestMessageCodecsRoundTrip(t *testing.T) {
+	st := &nodeState{B: 3, Adj: []half{
+		{ID: 7, Other: 12, W: 1.25},
+		{ID: 9, Other: 0, W: -0.5},
+	}}
+	mm := &mmNode{B: 2, Adj: []mmEdge{
+		{half: half{ID: 1, Other: 4, W: 2.5}, markedBySelf: true, selByOther: true},
+		{half: half{ID: 2, Other: 5, W: 0}, inF: true, markedByOther: true, selBySelf: true},
+	}}
+	cases := []struct {
+		name string
+		in   interface {
+			MarshalBinary() ([]byte, error)
+		}
+		out interface {
+			UnmarshalBinary([]byte) error
+		}
+	}{
+		{"greedyMsg-self", greedyMsg{self: st}, &greedyMsg{}},
+		{"greedyMsg-edge", greedyMsg{edge: 41, proposed: true}, &greedyMsg{}},
+		{"greedyMsg-zero", greedyMsg{}, &greedyMsg{}},
+		{"mmMsg-self", mmMsg{self: mm}, &mmMsg{}},
+		{"mmMsg-edge", mmMsg{edge: 3, flag: true}, &mmMsg{}},
+		{"cleanupMsg-self", cleanupMsg{self: mm, alive: true}, &cleanupMsg{}},
+		{"cleanupMsg-edge", cleanupMsg{edge: 8, alive: true}, &cleanupMsg{}},
+		{"dualMsg-self", dualMsg{self: st}, &dualMsg{}},
+		{"dualMsg-edge", dualMsg{edge: 6, yOverB: 0.75}, &dualMsg{}},
+		{"filterMsg-self", filterMsg{self: st}, &filterMsg{}},
+		{"filterMsg-edge", filterMsg{edge: 2, yOverB: -1.5}, &filterMsg{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := tc.in.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.out.UnmarshalBinary(data); err != nil {
+				t.Fatal(err)
+			}
+			got := reflect.ValueOf(tc.out).Elem().Interface()
+			if !reflect.DeepEqual(tc.in, got) {
+				t.Fatalf("round trip changed message:\n in: %#v\nout: %#v", tc.in, got)
+			}
+		})
+	}
+}
+
+// TestMessageCodecsRejectCorruptData checks that truncated spill data
+// surfaces as an error instead of a silently wrong message.
+func TestMessageCodecsRejectCorruptData(t *testing.T) {
+	data, err := greedyMsg{self: &nodeState{B: 2, Adj: []half{{ID: 1, Other: 2, W: 3}}}}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m greedyMsg
+	if err := m.UnmarshalBinary(data[:len(data)-3]); err == nil {
+		t.Error("truncated greedyMsg decoded without error")
+	}
+	var d dualMsg
+	if err := d.UnmarshalBinary(append(data, 0xAA)); err == nil {
+		t.Error("oversized dualMsg decoded without error")
+	}
+}

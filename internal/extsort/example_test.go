@@ -1,0 +1,40 @@
+package extsort_test
+
+import (
+	"fmt"
+
+	"repro/internal/extsort"
+)
+
+// Example sorts more records than the memory budget allows, forcing
+// sorted runs to disk and a streaming merge on the way back.
+func Example() {
+	s := extsort.New(extsort.ByWeightDesc, extsort.EdgeCodec{}, extsort.Config{
+		MaxInMemory: 4, // spill after every 4 records
+	})
+	for i := 0; i < 10; i++ {
+		err := s.Add(extsort.WeightedEdgeRec{
+			Item:     int32(i),
+			Consumer: int32(i % 3),
+			Weight:   float64(i%5) + 0.5,
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		panic(err)
+	}
+	recs, err := it.Drain()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("runs spilled: %d, spilled records: %d\n", s.Runs(), s.Spilled())
+	fmt.Printf("heaviest: item=%d w=%.1f\n", recs[0].Item, recs[0].Weight)
+	fmt.Printf("lightest: item=%d w=%.1f\n", recs[len(recs)-1].Item, recs[len(recs)-1].Weight)
+	// Output:
+	// runs spilled: 3, spilled records: 10
+	// heaviest: item=4 w=4.5
+	// lightest: item=5 w=0.5
+}

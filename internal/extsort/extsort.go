@@ -2,11 +2,16 @@
 // records are buffered in memory, spilled as sorted runs to temporary
 // files, and streamed back through a k-way heap merge. It is the
 // classical database technique behind the shuffle of a real MapReduce
-// implementation (Hadoop spills map output exactly this way) and backs
-// the tools in cmd/ when a generated edge list outgrows memory.
+// implementation (Hadoop spills map output exactly this way), and two
+// parts of this repository stand on it: the spilling shuffle backend of
+// internal/mapreduce (one Sorter per reduce partition, ordered by
+// (key, sequence)), and the tools in cmd/ when a generated edge list
+// outgrows memory.
 //
 // Serialization is caller-supplied through the Codec interface, so any
-// record type can be sorted without reflection.
+// record type can be sorted without reflection. Run files are unlinked
+// as soon as they are created — a crash leaks no temp files — and
+// Spilled/Runs expose the external-memory footprint for job statistics.
 package extsort
 
 import (
@@ -16,7 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 )
 
 // Codec serializes records of type T for spill files. Encode and Decode
@@ -46,12 +51,13 @@ func (c Config) maxInMemory() int {
 // Sorter accumulates records and produces a sorted iterator. Not safe
 // for concurrent use.
 type Sorter[T any] struct {
-	less   func(a, b T) bool
-	codec  Codec[T]
-	cfg    Config
-	buf    []T
-	runs   []*os.File
-	sorted bool
+	less    func(a, b T) bool
+	codec   Codec[T]
+	cfg     Config
+	buf     []T
+	runs    []*os.File
+	spilled int64
+	sorted  bool
 }
 
 // New creates a Sorter ordering records by less.
@@ -72,12 +78,28 @@ func (s *Sorter[T]) Add(rec T) error {
 	return nil
 }
 
+// sortBuf stably sorts the in-memory buffer by less. The generic
+// slices.SortStableFunc avoids the reflection-based swapping of
+// sort.SliceStable, which dominated large-buffer sorts.
+func (s *Sorter[T]) sortBuf() {
+	slices.SortStableFunc(s.buf, func(a, b T) int {
+		switch {
+		case s.less(a, b):
+			return -1
+		case s.less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
 // spill writes the sorted buffer as one run file.
 func (s *Sorter[T]) spill() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	s.sortBuf()
 	f, err := os.CreateTemp(s.cfg.TempDir, "extsort-run-*.bin")
 	if err != nil {
 		return fmt.Errorf("extsort: spill: %w", err)
@@ -101,6 +123,7 @@ func (s *Sorter[T]) spill() error {
 		return fmt.Errorf("extsort: rewind: %w", err)
 	}
 	s.runs = append(s.runs, f)
+	s.spilled += int64(len(s.buf))
 	s.buf = s.buf[:0]
 	return nil
 }
@@ -108,6 +131,28 @@ func (s *Sorter[T]) spill() error {
 // Runs returns the number of spilled runs so far (exposed for tests and
 // stats).
 func (s *Sorter[T]) Runs() int { return len(s.runs) }
+
+// Spilled returns the number of records written to disk so far. Records
+// that stay in the final in-memory buffer are never counted, so a sorter
+// that fits its budget reports zero.
+func (s *Sorter[T]) Spilled() int64 { return s.spilled }
+
+// Discard abandons a sorter without sorting, closing any spilled run
+// files (they are unlinked at creation, so closing releases their disk
+// space). It is a no-op after Sort — the run files then belong to the
+// returned Iterator — and safe to call more than once, so callers can
+// defer it on error paths.
+func (s *Sorter[T]) Discard() {
+	if s.sorted {
+		return
+	}
+	s.sorted = true
+	for _, f := range s.runs {
+		f.Close()
+	}
+	s.runs = nil
+	s.buf = nil
+}
 
 // Sort finalizes the sorter and returns an iterator over all records in
 // order. The Sorter must not be used afterwards; the iterator must be
@@ -119,10 +164,16 @@ func (s *Sorter[T]) Sort() (*Iterator[T], error) {
 	s.sorted = true
 	if len(s.runs) == 0 {
 		// Pure in-memory path.
-		sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+		s.sortBuf()
 		return &Iterator[T]{mem: s.buf}, nil
 	}
 	if err := s.spill(); err != nil {
+		// sorted is already true, so Discard would no-op: release the
+		// earlier runs here or their handles leak until process exit.
+		for _, f := range s.runs {
+			f.Close()
+		}
+		s.runs = nil
 		return nil, err
 	}
 	it := &Iterator[T]{codec: s.codec, less: s.less}
@@ -134,7 +185,14 @@ func (s *Sorter[T]) Sort() (*Iterator[T], error) {
 			continue
 		}
 		if err != nil {
-			it.Close()
+			// Close every run file, not just those already primed
+			// into the iterator (a double Close on the consumed ones
+			// is harmless); otherwise the failing and not-yet-primed
+			// runs leak until process exit.
+			for _, rf := range s.runs {
+				rf.Close()
+			}
+			it.srcs = nil
 			return nil, fmt.Errorf("extsort: prime run: %w", err)
 		}
 		src.head = rec

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"math/rand"
+	"os"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -235,5 +236,56 @@ func TestExternalSortEdgesByWeight(t *testing.T) {
 		if out[i].Weight > out[i-1].Weight {
 			t.Fatalf("weights not descending at %d", i)
 		}
+	}
+}
+
+func countOpenFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skip("no /proc/self/fd on this platform")
+	}
+	return len(ents)
+}
+
+func TestDiscardReleasesRunFiles(t *testing.T) {
+	before := countOpenFDs(t)
+	s := New(ByWeightDesc, EdgeCodec{}, Config{MaxInMemory: 4})
+	for i := 0; i < 40; i++ {
+		if err := s.Add(WeightedEdgeRec{Item: int32(i), Weight: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Runs() == 0 {
+		t.Fatal("expected spilled runs")
+	}
+	s.Discard()
+	s.Discard() // idempotent
+	if got := countOpenFDs(t); got != before {
+		t.Errorf("open fds %d after Discard, want %d", got, before)
+	}
+	if _, err := s.Sort(); err == nil {
+		t.Error("Sort after Discard should fail (sorter finalized)")
+	}
+}
+
+func TestDiscardAfterSortIsNoOp(t *testing.T) {
+	s := New(ByWeightDesc, EdgeCodec{}, Config{MaxInMemory: 4})
+	for i := 0; i < 10; i++ {
+		if err := s.Add(WeightedEdgeRec{Item: int32(i), Weight: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Discard() // must not steal the iterator's run files
+	recs, err := it.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("got %d records after Discard-after-Sort, want 10", len(recs))
 	}
 }

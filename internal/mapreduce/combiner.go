@@ -34,15 +34,21 @@ func RunCombined[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	stats := newStats(cfg.Name)
 	stats.MapInputRecords = int64(len(input))
 
-	workers := cfg.mappers()
-	splits := splitRange(len(input), workers)
-	outs := make([][]Pair[K2, V2], len(splits))
-	var produced int64Slice = make([]int64, len(splits))
+	splits := splitRange(len(input), cfg.mappers())
+	backend, err := newShuffleBackend[K2, V2](cfg, len(splits))
+	if err != nil {
+		return nil, stats, err
+	}
+	defer backend.Close()
 
 	grp := newErrGroup(ctx)
 	for i, sp := range splits {
 		i, sp := i, sp
 		grp.Go(func(ctx context.Context) error {
+			// The whole split buffers before combining: a combiner
+			// needs every value of a key that the split produced, so
+			// chunked feeding cannot apply before it runs. Only the
+			// combined (smaller) output reaches the shuffle backend.
 			buf := &emitBuf[K2, V2]{}
 			for j := sp.lo; j < sp.hi; j++ {
 				if err := ctx.Err(); err != nil {
@@ -52,21 +58,19 @@ func RunCombined[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 					return fmt.Errorf("mapreduce: map record %d: %w", j, err)
 				}
 			}
-			produced[i] = int64(len(buf.pairs))
-			outs[i] = combineSplit(buf.pairs, combineFn)
-			return nil
+			stats.addMapOutput(int64(len(buf.pairs)))
+			return backend.Add(i, combineSplit(buf.pairs, combineFn))
 		})
 	}
 	if err := grp.Wait(); err != nil {
 		return nil, stats, err
 	}
-	var all []Pair[K2, V2]
-	for i, o := range outs {
-		stats.MapOutputRecords += produced[i]
-		all = append(all, o...)
+	streams, err := backend.Finalize()
+	if err != nil {
+		return nil, stats, err
 	}
-	partitions := shuffle(cfg, all, stats)
-	output, err := runReducePhase(ctx, cfg, partitions, reduceFn, stats)
+	output, err := runReducePhase(ctx, cfg, streams, reduceFn, stats)
+	stats.recordShuffle(backend)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -94,8 +98,6 @@ func combineSplit[K comparable, V any](pairs []Pair[K, V], combineFn CombineFunc
 	}
 	return out
 }
-
-type int64Slice []int64
 
 func errParams() error {
 	return fmt.Errorf("mapreduce: nil map or reduce function")

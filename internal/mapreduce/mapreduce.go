@@ -24,6 +24,13 @@
 //   - jobs are deterministic given deterministic user functions (groups
 //     are processed in sorted key order within every partition, and output
 //     order is normalized).
+//
+// The shuffle between the two phases is pluggable (Config.Shuffle): the
+// default backend groups everything in memory, while the spilling
+// backend bounds memory by writing sorted runs to disk through
+// internal/extsort and merge-streaming the key groups to the reducers,
+// so jobs whose intermediate data far exceeds RAM still complete. See
+// shuffle.go for the ShuffleBackend contract.
 package mapreduce
 
 import (
@@ -89,6 +96,10 @@ type Config struct {
 	MaxAttempts int
 	// FailureSeed seeds the injected-failure randomness.
 	FailureSeed int64
+
+	// Shuffle selects and bounds the shuffle backend (see ShuffleKind).
+	// The zero value is the in-memory backend.
+	Shuffle ShuffleConfig
 }
 
 func (c Config) mappers() int {
@@ -125,13 +136,79 @@ func (c Config) taskFails(phase, task, attempt int) bool {
 	return float64(h>>11)/(1<<53) < c.FailureRate
 }
 
-// emitBuf is the concrete Emitter used by both phases.
+// burnAttempts draws the failure coin for successive attempts of one
+// task and returns the attempt number that succeeds, recording each
+// failed attempt through retry. Because the coin is a pure function of
+// the task coordinates (not of the work), failures can be decided before
+// the work runs — user functions are pure by the engine's contract, and
+// a failed attempt's output is discarded anyway. Deciding up front lets
+// reduce tasks stream their groups exactly once, which the spilling
+// shuffle backend requires. Returns an error when every allowed attempt
+// fails, exactly as a real framework gives up on a task.
+func (c Config) burnAttempts(phase, task int, retry func()) error {
+	attempt := 1
+	for attempt <= c.maxAttempts() && c.taskFails(phase, task, attempt) {
+		retry()
+		attempt++
+	}
+	if attempt > c.maxAttempts() {
+		kind := "map"
+		if phase == 1 {
+			kind = "reduce"
+		}
+		return fmt.Errorf("mapreduce: %s task %d exceeded %d attempts", kind, task, c.maxAttempts())
+	}
+	return nil
+}
+
+// emitBuf is the concrete Emitter used by reduce tasks (and by map
+// splits feeding a whole-split shuffle backend).
 type emitBuf[K comparable, V any] struct {
 	pairs []Pair[K, V]
 }
 
 func (e *emitBuf[K, V]) Emit(key K, value V) {
 	e.pairs = append(e.pairs, Pair[K, V]{Key: key, Value: value})
+}
+
+// shuffleEmitter is the Emitter handed to map tasks: it buffers emitted
+// pairs and feeds them to the job's shuffle backend. With a chunked
+// backend (ChunkSize > 0) the buffer flushes every chunk pairs, so the
+// backend can start spilling long before the split finishes; with a
+// whole-split backend the single final flush transfers ownership of the
+// buffer, costing nothing over the seed engine's plain buffering.
+type shuffleEmitter[K comparable, V any] struct {
+	backend ShuffleBackend[K, V]
+	split   int
+	chunk   int
+	buf     []Pair[K, V]
+	count   int64
+	err     error
+}
+
+func (e *shuffleEmitter[K, V]) Emit(key K, value V) {
+	if e.err != nil {
+		return
+	}
+	e.buf = append(e.buf, Pair[K, V]{Key: key, Value: value})
+	e.count++
+	if e.chunk > 0 && len(e.buf) >= e.chunk {
+		e.err = e.backend.Add(e.split, e.buf)
+		e.buf = e.buf[:0]
+	}
+}
+
+// finish flushes the remaining buffer; the buffer must not be reused
+// afterwards (a whole-split backend keeps it).
+func (e *shuffleEmitter[K, V]) finish() error {
+	if e.err != nil {
+		return e.err
+	}
+	if len(e.buf) > 0 {
+		e.err = e.backend.Add(e.split, e.buf)
+		e.buf = nil
+	}
+	return e.err
 }
 
 // Run executes one MapReduce job over the input pairs and returns the
@@ -158,12 +235,22 @@ func Run[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
 	stats := newStats(cfg.Name)
 	stats.MapInputRecords = int64(len(input))
 
-	intermediate, err := runMapPhase(ctx, cfg, input, mapFn, stats)
+	splits := splitRange(len(input), cfg.mappers())
+	backend, err := newShuffleBackend[K2, V2](cfg, len(splits))
 	if err != nil {
 		return nil, stats, err
 	}
-	partitions := shuffle(cfg, intermediate, stats)
-	output, err := runReducePhase(ctx, cfg, partitions, reduceFn, stats)
+	defer backend.Close()
+
+	if err := runMapPhase(ctx, cfg, splits, input, mapFn, backend, stats); err != nil {
+		return nil, stats, err
+	}
+	streams, err := backend.Finalize()
+	if err != nil {
+		return nil, stats, err
+	}
+	output, err := runReducePhase(ctx, cfg, streams, reduceFn, stats)
+	stats.recordShuffle(backend)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -172,128 +259,87 @@ func Run[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
 	return output, stats, nil
 }
 
-// runMapPhase splits the input among workers and applies mapFn.
-// The per-split outputs are concatenated in split order so that the
-// intermediate sequence is independent of goroutine scheduling.
+// runMapPhase applies mapFn to the input splits in parallel, feeding the
+// emitted pairs to the shuffle backend. Pairs reach the backend tagged
+// with their split index, so the intermediate order is independent of
+// goroutine scheduling. Injected task failures are drawn before the
+// split runs (see burnAttempts).
 func runMapPhase[K1 comparable, V1 any, K2 comparable, V2 any](
 	ctx context.Context,
 	cfg Config,
+	splits []span,
 	input []Pair[K1, V1],
 	mapFn MapFunc[K1, V1, K2, V2],
+	backend ShuffleBackend[K2, V2],
 	stats *Stats,
-) ([]Pair[K2, V2], error) {
-	workers := cfg.mappers()
-	splits := splitRange(len(input), workers)
-	outs := make([][]Pair[K2, V2], len(splits))
-
+) error {
 	grp := newErrGroup(ctx)
 	for i, sp := range splits {
 		i, sp := i, sp
 		grp.Go(func(ctx context.Context) error {
-			for attempt := 1; ; attempt++ {
-				if attempt > cfg.maxAttempts() {
-					return fmt.Errorf("mapreduce: map task %d exceeded %d attempts", i, cfg.maxAttempts())
-				}
-				buf := &emitBuf[K2, V2]{}
-				for j := sp.lo; j < sp.hi; j++ {
-					if err := ctx.Err(); err != nil {
-						return err
-					}
-					if err := mapFn(input[j].Key, input[j].Value, buf); err != nil {
-						return fmt.Errorf("mapreduce: map record %d: %w", j, err)
-					}
-				}
-				if cfg.taskFails(0, i, attempt) {
-					// Simulated worker loss: discard the attempt's
-					// output and re-execute, as the framework would.
-					stats.addMapRetry()
-					continue
-				}
-				outs[i] = buf.pairs
-				return nil
+			if err := cfg.burnAttempts(0, i, stats.addMapRetry); err != nil {
+				return err
 			}
+			em := &shuffleEmitter[K2, V2]{backend: backend, split: i, chunk: backend.ChunkSize()}
+			for j := sp.lo; j < sp.hi; j++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if err := mapFn(input[j].Key, input[j].Value, em); err != nil {
+					return fmt.Errorf("mapreduce: map record %d: %w", j, err)
+				}
+				if em.err != nil {
+					return em.err
+				}
+			}
+			if err := em.finish(); err != nil {
+				return err
+			}
+			stats.addMapOutput(em.count)
+			return nil
 		})
 	}
-	if err := grp.Wait(); err != nil {
-		return nil, err
-	}
-	var total int
-	for _, o := range outs {
-		total += len(o)
-	}
-	all := make([]Pair[K2, V2], 0, total)
-	for _, o := range outs {
-		all = append(all, o...)
-	}
-	stats.MapOutputRecords = int64(total)
-	return all, nil
+	return grp.Wait()
 }
 
-// shuffle partitions the intermediate pairs by key hash and groups each
-// partition by key. Grouping preserves emission order within a key.
-func shuffle[K2 comparable, V2 any](
-	cfg Config,
-	intermediate []Pair[K2, V2],
-	stats *Stats,
-) []map[K2][]V2 {
-	r := cfg.reducers()
-	partitions := make([]map[K2][]V2, r)
-	for i := range partitions {
-		partitions[i] = make(map[K2][]V2)
-	}
-	for _, p := range intermediate {
-		idx := partitionIndex(p.Key, r)
-		partitions[idx][p.Key] = append(partitions[idx][p.Key], p.Value)
-	}
-	stats.ShuffleRecords = int64(len(intermediate))
-	var groups int64
-	for _, m := range partitions {
-		groups += int64(len(m))
-	}
-	stats.ReduceGroups = groups
-	return partitions
-}
-
-// runReducePhase applies reduceFn to every key group. Within a partition
-// keys are processed in sorted order for determinism; partitions run in
-// parallel.
+// runReducePhase streams every partition's key groups through reduceFn.
+// Within a partition groups arrive in sorted key order for determinism;
+// partitions run in parallel.
 func runReducePhase[K2 comparable, V2 any, K3 comparable, V3 any](
 	ctx context.Context,
 	cfg Config,
-	partitions []map[K2][]V2,
+	streams []GroupStream[K2, V2],
 	reduceFn ReduceFunc[K2, V2, K3, V3],
 	stats *Stats,
 ) ([]Pair[K3, V3], error) {
-	outs := make([][]Pair[K3, V3], len(partitions))
+	outs := make([][]Pair[K3, V3], len(streams))
 	grp := newErrGroup(ctx)
-	for i, part := range partitions {
-		i, part := i, part
+	for i, st := range streams {
+		i, st := i, st
 		grp.Go(func(ctx context.Context) error {
-			keys := make([]K2, 0, len(part))
-			for k := range part {
-				keys = append(keys, k)
+			defer st.Close()
+			if err := cfg.burnAttempts(1, i, stats.addReduceRetry); err != nil {
+				return err
 			}
-			sortKeys(keys)
-			for attempt := 1; ; attempt++ {
-				if attempt > cfg.maxAttempts() {
-					return fmt.Errorf("mapreduce: reduce task %d exceeded %d attempts", i, cfg.maxAttempts())
+			buf := &emitBuf[K3, V3]{}
+			for {
+				if err := ctx.Err(); err != nil {
+					return err
 				}
-				buf := &emitBuf[K3, V3]{}
-				for _, k := range keys {
-					if err := ctx.Err(); err != nil {
-						return err
-					}
-					if err := reduceFn(k, part[k], buf); err != nil {
-						return fmt.Errorf("mapreduce: reduce key %v: %w", k, err)
-					}
+				k, values, ok, err := st.Next()
+				if err != nil {
+					return fmt.Errorf("mapreduce: shuffle partition %d: %w", i, err)
 				}
-				if cfg.taskFails(1, i, attempt) {
-					stats.addReduceRetry()
-					continue
+				if !ok {
+					break
 				}
-				outs[i] = buf.pairs
-				return nil
+				stats.addReduceGroup()
+				if err := reduceFn(k, values, buf); err != nil {
+					return fmt.Errorf("mapreduce: reduce key %v: %w", k, err)
+				}
 			}
+			outs[i] = buf.pairs
+			return nil
 		})
 	}
 	if err := grp.Wait(); err != nil {

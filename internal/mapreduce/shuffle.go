@@ -1,0 +1,428 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/extsort"
+)
+
+// This file defines the engine's pluggable shuffle. The shuffle is the
+// phase between map and reduce: it partitions intermediate pairs by key
+// hash, groups the pairs of each partition by key, and serves the groups
+// to the reduce tasks in sorted key order. The paper (Section 3.1) calls
+// the shuffle the dominant cost of any MapReduce implementation, and it
+// is also the engine's memory ceiling: buffering every intermediate pair
+// in RAM caps the input size far below the web-scale datasets of
+// Section 6. The spilling backend removes that ceiling by writing sorted
+// runs to disk through internal/extsort once a memory budget fills,
+// exactly as Hadoop's map-side spill does.
+
+// ShuffleKind names a shuffle backend in Config.
+type ShuffleKind string
+
+const (
+	// ShuffleMemory buffers and groups every intermediate pair in
+	// memory (the default; fastest while the job fits in RAM).
+	ShuffleMemory ShuffleKind = "memory"
+	// ShuffleSpill bounds memory: once the configured budget of
+	// buffered records fills, sorted runs are spilled to disk and
+	// merge-streamed back to the reducers.
+	ShuffleSpill ShuffleKind = "spill"
+)
+
+// ShuffleConfig selects and bounds the shuffle backend of a job.
+type ShuffleConfig struct {
+	// Backend selects the implementation. Empty means ShuffleMemory.
+	Backend ShuffleKind
+	// MemoryBudget is the maximum number of intermediate records the
+	// spilling backend buffers in memory across all partitions before
+	// writing a sorted run to disk (default 1<<20). Ignored by the
+	// memory backend.
+	MemoryBudget int
+	// TempDir is the directory for spill files (default os.TempDir()).
+	TempDir string
+}
+
+func (c ShuffleConfig) kind() ShuffleKind {
+	if c.Backend == "" {
+		return ShuffleMemory
+	}
+	return c.Backend
+}
+
+func (c ShuffleConfig) memoryBudget() int {
+	if c.MemoryBudget > 0 {
+		return c.MemoryBudget
+	}
+	return 1 << 20
+}
+
+// ShuffleBackend is the engine's shuffle contract. A backend instance
+// serves exactly one job: map tasks feed it intermediate pairs with Add,
+// Finalize seals ingestion and exposes one group stream per reduce
+// partition, and Close releases any remaining resources.
+//
+// Ordering contract: pairs of one split arrive through one goroutine in
+// emission order, across any number of Add calls; distinct splits add
+// concurrently. Backends must group values per key in global emission
+// order — split index ascending, then emission order within the split —
+// and must stream groups in ascending lessKey order within a partition,
+// because job determinism rests on both properties.
+type ShuffleBackend[K comparable, V any] interface {
+	// Add ingests intermediate pairs emitted by map split `split`.
+	// When ChunkSize is zero the backend takes ownership of the slice;
+	// otherwise it must copy or consume the pairs before returning.
+	Add(split int, pairs []Pair[K, V]) error
+	// ChunkSize tells map tasks how to feed the backend: zero means
+	// "deliver each split's full output in one Add" (lowest overhead
+	// for in-memory grouping), a positive n means "flush every n pairs"
+	// (bounds the per-task buffer so spilling can begin early).
+	ChunkSize() int
+	// Finalize seals ingestion, records shuffle statistics, and
+	// returns one GroupStream per reduce partition.
+	Finalize() ([]GroupStream[K, V], error)
+	// Close releases backend resources. Safe after Finalize and on
+	// error paths; streams already handed out remain independently
+	// closable.
+	Close() error
+}
+
+// GroupStream iterates the key groups of one reduce partition in sorted
+// key order. It is used by a single reduce task.
+type GroupStream[K comparable, V any] interface {
+	// Next returns the next key group; ok is false at the end.
+	Next() (key K, values []V, ok bool, err error)
+	// Close releases the stream's resources (idempotent).
+	Close() error
+}
+
+// newShuffleBackend constructs the backend selected by cfg for a job
+// with the given number of map splits.
+func newShuffleBackend[K comparable, V any](cfg Config, splits int) (ShuffleBackend[K, V], error) {
+	switch cfg.Shuffle.kind() {
+	case ShuffleMemory:
+		return newMemoryShuffle[K, V](cfg.reducers(), splits), nil
+	case ShuffleSpill:
+		return newSpillShuffle[K, V](cfg.reducers(), splits, cfg.Shuffle)
+	default:
+		return nil, fmt.Errorf("mapreduce: unknown shuffle backend %q", cfg.Shuffle.Backend)
+	}
+}
+
+// shuffleFootprint reports what a backend moved, for job Stats.
+type shuffleFootprint interface {
+	footprint() (records, spilled, runs int64)
+}
+
+// ---------------------------------------------------------------------
+// In-memory backend: the seed engine's original shuffle, behind the
+// interface. Each split's output is retained as-is (ownership transfer,
+// zero copies), concatenated in split order at Finalize, and grouped
+// into per-partition maps exactly as before.
+
+type memoryShuffle[K comparable, V any] struct {
+	reducers int
+	splits   [][]Pair[K, V] // one entry per split, owned after Add
+	records  int64
+}
+
+func newMemoryShuffle[K comparable, V any](reducers, splits int) *memoryShuffle[K, V] {
+	return &memoryShuffle[K, V]{reducers: reducers, splits: make([][]Pair[K, V], splits)}
+}
+
+func (m *memoryShuffle[K, V]) ChunkSize() int { return 0 }
+
+func (m *memoryShuffle[K, V]) Add(split int, pairs []Pair[K, V]) error {
+	// Each split writes only its own index, so concurrent Adds from
+	// distinct splits need no lock; a second Add for one split (not
+	// produced by the engine's own map phase, but allowed by the
+	// contract) extends the split's slice, which the backend owns.
+	if m.splits[split] == nil {
+		m.splits[split] = pairs
+	} else {
+		m.splits[split] = append(m.splits[split], pairs...)
+	}
+	return nil
+}
+
+func (m *memoryShuffle[K, V]) Finalize() ([]GroupStream[K, V], error) {
+	parts := make([]map[K][]V, m.reducers)
+	for i := range parts {
+		parts[i] = make(map[K][]V)
+	}
+	for _, pairs := range m.splits {
+		for _, p := range pairs {
+			idx := partitionIndex(p.Key, m.reducers)
+			parts[idx][p.Key] = append(parts[idx][p.Key], p.Value)
+		}
+		m.records += int64(len(pairs))
+	}
+	m.splits = nil
+	streams := make([]GroupStream[K, V], len(parts))
+	for i, part := range parts {
+		streams[i] = &memGroupStream[K, V]{part: part}
+	}
+	return streams, nil
+}
+
+func (m *memoryShuffle[K, V]) Close() error { m.splits = nil; return nil }
+
+func (m *memoryShuffle[K, V]) footprint() (records, spilled, runs int64) {
+	return m.records, 0, 0
+}
+
+// memGroupStream walks one partition map in sorted key order. Key
+// sorting is deferred to the first Next so it runs inside the reduce
+// task's goroutine, keeping the partition sorts parallel as before.
+type memGroupStream[K comparable, V any] struct {
+	part map[K][]V
+	keys []K
+	pos  int
+}
+
+func (s *memGroupStream[K, V]) Next() (K, []V, bool, error) {
+	if s.keys == nil && len(s.part) > 0 {
+		s.keys = make([]K, 0, len(s.part))
+		for k := range s.part {
+			s.keys = append(s.keys, k)
+		}
+		sortKeys(s.keys)
+	}
+	if s.pos >= len(s.keys) {
+		var zero K
+		return zero, nil, false, nil
+	}
+	k := s.keys[s.pos]
+	s.pos++
+	return k, s.part[k], true, nil
+}
+
+func (s *memGroupStream[K, V]) Close() error { s.part = nil; s.keys = nil; return nil }
+
+// ---------------------------------------------------------------------
+// Spilling backend: external-memory shuffle over internal/extsort. Every
+// partition owns a Sorter ordering records by (key, sequence); once the
+// per-partition share of the memory budget fills, the sorter writes a
+// sorted run to disk. Finalize turns each sorter into a k-way merge
+// iterator and the group streams assemble key groups from the merged
+// record stream, so a partition's peak memory is one run buffer plus its
+// largest single key group — never the whole shuffle volume.
+
+// spillRec is one intermediate pair with its global sequence number,
+// which encodes (split, emission index) so that the merge reproduces the
+// memory backend's deterministic value order within every key.
+type spillRec[K comparable, V any] struct {
+	seq uint64
+	key K
+	val V
+}
+
+// seqSplitShift packs the split index into the high bits of a sequence
+// number; 2^40 emitted pairs per split is far beyond what fits a task.
+const seqSplitShift = 40
+
+type spillShuffle[K comparable, V any] struct {
+	reducers int
+	less     func(a, b K) bool
+	mu       []sync.Mutex // one per partition
+	sorters  []*extsort.Sorter[spillRec[K, V]]
+	seq      []uint64 // per-split emission counters (split-goroutine owned)
+	records  int64
+	recMu    sync.Mutex
+	streams  []GroupStream[K, V]
+}
+
+func newSpillShuffle[K comparable, V any](reducers, splits int, cfg ShuffleConfig) (*spillShuffle[K, V], error) {
+	keyCodec, err := resolveSpillCodec[K]()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: spill shuffle key: %w", err)
+	}
+	valCodec, err := resolveSpillCodec[V]()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: spill shuffle value: %w", err)
+	}
+	less := resolveLess[K]()
+	perPartition := cfg.memoryBudget() / reducers
+	if perPartition < 64 {
+		perPartition = 64
+	}
+	s := &spillShuffle[K, V]{
+		reducers: reducers,
+		less:     less,
+		mu:       make([]sync.Mutex, reducers),
+		sorters:  make([]*extsort.Sorter[spillRec[K, V]], reducers),
+		seq:      make([]uint64, splits),
+	}
+	recLess := func(a, b spillRec[K, V]) bool {
+		if less(a.key, b.key) {
+			return true
+		}
+		if less(b.key, a.key) {
+			return false
+		}
+		return a.seq < b.seq
+	}
+	for i := range s.sorters {
+		codec := &spillRecCodec[K, V]{key: keyCodec, val: valCodec}
+		s.sorters[i] = extsort.New(recLess, codec, extsort.Config{
+			MaxInMemory: perPartition,
+			TempDir:     cfg.TempDir,
+		})
+	}
+	return s, nil
+}
+
+// spillChunk bounds the per-task emit buffer between flushes into the
+// sorters; small enough to start spilling early, large enough to keep
+// lock traffic negligible.
+const spillChunk = 4096
+
+func (s *spillShuffle[K, V]) ChunkSize() int { return spillChunk }
+
+func (s *spillShuffle[K, V]) Add(split int, pairs []Pair[K, V]) error {
+	// Bucket the chunk per partition locally, then take each partition
+	// lock once; a spill triggered by Add runs under only that
+	// partition's lock.
+	buckets := make([][]spillRec[K, V], s.reducers)
+	n := s.seq[split]
+	base := uint64(split) << seqSplitShift
+	for _, p := range pairs {
+		idx := partitionIndex(p.Key, s.reducers)
+		buckets[idx] = append(buckets[idx], spillRec[K, V]{seq: base | n, key: p.Key, val: p.Value})
+		n++
+	}
+	s.seq[split] = n
+	for idx, recs := range buckets {
+		if len(recs) == 0 {
+			continue
+		}
+		s.mu[idx].Lock()
+		var err error
+		for _, r := range recs {
+			if err = s.sorters[idx].Add(r); err != nil {
+				break
+			}
+		}
+		s.mu[idx].Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	s.recMu.Lock()
+	s.records += int64(len(pairs))
+	s.recMu.Unlock()
+	return nil
+}
+
+func (s *spillShuffle[K, V]) Finalize() ([]GroupStream[K, V], error) {
+	streams := make([]GroupStream[K, V], s.reducers)
+	for i, sorter := range s.sorters {
+		it, err := sorter.Sort()
+		if err != nil {
+			for _, st := range streams {
+				if st != nil {
+					st.Close()
+				}
+			}
+			return nil, fmt.Errorf("mapreduce: spill shuffle partition %d: %w", i, err)
+		}
+		streams[i] = &spillGroupStream[K, V]{it: it, less: s.less}
+	}
+	s.streams = streams
+	return streams, nil
+}
+
+func (s *spillShuffle[K, V]) Close() error {
+	for _, st := range s.streams {
+		st.Close()
+	}
+	// Release run files of sorters that never reached Finalize (map
+	// error, cancellation, or a Finalize failure part-way through);
+	// Discard is a no-op for sorters whose runs an iterator took over.
+	for _, sorter := range s.sorters {
+		if sorter != nil {
+			sorter.Discard()
+		}
+	}
+	s.streams = nil
+	s.sorters = nil
+	return nil
+}
+
+func (s *spillShuffle[K, V]) footprint() (records, spilled, runs int64) {
+	for _, sorter := range s.sorters {
+		if sorter == nil {
+			continue
+		}
+		spilled += sorter.Spilled()
+		runs += int64(sorter.Runs())
+	}
+	return s.records, spilled, runs
+}
+
+// spillGroupStream assembles key groups from a merged (key, seq)-sorted
+// record stream, with one record of lookahead.
+type spillGroupStream[K comparable, V any] struct {
+	it     *extsort.Iterator[spillRec[K, V]]
+	less   func(a, b K) bool
+	head   spillRec[K, V]
+	primed bool
+	done   bool
+}
+
+func (s *spillGroupStream[K, V]) Next() (K, []V, bool, error) {
+	var zero K
+	if s.done {
+		return zero, nil, false, nil
+	}
+	if !s.primed {
+		rec, ok, err := s.it.Next()
+		if err != nil {
+			return zero, nil, false, err
+		}
+		if !ok {
+			s.done = true
+			return zero, nil, false, nil
+		}
+		s.head, s.primed = rec, true
+	}
+	key := s.head.key
+	values := []V{s.head.val}
+	for {
+		rec, ok, err := s.it.Next()
+		if err != nil {
+			return zero, nil, false, err
+		}
+		if !ok {
+			s.done = true
+			break
+		}
+		if s.less(key, rec.key) || s.less(rec.key, key) {
+			s.head = rec // first record of the next group
+			break
+		}
+		if rec.key != key {
+			// The comparator ties but Go equality disagrees (a
+			// composite key whose fmt fallback collides, or a NaN):
+			// merging would silently diverge from the memory backend,
+			// so fail loudly instead.
+			s.done = true
+			return zero, nil, false, fmt.Errorf(
+				"mapreduce: spill shuffle: key comparator cannot distinguish %v from %v; "+
+					"use a key type with a total order (scalar, string, or [2]int32)",
+				key, rec.key)
+		}
+		values = append(values, rec.val)
+	}
+	return key, values, true, nil
+}
+
+func (s *spillGroupStream[K, V]) Close() error {
+	if s.it != nil {
+		s.it.Close()
+		s.it = nil
+	}
+	s.done = true
+	return nil
+}

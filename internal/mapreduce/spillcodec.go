@@ -1,0 +1,422 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+)
+
+// The spilling shuffle must serialize intermediate keys and values to
+// run files. Serialization is resolved once per job from the concrete
+// key and value types, in order of preference:
+//
+//  1. the exact builtin types the repository's jobs use most get
+//     reflection-free fast paths (fastCodec) — these are unnamed
+//     types, so they can never carry marshaling methods;
+//  2. types implementing encoding.BinaryMarshaler (values) and
+//     encoding.BinaryUnmarshaler (pointers) use their own methods — the
+//     algorithm packages implement these on their message types;
+//  3. remaining scalar kinds (all integer widths, floats, bools,
+//     strings — named types included), empty structs, and fixed arrays
+//     of scalars are encoded reflectively in a compact binary form;
+//  4. anything else falls back to encoding/gob, which requires exported
+//     fields but handles arbitrary composite types.
+//
+// The resolved codec is wrapped per record with varint length framing,
+// so decode never needs type knowledge to find record boundaries.
+
+// spillCodec encodes one type for the spill files: enc appends the
+// encoding of v to buf, dec decodes exactly data.
+type spillCodec[T any] struct {
+	enc func(buf []byte, v T) ([]byte, error)
+	dec func(data []byte) (T, error)
+}
+
+// resolveSpillCodec builds the codec for type T following the
+// resolution order above.
+func resolveSpillCodec[T any]() (spillCodec[T], error) {
+	var zero T
+	if c, ok := fastCodec[T](); ok {
+		return c, nil
+	}
+	if _, ok := any(zero).(encoding.BinaryMarshaler); ok {
+		if _, ok := any(&zero).(encoding.BinaryUnmarshaler); !ok {
+			return spillCodec[T]{}, fmt.Errorf("%T implements BinaryMarshaler but *%T lacks BinaryUnmarshaler", zero, zero)
+		}
+		return spillCodec[T]{
+			enc: func(buf []byte, v T) ([]byte, error) {
+				b, err := any(v).(encoding.BinaryMarshaler).MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				return append(buf, b...), nil
+			},
+			dec: func(data []byte) (T, error) {
+				var v T
+				err := any(&v).(encoding.BinaryUnmarshaler).UnmarshalBinary(data)
+				return v, err
+			},
+		}, nil
+	}
+	t := reflect.TypeOf(zero)
+	if t != nil {
+		if c, ok := reflectCodec[T](t); ok {
+			return c, nil
+		}
+	}
+	return gobCodec[T](), nil
+}
+
+// fastCodec returns a reflection-free codec for the exact intermediate
+// types the repository's jobs use most. The typed-closure assertion
+// costs nothing per record: when T is the asserted type the closures
+// are used directly, with no boxing of keys or values.
+func fastCodec[T any]() (spillCodec[T], bool) {
+	c := spillCodec[T]{}
+	switch any(c.enc).(type) {
+	case func([]byte, int32) ([]byte, error):
+		c.enc = any(func(buf []byte, v int32) ([]byte, error) {
+			return binary.AppendVarint(buf, int64(v)), nil
+		}).(func([]byte, T) ([]byte, error))
+		c.dec = any(func(data []byte) (int32, error) {
+			x, n := binary.Varint(data)
+			if n <= 0 || n != len(data) {
+				return 0, errSpillShort
+			}
+			return int32(x), nil
+		}).(func([]byte) (T, error))
+	case func([]byte, int) ([]byte, error):
+		c.enc = any(func(buf []byte, v int) ([]byte, error) {
+			return binary.AppendVarint(buf, int64(v)), nil
+		}).(func([]byte, T) ([]byte, error))
+		c.dec = any(func(data []byte) (int, error) {
+			x, n := binary.Varint(data)
+			if n <= 0 || n != len(data) {
+				return 0, errSpillShort
+			}
+			return int(x), nil
+		}).(func([]byte) (T, error))
+	case func([]byte, int64) ([]byte, error):
+		c.enc = any(func(buf []byte, v int64) ([]byte, error) {
+			return binary.AppendVarint(buf, v), nil
+		}).(func([]byte, T) ([]byte, error))
+		c.dec = any(func(data []byte) (int64, error) {
+			x, n := binary.Varint(data)
+			if n <= 0 || n != len(data) {
+				return 0, errSpillShort
+			}
+			return x, nil
+		}).(func([]byte) (T, error))
+	case func([]byte, float64) ([]byte, error):
+		c.enc = any(func(buf []byte, v float64) ([]byte, error) {
+			return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)), nil
+		}).(func([]byte, T) ([]byte, error))
+		c.dec = any(func(data []byte) (float64, error) {
+			if len(data) != 8 {
+				return 0, errSpillShort
+			}
+			return math.Float64frombits(binary.LittleEndian.Uint64(data)), nil
+		}).(func([]byte) (T, error))
+	case func([]byte, bool) ([]byte, error):
+		c.enc = any(func(buf []byte, v bool) ([]byte, error) {
+			if v {
+				return append(buf, 1), nil
+			}
+			return append(buf, 0), nil
+		}).(func([]byte, T) ([]byte, error))
+		c.dec = any(func(data []byte) (bool, error) {
+			if len(data) != 1 {
+				return false, errSpillShort
+			}
+			return data[0] != 0, nil
+		}).(func([]byte) (T, error))
+	case func([]byte, string) ([]byte, error):
+		c.enc = any(func(buf []byte, v string) ([]byte, error) {
+			return append(buf, v...), nil
+		}).(func([]byte, T) ([]byte, error))
+		c.dec = any(func(data []byte) (string, error) {
+			return string(data), nil
+		}).(func([]byte) (T, error))
+	case func([]byte, [2]int32) ([]byte, error):
+		c.enc = any(func(buf []byte, v [2]int32) ([]byte, error) {
+			buf = binary.AppendVarint(buf, int64(v[0]))
+			return binary.AppendVarint(buf, int64(v[1])), nil
+		}).(func([]byte, T) ([]byte, error))
+		c.dec = any(func(data []byte) ([2]int32, error) {
+			a, n := binary.Varint(data)
+			if n <= 0 {
+				return [2]int32{}, errSpillShort
+			}
+			b, m := binary.Varint(data[n:])
+			if m <= 0 || n+m != len(data) {
+				return [2]int32{}, errSpillShort
+			}
+			return [2]int32{int32(a), int32(b)}, nil
+		}).(func([]byte) (T, error))
+	case func([]byte, struct{}) ([]byte, error):
+		c.enc = any(func(buf []byte, v struct{}) ([]byte, error) {
+			return buf, nil
+		}).(func([]byte, T) ([]byte, error))
+		c.dec = any(func(data []byte) (struct{}, error) {
+			return struct{}{}, nil
+		}).(func([]byte) (T, error))
+	default:
+		return c, false
+	}
+	return c, true
+}
+
+// reflectCodec covers scalar kinds, empty structs, and fixed arrays of
+// scalars, including named types such as graph.NodeID or vector.TermID.
+func reflectCodec[T any](t reflect.Type) (spillCodec[T], bool) {
+	encElem, decElem, ok := reflectElemCodec(t)
+	if !ok {
+		return spillCodec[T]{}, false
+	}
+	return spillCodec[T]{
+		enc: func(buf []byte, v T) ([]byte, error) {
+			return encElem(buf, reflect.ValueOf(v)), nil
+		},
+		dec: func(data []byte) (T, error) {
+			var v T
+			rv := reflect.ValueOf(&v).Elem()
+			rest, err := decElem(data, rv)
+			if err == nil && len(rest) != 0 {
+				err = fmt.Errorf("mapreduce: spill decode: %d trailing bytes", len(rest))
+			}
+			return v, err
+		},
+	}, true
+}
+
+type elemEnc func(buf []byte, v reflect.Value) []byte
+type elemDec func(data []byte, into reflect.Value) (rest []byte, err error)
+
+var errSpillShort = fmt.Errorf("mapreduce: spill decode: truncated record")
+
+// reflectElemCodec returns append/decode functions for one supported
+// reflect kind, or ok=false for unsupported kinds.
+func reflectElemCodec(t reflect.Type) (elemEnc, elemDec, bool) {
+	switch t.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return func(buf []byte, v reflect.Value) []byte {
+				return binary.AppendVarint(buf, v.Int())
+			}, func(data []byte, into reflect.Value) ([]byte, error) {
+				x, n := binary.Varint(data)
+				if n <= 0 {
+					return nil, errSpillShort
+				}
+				into.SetInt(x)
+				return data[n:], nil
+			}, true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return func(buf []byte, v reflect.Value) []byte {
+				return binary.AppendUvarint(buf, v.Uint())
+			}, func(data []byte, into reflect.Value) ([]byte, error) {
+				x, n := binary.Uvarint(data)
+				if n <= 0 {
+					return nil, errSpillShort
+				}
+				into.SetUint(x)
+				return data[n:], nil
+			}, true
+	case reflect.Float32, reflect.Float64:
+		return func(buf []byte, v reflect.Value) []byte {
+				return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float()))
+			}, func(data []byte, into reflect.Value) ([]byte, error) {
+				if len(data) < 8 {
+					return nil, errSpillShort
+				}
+				into.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+				return data[8:], nil
+			}, true
+	case reflect.Bool:
+		return func(buf []byte, v reflect.Value) []byte {
+				if v.Bool() {
+					return append(buf, 1)
+				}
+				return append(buf, 0)
+			}, func(data []byte, into reflect.Value) ([]byte, error) {
+				if len(data) < 1 {
+					return nil, errSpillShort
+				}
+				into.SetBool(data[0] != 0)
+				return data[1:], nil
+			}, true
+	case reflect.String:
+		return func(buf []byte, v reflect.Value) []byte {
+				s := v.String()
+				buf = binary.AppendUvarint(buf, uint64(len(s)))
+				return append(buf, s...)
+			}, func(data []byte, into reflect.Value) ([]byte, error) {
+				l, n := binary.Uvarint(data)
+				if n <= 0 || uint64(len(data)-n) < l {
+					return nil, errSpillShort
+				}
+				into.SetString(string(data[n : n+int(l)]))
+				return data[n+int(l):], nil
+			}, true
+	case reflect.Struct:
+		if t.NumField() == 0 {
+			return func(buf []byte, v reflect.Value) []byte { return buf },
+				func(data []byte, into reflect.Value) ([]byte, error) { return data, nil },
+				true
+		}
+		return nil, nil, false
+	case reflect.Array:
+		encE, decE, ok := reflectElemCodec(t.Elem())
+		if !ok {
+			return nil, nil, false
+		}
+		n := t.Len()
+		return func(buf []byte, v reflect.Value) []byte {
+				for i := 0; i < n; i++ {
+					buf = encE(buf, v.Index(i))
+				}
+				return buf
+			}, func(data []byte, into reflect.Value) ([]byte, error) {
+				var err error
+				for i := 0; i < n; i++ {
+					if data, err = decE(data, into.Index(i)); err != nil {
+						return nil, err
+					}
+				}
+				return data, nil
+			}, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// gobCodec is the slow-path fallback: one self-describing gob stream per
+// record. Correct for any gob-encodable type, at the cost of repeating
+// the type descriptor; performance-sensitive message types should
+// implement encoding.BinaryMarshaler instead.
+func gobCodec[T any]() spillCodec[T] {
+	return spillCodec[T]{
+		enc: func(buf []byte, v T) ([]byte, error) {
+			var b bytes.Buffer
+			if err := gob.NewEncoder(&b).Encode(&v); err != nil {
+				return nil, fmt.Errorf("mapreduce: spill gob encode %T: %w", v, err)
+			}
+			return append(buf, b.Bytes()...), nil
+		},
+		dec: func(data []byte) (T, error) {
+			var v T
+			err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v)
+			return v, err
+		},
+	}
+}
+
+// resolveLess returns the deterministic key comparator used by the spill
+// sorter: the shared lessKey fast paths when they apply, with a
+// reflection-resolved comparator for named scalar types (whose fallback
+// in lessKey formats both operands with fmt — far too slow to call
+// O(n log n) times during a sort).
+func resolveLess[K comparable]() func(a, b K) bool {
+	var zero K
+	switch any(zero).(type) {
+	case int, int32, int64, uint32, uint64, string, float64, [2]int32:
+		return lessKey[K]
+	}
+	t := reflect.TypeOf(zero)
+	if t == nil {
+		return lessKey[K]
+	}
+	switch t.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return func(a, b K) bool { return reflect.ValueOf(a).Int() < reflect.ValueOf(b).Int() }
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return func(a, b K) bool { return reflect.ValueOf(a).Uint() < reflect.ValueOf(b).Uint() }
+	case reflect.Float32, reflect.Float64:
+		return func(a, b K) bool { return reflect.ValueOf(a).Float() < reflect.ValueOf(b).Float() }
+	case reflect.String:
+		return func(a, b K) bool { return reflect.ValueOf(a).String() < reflect.ValueOf(b).String() }
+	}
+	return lessKey[K]
+}
+
+// spillRecCodec frames (seq, key, value) records for extsort run files:
+// uvarint seq, uvarint key length, key bytes, uvarint value length,
+// value bytes. One codec instance serves one sorter, so the scratch
+// buffers are safe.
+type spillRecCodec[K comparable, V any] struct {
+	key     spillCodec[K]
+	val     spillCodec[V]
+	scratch []byte
+	kbuf    []byte
+	vbuf    []byte
+}
+
+func (c *spillRecCodec[K, V]) Encode(w io.Writer, rec spillRec[K, V]) error {
+	var err error
+	if c.kbuf, err = c.key.enc(c.kbuf[:0], rec.key); err != nil {
+		return err
+	}
+	if c.vbuf, err = c.val.enc(c.vbuf[:0], rec.val); err != nil {
+		return err
+	}
+	buf := c.scratch[:0]
+	buf = binary.AppendUvarint(buf, rec.seq)
+	buf = binary.AppendUvarint(buf, uint64(len(c.kbuf)))
+	buf = append(buf, c.kbuf...)
+	buf = binary.AppendUvarint(buf, uint64(len(c.vbuf)))
+	buf = append(buf, c.vbuf...)
+	c.scratch = buf
+	_, err = w.Write(buf)
+	return err
+}
+
+func (c *spillRecCodec[K, V]) Decode(r io.Reader) (spillRec[K, V], error) {
+	var rec spillRec[K, V]
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		return rec, fmt.Errorf("mapreduce: spill decode: reader lacks io.ByteReader")
+	}
+	seq, err := binary.ReadUvarint(br)
+	if err != nil {
+		// io.EOF before the first byte is the clean end of a run.
+		return rec, err
+	}
+	rec.seq = seq
+	if c.kbuf, err = readFrame(r, br, c.kbuf); err != nil {
+		return rec, frameErr(err)
+	}
+	if rec.key, err = c.key.dec(c.kbuf); err != nil {
+		return rec, err
+	}
+	if c.vbuf, err = readFrame(r, br, c.vbuf); err != nil {
+		return rec, frameErr(err)
+	}
+	rec.val, err = c.val.dec(c.vbuf)
+	return rec, err
+}
+
+// readFrame reads one uvarint-length-prefixed frame into buf.
+func readFrame(r io.Reader, br io.ByteReader, buf []byte) ([]byte, error) {
+	l, err := binary.ReadUvarint(br)
+	if err != nil {
+		return buf, err
+	}
+	if uint64(cap(buf)) < l {
+		buf = make([]byte, l)
+	}
+	buf = buf[:l]
+	_, err = io.ReadFull(r, buf)
+	return buf, err
+}
+
+// frameErr normalizes a mid-record EOF to a real error: only a clean
+// boundary before a record may report io.EOF upward.
+func frameErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("mapreduce: spill decode: truncated run file")
+	}
+	return err
+}

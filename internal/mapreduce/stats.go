@@ -32,6 +32,13 @@ type Stats struct {
 	// attempts under injected failures (Config.FailureRate).
 	MapTaskRetries    int64
 	ReduceTaskRetries int64
+	// SpilledRecords and SpillRuns describe the external-memory work of
+	// the spilling shuffle backend: intermediate records written to
+	// disk and sorted run files produced. Both are zero for the
+	// in-memory backend, and for spill jobs whose shuffle fit the
+	// memory budget.
+	SpilledRecords int64
+	SpillRuns      int64
 }
 
 // addMapRetry records one re-executed map attempt (called concurrently
@@ -40,6 +47,20 @@ func (s *Stats) addMapRetry() { atomic.AddInt64(&s.MapTaskRetries, 1) }
 
 // addReduceRetry records one re-executed reduce attempt.
 func (s *Stats) addReduceRetry() { atomic.AddInt64(&s.ReduceTaskRetries, 1) }
+
+// addMapOutput records one completed map split's emitted-pair count.
+func (s *Stats) addMapOutput(n int64) { atomic.AddInt64(&s.MapOutputRecords, n) }
+
+// addReduceGroup records one key group streamed to a reducer.
+func (s *Stats) addReduceGroup() { atomic.AddInt64(&s.ReduceGroups, 1) }
+
+// recordShuffle copies the shuffle backend's footprint into the stats
+// once the job's tasks have finished with it.
+func (s *Stats) recordShuffle(backend any) {
+	if fp, ok := backend.(shuffleFootprint); ok {
+		s.ShuffleRecords, s.SpilledRecords, s.SpillRuns = fp.footprint()
+	}
+}
 
 func newStats(name string) *Stats {
 	return &Stats{Name: name}
@@ -52,12 +73,14 @@ func (s *Stats) Add(o *Stats) {
 		return
 	}
 	s.MapInputRecords += o.MapInputRecords
-	s.MapOutputRecords += o.MapOutputRecords
+	s.MapOutputRecords += atomic.LoadInt64(&o.MapOutputRecords)
 	s.ShuffleRecords += o.ShuffleRecords
-	s.ReduceGroups += o.ReduceGroups
+	s.ReduceGroups += atomic.LoadInt64(&o.ReduceGroups)
 	s.ReduceOutputRecords += o.ReduceOutputRecords
 	s.MapTaskRetries += atomic.LoadInt64(&o.MapTaskRetries)
 	s.ReduceTaskRetries += atomic.LoadInt64(&o.ReduceTaskRetries)
+	s.SpilledRecords += o.SpilledRecords
+	s.SpillRuns += o.SpillRuns
 }
 
 // String renders the stats on one line.
@@ -66,9 +89,13 @@ func (s *Stats) String() string {
 	if name == "" {
 		name = "job"
 	}
-	return fmt.Sprintf("%s: in=%d mapout=%d shuffle=%d groups=%d out=%d",
+	line := fmt.Sprintf("%s: in=%d mapout=%d shuffle=%d groups=%d out=%d",
 		name, s.MapInputRecords, s.MapOutputRecords, s.ShuffleRecords,
 		s.ReduceGroups, s.ReduceOutputRecords)
+	if s.SpilledRecords > 0 {
+		line += fmt.Sprintf(" spilled=%d runs=%d", s.SpilledRecords, s.SpillRuns)
+	}
+	return line
 }
 
 // Counters is a set of named monotone counters shared by the tasks of a

@@ -1,0 +1,31 @@
+package simjoin
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The index job shuffles posting values; this compact binary form lets
+// the job run on the spilling shuffle backend of internal/mapreduce
+// (postings have unexported fields, so the reflective and gob fallbacks
+// of the spill codec do not apply). The probe job's [2]int32 keys and
+// empty-struct values are covered by the engine's built-in scalar codec.
+
+// MarshalBinary implements encoding.BinaryMarshaler for the spilling
+// shuffle backend.
+func (p posting) MarshalBinary() ([]byte, error) {
+	buf := binary.AppendVarint(nil, int64(p.doc))
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.w)), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *posting) UnmarshalBinary(data []byte) error {
+	doc, n := binary.Varint(data)
+	if n <= 0 || len(data) != n+8 {
+		return fmt.Errorf("simjoin: corrupt spilled posting (%d bytes)", len(data))
+	}
+	p.doc = int32(doc)
+	p.w = math.Float64frombits(binary.LittleEndian.Uint64(data[n:]))
+	return nil
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regenerates BENCH_baseline.json: one benchmark run over the MapReduce
+# engine and the matching core, parsed into JSON so future PRs can diff
+# performance. Usage: scripts/bench_baseline.sh > BENCH_baseline.json
+set -e
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench . -benchmem ./internal/mapreduce/ ./internal/core/ |
+awk '
+BEGIN {
+    print "{"
+    printf "  \"command\": \"go test -run ^$ -bench . -benchmem ./internal/mapreduce/ ./internal/core/\",\n"
+    first = 1
+}
+/^cpu:/ { cpu = substr($0, 6); sub(/^ */, "", cpu) }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, $5, $7
+}
+END {
+    print "\n  ],"
+    printf "  \"cpu\": \"%s\"\n", cpu
+    print "}"
+}
+/^goos:/ && !printed { print "  \"benchmarks\": ["; printed = 1 }
+'
