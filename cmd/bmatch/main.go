@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	socialmatch "repro"
 	"repro/internal/flow"
@@ -86,6 +87,10 @@ func main() {
 		fmt.Printf("shuffle spill:    %d records in %d runs\n",
 			res.Shuffle.SpilledRecords, res.Shuffle.SpillRuns)
 	}
+	fmt.Printf("phase walls:      map=%s shuffle=%s reduce=%s (summed over rounds)\n",
+		res.Shuffle.MapWall.Round(time.Microsecond),
+		res.Shuffle.ShuffleWall.Round(time.Microsecond),
+		res.Shuffle.ReduceWall.Round(time.Microsecond))
 	if *verbose {
 		for _, e := range m.Edges() {
 			fmt.Printf("match item=%d consumer=%d w=%.4f\n",

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/graph"
@@ -64,6 +65,10 @@ func main() {
 		fmt.Printf("spilled:        %d records in %d runs\n",
 			res.Shuffle.SpilledRecords, res.Shuffle.SpillRuns)
 	}
+	fmt.Printf("phase walls:    map=%s shuffle=%s reduce=%s (summed over rounds)\n",
+		res.Shuffle.MapWall.Round(time.Microsecond),
+		res.Shuffle.ShuffleWall.Round(time.Microsecond),
+		res.Shuffle.ReduceWall.Round(time.Microsecond))
 
 	if *out != "" {
 		g := simjoin.ToGraph(res.Edges, c.NumItems(), c.NumConsumers())

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
@@ -44,9 +46,8 @@ func GreedyMR(ctx context.Context, g *graph.Bipartite, opts GreedyMROptions) (*R
 	}
 
 	records := nodeRecords(g)
-	var matched []int32
+	var matched []int32 // cumulative, kept sorted by edge id
 	var trace []float64
-	value := 0.0
 
 	for len(records) > 0 {
 		if opts.StopAfterRounds > 0 && driver.Rounds() >= opts.StopAfterRounds {
@@ -58,16 +59,21 @@ func GreedyMR(ctx context.Context, g *graph.Bipartite, opts GreedyMROptions) (*R
 			return nil, fmt.Errorf("core: greedymr round %d: %w", driver.Rounds(), err)
 		}
 		records = records[:0]
+		var roundMatched []int32
 		for _, p := range out {
 			if p.Value.state != nil {
 				records = append(records, mapreduce.P(p.Key, *p.Value.state))
 			}
-			for _, ei := range p.Value.matched {
-				matched = append(matched, ei)
-				value += g.Edge(int(ei)).Weight
-			}
+			roundMatched = append(roundMatched, p.Value.matched...)
 		}
-		trace = append(trace, value)
+		// Keep the cumulative matched set sorted by edge id and sum it
+		// in that order — the same order NewMatching uses — so the
+		// final trace entry equals Matching.Value exactly
+		// (floating-point addition is order-sensitive) regardless of
+		// job output order.
+		slices.Sort(roundMatched)
+		matched = mergeSortedInt32(matched, roundMatched)
+		trace = append(trace, matchedValue(g, matched))
 	}
 
 	res := &Result{
@@ -99,15 +105,31 @@ type greedyOut struct {
 }
 
 // greedyMap implements the map phase of Algorithm 3: node v proposes its
-// top-b(v) incident edges.
+// top-b(v) incident edges. Proposal membership is tested against the
+// sorted adjacency indexes chosen by topByWeight — no per-node set
+// allocation on this hot path.
 func greedyMap(v graph.NodeID, st nodeState, out mapreduce.Emitter[graph.NodeID, greedyMsg]) error {
 	stCopy := st
 	out.Emit(v, greedyMsg{self: &stCopy})
-	proposals := edgeSet(st.Adj, topByWeight(st.Adj, st.B))
-	for _, h := range st.Adj {
-		out.Emit(h.Other, greedyMsg{edge: h.ID, proposed: proposals[h.ID]})
+	chosen := topByWeight(st.Adj, st.B)
+	sort.Ints(chosen)
+	for i, h := range st.Adj {
+		out.Emit(h.Other, greedyMsg{edge: h.ID, proposed: sortedContains(chosen, i)})
 	}
 	return nil
+}
+
+// edgeMark packs one neighbor message into an int32 for the reducer's
+// sorted-slice intersection: the edge id shifted left once, with the
+// proposal bit in-band in the low bit. The mapping is injective for all
+// valid edge ids (only the sign bit is lost to the shift), and the
+// marks' numeric order is irrelevant — they are only searched.
+func edgeMark(edge int32, proposed bool) int32 {
+	m := edge << 1
+	if proposed {
+		m |= 1
+	}
+	return m
 }
 
 // greedyReduce implements the reduce phase of Algorithm 3: node u
@@ -116,34 +138,40 @@ func greedyMap(v graph.NodeID, st nodeState, out mapreduce.Emitter[graph.NodeID,
 // dropped. The proposal set of u is recomputed here with the same
 // deterministic rule the mapper used, so both endpoints of an edge reach
 // the same verdict.
+//
+// The intersection runs over one sorted slice of in-band edge marks
+// instead of the two per-node map[int32]bool sets a naive translation
+// would allocate — this reduce is the hot loop of every GreedyMR round
+// (BenchmarkGreedyMRSingleRound), and the maps dominated its
+// allocation profile.
 func greedyReduce(g *graph.Bipartite) mapreduce.ReduceFunc[graph.NodeID, greedyMsg, graph.NodeID, greedyOut] {
 	return func(u graph.NodeID, msgs []greedyMsg, out mapreduce.Emitter[graph.NodeID, greedyOut]) error {
 		var self *nodeState
-		incoming := make(map[int32]bool) // edge id -> proposed by other side
-		seen := make(map[int32]bool)
+		marks := make([]int32, 0, len(msgs))
 		for _, m := range msgs {
 			if m.self != nil {
 				self = m.self
 				continue
 			}
-			seen[m.edge] = true
-			if m.proposed {
-				incoming[m.edge] = true
-			}
+			marks = append(marks, edgeMark(m.edge, m.proposed))
 		}
 		if self == nil {
 			// The node died in an earlier round; stray proposals from
 			// neighbors that have not yet noticed are ignored.
 			return nil
 		}
-		mine := edgeSet(self.Adj, topByWeight(self.Adj, self.B))
+		slices.Sort(marks)
+		mine := topByWeight(self.Adj, self.B)
+		sort.Ints(mine)
 		var res greedyOut
 		next := nodeState{B: self.B}
-		for _, h := range self.Adj {
+		for i, h := range self.Adj {
+			proposed := sortedContains(marks, edgeMark(h.ID, true))
+			seen := proposed || sortedContains(marks, edgeMark(h.ID, false))
 			switch {
-			case !seen[h.ID]:
+			case !seen:
 				// Neighbor is gone: drop the edge.
-			case incoming[h.ID] && mine[h.ID]:
+			case proposed && sortedContains(mine, i):
 				// Both endpoints proposed: matched.
 				next.B--
 				if g.SideOf(u) == graph.ItemSide {
@@ -161,4 +189,37 @@ func greedyReduce(g *graph.Bipartite) mapreduce.ReduceFunc[graph.NodeID, greedyM
 		}
 		return nil
 	}
+}
+
+// matchedValue sums the weights of the matched edges, which the caller
+// keeps in ascending edge-id order, mirroring NewMatching's
+// accumulation order so the two agree bit-for-bit.
+func matchedValue(g *graph.Bipartite, sorted []int32) float64 {
+	value := 0.0
+	for _, ei := range sorted {
+		value += g.Edge(int(ei)).Weight
+	}
+	return value
+}
+
+// mergeSortedInt32 merges two ascending slices into a fresh ascending
+// slice; per round this is O(matched + new) instead of re-sorting the
+// whole cumulative set.
+func mergeSortedInt32(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }

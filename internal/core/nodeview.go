@@ -1,6 +1,8 @@
 package core
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -87,13 +89,12 @@ func topByWeight(adj []half, k int) []int {
 	return idx
 }
 
-// edgeSet converts chosen adjacency indexes to a set of edge ids.
-func edgeSet(adj []half, chosen []int) map[int32]bool {
-	s := make(map[int32]bool, len(chosen))
-	for _, i := range chosen {
-		s[adj[i].ID] = true
-	}
-	return s
+// sortedContains reports membership in an ascending-sorted slice; with
+// slices.Sort at the build site it replaces the per-node sets the
+// matching hot loops would otherwise allocate.
+func sortedContains[T cmp.Ordered](sorted []T, x T) bool {
+	_, ok := slices.BinarySearch(sorted, x)
+	return ok
 }
 
 // countLiveEdges sums adjacency lengths over records; every live edge is

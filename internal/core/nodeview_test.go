@@ -2,6 +2,8 @@ package core
 
 import (
 	"reflect"
+	"slices"
+	"sort"
 	"testing"
 
 	"repro/internal/graph"
@@ -29,12 +31,23 @@ func TestTopByWeight(t *testing.T) {
 	}
 }
 
-func TestEdgeSet(t *testing.T) {
-	adj := []half{{ID: 5}, {ID: 9}, {ID: 2}}
-	s := edgeSet(adj, []int{0, 2})
-	want := map[int32]bool{5: true, 2: true}
-	if !reflect.DeepEqual(s, want) {
-		t.Errorf("edgeSet = %v", s)
+func TestSortedSliceMembership(t *testing.T) {
+	marks := []int32{9, 2, 5}
+	slices.Sort(marks)
+	for _, x := range []int32{2, 5, 9} {
+		if !sortedContains(marks, x) {
+			t.Errorf("sortedContains(%v, %d) = false", marks, x)
+		}
+	}
+	for _, x := range []int32{0, 3, 10} {
+		if sortedContains(marks, x) {
+			t.Errorf("sortedContains(%v, %d) = true", marks, x)
+		}
+	}
+	idx := []int{4, 0, 2}
+	sort.Ints(idx)
+	if !sortedContains(idx, 2) || sortedContains(idx, 3) {
+		t.Errorf("sortedContains membership wrong for %v", idx)
 	}
 }
 

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // CombineFunc locally folds the values of one intermediate key inside a
@@ -41,14 +42,16 @@ func RunCombined[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	}
 	defer backend.Close()
 
+	phase := time.Now()
 	grp := newErrGroup(ctx)
 	for i, sp := range splits {
 		i, sp := i, sp
 		grp.Go(func(ctx context.Context) error {
 			// The whole split buffers before combining: a combiner
 			// needs every value of a key that the split produced, so
-			// chunked feeding cannot apply before it runs. Only the
-			// combined (smaller) output reaches the shuffle backend.
+			// neither chunked feeding nor emission-time partitioning
+			// can apply before it runs. Only the combined (smaller)
+			// output is partitioned and reaches the shuffle backend.
 			buf := &emitBuf[K2, V2]{}
 			for j := sp.lo; j < sp.hi; j++ {
 				if err := ctx.Err(); err != nil {
@@ -59,17 +62,32 @@ func RunCombined[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 				}
 			}
 			stats.addMapOutput(int64(len(buf.pairs)))
-			return backend.Add(i, combineSplit(buf.pairs, combineFn))
+			combined := combineSplit(buf.pairs, combineFn)
+			for p, bucket := range partitionPairs(combined, backend.Partitions()) {
+				if len(bucket) == 0 {
+					continue
+				}
+				if err := backend.AddBucket(i, p, bucket); err != nil {
+					return err
+				}
+			}
+			return nil
 		})
 	}
 	if err := grp.Wait(); err != nil {
+		stats.MapWall = time.Since(phase)
 		return nil, stats, err
 	}
+	stats.MapWall = time.Since(phase)
+	phase = time.Now()
 	streams, err := backend.Finalize()
+	stats.ShuffleWall = time.Since(phase)
 	if err != nil {
 		return nil, stats, err
 	}
+	phase = time.Now()
 	output, err := runReducePhase(ctx, cfg, streams, reduceFn, stats)
+	stats.ReduceWall = time.Since(phase)
 	stats.recordShuffle(backend)
 	if err != nil {
 		return nil, stats, err

@@ -1,0 +1,495 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// This file pins the partitioned, sort-grouped shuffle to the seed
+// engine's semantics. referenceRun is a deliberately naive
+// reimplementation of the original data path — buffer everything, walk
+// it serially, group each partition with a map[K][]V, stream groups in
+// sorted key order — and every backend must reproduce its output
+// byte-for-byte on order-sensitive jobs.
+
+// referenceRun executes a job the way the seed engine did.
+func referenceRun[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	t *testing.T,
+	mappers, reducers int,
+	input []Pair[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	reduceFn ReduceFunc[K2, V2, K3, V3],
+) []Pair[K3, V3] {
+	t.Helper()
+	// Map splits in order; concatenating split outputs in split order
+	// reproduces the engine's deterministic intermediate order.
+	var mid []Pair[K2, V2]
+	for _, sp := range splitRange(len(input), mappers) {
+		buf := &emitBuf[K2, V2]{}
+		for j := sp.lo; j < sp.hi; j++ {
+			if err := mapFn(input[j].Key, input[j].Value, buf); err != nil {
+				t.Fatalf("reference map: %v", err)
+			}
+		}
+		mid = append(mid, buf.pairs...)
+	}
+	// Partition and group exactly like the seed: per-partition
+	// map[K][]V in arrival order.
+	parts := make([]map[K2][]V2, reducers)
+	for i := range parts {
+		parts[i] = make(map[K2][]V2)
+	}
+	for _, p := range mid {
+		idx := partitionIndex(p.Key, reducers)
+		parts[idx][p.Key] = append(parts[idx][p.Key], p.Value)
+	}
+	// Reduce each partition's groups in sorted key order.
+	var out []Pair[K3, V3]
+	for _, part := range parts {
+		keys := make([]K2, 0, len(part))
+		for k := range part {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
+		buf := &emitBuf[K3, V3]{}
+		for _, k := range keys {
+			if err := reduceFn(k, part[k], buf); err != nil {
+				t.Fatalf("reference reduce: %v", err)
+			}
+		}
+		out = append(out, buf.pairs...)
+	}
+	sortPairs(out)
+	return out
+}
+
+// wordCountJob is the canonical string-keyed workload with an
+// order-insensitive reduce made order-sensitive: it concatenates
+// value positions so any value-order deviation shows.
+func wordCountJob(t *testing.T, cfg Config) []Pair[string, string] {
+	t.Helper()
+	input := make([]Pair[int, string], 400)
+	for i := range input {
+		input[i] = P(i, fmt.Sprintf("w%d w%d w%d", i%31, i%7, i%3))
+	}
+	mapFn := func(k int, line string, out Emitter[string, string]) error {
+		start := 0
+		for j := 0; j <= len(line); j++ {
+			if j == len(line) || line[j] == ' ' {
+				if j > start {
+					out.Emit(line[start:j], fmt.Sprintf("%d.%d", k, start))
+				}
+				start = j + 1
+			}
+		}
+		return nil
+	}
+	redFn := func(w string, vs []string, out Emitter[string, string]) error {
+		s := ""
+		for _, v := range vs {
+			s += v + ","
+		}
+		out.Emit(w, s)
+		return nil
+	}
+	out, _, err := Run(context.Background(), cfg, input, mapFn, redFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference comparison re-runs the same functions outside Run.
+	ref := referenceRun(t, cfg.mappers(), cfg.reducers(), input, mapFn, redFn)
+	if !reflect.DeepEqual(out, ref) {
+		t.Fatalf("%s backend diverges from the reference shuffle", cfg.Shuffle.kind())
+	}
+	return out
+}
+
+// TestShuffleMatchesReferenceWordCount pins both backends to the seed
+// semantics on the canonical string-keyed job.
+func TestShuffleMatchesReferenceWordCount(t *testing.T) {
+	mem := wordCountJob(t, Config{Mappers: 4, Reducers: 3})
+	spill := wordCountJob(t, spillCfg(64))
+	if !reflect.DeepEqual(mem, spill) {
+		t.Fatal("memory and spill outputs differ on word count")
+	}
+}
+
+// TestShuffleMatchesReferenceIntKeys exercises the packed 32-bit radix
+// path against the reference on an order-sensitive int32-keyed job.
+func TestShuffleMatchesReferenceIntKeys(t *testing.T) {
+	input := make([]Pair[int32, int32], 3000)
+	for i := range input {
+		input[i] = P(int32(i), int32(i))
+	}
+	mapFn := func(k, v int32, out Emitter[int32, int32]) error {
+		for f := int32(0); f < 5; f++ {
+			out.Emit((k*17+f)%257-128, v+f) // negative keys included
+		}
+		return nil
+	}
+	redFn := func(k int32, vs []int32, out Emitter[int32, int64]) error {
+		acc := int64(0)
+		for i, v := range vs {
+			acc = acc*31 + int64(v)*int64(i+1) // order-sensitive fold
+		}
+		out.Emit(k, acc)
+		return nil
+	}
+	run := func(cfg Config) []Pair[int32, int64] {
+		out, _, err := Run(context.Background(), cfg, input, mapFn, redFn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	mem := run(Config{Mappers: 4, Reducers: 4})
+	ref := referenceRun(t, 4, 4, input, mapFn, redFn)
+	if !reflect.DeepEqual(mem, ref) {
+		t.Fatal("memory backend diverges from reference on int32 keys")
+	}
+	if spill := run(spillCfg(128)); !reflect.DeepEqual(mem, spill) {
+		t.Fatal("spill diverges from memory on int32 keys")
+	}
+}
+
+// TestShuffleMatchesReferenceCompositeKeys covers the [2]int32 packed
+// image and the fmt-fallback tie handling of the memory backend.
+func TestShuffleMatchesReferenceCompositeKeys(t *testing.T) {
+	input := make([]Pair[int, int], 500)
+	for i := range input {
+		input[i] = P(i, i)
+	}
+	mapFn := func(k, v int, out Emitter[[2]int32, int]) error {
+		out.Emit([2]int32{int32(k % 13), int32(k % 5)}, v)
+		return nil
+	}
+	redFn := func(k [2]int32, vs []int, out Emitter[[2]int32, string]) error {
+		s := ""
+		for _, v := range vs {
+			s += fmt.Sprintf("%d,", v)
+		}
+		out.Emit(k, s)
+		return nil
+	}
+	out, _, err := Run(context.Background(), Config{Mappers: 3, Reducers: 2}, input, mapFn, redFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceRun(t, 3, 2, input, mapFn, redFn)
+	if !reflect.DeepEqual(out, ref) {
+		t.Fatal("memory backend diverges from reference on [2]int32 keys")
+	}
+}
+
+// TestMemoryBackendGroupsCollidingFmtKeys checks the comparator-tie
+// slow path: distinct composite keys whose fmt representations collide
+// must still meet Go-map grouping semantics (each distinct key is one
+// group, value order preserved) — the case the spill backend rejects.
+func TestMemoryBackendGroupsCollidingFmtKeys(t *testing.T) {
+	input := []Pair[int, int]{P(0, 0), P(1, 1), P(2, 2), P(3, 3)}
+	out, _, err := Run(context.Background(), Config{Mappers: 1, Reducers: 1}, input,
+		func(k, v int, out Emitter[badKey, int]) error {
+			// Alternate between two distinct keys that both print "{a  b}".
+			if k%2 == 0 {
+				out.Emit(badKey{"a ", "b"}, v)
+			} else {
+				out.Emit(badKey{"a", " b"}, v)
+			}
+			return nil
+		},
+		func(k badKey, vs []int, out Emitter[int, []int]) error {
+			out.Emit(len(vs), append([]int(nil), vs...))
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("colliding keys produced %d groups, want 2: %v", len(out), out)
+	}
+	for _, p := range out {
+		if len(p.Value) != 2 {
+			t.Fatalf("group has %d values, want 2: %v", len(p.Value), out)
+		}
+		if p.Value[1] != p.Value[0]+2 {
+			t.Fatalf("value order broken within tie group: %v", p.Value)
+		}
+	}
+}
+
+// TestChunkedIngestionPreservesValueOrder is the property test for the
+// AddBucket contract: a split's pairs delivered across many bucket
+// handoffs (the spilling backend's chunked feeding) must reach reducers
+// in global emission order — split index ascending, then emission order
+// within the split — for both backends, at several bucket sizes.
+func TestChunkedIngestionPreservesValueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const splits, parts, perSplit = 3, 2, 500
+	// Emission log: emissions[s] lists (key, value) in emission order;
+	// values encode (split, emission index) so order is checkable.
+	type emission struct {
+		key int32
+		val int64
+	}
+	emissions := make([][]emission, splits)
+	for s := range emissions {
+		for i := 0; i < perSplit; i++ {
+			emissions[s] = append(emissions[s], emission{
+				key: int32(rng.Intn(37)),
+				val: int64(s)<<32 | int64(i),
+			})
+		}
+	}
+	feed := func(backend ShuffleBackend[int32, int64], bucketCap int) {
+		t.Helper()
+		for s := range emissions {
+			buckets := make([][]Pair[int32, int64], parts)
+			flush := func(p int) {
+				if len(buckets[p]) > 0 {
+					if err := backend.AddBucket(s, p, buckets[p]); err != nil {
+						t.Fatal(err)
+					}
+					buckets[p] = nil
+				}
+			}
+			for _, e := range emissions[s] {
+				p := partitionIndex(e.key, parts)
+				buckets[p] = append(buckets[p], P(e.key, e.val))
+				if len(buckets[p]) >= bucketCap {
+					flush(p)
+				}
+			}
+			for p := range buckets {
+				flush(p)
+			}
+		}
+	}
+	collect := func(backend ShuffleBackend[int32, int64]) map[int32][]int64 {
+		t.Helper()
+		streams, err := backend.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int32][]int64{}
+		var prevKeys []int32
+		for _, st := range streams {
+			prevKeys = prevKeys[:0]
+			for {
+				k, vs, ok, err := st.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				for _, pk := range prevKeys {
+					if !lessKey(pk, k) {
+						t.Fatalf("keys out of order within partition: %d before %d", pk, k)
+					}
+				}
+				prevKeys = append(prevKeys, k)
+				got[k] = append([]int64(nil), vs...)
+			}
+			st.Close()
+		}
+		return got
+	}
+	want := map[int32][]int64{}
+	for s := range emissions {
+		for _, e := range emissions[s] {
+			want[e.key] = append(want[e.key], e.val)
+		}
+	}
+	for _, bucketCap := range []int{1, 3, 64, perSplit * splits} {
+		mem := newMemoryShuffle[int32, int64](parts, splits)
+		feed(mem, bucketCap)
+		if got := collect(mem); !reflect.DeepEqual(got, want) {
+			t.Fatalf("memory backend broke value order at bucket cap %d", bucketCap)
+		}
+		mem.Close()
+
+		sp, err := newSpillShuffle[int32, int64](parts, splits, ShuffleConfig{MemoryBudget: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(sp, bucketCap)
+		if got := collect(sp); !reflect.DeepEqual(got, want) {
+			t.Fatalf("spill backend broke value order at bucket cap %d", bucketCap)
+		}
+		sp.Close()
+	}
+}
+
+// TestSortKeyValsStability pins the radix sort permutation itself:
+// random keys from a small domain, values recording original positions,
+// sorted output must be key-ascending and position-ascending within
+// equal keys — for every key-kind code path.
+func TestSortKeyValsStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 4096
+	check := func(name string, sortedKeys []int64, positions []int) {
+		t.Helper()
+		for i := 1; i < n; i++ {
+			if sortedKeys[i] < sortedKeys[i-1] {
+				t.Fatalf("%s: keys out of order at %d", name, i)
+			}
+			if sortedKeys[i] == sortedKeys[i-1] && positions[i] < positions[i-1] {
+				t.Fatalf("%s: stability broken at %d", name, i)
+			}
+		}
+	}
+	t.Run("int32-packed", func(t *testing.T) {
+		keys := make([]int32, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = int32(rng.Intn(97)) - 48
+			vals[i] = i
+		}
+		sk, sv, run := sortKeyVals(keys, vals, keyOrderKind[int32]())
+		if !run.exact || run.ord == nil {
+			t.Fatal("int32 keys should produce an exact sorted run")
+		}
+		asInt64 := make([]int64, n)
+		for i, k := range sk {
+			asInt64[i] = int64(k)
+		}
+		check("int32", asInt64, sv)
+	})
+	t.Run("int64-wide", func(t *testing.T) {
+		keys := make([]int64, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = (int64(rng.Intn(31)) - 15) << 40 // spread beyond 32 bits
+			vals[i] = i
+		}
+		sk, sv, _ := sortKeyVals(keys, vals, keyOrderKind[int64]())
+		check("int64", sk, sv)
+	})
+	t.Run("string-prefix-and-long", func(t *testing.T) {
+		words := []string{"a", "ab", "abc", "abcdefgh", "abcdefghi", "abcdefghz", "zz", ""}
+		keys := make([]string, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = words[rng.Intn(len(words))]
+			vals[i] = i
+		}
+		sk, sv, _ := sortKeyVals(keys, vals, keyOrderKind[string]())
+		for i := 1; i < n; i++ {
+			if sk[i] < sk[i-1] {
+				t.Fatalf("strings out of order at %d: %q < %q", i, sk[i], sk[i-1])
+			}
+			if sk[i] == sk[i-1] && sv[i] < sv[i-1] {
+				t.Fatalf("string stability broken at %d", i)
+			}
+		}
+	})
+	t.Run("named-int32", func(t *testing.T) {
+		keys := make([]nodeKey, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = nodeKey(rng.Intn(61) - 30)
+			vals[i] = i
+		}
+		sk, sv, run := sortKeyVals(keys, vals, keyOrderKind[nodeKey]())
+		if !run.exact {
+			t.Fatal("named int32 keys should produce an exact run")
+		}
+		asInt64 := make([]int64, n)
+		for i, k := range sk {
+			asInt64[i] = int64(k)
+		}
+		check("named-int32", asInt64, sv)
+	})
+	t.Run("float64", func(t *testing.T) {
+		keys := make([]float64, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(21)-10) / 4
+		}
+		for i := range vals {
+			vals[i] = i
+		}
+		sk, sv, run := sortKeyVals(keys, vals, keyOrderKind[float64]())
+		if run.ord != nil {
+			t.Fatal("float keys must not claim an image-equality run")
+		}
+		for i := 1; i < n; i++ {
+			if sk[i] < sk[i-1] {
+				t.Fatalf("floats out of order at %d", i)
+			}
+			if sk[i] == sk[i-1] && sv[i] < sv[i-1] {
+				t.Fatalf("float stability broken at %d", i)
+			}
+		}
+	})
+}
+
+// TestFloatSignedZeroKeysGroupInEmissionOrder pins the f64Ord zero
+// normalization: -0.0 and +0.0 are one Go map key, so they must form a
+// single group whose values stay in global emission order — distinct
+// images would let the stable sort segregate the two spellings.
+func TestFloatSignedZeroKeysGroupInEmissionOrder(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	input := []Pair[int, float64]{P(0, 0.0), P(1, negZero), P(2, 0.0), P(3, 1.5), P(4, negZero)}
+	out, _, err := Run(context.Background(), Config{Mappers: 1, Reducers: 1}, input,
+		func(k int, f float64, out Emitter[float64, int]) error {
+			out.Emit(f, k)
+			return nil
+		},
+		func(f float64, vs []int, out Emitter[float64, []int]) error {
+			out.Emit(f, append([]int(nil), vs...))
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("want 2 groups (zero merged, 1.5), got %v", out)
+	}
+	if !reflect.DeepEqual(out[0].Value, []int{0, 1, 2, 4}) {
+		t.Fatalf("zero group values %v, want emission order [0 1 2 4]", out[0].Value)
+	}
+}
+
+// TestStringKeysWithNULBytesStayDistinct pins the prefix-ambiguity
+// repair: "a" and "a\x00" share an 8-byte zero-padded prefix image but
+// are distinct keys, and must stay distinct groups in lexicographic
+// order on both backends.
+func TestStringKeysWithNULBytesStayDistinct(t *testing.T) {
+	keys := []string{"a", "a\x00", "a", "a\x00\x00", "b\x00", "b", "a\x00"}
+	input := make([]Pair[int, int], len(keys))
+	for i := range input {
+		input[i] = P(i, i)
+	}
+	run := func(cfg Config) []Pair[string, []int] {
+		out, _, err := Run(context.Background(), cfg, input,
+			func(k, v int, out Emitter[string, int]) error {
+				out.Emit(keys[k], v)
+				return nil
+			},
+			CollectValues[string, int]())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	mem := run(Config{Mappers: 2, Reducers: 1})
+	want := []Pair[string, []int]{
+		P("a", []int{0, 2}),
+		P("a\x00", []int{1, 6}),
+		P("a\x00\x00", []int{3}),
+		P("b", []int{5}),
+		P("b\x00", []int{4}),
+	}
+	if !reflect.DeepEqual(mem, want) {
+		t.Fatalf("NUL-byte keys misgrouped:\ngot  %q\nwant %q", mem, want)
+	}
+	if spill := run(spillCfg(2)); !reflect.DeepEqual(mem, spill) {
+		t.Fatal("NUL-byte keys diverge across backends")
+	}
+}

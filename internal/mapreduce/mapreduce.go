@@ -25,12 +25,17 @@
 //     are processed in sorted key order within every partition, and output
 //     order is normalized).
 //
-// The shuffle between the two phases is pluggable (Config.Shuffle): the
-// default backend groups everything in memory, while the spilling
+// The shuffle between the two phases is pluggable (Config.Shuffle) and
+// fully parallel: map tasks partition their output into per-reducer
+// buckets as pairs are emitted (map-side partitioning), and each reduce
+// task groups its own partition with a stable sort by key (sort-based
+// grouping), so no phase of the data path runs on a single goroutine.
+// The default backend keeps everything in memory, while the spilling
 // backend bounds memory by writing sorted runs to disk through
 // internal/extsort and merge-streaming the key groups to the reducers,
 // so jobs whose intermediate data far exceeds RAM still complete. See
-// shuffle.go for the ShuffleBackend contract.
+// shuffle.go for the ShuffleBackend contract. Per-phase wall times are
+// recorded in Stats (MapWall, ShuffleWall, ReduceWall).
 package mapreduce
 
 import (
@@ -38,8 +43,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
+	"time"
 )
 
 // Pair is a key-value pair, the unit of data flowing through a job.
@@ -171,43 +176,72 @@ func (e *emitBuf[K, V]) Emit(key K, value V) {
 	e.pairs = append(e.pairs, Pair[K, V]{Key: key, Value: value})
 }
 
-// shuffleEmitter is the Emitter handed to map tasks: it buffers emitted
-// pairs and feeds them to the job's shuffle backend. With a chunked
-// backend (ChunkSize > 0) the buffer flushes every chunk pairs, so the
-// backend can start spilling long before the split finishes; with a
-// whole-split backend the single final flush transfers ownership of the
-// buffer, costing nothing over the seed engine's plain buffering.
+// emitBucketCap is the default size at which the emitter hands a full
+// partition bucket to the backend. A bucket's first fill grows
+// naturally (small jobs never over-allocate); once a partition has
+// flushed, its next bucket is allocated at full capacity, so a busy
+// partition's steady state is alloc-once-fill-hand-over — no growth
+// copying on the emit hot path.
+const emitBucketCap = 1024
+
+// shuffleEmitter is the Emitter handed to map tasks: it routes every
+// emitted pair into a per-reducer bucket as it is produced — map-side
+// partitioning, so the one hashKey per pair runs in parallel across the
+// map tasks instead of serially during shuffle finalization — and hands
+// each bucket to the job's shuffle backend when it fills (ownership
+// transfer; the backend keeps the slice, so shuffle finalization only
+// collects slice headers). Bounded buckets also let a spilling backend
+// start writing runs long before the split finishes.
 type shuffleEmitter[K comparable, V any] struct {
 	backend ShuffleBackend[K, V]
 	split   int
-	chunk   int
-	buf     []Pair[K, V]
+	cap     int
+	parts   int
+	buckets [][]Pair[K, V]
 	count   int64
 	err     error
+}
+
+func newShuffleEmitter[K comparable, V any](backend ShuffleBackend[K, V], split int) *shuffleEmitter[K, V] {
+	bcap := backend.BucketCap()
+	if bcap <= 0 {
+		bcap = emitBucketCap
+	}
+	return &shuffleEmitter[K, V]{
+		backend: backend,
+		split:   split,
+		cap:     bcap,
+		parts:   backend.Partitions(),
+		buckets: make([][]Pair[K, V], backend.Partitions()),
+	}
 }
 
 func (e *shuffleEmitter[K, V]) Emit(key K, value V) {
 	if e.err != nil {
 		return
 	}
-	e.buf = append(e.buf, Pair[K, V]{Key: key, Value: value})
+	idx := partitionIndex(key, e.parts)
+	b := append(e.buckets[idx], Pair[K, V]{Key: key, Value: value})
 	e.count++
-	if e.chunk > 0 && len(e.buf) >= e.chunk {
-		e.err = e.backend.Add(e.split, e.buf)
-		e.buf = e.buf[:0]
+	if len(b) >= e.cap {
+		e.err = e.backend.AddBucket(e.split, idx, b)
+		b = make([]Pair[K, V], 0, e.cap)
 	}
+	e.buckets[idx] = b
 }
 
-// finish flushes the remaining buffer; the buffer must not be reused
-// afterwards (a whole-split backend keeps it).
+// finish hands over the remaining partial buckets; they must not be
+// touched afterwards (the backend owns them).
 func (e *shuffleEmitter[K, V]) finish() error {
-	if e.err != nil {
-		return e.err
+	for p, b := range e.buckets {
+		if e.err != nil {
+			break
+		}
+		if len(b) > 0 {
+			e.err = e.backend.AddBucket(e.split, p, b)
+		}
 	}
-	if len(e.buf) > 0 {
-		e.err = e.backend.Add(e.split, e.buf)
-		e.buf = nil
-	}
+	e.buckets = nil
 	return e.err
 }
 
@@ -242,14 +276,21 @@ func Run[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
 	}
 	defer backend.Close()
 
+	phase := time.Now()
 	if err := runMapPhase(ctx, cfg, splits, input, mapFn, backend, stats); err != nil {
+		stats.MapWall = time.Since(phase)
 		return nil, stats, err
 	}
+	stats.MapWall = time.Since(phase)
+	phase = time.Now()
 	streams, err := backend.Finalize()
+	stats.ShuffleWall = time.Since(phase)
 	if err != nil {
 		return nil, stats, err
 	}
+	phase = time.Now()
 	output, err := runReducePhase(ctx, cfg, streams, reduceFn, stats)
+	stats.ReduceWall = time.Since(phase)
 	stats.recordShuffle(backend)
 	if err != nil {
 		return nil, stats, err
@@ -280,7 +321,7 @@ func runMapPhase[K1 comparable, V1 any, K2 comparable, V2 any](
 			if err := cfg.burnAttempts(0, i, stats.addMapRetry); err != nil {
 				return err
 			}
-			em := &shuffleEmitter[K2, V2]{backend: backend, split: i, chunk: backend.ChunkSize()}
+			em := newShuffleEmitter(backend, i)
 			for j := sp.lo; j < sp.hi; j++ {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -419,16 +460,4 @@ func (g *errGroup) Wait() error {
 	g.wg.Wait()
 	g.cancel()
 	return g.err
-}
-
-// sortPairs orders output pairs by key for reproducible results.
-func sortPairs[K comparable, V any](pairs []Pair[K, V]) {
-	sort.SliceStable(pairs, func(i, j int) bool {
-		return lessKey(pairs[i].Key, pairs[j].Key)
-	})
-}
-
-// sortKeys orders a key slice deterministically.
-func sortKeys[K comparable](keys []K) {
-	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
 }

@@ -1,9 +1,14 @@
 package mapreduce
 
 import (
+	"cmp"
 	"fmt"
 	"hash/fnv"
 	"math"
+	"math/bits"
+	"reflect"
+	"slices"
+	"strings"
 )
 
 // partitionIndex assigns a key to one of r partitions. It special-cases
@@ -19,7 +24,16 @@ func partitionIndex[K comparable](key K, r int) int {
 	return int(hashKey(key) % uint64(r))
 }
 
-// hashKey produces a stable 64-bit hash for a key.
+// FNV-1a constants (matching hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashKey produces a stable 64-bit hash for a key. The string case is an
+// inlined FNV-1a loop over the string bytes — identical output to
+// fnv.New64a, without the hasher and []byte-conversion allocations that
+// would otherwise cost one heap object per emitted string-keyed pair.
 func hashKey[K comparable](key K) uint64 {
 	switch k := any(key).(type) {
 	case int:
@@ -33,9 +47,12 @@ func hashKey[K comparable](key K) uint64 {
 	case uint64:
 		return mix64(k)
 	case string:
-		h := fnv.New64a()
-		_, _ = h.Write([]byte(k))
-		return h.Sum64()
+		h := uint64(fnvOffset64)
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= fnvPrime64
+		}
+		return h
 	case float64:
 		return mix64(math.Float64bits(k))
 	case [2]int32:
@@ -58,7 +75,8 @@ func mix64(x uint64) uint64 {
 
 // lessKey imposes a deterministic total order on keys of a comparable
 // type. Like hashKey it special-cases the common key types and falls back
-// to the fmt representation.
+// to the fmt representation. For bulk sorting use sortPairsByKey, which
+// avoids formatting per comparison; lessKey suits one-off comparisons.
 func lessKey[K comparable](a, b K) bool {
 	switch x := any(a).(type) {
 	case int:
@@ -84,4 +102,548 @@ func lessKey[K comparable](a, b K) bool {
 	default:
 		return fmt.Sprint(a) < fmt.Sprint(b)
 	}
+}
+
+// orderKind classifies how keys of type K are ordered, resolved once per
+// job (not per comparison) so the shuffle's group sort can pick the
+// cheapest strategy: typed comparisons for the exact builtin key types,
+// a decorate-sort-undecorate pass for named scalar kinds (one reflect
+// call per element instead of two per comparison), and a string
+// decoration for the fmt fallback (one formatting per element instead of
+// two per comparison).
+type orderKind int
+
+const (
+	// orderFast: lessKey has a typed fast path for K.
+	orderFast orderKind = iota
+	// orderInt, orderUint, orderFloat, orderString: K is a named type
+	// of a scalar kind, compared through reflection.
+	orderInt
+	orderUint
+	orderFloat
+	orderString
+	// orderFmt: no intrinsic order; keys order by fmt representation.
+	orderFmt
+)
+
+// keyOrderKind resolves the ordering strategy for K.
+func keyOrderKind[K comparable]() orderKind {
+	var zero K
+	switch any(zero).(type) {
+	case int, int32, int64, uint32, uint64, string, float64, [2]int32:
+		return orderFast
+	}
+	t := reflect.TypeOf(zero)
+	if t == nil {
+		return orderFmt
+	}
+	switch t.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return orderInt
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return orderUint
+	case reflect.Float32, reflect.Float64:
+		return orderFloat
+	case reflect.String:
+		return orderString
+	}
+	return orderFmt
+}
+
+// keyCmpFor returns the three-way comparator realizing the resolved key
+// order, consistent with the sort permutation sortedPermByKey produces
+// (both order floats by their total-order bit transform, and fmt
+// fallback keys by their formatted representation). All kinds agree
+// with lessKey on the exact builtin types for every key the repository
+// uses; the only refinements are named scalar kinds (reflection instead
+// of formatting) and NaN floats (a definite total position instead of
+// comparing unordered).
+func keyCmpFor[K comparable](kind orderKind) func(a, b K) int {
+	switch kind {
+	case orderFast:
+		return cmpKeyFast[K]
+	case orderInt:
+		return func(a, b K) int {
+			return cmp.Compare(reflect.ValueOf(a).Int(), reflect.ValueOf(b).Int())
+		}
+	case orderUint:
+		return func(a, b K) int {
+			return cmp.Compare(reflect.ValueOf(a).Uint(), reflect.ValueOf(b).Uint())
+		}
+	case orderFloat:
+		return func(a, b K) int {
+			return cmp.Compare(f64Ord(reflect.ValueOf(a).Float()), f64Ord(reflect.ValueOf(b).Float()))
+		}
+	case orderString:
+		return func(a, b K) int {
+			return strings.Compare(reflect.ValueOf(a).String(), reflect.ValueOf(b).String())
+		}
+	default:
+		return func(a, b K) int { return strings.Compare(fmt.Sprint(a), fmt.Sprint(b)) }
+	}
+}
+
+// keyLessFor derives the boolean comparator used by the spill sorter's
+// merge from the shared key order.
+func keyLessFor[K comparable](kind orderKind) func(a, b K) bool {
+	cmpFn := keyCmpFor[K](kind)
+	return func(a, b K) bool { return cmpFn(a, b) < 0 }
+}
+
+// cmpKeyFast is the typed three-way comparator for the exact builtin
+// key types (one type switch per call, no reflection or formatting).
+func cmpKeyFast[K comparable](a, b K) int {
+	switch x := any(a).(type) {
+	case int:
+		return cmp.Compare(x, any(b).(int))
+	case int32:
+		return cmp.Compare(x, any(b).(int32))
+	case int64:
+		return cmp.Compare(x, any(b).(int64))
+	case uint32:
+		return cmp.Compare(x, any(b).(uint32))
+	case uint64:
+		return cmp.Compare(x, any(b).(uint64))
+	case string:
+		return strings.Compare(x, any(b).(string))
+	case float64:
+		return cmp.Compare(f64Ord(x), f64Ord(any(b).(float64)))
+	case [2]int32:
+		y := any(b).([2]int32)
+		if c := cmp.Compare(x[0], y[0]); c != 0 {
+			return c
+		}
+		return cmp.Compare(x[1], y[1])
+	default:
+		return strings.Compare(fmt.Sprint(a), fmt.Sprint(b))
+	}
+}
+
+// --- order-preserving uint64 key transforms ---------------------------
+//
+// The group sort never calls a comparator: each key is projected once to
+// a uint64 whose unsigned order equals the key order, and the projected
+// keys are radix-sorted. This is the decorate-sort-undecorate idea taken
+// to its cheapest form — O(n) passes over machine words instead of
+// O(n log n) comparator calls.
+
+// i64Ord maps a signed integer to its order-preserving unsigned image.
+func i64Ord(v int64) uint64 { return uint64(v) ^ (1 << 63) }
+
+// f64Ord maps a float64 to an unsigned image whose order is the IEEE
+// total order: negatives (bits flipped) below positives (sign bit set).
+// NaNs land above +Inf or below -Inf by their sign bit — a definite,
+// deterministic position, unlike the unordered < they'd otherwise get.
+// The two zeros share one image: -0.0 == +0.0 as Go map keys, so they
+// form a single group whose values must stay in emission order — giving
+// them distinct images would let the stable sort segregate them.
+func f64Ord(f float64) uint64 {
+	if f == 0 {
+		return 1 << 63 // canonical +0.0 image (f == 0 is false for NaN)
+	}
+	b := math.Float64bits(f)
+	if b>>63 != 0 {
+		return ^b
+	}
+	return b | (1 << 63)
+}
+
+// i32Ord32 is the 32-bit signed-integer transform used by the packed
+// (key, index) sort path; unsigned 32-bit keys are their own image.
+func i32Ord32(v int32) uint32 { return uint32(v) ^ (1 << 31) }
+
+// numericKeyFn returns the uint64 projection for K, or nil when K
+// orders as a string (string kinds and the fmt fallback). width32
+// reports that the projection fits 32 bits, enabling the packed path.
+func numericKeyFn[K comparable](kind orderKind) (fn func(K) uint64, width32 bool) {
+	var zero K
+	switch any(zero).(type) {
+	case int:
+		return func(k K) uint64 { return i64Ord(int64(any(k).(int))) }, false
+	case int32:
+		return func(k K) uint64 { return uint64(i32Ord32(any(k).(int32))) }, true
+	case int64:
+		return func(k K) uint64 { return i64Ord(any(k).(int64)) }, false
+	case uint32:
+		return func(k K) uint64 { return uint64(any(k).(uint32)) }, true
+	case uint64:
+		return func(k K) uint64 { return any(k).(uint64) }, false
+	case float64:
+		return func(k K) uint64 { return f64Ord(any(k).(float64)) }, false
+	case [2]int32:
+		return func(k K) uint64 {
+			x := any(k).([2]int32)
+			return uint64(i32Ord32(x[0]))<<32 | uint64(i32Ord32(x[1]))
+		}, false
+	}
+	switch kind {
+	case orderInt:
+		if w32 := reflect.TypeFor[K]().Bits() <= 32; w32 {
+			return func(k K) uint64 { return uint64(i32Ord32(int32(reflect.ValueOf(k).Int()))) }, true
+		}
+		return func(k K) uint64 { return i64Ord(reflect.ValueOf(k).Int()) }, false
+	case orderUint:
+		if w32 := reflect.TypeFor[K]().Bits() <= 32; w32 {
+			return func(k K) uint64 { return uint64(uint32(reflect.ValueOf(k).Uint())) }, true
+		}
+		return func(k K) uint64 { return reflect.ValueOf(k).Uint() }, false
+	case orderFloat:
+		return func(k K) uint64 { return f64Ord(reflect.ValueOf(k).Float()) }, false
+	}
+	return nil, false
+}
+
+// stringKeyFn returns the string projection for K (identity for plain
+// strings, reflection for named string kinds, fmt for the fallback) and
+// whether the projection is the identity — an identity projection needs
+// no materialized side array, the keys themselves serve.
+func stringKeyFn[K comparable](kind orderKind) (fn func(K) string, identity bool) {
+	var zero K
+	if _, ok := any(zero).(string); ok {
+		return func(k K) string { return any(k).(string) }, true
+	}
+	if kind == orderString {
+		return func(k K) string { return reflect.ValueOf(k).String() }, false
+	}
+	return func(k K) string { return fmt.Sprint(k) }, false
+}
+
+// sortedRun describes the sorted key-image array that rides along with
+// the sorted keys of one partition, letting the group stream find group
+// boundaries by comparing machine words instead of keys.
+type sortedRun struct {
+	// ord holds one uint64 per element, ascending in key order; the
+	// image of element i is ord[i] >> shift.
+	ord   []uint64
+	shift uint
+	// exact reports that image equality coincides with key equality
+	// (injective projections: integer kinds, [2]int32, and string
+	// prefixes when no key exceeds 8 bytes), so boundary detection
+	// needs no key comparison at all. When false, equal images still
+	// narrow the boundary test to a key-equality check.
+	exact bool
+}
+
+// sortKeyVals stable-sorts the parallel keys and vals slices by key and
+// returns the sorted slices (freshly gathered; the inputs are consumed
+// as scratch) plus the sorted key images for boundary scanning: keys
+// ascending under the resolved key order, ties (equal keys) in original
+// slice order. Stability is load-bearing — within equal keys the
+// original order is (split index, emission index), which is the
+// engine's value-order contract.
+//
+// No comparator ever runs: each key is projected once to an
+// order-preserving uint64 image (numeric kinds) or an 8-byte string
+// prefix, the images are radix-sorted carrying the original index, and
+// the outputs are gathered through the resulting permutation
+// (sequential writes, prefetchable reads). Indexes are int32: one
+// partition's in-memory pairs can't meaningfully exceed 2^31 records
+// (that's already >16 GiB of Pair headers).
+//
+// Float keys return no run (run.ord == nil): their images are injective
+// on bit patterns but not on key equality in either direction (-0.0 and
+// +0.0 are equal keys with distinct images), so the stream falls back
+// to key comparisons.
+func sortKeyVals[K comparable, V any](keys []K, vals []V, kind orderKind) ([]K, []V, sortedRun) {
+	n := len(keys)
+	isFloat := kind == orderFloat
+	if !isFloat {
+		var zero K
+		_, isFloat = any(zero).(float64)
+	}
+	if n < 2 {
+		return keys, vals, sortedRun{}
+	}
+	if numFn, width32 := numericKeyFn[K](kind); numFn != nil {
+		if width32 {
+			// Packed path: key image in the high 32 bits, index in the
+			// low 32. Radix passes touch only the key bytes; the LSD
+			// scatter is stable, so equal keys keep ascending index
+			// order without the index ever being sorted on.
+			packed := make([]uint64, n)
+			for i, k := range keys {
+				packed[i] = numFn(k)<<32 | uint64(uint32(i))
+			}
+			radixSortU64(packed, nil, 4)
+			outK := make([]K, n)
+			outV := make([]V, n)
+			for i, p := range packed {
+				j := uint32(p)
+				outK[i] = keys[j]
+				outV[i] = vals[j]
+			}
+			return outK, outV, sortedRun{ord: packed, shift: 32, exact: true}
+		}
+		images := make([]uint64, n)
+		perm := make([]int32, n)
+		for i, k := range keys {
+			images[i] = numFn(k)
+			perm[i] = int32(i)
+		}
+		radixSortU64(images, perm, 0)
+		outK, outV := gatherPerm(perm, keys, vals)
+		if isFloat {
+			return outK, outV, sortedRun{}
+		}
+		return outK, outV, sortedRun{ord: images, exact: true}
+	}
+	// String-ordered keys: radix-sort by an 8-byte big-endian prefix
+	// (order-preserving for lexicographic comparison), then repair the
+	// rare runs whose prefixes collide with a comparison sort. Plain
+	// string keys are projected straight off the key slice; only
+	// non-identity projections (named string kinds, fmt fallback)
+	// materialize a side array, so each key formats exactly once.
+	strFn, identity := stringKeyFn[K](kind)
+	prefixes := make([]uint64, n)
+	perm := make([]int32, n)
+	var strs []string
+	str := func(i int32) string { return strFn(keys[i]) }
+	if !identity {
+		strs = make([]string, n)
+		for i, k := range keys {
+			strs[i] = strFn(k)
+		}
+		str = func(i int32) string { return strs[i] }
+	}
+	anyAmbiguous := false
+	for i := range keys {
+		p, ambiguous := strPrefix64(str(int32(i)))
+		anyAmbiguous = anyAmbiguous || ambiguous
+		prefixes[i] = p
+		perm[i] = int32(i)
+	}
+	radixSortU64(prefixes, perm, 0)
+	if anyAmbiguous {
+		// Only ambiguous keys (longer than the prefix, or containing
+		// NUL bytes indistinguishable from the zero padding) can make
+		// two distinct keys collide; otherwise the prefix order is
+		// exact and no repair pass is needed.
+		fixupPrefixRuns(prefixes, perm, str)
+	}
+	outK, outV := gatherPerm(perm, keys, vals)
+	// A prefix run is exact only when the projection itself is
+	// injective on key equality — true for unambiguous real strings
+	// (identity or named kinds), never for the fmt fallback, where
+	// distinct keys can format identically.
+	exact := !anyAmbiguous && kind != orderFmt
+	return outK, outV, sortedRun{ord: prefixes, exact: exact}
+}
+
+// gatherPerm gathers keys and vals into fresh slices so that position i
+// holds the elements originally at perm[i].
+func gatherPerm[K comparable, V any](perm []int32, keys []K, vals []V) ([]K, []V) {
+	outK := make([]K, len(perm))
+	outV := make([]V, len(perm))
+	for i, p := range perm {
+		outK[i] = keys[p]
+		outV[i] = vals[p]
+	}
+	return outK, outV
+}
+
+// strPrefix64 packs the first 8 bytes of s big-endian (zero-padded), so
+// uint64 order equals lexicographic order up to the prefix length.
+// ambiguous reports that the image may collide with a different key's:
+// the string extends past the prefix, or its prefix bytes contain a NUL
+// that the zero padding of a shorter key could mimic ("a" vs "a\x00").
+func strPrefix64(s string) (p uint64, ambiguous bool) {
+	if len(s) >= 8 {
+		// The compiler combines this into a single 8-byte load.
+		p = uint64(s[7]) | uint64(s[6])<<8 | uint64(s[5])<<16 | uint64(s[4])<<24 |
+			uint64(s[3])<<32 | uint64(s[2])<<40 | uint64(s[1])<<48 | uint64(s[0])<<56
+		// SWAR zero-byte test over the eight prefix bytes.
+		hasNul := (p-0x0101010101010101)&^p&0x8080808080808080 != 0
+		return p, len(s) > 8 || hasNul
+	}
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b == 0 {
+			ambiguous = true
+		}
+		p |= uint64(b) << (56 - 8*i)
+	}
+	return p, ambiguous
+}
+
+// fixupPrefixRuns finishes the string sort: within every run of equal
+// prefixes that could still be misordered (any member with an ambiguous
+// image), re-sort the run by (full string, original index). The index
+// tiebreak makes the unstable slices.SortFunc deterministic and
+// restores stability, because equal strings resolve by original
+// position.
+func fixupPrefixRuns(prefixes []uint64, perm []int32, str func(int32) string) {
+	n := len(prefixes)
+	ambig := func(i int32) bool {
+		_, a := strPrefix64(str(i))
+		return a
+	}
+	for i := 0; i < n; {
+		j := i + 1
+		needs := ambig(perm[i])
+		for j < n && prefixes[j] == prefixes[i] {
+			needs = needs || ambig(perm[j])
+			j++
+		}
+		if needs && j-i > 1 {
+			run := perm[i:j]
+			slices.SortFunc(run, func(a, b int32) int {
+				if c := strings.Compare(str(a), str(b)); c != 0 {
+					return c
+				}
+				return cmp.Compare(a, b)
+			})
+		}
+		i = j
+	}
+}
+
+// radixSortU64 stable-sorts keys ascending by their bytes from loByte
+// up, optionally carrying perm as payload (nil when the payload is
+// packed into the keys themselves). LSD radix with a counting scatter:
+// O(passes·n), no comparator calls. Only bytes that actually vary are
+// histogrammed and scattered — one or/and sweep finds them — so small
+// key spaces cost one or two passes over the data.
+func radixSortU64(keys []uint64, perm []int32, loByte int) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	or, and := uint64(0), ^uint64(0)
+	for _, k := range keys {
+		or |= k
+		and &= k
+	}
+	diff := (or ^ and) &^ (1<<(8*loByte) - 1)
+	if diff == 0 {
+		return
+	}
+	// When every varying bit fits one digit, counting-sort in a single
+	// pass (histogram sized to the span, capped so it stays small
+	// relative to n). This is the common case for the repository's jobs:
+	// int32 node and term ids occupy well under 16 bits of spread.
+	lo := bits.TrailingZeros64(diff)
+	hi := 63 - bits.LeadingZeros64(diff)
+	if span := hi - lo + 1; span <= 16 && 1<<span <= 4*n {
+		mask := uint64(1)<<span - 1
+		counts := make([]int32, 1<<span)
+		for _, k := range keys {
+			counts[(k>>lo)&mask]++
+		}
+		var sum int32
+		for v := range counts {
+			c := counts[v]
+			counts[v] = sum
+			sum += c
+		}
+		tmpK := make([]uint64, n)
+		if perm == nil {
+			for _, k := range keys {
+				d := (k >> lo) & mask
+				tmpK[counts[d]] = k
+				counts[d]++
+			}
+			copy(keys, tmpK)
+			return
+		}
+		tmpP := make([]int32, n)
+		for i, k := range keys {
+			d := (k >> lo) & mask
+			o := counts[d]
+			tmpK[o] = k
+			tmpP[o] = perm[i]
+			counts[d] = o + 1
+		}
+		copy(keys, tmpK)
+		copy(perm, tmpP)
+		return
+	}
+	var active [8]int
+	nb := 0
+	for b := loByte; b < 8; b++ {
+		if diff>>(8*b)&0xff != 0 {
+			active[nb] = b
+			nb++
+		}
+	}
+	counts := make([][256]int32, nb)
+	for _, k := range keys {
+		for bi := 0; bi < nb; bi++ {
+			counts[bi][(k>>(8*active[bi]))&0xff]++
+		}
+	}
+	tmpK := make([]uint64, n)
+	var tmpP []int32
+	if perm != nil {
+		tmpP = make([]int32, n)
+	}
+	srcK, dstK := keys, tmpK
+	srcP, dstP := perm, tmpP
+	for bi := 0; bi < nb; bi++ {
+		var offs [256]int32
+		var sum int32
+		for v := 0; v < 256; v++ {
+			offs[v] = sum
+			sum += counts[bi][v]
+		}
+		shift := uint(8 * active[bi])
+		if perm == nil {
+			for _, k := range srcK {
+				d := (k >> shift) & 0xff
+				dstK[offs[d]] = k
+				offs[d]++
+			}
+		} else {
+			for i, k := range srcK {
+				d := (k >> shift) & 0xff
+				o := offs[d]
+				dstK[o] = k
+				dstP[o] = srcP[i]
+				offs[d] = o + 1
+			}
+		}
+		srcK, dstK = dstK, srcK
+		srcP, dstP = dstP, srcP
+	}
+	if nb%2 != 0 {
+		copy(keys, srcK)
+		if perm != nil {
+			copy(perm, srcP)
+		}
+	}
+}
+
+// sortPairsByKey stable-sorts pairs in place by key under the resolved
+// key order (see sortKeyVals).
+func sortPairsByKey[K comparable, V any](pairs []Pair[K, V], kind orderKind) {
+	if len(pairs) < 2 {
+		return
+	}
+	keys := make([]K, len(pairs))
+	vals := make([]V, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p.Key
+		vals[i] = p.Value
+	}
+	keys, vals, _ = sortKeyVals(keys, vals, kind)
+	for i := range pairs {
+		pairs[i] = Pair[K, V]{Key: keys[i], Value: vals[i]}
+	}
+}
+
+// sortPairs orders output pairs by key for reproducible results.
+func sortPairs[K comparable, V any](pairs []Pair[K, V]) {
+	sortPairsByKey(pairs, keyOrderKind[K]())
+}
+
+// partitionPairs buckets already-materialized pairs by partitionIndex,
+// preserving their order within every bucket. It serves paths that
+// cannot partition at emission time (the combiner, which must see a
+// split's complete output before it runs).
+func partitionPairs[K comparable, V any](pairs []Pair[K, V], parts int) [][]Pair[K, V] {
+	buckets := make([][]Pair[K, V], parts)
+	for _, p := range pairs {
+		idx := partitionIndex(p.Key, parts)
+		buckets[idx] = append(buckets[idx], p)
+	}
+	return buckets
 }

@@ -11,19 +11,22 @@ import (
 // phase between map and reduce: it partitions intermediate pairs by key
 // hash, groups the pairs of each partition by key, and serves the groups
 // to the reduce tasks in sorted key order. The paper (Section 3.1) calls
-// the shuffle the dominant cost of any MapReduce implementation, and it
-// is also the engine's memory ceiling: buffering every intermediate pair
-// in RAM caps the input size far below the web-scale datasets of
-// Section 6. The spilling backend removes that ceiling by writing sorted
-// runs to disk through internal/extsort once a memory budget fills,
-// exactly as Hadoop's map-side spill does.
+// the shuffle the dominant cost of any MapReduce implementation, and the
+// engine keeps every part of it parallel: partitioning happens map-side
+// (each map task routes pairs into per-reducer buckets as it emits
+// them), and grouping happens reduce-side (each reduce task sorts its
+// own partition), so no phase funnels the whole intermediate dataset
+// through one goroutine. The spilling backend additionally bounds memory
+// by writing sorted runs to disk through internal/extsort, exactly as
+// Hadoop's map-side spill does.
 
 // ShuffleKind names a shuffle backend in Config.
 type ShuffleKind string
 
 const (
-	// ShuffleMemory buffers and groups every intermediate pair in
-	// memory (the default; fastest while the job fits in RAM).
+	// ShuffleMemory keeps every intermediate pair in memory and groups
+	// each partition with a reduce-side sort (the default; fastest
+	// while the job fits in RAM).
 	ShuffleMemory ShuffleKind = "memory"
 	// ShuffleSpill bounds memory: once the configured budget of
 	// buffered records fills, sorted runs are spilled to disk and
@@ -59,28 +62,42 @@ func (c ShuffleConfig) memoryBudget() int {
 }
 
 // ShuffleBackend is the engine's shuffle contract. A backend instance
-// serves exactly one job: map tasks feed it intermediate pairs with Add,
-// Finalize seals ingestion and exposes one group stream per reduce
-// partition, and Close releases any remaining resources.
+// serves exactly one job: map tasks feed it pre-partitioned bucket
+// segments with AddBucket, Finalize seals ingestion and exposes one
+// group stream per reduce partition, and Close releases any remaining
+// resources.
 //
-// Ordering contract: pairs of one split arrive through one goroutine in
-// emission order, across any number of Add calls; distinct splits add
+// Partitioning contract: the emitter routes every pair into the bucket
+// partitionIndex(key, Partitions()) as it is produced (map-side
+// partitioning, parallel across map tasks), so backends never hash a
+// key. A delivered bucket is owned by the backend — the emitter never
+// touches it again — so in-memory backends retain the slices as-is,
+// with zero copies.
+//
+// Ordering contract: one split's buckets arrive through one goroutine,
+// and the buckets of one (split, partition) pair arrive in emission
+// order, each internally in emission order; distinct splits add
 // concurrently. Backends must group values per key in global emission
 // order — split index ascending, then emission order within the split —
-// and must stream groups in ascending lessKey order within a partition,
+// and must stream groups in ascending key order within a partition,
 // because job determinism rests on both properties.
 type ShuffleBackend[K comparable, V any] interface {
-	// Add ingests intermediate pairs emitted by map split `split`.
-	// When ChunkSize is zero the backend takes ownership of the slice;
-	// otherwise it must copy or consume the pairs before returning.
-	Add(split int, pairs []Pair[K, V]) error
-	// ChunkSize tells map tasks how to feed the backend: zero means
-	// "deliver each split's full output in one Add" (lowest overhead
-	// for in-memory grouping), a positive n means "flush every n pairs"
-	// (bounds the per-task buffer so spilling can begin early).
-	ChunkSize() int
-	// Finalize seals ingestion, records shuffle statistics, and
-	// returns one GroupStream per reduce partition.
+	// Partitions returns the number of reduce partitions; AddBucket
+	// partition indexes run 0..Partitions()-1.
+	Partitions() int
+	// AddBucket ingests one bucket of intermediate pairs emitted by
+	// map split `split` for partition `part`, taking ownership of the
+	// slice.
+	AddBucket(split, part int, pairs []Pair[K, V]) error
+	// BucketCap is the number of pairs the emitter should collect in a
+	// partition bucket before handing it over; zero lets the engine
+	// pick. Bounded caps let a spilling backend start writing runs
+	// long before a split finishes.
+	BucketCap() int
+	// Finalize seals ingestion and returns one GroupStream per reduce
+	// partition. With pre-partitioned input this is cheap bookkeeping
+	// (collecting bucket slice headers, or sealing sorters); the
+	// per-partition grouping work runs inside the reduce tasks.
 	Finalize() ([]GroupStream[K, V], error)
 	// Close releases backend resources. Safe after Finalize and on
 	// error paths; streams already handed out remain independently
@@ -116,89 +133,223 @@ type shuffleFootprint interface {
 }
 
 // ---------------------------------------------------------------------
-// In-memory backend: the seed engine's original shuffle, behind the
-// interface. Each split's output is retained as-is (ownership transfer,
-// zero copies), concatenated in split order at Finalize, and grouped
-// into per-partition maps exactly as before.
+// In-memory backend: pre-partitioned bucket segments are retained as-is
+// (ownership transfer, zero copies). Finalize only collects each
+// partition's segment slice headers in split order; the actual grouping —
+// a stable sort by key that preserves (split, emission) value order — is
+// deferred into the group stream, which runs inside the reduce task's
+// goroutine, so partitions group in parallel on all cores.
 
 type memoryShuffle[K comparable, V any] struct {
 	reducers int
-	splits   [][]Pair[K, V] // one entry per split, owned after Add
-	records  int64
+	kind     orderKind
+	cmp      func(a, b K) int
+	// segs[split][partition] lists the split's delivered buckets for
+	// that partition, in arrival (= emission) order.
+	segs    [][][][]Pair[K, V]
+	records int64
 }
 
 func newMemoryShuffle[K comparable, V any](reducers, splits int) *memoryShuffle[K, V] {
-	return &memoryShuffle[K, V]{reducers: reducers, splits: make([][]Pair[K, V], splits)}
+	kind := keyOrderKind[K]()
+	return &memoryShuffle[K, V]{
+		reducers: reducers,
+		kind:     kind,
+		cmp:      keyCmpFor[K](kind),
+		segs:     make([][][][]Pair[K, V], splits),
+	}
 }
 
-func (m *memoryShuffle[K, V]) ChunkSize() int { return 0 }
+func (m *memoryShuffle[K, V]) Partitions() int { return m.reducers }
 
-func (m *memoryShuffle[K, V]) Add(split int, pairs []Pair[K, V]) error {
-	// Each split writes only its own index, so concurrent Adds from
-	// distinct splits need no lock; a second Add for one split (not
-	// produced by the engine's own map phase, but allowed by the
-	// contract) extends the split's slice, which the backend owns.
-	if m.splits[split] == nil {
-		m.splits[split] = pairs
-	} else {
-		m.splits[split] = append(m.splits[split], pairs...)
+func (m *memoryShuffle[K, V]) BucketCap() int { return 0 }
+
+func (m *memoryShuffle[K, V]) AddBucket(split, part int, pairs []Pair[K, V]) error {
+	// Each split writes only its own index, so concurrent AddBuckets
+	// from distinct splits need no lock.
+	if m.segs[split] == nil {
+		m.segs[split] = make([][][]Pair[K, V], m.reducers)
 	}
+	m.segs[split][part] = append(m.segs[split][part], pairs)
 	return nil
 }
 
 func (m *memoryShuffle[K, V]) Finalize() ([]GroupStream[K, V], error) {
-	parts := make([]map[K][]V, m.reducers)
-	for i := range parts {
-		parts[i] = make(map[K][]V)
-	}
-	for _, pairs := range m.splits {
-		for _, p := range pairs {
-			idx := partitionIndex(p.Key, m.reducers)
-			parts[idx][p.Key] = append(parts[idx][p.Key], p.Value)
+	streams := make([]GroupStream[K, V], m.reducers)
+	for p := range streams {
+		var segs [][]Pair[K, V]
+		for _, bySplit := range m.segs {
+			if bySplit == nil {
+				continue
+			}
+			for _, seg := range bySplit[p] {
+				segs = append(segs, seg)
+				m.records += int64(len(seg))
+			}
 		}
-		m.records += int64(len(pairs))
+		streams[p] = &memGroupStream[K, V]{segs: segs, kind: m.kind, cmp: m.cmp}
 	}
-	m.splits = nil
-	streams := make([]GroupStream[K, V], len(parts))
-	for i, part := range parts {
-		streams[i] = &memGroupStream[K, V]{part: part}
-	}
+	m.segs = nil
 	return streams, nil
 }
 
-func (m *memoryShuffle[K, V]) Close() error { m.splits = nil; return nil }
+func (m *memoryShuffle[K, V]) Close() error { m.segs = nil; return nil }
 
 func (m *memoryShuffle[K, V]) footprint() (records, spilled, runs int64) {
 	return m.records, 0, 0
 }
 
-// memGroupStream walks one partition map in sorted key order. Key
-// sorting is deferred to the first Next so it runs inside the reduce
-// task's goroutine, keeping the partition sorts parallel as before.
+// memGroup is one grouped key, used only on the comparator-tie slow path.
+type memGroup[K comparable, V any] struct {
+	key  K
+	vals []V
+}
+
+// memGroupStream serves one partition's key groups. The first Next call
+// — inside the reduce task's goroutine, so partitions group in parallel
+// — concatenates the pre-partitioned split segments (emission order
+// within a split, splits ascending), computes the stable sort-by-key
+// permutation (a comparator-free radix pass, see sortedPermByKey), and
+// gathers the keys and values once into two flat arrays. Every group is
+// then a zero-copy sub-slice of the values array: no per-key map, no
+// per-key grown slices.
 type memGroupStream[K comparable, V any] struct {
-	part map[K][]V
-	keys []K
-	pos  int
+	segs   [][]Pair[K, V]
+	kind   orderKind
+	cmp    func(a, b K) int
+	keys   []K
+	vals   []V
+	run    sortedRun
+	pos    int
+	primed bool
+	queue  []memGroup[K, V] // pending groups from a comparator-tie run
+}
+
+func (s *memGroupStream[K, V]) prime() {
+	s.primed = true
+	total := 0
+	for _, seg := range s.segs {
+		total += len(seg)
+	}
+	if total == 0 {
+		s.segs = nil
+		return
+	}
+	keys := make([]K, total)
+	vals := make([]V, total)
+	i := 0
+	for _, seg := range s.segs {
+		for _, p := range seg {
+			keys[i] = p.Key
+			vals[i] = p.Value
+			i++
+		}
+	}
+	s.segs = nil
+	s.keys, s.vals, s.run = sortKeyVals(keys, vals, s.kind)
 }
 
 func (s *memGroupStream[K, V]) Next() (K, []V, bool, error) {
-	if s.keys == nil && len(s.part) > 0 {
-		s.keys = make([]K, 0, len(s.part))
-		for k := range s.part {
-			s.keys = append(s.keys, k)
-		}
-		sortKeys(s.keys)
+	if !s.primed {
+		s.prime()
 	}
-	if s.pos >= len(s.keys) {
+	if len(s.queue) > 0 {
+		g := s.queue[0]
+		s.queue = s.queue[1:]
+		return g.key, g.vals, true, nil
+	}
+	n := len(s.keys)
+	if s.pos >= n {
 		var zero K
 		return zero, nil, false, nil
 	}
-	k := s.keys[s.pos]
-	s.pos++
-	return k, s.part[k], true, nil
+	pos := s.pos
+	key := s.keys[pos]
+	end := pos + 1
+	if ord := s.run.ord; ord != nil {
+		// Boundary scan over the sorted key images: comparing machine
+		// words instead of keys. With an exact projection an image
+		// change IS a key change; otherwise equal images narrow the
+		// test to a key-equality check, and distinct keys sharing an
+		// image are contiguous (the sort's repair pass ordered them),
+		// so a key change within equal images still ends the group —
+		// unless the comparator cannot tell the keys apart (fmt
+		// fallback collisions), which the tie path below regroups.
+		sh := s.run.shift
+		o := ord[pos] >> sh
+		if s.run.exact {
+			for end < n && ord[end]>>sh == o {
+				end++
+			}
+			s.pos = end
+			return key, s.vals[pos:end], true, nil
+		}
+		for end < n && ord[end]>>sh == o && s.keys[end] == key {
+			end++
+		}
+		if end < n && ord[end]>>sh == o && s.cmp(key, s.keys[end]) == 0 {
+			return s.tieRun(pos, end)
+		}
+		s.pos = end
+		return key, s.vals[pos:end], true, nil
+	}
+	for end < n && s.keys[end] == key {
+		end++
+	}
+	if end < n && s.cmp(key, s.keys[end]) == 0 {
+		return s.tieRun(pos, end)
+	}
+	s.pos = end
+	return key, s.vals[pos:end], true, nil
 }
 
-func (s *memGroupStream[K, V]) Close() error { s.part = nil; s.keys = nil; return nil }
+// tieRun handles the comparator-tie slow path: the comparator ties but
+// Go equality disagrees (a composite key whose fmt fallback collides,
+// or a NaN key), so pairs of distinct keys may interleave and the
+// contiguous-slice fast path does not apply. The whole run is regrouped
+// by Go equality, preserving first-seen key order and per-key value
+// order.
+func (s *memGroupStream[K, V]) tieRun(pos, end int) (K, []V, bool, error) {
+	key := s.keys[pos]
+	runEnd := end + 1
+	for runEnd < len(s.keys) && s.cmp(key, s.keys[runEnd]) == 0 {
+		runEnd++
+	}
+	s.queue = groupTieRun(s.keys[pos:runEnd], s.vals[pos:runEnd])
+	s.pos = runEnd
+	g := s.queue[0]
+	s.queue = s.queue[1:]
+	return g.key, g.vals, true, nil
+}
+
+// groupTieRun splits a run of comparator-equal pairs into per-key groups
+// by Go equality, in first-occurrence order, copying the values (the run
+// may interleave keys, so zero-copy slicing does not apply). The linear
+// key scan deliberately avoids a map: NaN keys never compare equal, so
+// each NaN pair forms its own group — the same behavior a Go map's
+// insert semantics gave the seed engine. Tie runs exist only for keys
+// without a distinguishing total order and are short in practice.
+func groupTieRun[K comparable, V any](keys []K, vals []V) []memGroup[K, V] {
+	var groups []memGroup[K, V]
+outer:
+	for i, k := range keys {
+		for gi := range groups {
+			if groups[gi].key == k {
+				groups[gi].vals = append(groups[gi].vals, vals[i])
+				continue outer
+			}
+		}
+		groups = append(groups, memGroup[K, V]{key: k, vals: []V{vals[i]}})
+	}
+	return groups
+}
+
+func (s *memGroupStream[K, V]) Close() error {
+	s.segs, s.keys, s.vals, s.queue = nil, nil, nil, nil
+	s.run = sortedRun{}
+	s.pos = 0
+	return nil
+}
 
 // ---------------------------------------------------------------------
 // Spilling backend: external-memory shuffle over internal/extsort. Every
@@ -210,7 +361,7 @@ func (s *memGroupStream[K, V]) Close() error { s.part = nil; s.keys = nil; retur
 // largest single key group — never the whole shuffle volume.
 
 // spillRec is one intermediate pair with its global sequence number,
-// which encodes (split, emission index) so that the merge reproduces the
+// which encodes (split, arrival index) so that the merge reproduces the
 // memory backend's deterministic value order within every key.
 type spillRec[K comparable, V any] struct {
 	seq uint64
@@ -227,7 +378,7 @@ type spillShuffle[K comparable, V any] struct {
 	less     func(a, b K) bool
 	mu       []sync.Mutex // one per partition
 	sorters  []*extsort.Sorter[spillRec[K, V]]
-	seq      []uint64 // per-split emission counters (split-goroutine owned)
+	seq      []uint64 // per-split arrival counters (split-goroutine owned)
 	records  int64
 	recMu    sync.Mutex
 	streams  []GroupStream[K, V]
@@ -273,46 +424,38 @@ func newSpillShuffle[K comparable, V any](reducers, splits int, cfg ShuffleConfi
 	return s, nil
 }
 
-// spillChunk bounds the per-task emit buffer between flushes into the
-// sorters; small enough to start spilling early, large enough to keep
-// lock traffic negligible.
-const spillChunk = 4096
+// spillBucketCap bounds the emitter's per-partition bucket between
+// handoffs into the sorters; small enough to start spilling early,
+// large enough to keep lock traffic negligible.
+const spillBucketCap = 1024
 
-func (s *spillShuffle[K, V]) ChunkSize() int { return spillChunk }
+func (s *spillShuffle[K, V]) Partitions() int { return s.reducers }
 
-func (s *spillShuffle[K, V]) Add(split int, pairs []Pair[K, V]) error {
-	// Bucket the chunk per partition locally, then take each partition
-	// lock once; a spill triggered by Add runs under only that
-	// partition's lock.
-	buckets := make([][]spillRec[K, V], s.reducers)
+func (s *spillShuffle[K, V]) BucketCap() int { return spillBucketCap }
+
+func (s *spillShuffle[K, V]) AddBucket(split, part int, pairs []Pair[K, V]) error {
+	// Buckets arrive pre-partitioned from the emitter (map-side
+	// partitioning), so no key is re-hashed here; the partition's lock
+	// is taken once per bucket. Sequence numbers are assigned in bucket
+	// arrival order, which preserves emission order within every
+	// (split, partition) pair — all the merge needs, because a key's
+	// records all live in one partition.
 	n := s.seq[split]
 	base := uint64(split) << seqSplitShift
+	var err error
+	s.mu[part].Lock()
 	for _, p := range pairs {
-		idx := partitionIndex(p.Key, s.reducers)
-		buckets[idx] = append(buckets[idx], spillRec[K, V]{seq: base | n, key: p.Key, val: p.Value})
+		if err = s.sorters[part].Add(spillRec[K, V]{seq: base | n, key: p.Key, val: p.Value}); err != nil {
+			break
+		}
 		n++
 	}
+	s.mu[part].Unlock()
 	s.seq[split] = n
-	for idx, recs := range buckets {
-		if len(recs) == 0 {
-			continue
-		}
-		s.mu[idx].Lock()
-		var err error
-		for _, r := range recs {
-			if err = s.sorters[idx].Add(r); err != nil {
-				break
-			}
-		}
-		s.mu[idx].Unlock()
-		if err != nil {
-			return err
-		}
-	}
 	s.recMu.Lock()
 	s.records += int64(len(pairs))
 	s.recMu.Unlock()
-	return nil
+	return err
 }
 
 func (s *spillShuffle[K, V]) Finalize() ([]GroupStream[K, V], error) {

@@ -315,31 +315,14 @@ func gobCodec[T any]() spillCodec[T] {
 }
 
 // resolveLess returns the deterministic key comparator used by the spill
-// sorter: the shared lessKey fast paths when they apply, with a
-// reflection-resolved comparator for named scalar types (whose fallback
-// in lessKey formats both operands with fmt — far too slow to call
-// O(n log n) times during a sort).
+// sorter: the ordering strategy is resolved once per job through
+// keyOrderKind (shared with the in-memory backend's group sort), which
+// picks the lessKey fast paths when they apply and a reflection-based
+// comparator for named scalar types (whose fallback in lessKey formats
+// both operands with fmt — far too slow to call O(n log n) times during
+// a sort).
 func resolveLess[K comparable]() func(a, b K) bool {
-	var zero K
-	switch any(zero).(type) {
-	case int, int32, int64, uint32, uint64, string, float64, [2]int32:
-		return lessKey[K]
-	}
-	t := reflect.TypeOf(zero)
-	if t == nil {
-		return lessKey[K]
-	}
-	switch t.Kind() {
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		return func(a, b K) bool { return reflect.ValueOf(a).Int() < reflect.ValueOf(b).Int() }
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-		return func(a, b K) bool { return reflect.ValueOf(a).Uint() < reflect.ValueOf(b).Uint() }
-	case reflect.Float32, reflect.Float64:
-		return func(a, b K) bool { return reflect.ValueOf(a).Float() < reflect.ValueOf(b).Float() }
-	case reflect.String:
-		return func(a, b K) bool { return reflect.ValueOf(a).String() < reflect.ValueOf(b).String() }
-	}
-	return lessKey[K]
+	return keyLessFor[K](keyOrderKind[K]())
 }
 
 // spillRecCodec frames (seq, key, value) records for extsort run files:

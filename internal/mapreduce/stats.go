@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats records the measurable footprint of one MapReduce job. The paper
@@ -39,6 +40,17 @@ type Stats struct {
 	// memory budget.
 	SpilledRecords int64
 	SpillRuns      int64
+	// MapWall, ShuffleWall and ReduceWall are the wall-clock durations
+	// of the job's phases: the parallel map tasks (including map-side
+	// partitioning of the emitted pairs), shuffle finalization (sealing
+	// the backend and handing a group stream to every reduce partition
+	// — cheap by design, since partitioning already happened map-side
+	// and grouping happens reduce-side), and the parallel reduce tasks
+	// (including each partition's group sort). Driver totals accumulate
+	// these across rounds.
+	MapWall     time.Duration
+	ShuffleWall time.Duration
+	ReduceWall  time.Duration
 }
 
 // addMapRetry records one re-executed map attempt (called concurrently
@@ -81,6 +93,9 @@ func (s *Stats) Add(o *Stats) {
 	s.ReduceTaskRetries += atomic.LoadInt64(&o.ReduceTaskRetries)
 	s.SpilledRecords += o.SpilledRecords
 	s.SpillRuns += o.SpillRuns
+	s.MapWall += o.MapWall
+	s.ShuffleWall += o.ShuffleWall
+	s.ReduceWall += o.ReduceWall
 }
 
 // String renders the stats on one line.
@@ -94,6 +109,12 @@ func (s *Stats) String() string {
 		s.ReduceGroups, s.ReduceOutputRecords)
 	if s.SpilledRecords > 0 {
 		line += fmt.Sprintf(" spilled=%d runs=%d", s.SpilledRecords, s.SpillRuns)
+	}
+	if s.MapWall > 0 || s.ShuffleWall > 0 || s.ReduceWall > 0 {
+		line += fmt.Sprintf(" map=%s shuffle=%s reduce=%s",
+			s.MapWall.Round(time.Microsecond),
+			s.ShuffleWall.Round(time.Microsecond),
+			s.ReduceWall.Round(time.Microsecond))
 	}
 	return line
 }

@@ -260,3 +260,58 @@ func TestJoinOnGeneratedCorpusMatchesCorpusGraph(t *testing.T) {
 		}
 	}
 }
+
+// TestJoinIdenticalAcrossShuffleBackends runs the similarity join on a
+// random corpus over both shuffle backends and requires identical edge
+// sets: the partitioned, sort-grouped data path and the external-memory
+// spill path must reproduce each other's candidate generation and
+// verification exactly.
+func TestJoinIdenticalAcrossShuffleBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randVec := func() vector.Sparse {
+		entries := make([]vector.Entry, 0, 8)
+		for term := 0; term < 40; term++ {
+			if rng.Float64() < 0.15 {
+				entries = append(entries, vector.Entry{
+					Term:   vector.TermID(term),
+					Weight: 0.25 + rng.Float64(),
+				})
+			}
+		}
+		return vector.FromEntries(entries)
+	}
+	items := make([]vector.Sparse, 50)
+	consumers := make([]vector.Sparse, 40)
+	for i := range items {
+		items[i] = randVec()
+	}
+	for i := range consumers {
+		consumers[i] = randVec()
+	}
+	ctx := context.Background()
+	mem, err := Join(ctx, items, consumers, 1.0, Options{
+		MR: mapreduce.Config{Mappers: 3, Reducers: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := Join(ctx, items, consumers, 1.0, Options{
+		MR: mapreduce.Config{
+			Mappers: 3, Reducers: 3,
+			Shuffle: mapreduce.ShuffleConfig{
+				Backend:      mapreduce.ShuffleSpill,
+				MemoryBudget: 64,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Edges) == 0 {
+		t.Fatal("fixture produced no join edges; raise density")
+	}
+	sameEdges(t, spill.Edges, mem.Edges)
+	if spill.Shuffle.SpilledRecords == 0 {
+		t.Fatal("spill backend never spilled on the join fixture")
+	}
+}

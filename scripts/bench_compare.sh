@@ -1,0 +1,57 @@
+#!/bin/sh
+# Compares two benchmark snapshots. Accepts either the JSON files
+# produced by scripts/bench_baseline.sh or raw `go test -bench` output
+# files. Uses benchstat when it is on PATH; otherwise prints a
+# side-by-side table with ns/op and allocs/op ratios.
+#
+# Usage: scripts/bench_compare.sh OLD NEW
+#        scripts/bench_compare.sh BENCH_baseline.json BENCH_pr2.json
+set -e
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <old> <new>" >&2
+    exit 2
+fi
+old=$1
+new=$2
+
+# Convert a snapshot to benchstat-compatible lines ("BenchmarkX N ns/op ..."),
+# passing raw bench output through untouched.
+to_bench() {
+    case "$1" in
+    *.json)
+        # {"name": "BenchmarkX", "iterations": N, "ns_per_op": T,
+        #  "bytes_per_op": B, "allocs_per_op": A} -> benchmark line
+        sed -n 's/.*"name": "\([^"]*\)", "iterations": \([0-9]*\), "ns_per_op": \([0-9.e+]*\), "bytes_per_op": \([0-9]*\), "allocs_per_op": \([0-9]*\).*/\1-1 \2 \3 ns\/op \4 B\/op \5 allocs\/op/p' "$1"
+        ;;
+    *)
+        grep '^Benchmark' "$1"
+        ;;
+    esac
+}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+to_bench "$old" >"$tmpdir/old.txt"
+to_bench "$new" >"$tmpdir/new.txt"
+
+if command -v benchstat >/dev/null 2>&1; then
+    benchstat "$tmpdir/old.txt" "$tmpdir/new.txt"
+    exit 0
+fi
+
+awk '
+FNR == NR {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns[name] = $3; allocs[name] = $7
+    next
+}
+{
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!(name in ns)) next
+    printf "%-36s ns/op %12.0f -> %12.0f (%5.2fx)   allocs/op %8d -> %8d (%5.2fx)\n",
+        name, ns[name], $3, ($3 > 0 ? ns[name] / $3 : 0),
+        allocs[name], $7, ($7 > 0 ? allocs[name] / $7 : 0)
+}
+' "$tmpdir/old.txt" "$tmpdir/new.txt"
+echo "(ratios > 1.00x mean the new run is better; install benchstat for significance tests)"
