@@ -104,6 +104,13 @@ type Options struct {
 	// ShuffleTempDir is the directory for spill files (default
 	// os.TempDir()).
 	ShuffleTempDir string
+	// FlatDataflow disables partition-resident chaining between the
+	// rounds of the iterative algorithms: every round re-partitions its
+	// input from a flat, globally sorted slice — the pre-Dataset engine
+	// behavior. The matching output is identical either way (the
+	// equivalence tests pin this); the flat mode exists for comparison
+	// and costs a re-hash of every record every round.
+	FlatDataflow bool
 }
 
 func (o Options) mr() mapreduce.Config {
@@ -115,6 +122,7 @@ func (o Options) mr() mapreduce.Config {
 			MemoryBudget: o.ShuffleMemoryBudget,
 			TempDir:      o.ShuffleTempDir,
 		},
+		FlatChaining: o.FlatDataflow,
 	}
 }
 

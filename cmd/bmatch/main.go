@@ -33,6 +33,7 @@ func main() {
 		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill")
 		budget  = flag.Int("spill-budget", 0, "max in-memory intermediate records per job for -shuffle spill (0 = default 1M)")
 		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
+		flat    = flag.Bool("flat", false, "disable partition-resident round chaining (re-partition every round from a flat slice)")
 		verbose = flag.Bool("v", false, "print every matched edge")
 		compare = flag.Bool("compare", false, "run every algorithm and print a comparison table")
 		exact   = flag.Bool("exact", false, "with -compare: also solve exactly via min-cost flow (small graphs only)")
@@ -43,6 +44,7 @@ func main() {
 		Shuffle:             socialmatch.ShuffleKind(*shuffle),
 		ShuffleMemoryBudget: *budget,
 		ShuffleTempDir:      *tempdir,
+		FlatDataflow:        *flat,
 	}
 
 	r := os.Stdin
@@ -91,6 +93,10 @@ func main() {
 		res.Shuffle.MapWall.Round(time.Microsecond),
 		res.Shuffle.ShuffleWall.Round(time.Microsecond),
 		res.Shuffle.ReduceWall.Round(time.Microsecond))
+	if res.Shuffle.LocalRouted > 0 || res.Shuffle.CrossRouted > 0 {
+		fmt.Printf("shuffle routing:  local=%d cross=%d (identity-routed vs hashed records)\n",
+			res.Shuffle.LocalRouted, res.Shuffle.CrossRouted)
+	}
 	if *verbose {
 		for _, e := range m.Edges() {
 			fmt.Printf("match item=%d consumer=%d w=%.4f\n",

@@ -33,6 +33,7 @@ func main() {
 		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill")
 		budget  = flag.Int("spill-budget", 0, "max in-memory intermediate records per job for -shuffle spill (0 = default 1M)")
 		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
+		flat    = flag.Bool("flat", false, "disable partition-resident round chaining (re-partition every round from a flat slice)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		MemoryBudget: *budget,
 		TempDir:      *tempdir,
 	}
+	cfg.MR.FlatChaining = *flat
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -72,6 +74,22 @@ func main() {
 		}
 		fmt.Fprintf(w, "(%s in %s)\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
+	// printMR reports the experiment's aggregate MapReduce engine cost in
+	// the same format bmatch and simjoin use: per-phase wall clocks
+	// summed over every job, plus the shuffle routing split.
+	printMR := func(s mapreduce.Stats) {
+		fmt.Fprintf(w, "phase walls: map=%s shuffle=%s reduce=%s (summed over rounds)\n",
+			s.MapWall.Round(time.Microsecond),
+			s.ShuffleWall.Round(time.Microsecond),
+			s.ReduceWall.Round(time.Microsecond))
+		if s.LocalRouted > 0 || s.CrossRouted > 0 {
+			fmt.Fprintf(w, "routing:     local=%d cross=%d (identity-routed vs hashed records)\n",
+				s.LocalRouted, s.CrossRouted)
+		}
+		if s.SpilledRecords > 0 {
+			fmt.Fprintf(w, "spilled:     %d records in %d runs\n", s.SpilledRecords, s.SpillRuns)
+		}
+	}
 
 	run("table1", func() error {
 		fmt.Fprint(w, experiments.RenderTable1(experiments.Table1(cfg)))
@@ -86,6 +104,7 @@ func main() {
 				return err
 			}
 			fmt.Fprint(w, res.Render())
+			printMR(res.MR)
 			return nil
 		})
 	}
@@ -97,6 +116,7 @@ func main() {
 				return err
 			}
 			fmt.Fprint(w, res.Render())
+			printMR(res.MR)
 		}
 		return nil
 	})
@@ -107,6 +127,7 @@ func main() {
 				return err
 			}
 			fmt.Fprint(w, res.Render())
+			printMR(res.MR)
 		}
 		return nil
 	})
@@ -116,6 +137,7 @@ func main() {
 			return err
 		}
 		fmt.Fprint(w, res.Render())
+		printMR(res.MR)
 		return nil
 	})
 	run("fig6", func() error {

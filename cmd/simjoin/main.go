@@ -32,6 +32,7 @@ func main() {
 		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill")
 		budget  = flag.Int("spill-budget", 0, "max in-memory intermediate records per job for -shuffle spill (0 = default 1M)")
 		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
+		flat    = flag.Bool("flat", false, "disable Dataset-chained jobs (re-partition each job from a flat slice)")
 		out     = flag.String("o", "", "write the candidate graph (with capacities) to this file")
 	)
 	flag.Parse()
@@ -40,11 +41,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	mr := mapreduce.Config{Shuffle: mapreduce.ShuffleConfig{
-		Backend:      mapreduce.ShuffleKind(*shuffle),
-		MemoryBudget: *budget,
-		TempDir:      *tempdir,
-	}}
+	mr := mapreduce.Config{
+		Shuffle: mapreduce.ShuffleConfig{
+			Backend:      mapreduce.ShuffleKind(*shuffle),
+			MemoryBudget: *budget,
+			TempDir:      *tempdir,
+		},
+		FlatChaining: *flat,
+	}
 	res, err := simjoin.Join(context.Background(), c.Items, c.Consumers, *sigma, simjoin.Options{MR: mr})
 	if err != nil {
 		fail(err)
@@ -69,6 +73,10 @@ func main() {
 		res.Shuffle.MapWall.Round(time.Microsecond),
 		res.Shuffle.ShuffleWall.Round(time.Microsecond),
 		res.Shuffle.ReduceWall.Round(time.Microsecond))
+	if res.Shuffle.LocalRouted > 0 || res.Shuffle.CrossRouted > 0 {
+		fmt.Printf("routing:        local=%d cross=%d (identity-routed vs hashed records)\n",
+			res.Shuffle.LocalRouted, res.Shuffle.CrossRouted)
+	}
 
 	if *out != "" {
 		g := simjoin.ToGraph(res.Edges, c.NumItems(), c.NumConsumers())

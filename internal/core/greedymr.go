@@ -38,6 +38,13 @@ type GreedyMROptions struct {
 // The returned Result has one ValueTrace entry per round (Figure 5 plots
 // exactly this trace) and Rounds equal to the number of MapReduce jobs,
 // one per greedy iteration.
+//
+// The rounds chain through a partition-resident Dataset: the node
+// records are hash-partitioned once up front, every round's job runs
+// one map task per partition (each node's self-forwarded state takes
+// the identity route; only proposals to neighbors go through the full
+// shuffle), and the surviving states flow into the next round in place
+// via MapValues — no flat rebuild, no re-hashing between rounds.
 func GreedyMR(ctx context.Context, g *graph.Bipartite, opts GreedyMROptions) (*Result, error) {
 	driver := mapreduce.NewDriver(opts.MR)
 	driver.MaxRounds = opts.MaxRounds
@@ -45,27 +52,29 @@ func GreedyMR(ctx context.Context, g *graph.Bipartite, opts GreedyMROptions) (*R
 		driver.MaxRounds = 4*g.NumEdges() + 16
 	}
 
-	records := nodeRecords(g)
+	state := mapreduce.PartitionDataset(nodeRecords(g), driver.Partitions())
 	var matched []int32 // cumulative, kept sorted by edge id
 	var trace []float64
 
-	for len(records) > 0 {
-		if opts.StopAfterRounds > 0 && driver.Rounds() >= opts.StopAfterRounds {
-			break
+	_, err := mapreduce.Loop(ctx, driver, state, func(
+		ctx context.Context, round int, st *mapreduce.Dataset[graph.NodeID, nodeState],
+	) (*mapreduce.Dataset[graph.NodeID, nodeState], error) {
+		if opts.StopAfterRounds > 0 && round >= opts.StopAfterRounds {
+			return nil, nil // any-time stop: the current solution is feasible
 		}
-		out, err := mapreduce.RunJob(ctx, driver, "greedymr-round", records,
+		out, err := mapreduce.RunJobDS(ctx, driver, "greedymr-round", st,
 			greedyMap, greedyReduce(g))
 		if err != nil {
 			return nil, fmt.Errorf("core: greedymr round %d: %w", driver.Rounds(), err)
 		}
-		records = records[:0]
 		var roundMatched []int32
-		for _, p := range out {
-			if p.Value.state != nil {
-				records = append(records, mapreduce.P(p.Key, *p.Value.state))
+		next := mapreduce.MapValues(out, func(v graph.NodeID, o greedyOut) (nodeState, bool) {
+			roundMatched = append(roundMatched, o.matched...)
+			if o.state == nil {
+				return nodeState{}, false
 			}
-			roundMatched = append(roundMatched, p.Value.matched...)
-		}
+			return *o.state, true
+		})
 		// Keep the cumulative matched set sorted by edge id and sum it
 		// in that order — the same order NewMatching uses — so the
 		// final trace entry equals Matching.Value exactly
@@ -74,6 +83,10 @@ func GreedyMR(ctx context.Context, g *graph.Bipartite, opts GreedyMROptions) (*R
 		slices.Sort(roundMatched)
 		matched = mergeSortedInt32(matched, roundMatched)
 		trace = append(trace, matchedValue(g, matched))
+		return next, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{

@@ -104,34 +104,32 @@ func nodeRand(seed int64, v graph.NodeID, iter int) *rand.Rand {
 	return rand.New(rand.NewSource(h))
 }
 
-// maximalBMatching computes a maximal b-matching over the node view recs
-// (whose B fields hold the per-layer capacities), running its jobs under
-// the given driver. It returns the matched edge ids.
+// maximalBMatching computes a maximal b-matching over the node-view
+// Dataset recs (whose B fields hold the per-layer capacities), running
+// its jobs under the given driver. All four stages of every iteration
+// chain partition-resident: the flagged node records stay in their
+// partitions across jobs, each node's self-message takes the identity
+// route, and only the per-edge flag messages cross partitions. It
+// returns the matched edge ids.
 func maximalBMatching(
 	ctx context.Context,
 	driver *mapreduce.Driver,
-	recs []mapreduce.Pair[graph.NodeID, nodeState],
+	recs *mapreduce.Dataset[graph.NodeID, nodeState],
 	cfg maximalConfig,
 ) ([]int32, error) {
-	// Convert to the flagged representation.
-	cur := make([]mapreduce.Pair[graph.NodeID, mmNode], 0, len(recs))
-	for _, r := range recs {
-		adj := make([]mmEdge, len(r.Value.Adj))
-		for i, h := range r.Value.Adj {
+	// Convert to the flagged representation (key-preserving, in place).
+	start := mapreduce.MapValues(recs, func(_ graph.NodeID, s nodeState) (mmNode, bool) {
+		adj := make([]mmEdge, len(s.Adj))
+		for i, h := range s.Adj {
 			adj[i] = mmEdge{half: h}
 		}
-		cur = append(cur, mapreduce.P(r.Key, mmNode{B: r.Value.B, Adj: adj}))
-	}
+		return mmNode{B: s.B, Adj: adj}, true
+	})
 
 	var matched []int32
-	for iter := 0; ; iter++ {
-		live := 0
-		for _, r := range cur {
-			live += len(r.Value.Adj)
-		}
-		if live == 0 {
-			break
-		}
+	_, err := mapreduce.Loop(ctx, driver, start, func(
+		ctx context.Context, iter int, cur *mapreduce.Dataset[graph.NodeID, mmNode],
+	) (*mapreduce.Dataset[graph.NodeID, mmNode], error) {
 		var err error
 		if cur, err = mmStage(ctx, driver, "mm-marking", cur, markingMap(cfg, iter)); err != nil {
 			return nil, err
@@ -147,9 +145,9 @@ func maximalBMatching(
 			return nil, err
 		}
 		matched = append(matched, found...)
-		cur = next
-	}
-	return matched, nil
+		return next, nil
+	})
+	return matched, err
 }
 
 // mmStage runs one flag-propagation stage: the map function makes local
@@ -159,10 +157,10 @@ func mmStage(
 	ctx context.Context,
 	driver *mapreduce.Driver,
 	name string,
-	cur []mapreduce.Pair[graph.NodeID, mmNode],
+	cur *mapreduce.Dataset[graph.NodeID, mmNode],
 	mapFn mapreduce.MapFunc[graph.NodeID, mmNode, graph.NodeID, mmMsg],
-) ([]mapreduce.Pair[graph.NodeID, mmNode], error) {
-	out, err := mapreduce.RunJob(ctx, driver, name, cur, mapFn, unifyReduce(name))
+) (*mapreduce.Dataset[graph.NodeID, mmNode], error) {
+	out, err := mapreduce.RunJobDS(ctx, driver, name, cur, mapFn, unifyReduce(name))
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", name, err)
 	}
@@ -319,18 +317,19 @@ func unifyReduce(stage string) mapreduce.ReduceFunc[graph.NodeID, mmMsg, graph.N
 func mmCleanup(
 	ctx context.Context,
 	driver *mapreduce.Driver,
-	cur []mapreduce.Pair[graph.NodeID, mmNode],
-) (next []mapreduce.Pair[graph.NodeID, mmNode], matched []int32, err error) {
-	out, err := mapreduce.RunJob(ctx, driver, "mm-cleanup", cur, cleanupMap, cleanupReduce)
+	cur *mapreduce.Dataset[graph.NodeID, mmNode],
+) (next *mapreduce.Dataset[graph.NodeID, mmNode], matched []int32, err error) {
+	out, err := mapreduce.RunJobDS(ctx, driver, "mm-cleanup", cur, cleanupMap, cleanupReduce)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: mm-cleanup: %w", err)
 	}
-	for _, p := range out {
-		if p.Value.state != nil {
-			next = append(next, mapreduce.P(p.Key, *p.Value.state))
+	next = mapreduce.MapValues(out, func(_ graph.NodeID, o mmOut) (mmNode, bool) {
+		matched = append(matched, o.matched...)
+		if o.state == nil {
+			return mmNode{}, false
 		}
-		matched = append(matched, p.Value.matched...)
-	}
+		return *o.state, true
+	})
 	return next, matched, nil
 }
 

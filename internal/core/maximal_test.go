@@ -14,7 +14,8 @@ func runMaximal(t *testing.T, g *graph.Bipartite, strategy MarkingStrategy, seed
 	driver := mapreduce.NewDriver(testMR)
 	driver.MaxRounds = 64*g.NumEdges() + 256
 	matched, err := maximalBMatching(context.Background(), driver,
-		nodeRecords(g), maximalConfig{strategy: strategy, seed: seed})
+		mapreduce.PartitionDataset(nodeRecords(g), driver.Partitions()),
+		maximalConfig{strategy: strategy, seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -97,13 +97,14 @@ func sortedContains[T cmp.Ordered](sorted []T, x T) bool {
 	return ok
 }
 
-// countLiveEdges sums adjacency lengths over records; every live edge is
-// counted once per endpoint, so the result is twice the edge count for a
-// consistent view.
-func countLiveEdges(recs []mapreduce.Pair[graph.NodeID, nodeState]) int {
+// countLiveEdges sums adjacency lengths over a node-view Dataset; every
+// live edge is counted once per endpoint, so the result is twice the
+// edge count for a consistent view. It scans every record, so the round
+// loops use Dataset.Len as their fixed-point test instead (sound
+// because every record of a node view carries at least one live edge)
+// and reach for this only on error paths.
+func countLiveEdges(recs *mapreduce.Dataset[graph.NodeID, nodeState]) int {
 	total := 0
-	for _, r := range recs {
-		total += len(r.Value.Adj)
-	}
+	recs.Each(func(_ graph.NodeID, s nodeState) { total += len(s.Adj) })
 	return total
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/mapreduce"
 )
 
 func TestTopByWeight(t *testing.T) {
@@ -79,7 +80,7 @@ func TestNodeRecordsSkipsZeroCapacityAndIsolated(t *testing.T) {
 		t.Errorf("item 0 record wrong: %+v", st)
 	}
 	// Edge counting: each live edge appears at both endpoints.
-	if got := countLiveEdges(recs); got != 2 {
+	if got := countLiveEdges(mapreduce.PartitionDataset(recs, 3)); got != 2 {
 		t.Errorf("countLiveEdges = %d, want 2 (one edge, two views)", got)
 	}
 }
@@ -102,16 +103,6 @@ func TestLayerCap(t *testing.T) {
 	st.opts.Eps = 3
 	if got := st.layerCap(4); got != 4 {
 		t.Errorf("layerCap(4) with eps=3 = %d, want 4", got)
-	}
-}
-
-func TestFindHalf(t *testing.T) {
-	adj := []half{{ID: 3, W: 1}, {ID: 7, W: 2}}
-	if h := findHalf(adj, 7); h == nil || h.W != 2 {
-		t.Error("findHalf missed an entry")
-	}
-	if h := findHalf(adj, 99); h != nil {
-		t.Error("findHalf invented an entry")
 	}
 }
 

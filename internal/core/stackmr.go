@@ -124,27 +124,35 @@ func (st *stackState) layerCap(b int) int {
 
 // push runs the push phase: maximal matching, dual update, weakly-covered
 // removal, until the working graph is empty.
+//
+// The layer loop is a partition-resident dataflow: the node view is
+// hash-partitioned once, and every job of every layer — the
+// maximal-matching stages, the dual update, the filter — consumes the
+// previous job's output partition-by-partition. The per-layer capacity
+// override is a key-preserving MapValues, so it never moves a record.
+// The fixed point (no live edges) coincides with an empty state because
+// the filter reduce emits only nodes that kept at least one edge.
 func (st *stackState) push(ctx context.Context, driver *mapreduce.Driver) error {
-	records := nodeRecords(st.g)
-	layerNo := 0
-	for countLiveEdges(records) > 0 {
+	records := mapreduce.PartitionDataset(nodeRecords(st.g), driver.Partitions())
+	_, err := mapreduce.Loop(ctx, driver, records, func(
+		ctx context.Context, layerNo int, recs *mapreduce.Dataset[graph.NodeID, nodeState],
+	) (*mapreduce.Dataset[graph.NodeID, nodeState], error) {
 		// Per-layer capacities for the maximal matching.
-		layerRecs := make([]mapreduce.Pair[graph.NodeID, nodeState], len(records))
-		for i, r := range records {
-			layerRecs[i] = mapreduce.P(r.Key, nodeState{B: st.layerCap(r.Value.B), Adj: r.Value.Adj})
-		}
+		layerRecs := mapreduce.MapValues(recs, func(_ graph.NodeID, s nodeState) (nodeState, bool) {
+			return nodeState{B: st.layerCap(s.B), Adj: s.Adj}, true
+		})
 		layer, err := maximalBMatching(ctx, driver, layerRecs, maximalConfig{
 			strategy: st.opts.Strategy,
 			seed:     st.opts.Seed + int64(layerNo)*7919,
 		})
 		if err != nil {
-			return fmt.Errorf("core: stack push layer %d: %w", layerNo, err)
+			return nil, fmt.Errorf("core: stack push layer %d: %w", layerNo, err)
 		}
 		if len(layer) == 0 {
 			// A maximal matching over a non-empty graph is non-empty;
 			// guard against an impossible stall anyway.
-			return fmt.Errorf("core: stack push layer %d: empty maximal matching over %d live half-edges",
-				layerNo, countLiveEdges(records))
+			return nil, fmt.Errorf("core: stack push layer %d: empty maximal matching over %d live half-edges",
+				layerNo, countLiveEdges(recs))
 		}
 		st.layers = append(st.layers, layer)
 		// Record δ(e) from the pre-layer duals (the same values the
@@ -157,18 +165,14 @@ func (st *stackState) push(ctx context.Context, driver *mapreduce.Driver) error 
 		}
 
 		// Dual update job: δ contributions flow along layer edges.
-		if err := st.updateDuals(ctx, driver, records, layer); err != nil {
-			return err
+		if err := st.updateDuals(ctx, driver, recs, layer); err != nil {
+			return nil, err
 		}
 		// Filter job: stacked edges leave the graph, weakly covered
 		// edges are removed.
-		records, err = st.filterEdges(ctx, driver, records, layer)
-		if err != nil {
-			return err
-		}
-		layerNo++
-	}
-	return nil
+		return st.filterEdges(ctx, driver, recs, layer)
+	})
+	return err
 }
 
 // dualMsg carries y_u/b(u) of the sending endpoint along a layer edge,
@@ -183,10 +187,18 @@ type dualMsg struct {
 // variable by the sum of δ(e) over its layer edges, computed from the
 // pre-layer duals of both endpoints (all edges of a layer push in
 // parallel, as in the parallel algorithm of Section 5.2).
+//
+// The reducer sums the δ contributions in the node's own adjacency
+// order (messages are gathered into a per-edge map first), not in
+// message-arrival order: floating-point addition is order-sensitive,
+// and arrival order depends on how the input was split across map
+// tasks, which differs between the partition-resident and the flat
+// dataflow. Summing in adjacency order makes the duals bit-identical
+// under either chaining mode.
 func (st *stackState) updateDuals(
 	ctx context.Context,
 	driver *mapreduce.Driver,
-	records []mapreduce.Pair[graph.NodeID, nodeState],
+	records *mapreduce.Dataset[graph.NodeID, nodeState],
 	layer []int32,
 ) error {
 	inLayer := make(map[int32]bool, len(layer))
@@ -194,7 +206,7 @@ func (st *stackState) updateDuals(
 		inLayer[ei] = true
 	}
 	y := st.y
-	out, err := mapreduce.RunJob(ctx, driver, "stack-update", records,
+	out, err := mapreduce.RunJobDS(ctx, driver, "stack-update", records,
 		func(v graph.NodeID, s nodeState, out mapreduce.Emitter[graph.NodeID, dualMsg]) error {
 			sCopy := s
 			out.Emit(v, dualMsg{self: &sCopy})
@@ -208,26 +220,25 @@ func (st *stackState) updateDuals(
 		},
 		func(v graph.NodeID, msgs []dualMsg, out mapreduce.Emitter[graph.NodeID, float64]) error {
 			var self *nodeState
+			otherYB := make(map[int32]float64, len(msgs))
 			for _, m := range msgs {
 				if m.self != nil {
 					self = m.self
-					break
+					continue
 				}
+				otherYB[m.edge] = m.yOverB
 			}
 			if self == nil {
 				return nil
 			}
 			ybSelf := y[v] / float64(self.B)
 			var sumDelta float64
-			for _, m := range msgs {
-				if m.self != nil {
+			for _, h := range self.Adj {
+				yb, ok := otherYB[h.ID]
+				if !ok {
 					continue
 				}
-				h := findHalf(self.Adj, m.edge)
-				if h == nil {
-					continue
-				}
-				delta := (h.W - ybSelf - m.yOverB) / 2
+				delta := (h.W - ybSelf - yb) / 2
 				if delta > 0 {
 					sumDelta += delta
 				}
@@ -240,9 +251,7 @@ func (st *stackState) updateDuals(
 	if err != nil {
 		return fmt.Errorf("core: stack-update: %w", err)
 	}
-	for _, p := range out {
-		st.y[p.Key] += p.Value
-	}
+	out.Each(func(v graph.NodeID, d float64) { st.y[v] += d })
 	return nil
 }
 
@@ -261,16 +270,16 @@ type filterMsg struct {
 func (st *stackState) filterEdges(
 	ctx context.Context,
 	driver *mapreduce.Driver,
-	records []mapreduce.Pair[graph.NodeID, nodeState],
+	records *mapreduce.Dataset[graph.NodeID, nodeState],
 	layer []int32,
-) ([]mapreduce.Pair[graph.NodeID, nodeState], error) {
+) (*mapreduce.Dataset[graph.NodeID, nodeState], error) {
 	inLayer := make(map[int32]bool, len(layer))
 	for _, ei := range layer {
 		inLayer[ei] = true
 	}
 	y := st.y
 	threshold := 1.0 / (3 + 2*st.opts.Eps)
-	out, err := mapreduce.RunJob(ctx, driver, "stack-filter", records,
+	out, err := mapreduce.RunJobDS(ctx, driver, "stack-filter", records,
 		func(v graph.NodeID, s nodeState, out mapreduce.Emitter[graph.NodeID, filterMsg]) error {
 			sCopy := s
 			out.Emit(v, filterMsg{self: &sCopy})
@@ -320,11 +329,9 @@ func (st *stackState) filterEdges(
 	if err != nil {
 		return nil, fmt.Errorf("core: stack-filter: %w", err)
 	}
-	next := make([]mapreduce.Pair[graph.NodeID, nodeState], 0, len(out))
-	for _, p := range out {
-		next = append(next, mapreduce.P(p.Key, p.Value))
-	}
-	return next, nil
+	// The reducer emits each surviving node under its own key, so the
+	// output Dataset is aligned as-is: it IS the next layer's input.
+	return out, nil
 }
 
 // pop runs the pop phase: one MapReduce job per layer, in LIFO order.
@@ -352,7 +359,12 @@ func (st *stackState) pop(ctx context.Context, driver *mapreduce.Driver) ([]int3
 		for v, edges := range perNode {
 			input = append(input, mapreduce.P(v, edges))
 		}
-		out, err := mapreduce.RunJob(ctx, driver, "stack-pop", input,
+		// The pop job re-keys from nodes to edges, so every emitted pair
+		// is a cross-partition message (no identity route); its output is
+		// collected flat — in ascending edge order — because the capacity
+		// bookkeeping below happens driver-side between layers.
+		out, err := mapreduce.RunJobDS(ctx, driver, "stack-pop",
+			mapreduce.PartitionDataset(input, driver.Partitions()),
 			func(v graph.NodeID, edges []int32, out mapreduce.Emitter[int32, bool]) error {
 				alive := residual[v] > 0
 				for _, ei := range edges {
@@ -370,7 +382,7 @@ func (st *stackState) pop(ctx context.Context, driver *mapreduce.Driver) ([]int3
 		if err != nil {
 			return nil, fmt.Errorf("core: stack-pop layer %d: %w", l, err)
 		}
-		for _, p := range out {
+		for _, p := range out.Collect() {
 			e := g.Edge(int(p.Key))
 			included = append(included, p.Key)
 			residual[e.Item]--
@@ -380,12 +392,3 @@ func (st *stackState) pop(ctx context.Context, driver *mapreduce.Driver) ([]int3
 	return included, nil
 }
 
-// findHalf locates the adjacency entry for an edge id.
-func findHalf(adj []half, id int32) *half {
-	for i := range adj {
-		if adj[i].ID == id {
-			return &adj[i]
-		}
-	}
-	return nil
-}

@@ -107,7 +107,8 @@ func (st *stackState) popStrict(ctx context.Context, driver *mapreduce.Driver) (
 		for v, edges := range perNode {
 			input = append(input, mapreduce.P(v, edges))
 		}
-		out, err := mapreduce.RunJob(ctx, driver, "strict-pop", input,
+		outDS, err := mapreduce.RunJobDS(ctx, driver, "strict-pop",
+			mapreduce.PartitionDataset(input, driver.Partitions()),
 			func(v graph.NodeID, edges []int32, out mapreduce.Emitter[int32, bool]) error {
 				// A node whose tentative layer degree exceeds its
 				// residual capacity overflows: none of its layer edges
@@ -125,6 +126,9 @@ func (st *stackState) popStrict(ctx context.Context, driver *mapreduce.Driver) (
 		if err != nil {
 			return nil, fmt.Errorf("core: strict-pop layer %d: %w", l, err)
 		}
+		// Collected flat (ascending edge order) because the capacity and
+		// overflow bookkeeping below runs driver-side between layers.
+		out := outDS.Collect()
 
 		overflowNodes := make(map[graph.NodeID]bool)
 		for _, p := range out {
@@ -207,7 +211,8 @@ func (st *stackState) resolveOverflow(
 			input = append(input, mapreduce.P(v, edges))
 		}
 		delta := st.delta
-		maxOut, err := mapreduce.RunJob(ctx, driver, "strict-sublayer-filter", input,
+		maxOut, err := mapreduce.RunJobDS(ctx, driver, "strict-sublayer-filter",
+			mapreduce.PartitionDataset(input, driver.Partitions()),
 			func(v graph.NodeID, edges []int32, out mapreduce.Emitter[graph.NodeID, float64]) error {
 				m := 0.0
 				for _, ei := range edges {
@@ -225,10 +230,8 @@ func (st *stackState) resolveOverflow(
 		if err != nil {
 			return nil, fmt.Errorf("core: strict-sublayer-filter: %w", err)
 		}
-		maxDelta := make(map[graph.NodeID]float64, len(maxOut))
-		for _, p := range maxOut {
-			maxDelta[p.Key] = p.Value
-		}
+		maxDelta := make(map[graph.NodeID]float64, maxOut.Len())
+		maxOut.Each(func(v graph.NodeID, m float64) { maxDelta[v] = m })
 		var lbar []int32
 		for _, ei := range pending {
 			e := g.Edge(int(ei))
@@ -245,7 +248,7 @@ func (st *stackState) resolveOverflow(
 
 		// Maximal b-matching over the sublayer with the residual
 		// capacities (line 21).
-		recs := overflowRecords(g, lbar, residual)
+		recs := mapreduce.PartitionDataset(overflowRecords(g, lbar, residual), driver.Partitions())
 		sublayer, err := maximalBMatching(ctx, driver, recs, maximalConfig{
 			strategy: st.opts.Strategy,
 			seed:     st.opts.Seed ^ (int64(round)+1)*104729,

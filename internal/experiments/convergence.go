@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mapreduce"
 )
 
 // ConvergenceResult is one curve of Figure 5: the value of GreedyMR's
@@ -23,6 +24,8 @@ type ConvergenceResult struct {
 	// and 29.35% of its rounds on flickr-small, flickr-large and
 	// yahoo-answers respectively.
 	RoundsTo95 int
+	// MR aggregates the engine statistics of the GreedyMR run.
+	MR mapreduce.Stats
 }
 
 // FractionTo95 returns RoundsTo95 / Rounds.
@@ -62,6 +65,7 @@ func Convergence(ctx context.Context, cfg Config, corpusName string) (*Convergen
 		Rounds:     gm.Rounds,
 		Trace:      gm.FractionOfFinal(),
 		RoundsTo95: gm.IterationsToFraction(0.95),
+		MR:         gm.Shuffle,
 	}, nil
 }
 

@@ -41,6 +41,9 @@ type QualityResult struct {
 	Alpha   float64
 	Eps     float64
 	Rows    []QualityRow
+	// MR aggregates the engine statistics of every MapReduce job the
+	// panel ran (phase wall clocks, shuffle routing and spill volumes).
+	MR mapreduce.Stats
 }
 
 // Quality reproduces one panel of Figures 1-3: sweep σ (lowering it adds
@@ -73,6 +76,7 @@ func Quality(ctx context.Context, cfg Config, corpusName string) (*QualityResult
 		row.GreedyMR = gm.Matching.Value()
 		row.GreedyMRRounds = gm.Rounds
 		row.GreedyMRTime = cluster.EstimateTrace(gm.RoundStats)
+		res.MR.Add(&gm.Shuffle)
 
 		sm, err := runStack(ctx, g, cfg, core.MarkRandom)
 		if err != nil {
@@ -82,6 +86,7 @@ func Quality(ctx context.Context, cfg Config, corpusName string) (*QualityResult
 		row.StackMRRounds = sm.Rounds
 		row.StackMRTime = cluster.EstimateTrace(sm.RoundStats)
 		row.StackMRViolation = sm.Matching.Violation()
+		res.MR.Add(&sm.Shuffle)
 
 		sg, err := runStack(ctx, g, cfg, core.MarkHeaviest)
 		if err != nil {
@@ -91,6 +96,7 @@ func Quality(ctx context.Context, cfg Config, corpusName string) (*QualityResult
 		row.StackGreedyRounds = sg.Rounds
 		row.StackGreedyTime = cluster.EstimateTrace(sg.RoundStats)
 		row.StackGreedyViolation = sg.Matching.Violation()
+		res.MR.Add(&sg.Shuffle)
 
 		res.Rows = append(res.Rows, row)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/mapreduce"
 )
 
 // ScalabilityRow is one point of the scalability study: graph size vs
@@ -31,6 +32,9 @@ type ScalabilityRow struct {
 // ScalabilityResult is the full sweep.
 type ScalabilityResult struct {
 	Rows []ScalabilityRow
+	// MR aggregates the engine statistics of every MapReduce job the
+	// sweep ran.
+	MR mapreduce.Stats
 }
 
 // Scalability runs both algorithms on synthetic graphs of geometrically
@@ -59,6 +63,7 @@ func Scalability(ctx context.Context, cfg Config, baseItems, steps int) (*Scalab
 		}
 		row.GreedyMR.Rounds = gm.Rounds
 		row.GreedyMR.Value = gm.Matching.Value()
+		res.MR.Add(&gm.Shuffle)
 
 		sm, err := runStack(ctx, g, cfg, core.MarkRandom)
 		if err != nil {
@@ -66,6 +71,7 @@ func Scalability(ctx context.Context, cfg Config, baseItems, steps int) (*Scalab
 		}
 		row.StackMR.Rounds = sm.Rounds
 		row.StackMR.Value = sm.Matching.Value()
+		res.MR.Add(&sm.Shuffle)
 
 		res.Rows = append(res.Rows, row)
 		items *= 2

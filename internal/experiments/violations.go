@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mapreduce"
 )
 
 // ViolationRow is one point of Figure 4: the average relative capacity
@@ -23,6 +24,9 @@ type ViolationRow struct {
 type ViolationResult struct {
 	Dataset string
 	Rows    []ViolationRow
+	// MR aggregates the engine statistics of every MapReduce job the
+	// panel ran.
+	MR mapreduce.Stats
 }
 
 // Violations reproduces Figure 4: StackMR capacity violations as a
@@ -62,6 +66,7 @@ func Violations(ctx context.Context, cfg Config, corpusName string, epses, alpha
 					EpsPrime: sm.Matching.Violation(),
 					MaxOver:  sm.Matching.MaxViolationFactor(),
 				})
+				res.MR.Add(&sm.Shuffle)
 			}
 		}
 	}

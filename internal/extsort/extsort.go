@@ -52,6 +52,7 @@ func (c Config) maxInMemory() int {
 // for concurrent use.
 type Sorter[T any] struct {
 	less    func(a, b T) bool
+	bufSort func(buf []T)
 	codec   Codec[T]
 	cfg     Config
 	buf     []T
@@ -64,6 +65,17 @@ type Sorter[T any] struct {
 func New[T any](less func(a, b T) bool, codec Codec[T], cfg Config) *Sorter[T] {
 	return &Sorter[T]{less: less, codec: codec, cfg: cfg}
 }
+
+// SetBufferSort installs a replacement for the comparator sort applied
+// to in-memory run buffers (each spilled run, and the final buffer of a
+// sorter that never spilled). fn must order the slice exactly as a
+// stable sort by less would — same order, same tie order — because the
+// k-way merge still compares run heads with less and assumes every run
+// is less-sorted. Callers use it to swap the generic O(n log n)
+// comparator sort for a type-specialized linear-pass sort (the shuffle
+// installs a radix sort over order-preserving key images). Must be
+// called before the first Add that triggers a spill.
+func (s *Sorter[T]) SetBufferSort(fn func(buf []T)) { s.bufSort = fn }
 
 // Add appends one record, spilling a sorted run to disk when the memory
 // budget fills.
@@ -78,10 +90,15 @@ func (s *Sorter[T]) Add(rec T) error {
 	return nil
 }
 
-// sortBuf stably sorts the in-memory buffer by less. The generic
-// slices.SortStableFunc avoids the reflection-based swapping of
-// sort.SliceStable, which dominated large-buffer sorts.
+// sortBuf sorts the in-memory buffer: through the installed buffer
+// sort when one is set (see SetBufferSort), otherwise stably by less.
+// The generic slices.SortStableFunc avoids the reflection-based
+// swapping of sort.SliceStable, which dominated large-buffer sorts.
 func (s *Sorter[T]) sortBuf() {
+	if s.bufSort != nil {
+		s.bufSort(s.buf)
+		return
+	}
 	slices.SortStableFunc(s.buf, func(a, b T) int {
 		switch {
 		case s.less(a, b):

@@ -289,3 +289,46 @@ func TestDiscardAfterSortIsNoOp(t *testing.T) {
 		t.Fatalf("got %d records after Discard-after-Sort, want 10", len(recs))
 	}
 }
+
+// TestSetBufferSortUsedForRuns installs a custom buffer sort and checks
+// that every run buffer (spilled and final) goes through it and that the
+// merged stream is still globally sorted.
+func TestSetBufferSortUsedForRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int32, 1000)
+	for i := range vals {
+		vals[i] = int32(rng.Intn(500))
+	}
+	s := New(intLess, int32Codec{}, Config{MaxInMemory: 64, TempDir: t.TempDir()})
+	calls := 0
+	s.SetBufferSort(func(buf []int32) {
+		calls++
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	})
+	for _, v := range vals {
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := it.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 records at a 64-record budget: every one of the ~16 runs must
+	// have gone through the installed sort.
+	if calls < 15 {
+		t.Fatalf("buffer sort ran %d times, expected one call per run", calls)
+	}
+	if len(out) != len(vals) {
+		t.Fatalf("lost records: %d of %d", len(out), len(vals))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("merge output out of order at %d", i)
+		}
+	}
+}

@@ -47,31 +47,7 @@ func RunCombined[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	for i, sp := range splits {
 		i, sp := i, sp
 		grp.Go(func(ctx context.Context) error {
-			// The whole split buffers before combining: a combiner
-			// needs every value of a key that the split produced, so
-			// neither chunked feeding nor emission-time partitioning
-			// can apply before it runs. Only the combined (smaller)
-			// output is partitioned and reaches the shuffle backend.
-			buf := &emitBuf[K2, V2]{}
-			for j := sp.lo; j < sp.hi; j++ {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-				if err := mapFn(input[j].Key, input[j].Value, buf); err != nil {
-					return fmt.Errorf("mapreduce: map record %d: %w", j, err)
-				}
-			}
-			stats.addMapOutput(int64(len(buf.pairs)))
-			combined := combineSplit(buf.pairs, combineFn)
-			for p, bucket := range partitionPairs(combined, backend.Partitions()) {
-				if len(bucket) == 0 {
-					continue
-				}
-				if err := backend.AddBucket(i, p, bucket); err != nil {
-					return err
-				}
-			}
-			return nil
+			return combineMapTask(ctx, i, sp.lo, input[sp.lo:sp.hi], mapFn, combineFn, backend, stats)
 		})
 	}
 	if err := grp.Wait(); err != nil {
@@ -95,6 +71,49 @@ func RunCombined[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	stats.ReduceOutputRecords = int64(len(output))
 	sortPairs(output)
 	return output, stats, nil
+}
+
+// combineMapTask runs one map-and-combine task over a contiguous block
+// of input records (a flat split, or one Dataset partition): the whole
+// block buffers before combining — a combiner needs every value of a
+// key that the task produced, so neither chunked feeding nor
+// emission-time partitioning can apply before it runs — and only the
+// combined (smaller) output is partitioned and reaches the shuffle
+// backend. Combined pairs are always hash-routed (counted CrossRouted):
+// combining erases the per-record provenance the identity route keys
+// on. offset is the block's position in the caller's input (a flat
+// split's lo bound; zero for a Dataset partition), so map errors
+// report the index the caller knows.
+func combineMapTask[K1 comparable, V1 any, K2 comparable, V2 any](
+	ctx context.Context,
+	task, offset int,
+	records []Pair[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	combineFn CombineFunc[K2, V2],
+	backend ShuffleBackend[K2, V2],
+	stats *Stats,
+) error {
+	buf := &emitBuf[K2, V2]{}
+	for j := range records {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := mapFn(records[j].Key, records[j].Value, buf); err != nil {
+			return fmt.Errorf("mapreduce: map record %d: %w", offset+j, err)
+		}
+	}
+	stats.addMapOutput(int64(len(buf.pairs)))
+	combined := combineSplit(buf.pairs, combineFn)
+	stats.addRouted(0, int64(len(combined)))
+	for p, bucket := range partitionPairs(combined, backend.Partitions()) {
+		if len(bucket) == 0 {
+			continue
+		}
+		if err := backend.AddBucket(task, p, bucket); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // combineSplit groups one split's output by key (preserving first-seen

@@ -1,0 +1,422 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file makes the engine loop-aware. The paper's matching algorithms
+// are iterative MapReduce: tens to hundreds of rounds over node-state
+// records keyed by the same graph.NodeID with the same partitioner every
+// round. Run collapses every job's output into one flat, globally sorted
+// []Pair, so a round loop built on it re-hashes and re-routes every
+// record between jobs — including the large majority that land straight
+// back in the partition they came from. Dataset is the fix: reduce tasks
+// emit into it per-partition (no global concat-and-sort barrier), and a
+// subsequent job whose key type, partitioner, and partition count match
+// consumes it partition-by-partition, with self-addressed pairs taking
+// an identity route that skips hashing entirely.
+
+// Dataset is a partitioned collection of pairs, the engine's currency
+// between the jobs of an iterative computation. A Dataset is aligned
+// when every record resides in the partition its key hashes to
+// (partitionIndex(key, Partitions())); RunDS exploits alignment by
+// running one map task per partition and identity-routing pairs a map
+// task emits back to its own input key.
+//
+// Engine-produced Datasets are aligned by construction **provided the
+// job's reduce function only emits keys that hash to the group key's
+// partition** — trivially true for the dominant pattern of emitting the
+// group key itself, which every iterative job in this repository
+// follows. A reduce whose output key type differs from its group key
+// type is automatically marked unaligned (it cannot satisfy the
+// contract); a same-type reduce that re-keys its output must be
+// followed by an explicit re-partition (see Repartition) before the
+// next chained job.
+type Dataset[K comparable, V any] struct {
+	parts   [][]Pair[K, V]
+	aligned bool
+}
+
+// PartitionDataset hashes pairs into an aligned Dataset with the given
+// partition count, preserving the input order within every partition.
+// It is the entry point of an iterative computation: hash once here,
+// then chain jobs with RunDS without ever re-hashing resident records.
+func PartitionDataset[K comparable, V any](pairs []Pair[K, V], parts int) *Dataset[K, V] {
+	if parts < 1 {
+		parts = 1
+	}
+	return &Dataset[K, V]{parts: partitionPairs(pairs, parts), aligned: true}
+}
+
+// Partitions returns the partition count.
+func (d *Dataset[K, V]) Partitions() int { return len(d.parts) }
+
+// Aligned reports whether every record resides in the partition its key
+// hashes to; only aligned Datasets chain partition-resident.
+func (d *Dataset[K, V]) Aligned() bool { return d.aligned }
+
+// Len returns the total record count. It sums the per-partition
+// counters — O(partitions), never a record scan — which is what makes
+// it the fixed-point test of Loop.
+func (d *Dataset[K, V]) Len() int {
+	n := 0
+	for _, p := range d.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Part returns one partition's records in resident order. Callers must
+// not modify the slice.
+func (d *Dataset[K, V]) Part(p int) []Pair[K, V] { return d.parts[p] }
+
+// Each calls fn for every record, partition by partition in resident
+// order. The iteration order is deterministic (partitions ascending,
+// records in reduce-emission order within each), but not globally
+// key-sorted; order-sensitive consumers should use Collect.
+func (d *Dataset[K, V]) Each(fn func(key K, value V)) {
+	for _, part := range d.parts {
+		for _, p := range part {
+			fn(p.Key, p.Value)
+		}
+	}
+}
+
+// Collect flattens the Dataset into one slice sorted by key — exactly
+// the normalized output Run returns, so a computation that ends in
+// Collect is indistinguishable from one that never chained.
+func (d *Dataset[K, V]) Collect() []Pair[K, V] {
+	out := make([]Pair[K, V], 0, d.Len())
+	for _, part := range d.parts {
+		out = append(out, part...)
+	}
+	sortPairs(out)
+	return out
+}
+
+// MapValues rebuilds a Dataset record by record with a key-preserving
+// transform: fn returns the record's new value and whether to keep it.
+// Because keys are untouched, the result keeps the input's partitioning
+// and alignment — no hashing, no data movement. This is the chained
+// replacement for the "rebuild the next round's input slice" loops the
+// iterative algorithms used to run between jobs.
+//
+// fn is called sequentially (partitions ascending, resident order
+// within each), so it may close over accumulator state without locking.
+func MapValues[K comparable, V1, V2 any](d *Dataset[K, V1], fn func(key K, value V1) (V2, bool)) *Dataset[K, V2] {
+	out := &Dataset[K, V2]{parts: make([][]Pair[K, V2], len(d.parts)), aligned: d.aligned}
+	for i, part := range d.parts {
+		if len(part) == 0 {
+			continue
+		}
+		next := make([]Pair[K, V2], 0, len(part))
+		for _, p := range part {
+			if v2, keep := fn(p.Key, p.Value); keep {
+				next = append(next, Pair[K, V2]{Key: p.Key, Value: v2})
+			}
+		}
+		out.parts[i] = next
+	}
+	return out
+}
+
+// Repartition re-hashes every record into a fresh aligned Dataset with
+// the given partition count. Needed only when a job re-keyed its output
+// away from the group keys, or when the next job runs with a different
+// reducer count.
+func (d *Dataset[K, V]) Repartition(parts int) *Dataset[K, V] {
+	if parts < 1 {
+		parts = 1
+	}
+	out := &Dataset[K, V]{parts: make([][]Pair[K, V], parts), aligned: true}
+	for _, part := range d.parts {
+		for _, p := range part {
+			idx := partitionIndex(p.Key, parts)
+			out.parts[idx] = append(out.parts[idx], p)
+		}
+	}
+	return out
+}
+
+// keyCast returns a zero-cost converter from K1 to K2 when the two are
+// the same concrete type, and nil otherwise. It is how RunDS decides at
+// runtime whether the consuming job's intermediate key type matches the
+// producing job's — the precondition for identity routing — without
+// boxing a key per record.
+func keyCast[K1, K2 comparable]() func(K1) K2 {
+	f, _ := any(func(k K1) K1 { return k }).(func(K1) K2)
+	return f
+}
+
+// RunDS executes one MapReduce job with a Dataset on both ends. It is
+// Run with the two loop-hostile barriers removed:
+//
+//   - input side: when the input is aligned with the job's partitioning
+//     (same key type, same partitioner, Partitions() == cfg.Reducers)
+//     map tasks run one per partition, and every pair a task emits to
+//     its own input key — a node's state forwarded to itself, the
+//     backbone of the paper's iterative algorithms — takes an identity
+//     route straight into the task's own partition bucket, skipping the
+//     hash (counted in Stats.LocalRouted; hashed pairs are
+//     CrossRouted). Misaligned input is collected and re-partitioned
+//     exactly like Run (forced re-partition).
+//   - output side: reduce tasks emit into the returned Dataset
+//     per-partition; there is no global concat-and-sort barrier. The
+//     output is aligned provided the reduce emits only keys hashing to
+//     the group's partition (see Dataset).
+//
+// Config.FlatChaining forces the misaligned path for every job — the
+// pre-Dataset engine behavior, kept selectable so equivalence tests and
+// benchmarks can compare the two dataflows on identical semantics.
+func RunDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	input *Dataset[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	reduceFn ReduceFunc[K2, V2, K3, V3],
+) (*Dataset[K3, V3], *Stats, error) {
+	if mapFn == nil {
+		return nil, nil, errors.New("mapreduce: nil map function")
+	}
+	if reduceFn == nil {
+		return nil, nil, errors.New("mapreduce: nil reduce function")
+	}
+	stats := newStats(cfg.Name)
+	stats.MapInputRecords = int64(input.Len())
+
+	chained := input.aligned && input.Partitions() == cfg.reducers() && !cfg.FlatChaining
+
+	var backend ShuffleBackend[K2, V2]
+	var err error
+	phase := time.Now()
+	if chained {
+		backend, err = newShuffleBackend[K2, V2](cfg, input.Partitions())
+		if err != nil {
+			return nil, stats, err
+		}
+		defer backend.Close()
+		err = runMapPhaseDS(ctx, cfg, input, mapFn, backend, stats)
+	} else {
+		flat := input.Collect()
+		splits := splitRange(len(flat), cfg.mappers())
+		backend, err = newShuffleBackend[K2, V2](cfg, len(splits))
+		if err != nil {
+			return nil, stats, err
+		}
+		defer backend.Close()
+		err = runMapPhase(ctx, cfg, splits, flat, mapFn, backend, stats)
+	}
+	stats.MapWall = time.Since(phase)
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := finishJobDS(ctx, cfg, backend, reduceFn, stats)
+	return out, stats, err
+}
+
+// finishJobDS runs the shared tail of a Dataset job after its map phase:
+// shuffle finalization, the per-partition reduce phase, and the output
+// Dataset wrap, stamping the phase wall clocks and shuffle footprint.
+//
+// The output is marked aligned only when the reduce's output key type
+// equals its group key type: a type-changing reduce cannot possibly
+// satisfy the alignment contract (its keys hash under a different
+// projection), so such Datasets are auto-demoted to unaligned and a
+// chained consumer re-partitions them. Same-type reduces remain bound
+// by the documented contract of emitting only keys that hash to the
+// group's partition.
+func finishJobDS[K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	backend ShuffleBackend[K2, V2],
+	reduceFn ReduceFunc[K2, V2, K3, V3],
+	stats *Stats,
+) (*Dataset[K3, V3], error) {
+	phase := time.Now()
+	streams, err := backend.Finalize()
+	stats.ShuffleWall = time.Since(phase)
+	if err != nil {
+		return nil, err
+	}
+	phase = time.Now()
+	outs, err := runReduceParts(ctx, cfg, streams, reduceFn, stats)
+	stats.ReduceWall = time.Since(phase)
+	stats.recordShuffle(backend)
+	if err != nil {
+		return nil, err
+	}
+	out := &Dataset[K3, V3]{parts: outs, aligned: keyCast[K2, K3]() != nil}
+	stats.ReduceOutputRecords = int64(out.Len())
+	return out, nil
+}
+
+// runMapPhaseDS is the partition-resident map phase: one task per input
+// partition, identity routing for self-addressed pairs when the
+// intermediate key type matches the input key type.
+func runMapPhaseDS[K1 comparable, V1 any, K2 comparable, V2 any](
+	ctx context.Context,
+	cfg Config,
+	input *Dataset[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	backend ShuffleBackend[K2, V2],
+	stats *Stats,
+) error {
+	cast := keyCast[K1, K2]()
+	grp := newErrGroup(ctx)
+	for p, part := range input.parts {
+		p, part := p, part
+		grp.Go(func(ctx context.Context) error {
+			if err := cfg.burnAttempts(0, p, stats.addMapRetry); err != nil {
+				return err
+			}
+			em := newShuffleEmitter(backend, p)
+			em.selfOK = cast != nil
+			for j := range part {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if em.selfOK {
+					em.self = cast(part[j].Key)
+				}
+				if err := mapFn(part[j].Key, part[j].Value, em); err != nil {
+					return fmt.Errorf("mapreduce: map partition %d record %d: %w", p, j, err)
+				}
+				if em.err != nil {
+					return em.err
+				}
+			}
+			if err := em.finish(); err != nil {
+				return err
+			}
+			stats.addMapOutput(em.count)
+			stats.addRouted(em.local, em.cross)
+			return nil
+		})
+	}
+	return grp.Wait()
+}
+
+// RunCombinedDS is RunDS with a combiner, mirroring RunCombined. With
+// an aligned input the map-and-combine tasks still run one per
+// partition, but combined output is always hash-routed: combining
+// erases the per-record provenance the identity route keys on, so
+// LocalRouted stays zero on this path.
+func RunCombinedDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	input *Dataset[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	combineFn CombineFunc[K2, V2],
+	reduceFn ReduceFunc[K2, V2, K3, V3],
+) (*Dataset[K3, V3], *Stats, error) {
+	if combineFn == nil {
+		return RunDS(ctx, cfg, input, mapFn, reduceFn)
+	}
+	if mapFn == nil || reduceFn == nil {
+		return nil, nil, errParams()
+	}
+	stats := newStats(cfg.Name)
+	stats.MapInputRecords = int64(input.Len())
+
+	chained := input.aligned && input.Partitions() == cfg.reducers() && !cfg.FlatChaining
+
+	var backend ShuffleBackend[K2, V2]
+	var err error
+	var tasks [][]Pair[K1, V1]
+	var offsets []int
+	if chained {
+		tasks = input.parts
+		offsets = make([]int, len(tasks)) // partition-relative indexes
+	} else {
+		flat := input.Collect()
+		for _, sp := range splitRange(len(flat), cfg.mappers()) {
+			tasks = append(tasks, flat[sp.lo:sp.hi])
+			offsets = append(offsets, sp.lo)
+		}
+	}
+	backend, err = newShuffleBackend[K2, V2](cfg, len(tasks))
+	if err != nil {
+		return nil, stats, err
+	}
+	defer backend.Close()
+
+	phase := time.Now()
+	grp := newErrGroup(ctx)
+	for i, task := range tasks {
+		i, task := i, task
+		grp.Go(func(ctx context.Context) error {
+			return combineMapTask(ctx, i, offsets[i], task, mapFn, combineFn, backend, stats)
+		})
+	}
+	err = grp.Wait()
+	stats.MapWall = time.Since(phase)
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := finishJobDS(ctx, cfg, backend, reduceFn, stats)
+	return out, stats, err
+}
+
+// RunJobDS executes one Dataset-chained MapReduce job under a driver,
+// counting it as a round (the Dataset analogue of RunJob).
+func RunJobDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	d *Driver,
+	name string,
+	input *Dataset[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	reduceFn ReduceFunc[K2, V2, K3, V3],
+) (*Dataset[K3, V3], error) {
+	out, stats, err := RunDS(ctx, d.Config(name), input, mapFn, reduceFn)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Observe(stats); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Loop drives an iterative dataflow to its fixed point: body maps each
+// round's state Dataset to the next round's, and the loop stops when
+// the state empties. The fixed-point test is Dataset.Len() — a sum of
+// per-partition counters, not a record scan — which is sound for the
+// paper's algorithms because their filter reduces emit only live
+// records (a node record always carries at least one live edge).
+//
+// body receives the zero-based round index and may return (nil, nil)
+// to stop early with the current state (any-time stopping). Jobs run
+// inside body via RunJobDS count against the driver's MaxRounds, and
+// Driver.Config mixes the round counter into the failure seed, so every
+// round draws fresh — but reproducible — injected-failure coins. As a
+// backstop for bodies that run no driver-observed job, Loop also caps
+// its own round count at MaxRounds — a bound the driver budget always
+// reaches first when every round runs at least one job. Loop returns
+// the final state.
+func Loop[K comparable, V any](
+	ctx context.Context,
+	d *Driver,
+	state *Dataset[K, V],
+	body func(ctx context.Context, round int, state *Dataset[K, V]) (*Dataset[K, V], error),
+) (*Dataset[K, V], error) {
+	for round := 0; state.Len() > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return state, err
+		}
+		if d.MaxRounds > 0 && round >= d.MaxRounds {
+			return state, fmt.Errorf("%w (%d loop rounds without convergence)", ErrRoundLimit, round)
+		}
+		next, err := body(ctx, round, state)
+		if err != nil {
+			return state, err
+		}
+		if next == nil {
+			break
+		}
+		state = next
+	}
+	return state, nil
+}

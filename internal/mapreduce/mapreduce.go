@@ -36,6 +36,12 @@
 // so jobs whose intermediate data far exceeds RAM still complete. See
 // shuffle.go for the ShuffleBackend contract. Per-phase wall times are
 // recorded in Stats (MapWall, ShuffleWall, ReduceWall).
+//
+// Iterative computations chain jobs through Dataset (dataset.go), the
+// engine's partition-resident currency between jobs: reduce output
+// stays per-partition, the next job consumes it partition-by-partition,
+// and self-addressed pairs skip hashing via the identity route. Loop
+// drives such a computation to its fixed point under a Driver.
 package mapreduce
 
 import (
@@ -105,6 +111,13 @@ type Config struct {
 	// Shuffle selects and bounds the shuffle backend (see ShuffleKind).
 	// The zero value is the in-memory backend.
 	Shuffle ShuffleConfig
+
+	// FlatChaining disables partition-resident chaining: RunDS ignores
+	// Dataset alignment and re-partitions every job's input from the
+	// flat, globally sorted view — the pre-Dataset engine behavior.
+	// Kept selectable so equivalence tests and benchmarks can compare
+	// the two dataflows; plain Run is unaffected.
+	FlatChaining bool
 }
 
 func (c Config) mappers() int {
@@ -199,7 +212,16 @@ type shuffleEmitter[K comparable, V any] struct {
 	parts   int
 	buckets [][]Pair[K, V]
 	count   int64
-	err     error
+	// Identity routing (partition-resident map tasks only): when selfOK
+	// is set, the task updates self to each input record's key before
+	// invoking the map function, and pairs emitted back to that key are
+	// routed to the task's own partition (== split) without hashing.
+	// local and cross count the pairs taking each route.
+	selfOK bool
+	self   K
+	local  int64
+	cross  int64
+	err    error
 }
 
 func newShuffleEmitter[K comparable, V any](backend ShuffleBackend[K, V], split int) *shuffleEmitter[K, V] {
@@ -220,7 +242,17 @@ func (e *shuffleEmitter[K, V]) Emit(key K, value V) {
 	if e.err != nil {
 		return
 	}
-	idx := partitionIndex(key, e.parts)
+	var idx int
+	if e.selfOK && key == e.self {
+		// Identity route: a pair addressed to the task's own input key
+		// necessarily belongs to the task's own partition (the input is
+		// aligned), so the hash is skipped.
+		idx = e.split
+		e.local++
+	} else {
+		idx = partitionIndex(key, e.parts)
+		e.cross++
+	}
 	b := append(e.buckets[idx], Pair[K, V]{Key: key, Value: value})
 	e.count++
 	if len(b) >= e.cap {
@@ -337,15 +369,16 @@ func runMapPhase[K1 comparable, V1 any, K2 comparable, V2 any](
 				return err
 			}
 			stats.addMapOutput(em.count)
+			stats.addRouted(em.local, em.cross)
 			return nil
 		})
 	}
 	return grp.Wait()
 }
 
-// runReducePhase streams every partition's key groups through reduceFn.
-// Within a partition groups arrive in sorted key order for determinism;
-// partitions run in parallel.
+// runReducePhase streams every partition's key groups through reduceFn
+// and concatenates the per-partition outputs (the flat-slice view Run
+// returns).
 func runReducePhase[K2 comparable, V2 any, K3 comparable, V3 any](
 	ctx context.Context,
 	cfg Config,
@@ -353,6 +386,32 @@ func runReducePhase[K2 comparable, V2 any, K3 comparable, V3 any](
 	reduceFn ReduceFunc[K2, V2, K3, V3],
 	stats *Stats,
 ) ([]Pair[K3, V3], error) {
+	outs, err := runReduceParts(ctx, cfg, streams, reduceFn, stats)
+	if err != nil {
+		return nil, err
+	}
+	var total int
+	for _, o := range outs {
+		total += len(o)
+	}
+	all := make([]Pair[K3, V3], 0, total)
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return all, nil
+}
+
+// runReduceParts streams every partition's key groups through reduceFn,
+// keeping each partition's output separate (the Dataset view RunDS
+// returns). Within a partition groups arrive in sorted key order for
+// determinism; partitions run in parallel.
+func runReduceParts[K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	streams []GroupStream[K2, V2],
+	reduceFn ReduceFunc[K2, V2, K3, V3],
+	stats *Stats,
+) ([][]Pair[K3, V3], error) {
 	outs := make([][]Pair[K3, V3], len(streams))
 	grp := newErrGroup(ctx)
 	for i, st := range streams {
@@ -386,15 +445,7 @@ func runReducePhase[K2 comparable, V2 any, K3 comparable, V3 any](
 	if err := grp.Wait(); err != nil {
 		return nil, err
 	}
-	var total int
-	for _, o := range outs {
-		total += len(o)
-	}
-	all := make([]Pair[K3, V3], 0, total)
-	for _, o := range outs {
-		all = append(all, o...)
-	}
-	return all, nil
+	return outs, nil
 }
 
 // span is a half-open index range [lo, hi).

@@ -54,6 +54,13 @@ func hashKey[K comparable](key K) uint64 {
 		}
 		return h
 	case float64:
+		if k == 0 {
+			// -0.0 == +0.0 as a Go map key, so both spellings must land
+			// in one partition (and, chained, take the same identity
+			// route): hash the canonical +0.0 bits for either. Mirrors
+			// f64Ord's shared zero image in the group sort.
+			return mix64(0)
+		}
 		return mix64(math.Float64bits(k))
 	case [2]int32:
 		return mix64(uint64(uint32(k[0]))<<32 | uint64(uint32(k[1])))

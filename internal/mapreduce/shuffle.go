@@ -393,7 +393,9 @@ func newSpillShuffle[K comparable, V any](reducers, splits int, cfg ShuffleConfi
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: spill shuffle value: %w", err)
 	}
-	less := resolveLess[K]()
+	kind := keyOrderKind[K]()
+	less := keyLessFor[K](kind)
+	bufSort := spillBufSort[K, V](kind)
 	perPartition := cfg.memoryBudget() / reducers
 	if perPartition < 64 {
 		perPartition = 64
@@ -420,6 +422,10 @@ func newSpillShuffle[K comparable, V any](reducers, splits int, cfg ShuffleConfi
 			MaxInMemory: perPartition,
 			TempDir:     cfg.TempDir,
 		})
+		// Run buffers sort with the order-preserving key-image radix
+		// path instead of recLess (same (key, seq) order, no comparator
+		// calls); the merge across runs still uses recLess.
+		s.sorters[i].SetBufferSort(bufSort)
 	}
 	return s, nil
 }

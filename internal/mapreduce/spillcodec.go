@@ -314,17 +314,6 @@ func gobCodec[T any]() spillCodec[T] {
 	}
 }
 
-// resolveLess returns the deterministic key comparator used by the spill
-// sorter: the ordering strategy is resolved once per job through
-// keyOrderKind (shared with the in-memory backend's group sort), which
-// picks the lessKey fast paths when they apply and a reflection-based
-// comparator for named scalar types (whose fallback in lessKey formats
-// both operands with fmt — far too slow to call O(n log n) times during
-// a sort).
-func resolveLess[K comparable]() func(a, b K) bool {
-	return keyLessFor[K](keyOrderKind[K]())
-}
-
 // spillRecCodec frames (seq, key, value) records for extsort run files:
 // uvarint seq, uvarint key length, key bytes, uvarint value length,
 // value bytes. One codec instance serves one sorter, so the scratch

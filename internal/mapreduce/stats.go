@@ -29,6 +29,16 @@ type Stats struct {
 	ReduceGroups int64
 	// ReduceOutputRecords is the number of output pairs.
 	ReduceOutputRecords int64
+	// LocalRouted and CrossRouted split the emitted intermediate pairs
+	// by shuffle route. LocalRouted pairs took the identity route of a
+	// partition-resident map task (RunDS over an aligned Dataset): they
+	// were addressed to the task's own input key, so they went straight
+	// into the task's own partition bucket without being hashed.
+	// CrossRouted pairs went through the full hash-partitioned route.
+	// Flat jobs (Run, or RunDS forced to re-partition) hash everything,
+	// so they report LocalRouted == 0.
+	LocalRouted int64
+	CrossRouted int64
 	// MapTaskRetries and ReduceTaskRetries count re-executed task
 	// attempts under injected failures (Config.FailureRate).
 	MapTaskRetries    int64
@@ -63,6 +73,13 @@ func (s *Stats) addReduceRetry() { atomic.AddInt64(&s.ReduceTaskRetries, 1) }
 // addMapOutput records one completed map split's emitted-pair count.
 func (s *Stats) addMapOutput(n int64) { atomic.AddInt64(&s.MapOutputRecords, n) }
 
+// addRouted records one completed map task's identity-routed and
+// hash-routed pair counts.
+func (s *Stats) addRouted(local, cross int64) {
+	atomic.AddInt64(&s.LocalRouted, local)
+	atomic.AddInt64(&s.CrossRouted, cross)
+}
+
 // addReduceGroup records one key group streamed to a reducer.
 func (s *Stats) addReduceGroup() { atomic.AddInt64(&s.ReduceGroups, 1) }
 
@@ -86,6 +103,8 @@ func (s *Stats) Add(o *Stats) {
 	}
 	s.MapInputRecords += o.MapInputRecords
 	s.MapOutputRecords += atomic.LoadInt64(&o.MapOutputRecords)
+	s.LocalRouted += atomic.LoadInt64(&o.LocalRouted)
+	s.CrossRouted += atomic.LoadInt64(&o.CrossRouted)
 	s.ShuffleRecords += o.ShuffleRecords
 	s.ReduceGroups += atomic.LoadInt64(&o.ReduceGroups)
 	s.ReduceOutputRecords += o.ReduceOutputRecords
@@ -107,6 +126,9 @@ func (s *Stats) String() string {
 	line := fmt.Sprintf("%s: in=%d mapout=%d shuffle=%d groups=%d out=%d",
 		name, s.MapInputRecords, s.MapOutputRecords, s.ShuffleRecords,
 		s.ReduceGroups, s.ReduceOutputRecords)
+	if s.LocalRouted > 0 {
+		line += fmt.Sprintf(" local=%d cross=%d", s.LocalRouted, s.CrossRouted)
+	}
 	if s.SpilledRecords > 0 {
 		line += fmt.Sprintf(" spilled=%d runs=%d", s.SpilledRecords, s.SpillRuns)
 	}
