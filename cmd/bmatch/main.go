@@ -21,6 +21,7 @@ import (
 	socialmatch "repro"
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -37,8 +38,16 @@ func main() {
 		verbose = flag.Bool("v", false, "print every matched edge")
 		compare = flag.Bool("compare", false, "run every algorithm and print a comparison table")
 		exact   = flag.Bool("exact", false, "with -compare: also solve exactly via min-cost flow (small graphs only)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprof, *memprof, "bmatch")
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	shuffleOpts := socialmatch.Options{
 		Shuffle:             socialmatch.ShuffleKind(*shuffle),
@@ -96,6 +105,10 @@ func main() {
 	if res.Shuffle.LocalRouted > 0 || res.Shuffle.CrossRouted > 0 {
 		fmt.Printf("shuffle routing:  local=%d cross=%d (identity-routed vs hashed records)\n",
 			res.Shuffle.LocalRouted, res.Shuffle.CrossRouted)
+	}
+	if res.Shuffle.PooledBytes > 0 || res.Shuffle.PoolMisses > 0 {
+		fmt.Printf("buffer pool:      %d bytes reused, %d misses (summed over rounds)\n",
+			res.Shuffle.PooledBytes, res.Shuffle.PoolMisses)
 	}
 	if *verbose {
 		for _, e := range m.Edges() {

@@ -89,6 +89,9 @@ func main() {
 		if s.SpilledRecords > 0 {
 			fmt.Fprintf(w, "spilled:     %d records in %d runs\n", s.SpilledRecords, s.SpillRuns)
 		}
+		if s.PooledBytes > 0 || s.PoolMisses > 0 {
+			fmt.Fprintf(w, "buffer pool: %d bytes reused, %d misses\n", s.PooledBytes, s.PoolMisses)
+		}
 	}
 
 	run("table1", func() error {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
+	"repro/internal/profiling"
 	"repro/internal/simjoin"
 )
 
@@ -34,8 +35,16 @@ func main() {
 		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
 		flat    = flag.Bool("flat", false, "disable Dataset-chained jobs (re-partition each job from a flat slice)")
 		out     = flag.String("o", "", "write the candidate graph (with capacities) to this file")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprof, *memprof, "simjoin")
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	c, err := corpus(*name, *scale, *seed)
 	if err != nil {
@@ -76,6 +85,10 @@ func main() {
 	if res.Shuffle.LocalRouted > 0 || res.Shuffle.CrossRouted > 0 {
 		fmt.Printf("routing:        local=%d cross=%d (identity-routed vs hashed records)\n",
 			res.Shuffle.LocalRouted, res.Shuffle.CrossRouted)
+	}
+	if res.Shuffle.PooledBytes > 0 || res.Shuffle.PoolMisses > 0 {
+		fmt.Printf("buffer pool:    %d bytes reused, %d misses\n",
+			res.Shuffle.PooledBytes, res.Shuffle.PoolMisses)
 	}
 
 	if *out != "" {

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"slices"
-	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
@@ -70,11 +70,15 @@ func GreedyMR(ctx context.Context, g *graph.Bipartite, opts GreedyMROptions) (*R
 		var roundMatched []int32
 		next := mapreduce.MapValues(out, func(v graph.NodeID, o greedyOut) (nodeState, bool) {
 			roundMatched = append(roundMatched, o.matched...)
-			if o.state == nil {
+			if !o.alive {
 				return nodeState{}, false
 			}
-			return *o.state, true
+			return o.state, true
 		})
+		// The job output is fully folded into next and roundMatched:
+		// hand its partition buffers back so the following round's
+		// reduce emits into this round's memory.
+		out.Recycle()
 		// Keep the cumulative matched set sorted by edge id and sum it
 		// in that order — the same order NewMatching uses — so the
 		// final trace entry equals Matching.Value exactly
@@ -101,34 +105,50 @@ func GreedyMR(ctx context.Context, g *graph.Bipartite, opts GreedyMROptions) (*R
 }
 
 // greedyMsg is the intermediate value of a GreedyMR round: either a
-// node's own state forwarded to itself, or a proposal flag sent to the
-// other endpoint of an edge.
+// node's own state forwarded to itself (by value — a pointer here would
+// cost one heap allocation per live node per round), or a proposal flag
+// sent to the other endpoint of an edge.
 type greedyMsg struct {
-	self     *nodeState
+	state    nodeState // the node's own state, valid when self is set
 	edge     int32
 	proposed bool
+	self     bool
 }
 
 // greedyOut is the output value of a GreedyMR round: the node's next
-// state (nil when the node drops out) plus the matched edges reported by
-// their item-side endpoint.
+// state (alive reports whether the node stays in the computation) plus
+// the matched edges reported by their item-side endpoint.
 type greedyOut struct {
-	state   *nodeState
+	state   nodeState
 	matched []int32
+	alive   bool
 }
+
+// greedyScratch is the per-task scratch of the GreedyMR hot loop: the
+// index buffer of topByWeight and the reducer's edge-mark buffer. Map
+// and reduce tasks borrow one per call through greedyScratchPool, so
+// the steady-state round performs no per-node or per-key allocation.
+type greedyScratch struct {
+	idx   []int32
+	marks []int32
+}
+
+var greedyScratchPool = sync.Pool{New: func() any { return new(greedyScratch) }}
 
 // greedyMap implements the map phase of Algorithm 3: node v proposes its
 // top-b(v) incident edges. Proposal membership is tested against the
 // sorted adjacency indexes chosen by topByWeight — no per-node set
 // allocation on this hot path.
 func greedyMap(v graph.NodeID, st nodeState, out mapreduce.Emitter[graph.NodeID, greedyMsg]) error {
-	stCopy := st
-	out.Emit(v, greedyMsg{self: &stCopy})
-	chosen := topByWeight(st.Adj, st.B)
-	sort.Ints(chosen)
+	out.Emit(v, greedyMsg{state: st, self: true})
+	sc := greedyScratchPool.Get().(*greedyScratch)
+	chosen := topByWeight(st.Adj, st.B, sc.idx)
+	slices.Sort(chosen)
 	for i, h := range st.Adj {
-		out.Emit(h.Other, greedyMsg{edge: h.ID, proposed: sortedContains(chosen, i)})
+		out.Emit(h.Other, greedyMsg{edge: h.ID, proposed: sortedContains(chosen, int32(i))})
 	}
+	sc.idx = chosen
+	greedyScratchPool.Put(sc)
 	return nil
 }
 
@@ -156,35 +176,46 @@ func edgeMark(edge int32, proposed bool) int32 {
 // instead of the two per-node map[int32]bool sets a naive translation
 // would allocate — this reduce is the hot loop of every GreedyMR round
 // (BenchmarkGreedyMRSingleRound), and the maps dominated its
-// allocation profile.
+// allocation profile. The mark and index buffers come from the shared
+// scratch pool, and the surviving adjacency list is compacted in place
+// into the node's own array (the reduce owns it: the previous round's
+// holders are dead by the time this round's reduce runs, and writes
+// trail reads in the compaction), so a steady-state round allocates
+// nothing per key.
 func greedyReduce(g *graph.Bipartite) mapreduce.ReduceFunc[graph.NodeID, greedyMsg, graph.NodeID, greedyOut] {
 	return func(u graph.NodeID, msgs []greedyMsg, out mapreduce.Emitter[graph.NodeID, greedyOut]) error {
 		var self *nodeState
-		marks := make([]int32, 0, len(msgs))
-		for _, m := range msgs {
-			if m.self != nil {
-				self = m.self
+		sc := greedyScratchPool.Get().(*greedyScratch)
+		defer greedyScratchPool.Put(sc)
+		marks := sc.marks[:0]
+		for i := range msgs {
+			m := &msgs[i]
+			if m.self {
+				self = &m.state
 				continue
 			}
 			marks = append(marks, edgeMark(m.edge, m.proposed))
 		}
+		sc.marks = marks
 		if self == nil {
 			// The node died in an earlier round; stray proposals from
 			// neighbors that have not yet noticed are ignored.
 			return nil
 		}
 		slices.Sort(marks)
-		mine := topByWeight(self.Adj, self.B)
-		sort.Ints(mine)
+		mine := topByWeight(self.Adj, self.B, sc.idx)
+		sc.idx = mine
+		slices.Sort(mine)
 		var res greedyOut
-		next := nodeState{B: self.B}
-		for i, h := range self.Adj {
+		adj := self.Adj
+		next := nodeState{B: self.B, Adj: adj[:0]}
+		for i, h := range adj {
 			proposed := sortedContains(marks, edgeMark(h.ID, true))
 			seen := proposed || sortedContains(marks, edgeMark(h.ID, false))
 			switch {
 			case !seen:
 				// Neighbor is gone: drop the edge.
-			case proposed && sortedContains(mine, i):
+			case proposed && sortedContains(mine, int32(i)):
 				// Both endpoints proposed: matched.
 				next.B--
 				if g.SideOf(u) == graph.ItemSide {
@@ -195,9 +226,10 @@ func greedyReduce(g *graph.Bipartite) mapreduce.ReduceFunc[graph.NodeID, greedyM
 			}
 		}
 		if next.B > 0 && len(next.Adj) > 0 {
-			res.state = &next
+			res.state = next
+			res.alive = true
 		}
-		if res.state != nil || len(res.matched) > 0 {
+		if res.alive || len(res.matched) > 0 {
 			out.Emit(u, res)
 		}
 		return nil

@@ -130,17 +130,26 @@ func maximalBMatching(
 	_, err := mapreduce.Loop(ctx, driver, start, func(
 		ctx context.Context, iter int, cur *mapreduce.Dataset[graph.NodeID, mmNode],
 	) (*mapreduce.Dataset[graph.NodeID, mmNode], error) {
-		var err error
-		if cur, err = mmStage(ctx, driver, "mm-marking", cur, markingMap(cfg, iter)); err != nil {
+		// Each stage's output is consumed by the next stage; recycling
+		// the intermediates hands their partition buffers straight to
+		// the following job in this same iteration. The iteration's
+		// input (the Loop state) is recycled by Loop itself.
+		marking, err := mmStage(ctx, driver, "mm-marking", cur, markingMap(cfg, iter))
+		if err != nil {
 			return nil, err
 		}
-		if cur, err = mmStage(ctx, driver, "mm-selection", cur, selectionMap(cfg, iter)); err != nil {
+		selection, err := mmStage(ctx, driver, "mm-selection", marking, selectionMap(cfg, iter))
+		marking.Recycle()
+		if err != nil {
 			return nil, err
 		}
-		if cur, err = mmStage(ctx, driver, "mm-matching", cur, matchingMap(cfg, iter)); err != nil {
+		matching, err := mmStage(ctx, driver, "mm-matching", selection, matchingMap(cfg, iter))
+		selection.Recycle()
+		if err != nil {
 			return nil, err
 		}
-		next, found, err := mmCleanup(ctx, driver, cur)
+		next, found, err := mmCleanup(ctx, driver, matching)
+		matching.Recycle()
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +183,9 @@ func markingMap(cfg maximalConfig, iter int) mapreduce.MapFunc[graph.NodeID, mmN
 		k := (st.B + 1) / 2
 		var chosen []int
 		if cfg.strategy == MarkHeaviest {
-			chosen = topByWeight(halves(st.Adj), k)
+			for _, i := range topByWeight(halves(st.Adj), k, nil) {
+				chosen = append(chosen, int(i))
+			}
 		} else {
 			chosen = pickRandom(len(st.Adj), k, nodeRand(cfg.seed, v, iter*4))
 		}
@@ -330,6 +341,7 @@ func mmCleanup(
 		}
 		return *o.state, true
 	})
+	out.Recycle()
 	return next, matched, nil
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"cmp"
 	"slices"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
@@ -36,52 +35,81 @@ type nodeState struct {
 
 // nodeRecords builds the initial node-based view of a graph: one record
 // per node with positive capacity and at least one incident edge whose
-// other endpoint also has positive capacity.
+// other endpoint also has positive capacity. All adjacency lists are
+// carved out of one exactly-sized backing array (a counting pass first,
+// then a fill pass) instead of one allocation per node; each node's
+// region is capacity-limited, so the in-place compaction the round
+// loops perform on their own lists can never bleed into a neighbor's.
 func nodeRecords(g *graph.Bipartite) []mapreduce.Pair[graph.NodeID, nodeState] {
 	n := g.NumNodes()
-	var recs []mapreduce.Pair[graph.NodeID, nodeState]
+	keep := func(id graph.NodeID, ei int32) bool {
+		return intCap(g, g.Edge(int(ei)).Other(id)) > 0
+	}
+	total, live := 0, 0
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		if intCap(g, id) == 0 {
+			continue
+		}
+		deg := 0
+		for _, ei := range g.IncidentEdges(id) {
+			if keep(id, ei) {
+				deg++
+			}
+		}
+		if deg > 0 {
+			total += deg
+			live++
+		}
+	}
+	backing := make([]half, 0, total) // exact: never reallocates below
+	recs := make([]mapreduce.Pair[graph.NodeID, nodeState], 0, live)
 	for v := 0; v < n; v++ {
 		id := graph.NodeID(v)
 		b := intCap(g, id)
 		if b == 0 {
 			continue
 		}
-		inc := g.IncidentEdges(id)
-		adj := make([]half, 0, len(inc))
-		for _, ei := range inc {
-			e := g.Edge(int(ei))
-			other := e.Other(id)
-			if intCap(g, other) == 0 {
-				continue
+		start := len(backing)
+		for _, ei := range g.IncidentEdges(id) {
+			if keep(id, ei) {
+				e := g.Edge(int(ei))
+				backing = append(backing, half{ID: ei, Other: e.Other(id), W: e.Weight})
 			}
-			adj = append(adj, half{ID: ei, Other: other, W: e.Weight})
 		}
-		if len(adj) == 0 {
+		if len(backing) == start {
 			continue
 		}
+		adj := backing[start:len(backing):len(backing)]
 		recs = append(recs, mapreduce.P(id, nodeState{B: b, Adj: adj}))
 	}
 	return recs
 }
 
 // topByWeight returns the indexes (into adj) of the k heaviest edges,
-// with deterministic tie-breaking on edge id. It is the cLv selection of
-// GreedyMR (Algorithm 3) and the greedy marking strategy of
-// StackGreedyMR.
-func topByWeight(adj []half, k int) []int {
+// with deterministic tie-breaking on edge id, appended to buf (pass a
+// recycled scratch slice to make the call allocation-free — this runs
+// twice per node per round in GreedyMR's hot loop). It is the cLv
+// selection of GreedyMR (Algorithm 3) and the greedy marking strategy
+// of StackGreedyMR. The comparator is a total order (edge ids are
+// unique), so the unstable sort is deterministic.
+func topByWeight(adj []half, k int, buf []int32) []int32 {
 	if k <= 0 {
 		return nil
 	}
-	idx := make([]int, len(adj))
-	for i := range idx {
-		idx[i] = i
+	idx := buf[:0]
+	for i := range adj {
+		idx = append(idx, int32(i))
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ea, eb := adj[idx[a]], adj[idx[b]]
+	slices.SortFunc(idx, func(a, b int32) int {
+		ea, eb := adj[a], adj[b]
 		if ea.W != eb.W {
-			return ea.W > eb.W
+			if ea.W > eb.W {
+				return -1
+			}
+			return 1
 		}
-		return ea.ID < eb.ID
+		return int(ea.ID - eb.ID)
 	})
 	if k < len(idx) {
 		idx = idx[:k]

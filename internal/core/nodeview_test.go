@@ -17,17 +17,17 @@ func TestTopByWeight(t *testing.T) {
 		{ID: 2, Other: 12, W: 2.0},
 		{ID: 3, Other: 13, W: 3.0}, // tie with ID 1: lower id wins
 	}
-	got := topByWeight(adj, 2)
+	got := topByWeight(adj, 2, nil)
 	if len(got) != 2 || adj[got[0]].ID != 1 || adj[got[1]].ID != 3 {
 		t.Errorf("topByWeight(2) picked %v", got)
 	}
-	if got := topByWeight(adj, 0); got != nil {
+	if got := topByWeight(adj, 0, nil); got != nil {
 		t.Errorf("topByWeight(0) = %v", got)
 	}
-	if got := topByWeight(adj, 10); len(got) != 4 {
+	if got := topByWeight(adj, 10, nil); len(got) != 4 {
 		t.Errorf("topByWeight(10) returned %d", len(got))
 	}
-	if got := topByWeight(nil, 3); len(got) != 0 {
+	if got := topByWeight(nil, 3, nil); len(got) != 0 {
 		t.Errorf("topByWeight(nil) = %v", got)
 	}
 }

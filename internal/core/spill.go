@@ -174,15 +174,15 @@ func (r *spillReader) err(what string) error {
 // shuffle backend.
 func (m greedyMsg) MarshalBinary() ([]byte, error) {
 	var tag byte
-	if m.self != nil {
+	if m.self {
 		tag |= tagSelf
 	}
 	if m.proposed {
 		tag |= tagFlagA
 	}
 	buf := []byte{tag}
-	if m.self != nil {
-		return appendNodeState(buf, m.self), nil
+	if m.self {
+		return appendNodeState(buf, &m.state), nil
 	}
 	return binary.AppendVarint(buf, int64(m.edge)), nil
 }
@@ -191,9 +191,9 @@ func (m greedyMsg) MarshalBinary() ([]byte, error) {
 func (m *greedyMsg) UnmarshalBinary(data []byte) error {
 	r := &spillReader{data: data}
 	tag := r.byte()
-	*m = greedyMsg{proposed: tag&tagFlagA != 0}
-	if tag&tagSelf != 0 {
-		m.self = r.nodeState()
+	*m = greedyMsg{proposed: tag&tagFlagA != 0, self: tag&tagSelf != 0}
+	if m.self {
+		m.state = *r.nodeState()
 	} else {
 		m.edge = int32(r.varint())
 	}

@@ -104,7 +104,7 @@ func TestMessageCodecsRoundTrip(t *testing.T) {
 			UnmarshalBinary([]byte) error
 		}
 	}{
-		{"greedyMsg-self", greedyMsg{self: st}, &greedyMsg{}},
+		{"greedyMsg-self", greedyMsg{self: true, state: *st}, &greedyMsg{}},
 		{"greedyMsg-edge", greedyMsg{edge: 41, proposed: true}, &greedyMsg{}},
 		{"greedyMsg-zero", greedyMsg{}, &greedyMsg{}},
 		{"mmMsg-self", mmMsg{self: mm}, &mmMsg{}},
@@ -136,7 +136,7 @@ func TestMessageCodecsRoundTrip(t *testing.T) {
 // TestMessageCodecsRejectCorruptData checks that truncated spill data
 // surfaces as an error instead of a silently wrong message.
 func TestMessageCodecsRejectCorruptData(t *testing.T) {
-	data, err := greedyMsg{self: &nodeState{B: 2, Adj: []half{{ID: 1, Other: 2, W: 3}}}}.MarshalBinary()
+	data, err := greedyMsg{self: true, state: nodeState{B: 2, Adj: []half{{ID: 1, Other: 2, W: 3}}}}.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}

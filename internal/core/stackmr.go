@@ -145,6 +145,7 @@ func (st *stackState) push(ctx context.Context, driver *mapreduce.Driver) error 
 			strategy: st.opts.Strategy,
 			seed:     st.opts.Seed + int64(layerNo)*7919,
 		})
+		layerRecs.Recycle() // consumed by the matching's flagged view
 		if err != nil {
 			return nil, fmt.Errorf("core: stack push layer %d: %w", layerNo, err)
 		}
@@ -252,6 +253,7 @@ func (st *stackState) updateDuals(
 		return fmt.Errorf("core: stack-update: %w", err)
 	}
 	out.Each(func(v graph.NodeID, d float64) { st.y[v] += d })
+	out.Recycle()
 	return nil
 }
 
@@ -388,7 +390,7 @@ func (st *stackState) pop(ctx context.Context, driver *mapreduce.Driver) ([]int3
 			residual[e.Item]--
 			residual[e.Consumer]--
 		}
+		out.Recycle()
 	}
 	return included, nil
 }
-

@@ -239,6 +239,109 @@ func TestExternalSortEdgesByWeight(t *testing.T) {
 	}
 }
 
+// TestPipelinedWriterTinyBudget forces the double-buffered writer
+// through hundreds of handoffs with a budget small enough that nearly
+// every record spills, and checks the merged stream is exactly the
+// sorted input. A tiny write buffer exercises mid-record bufio flushes.
+func TestPipelinedWriterTinyBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]int32, 5000)
+	for i := range vals {
+		vals[i] = rng.Int31n(1000) - 500
+	}
+	s := New(intLess, int32Codec{}, Config{
+		MaxInMemory:   8,
+		TempDir:       t.TempDir(),
+		WriteBufBytes: 16,
+	})
+	for _, v := range vals {
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Runs() < 500 {
+		t.Fatalf("expected hundreds of pipelined runs, got %d", s.Runs())
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := it.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int32(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("lost records: %d of %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	if s.Spilled() != int64(len(vals)) {
+		t.Errorf("Spilled() = %d, want %d (everything spilled at budget 8)", s.Spilled(), len(vals))
+	}
+}
+
+// TestPipelinedWriterStable pins the merge's new stability guarantee:
+// records that compare equal come back in insertion order, because the
+// buffer sort is stable and the loser tree breaks ties by run creation
+// order.
+func TestPipelinedWriterStable(t *testing.T) {
+	type rec = WeightedEdgeRec
+	s := New(func(a, b rec) bool { return a.Weight > b.Weight }, EdgeCodec{},
+		Config{MaxInMemory: 7, TempDir: t.TempDir()})
+	const n = 200
+	for i := 0; i < n; i++ {
+		// Three weight classes; Item records insertion order.
+		if err := s.Add(rec{Item: int32(i), Weight: float64(i % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := it.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastItem := map[float64]int32{}
+	for i, r := range out {
+		if i > 0 && out[i-1].Weight < r.Weight {
+			t.Fatalf("weights not descending at %d", i)
+		}
+		if prev, ok := lastItem[r.Weight]; ok && prev >= r.Item {
+			t.Fatalf("stability broken within weight %v: item %d after %d", r.Weight, r.Item, prev)
+		}
+		lastItem[r.Weight] = r.Item
+	}
+}
+
+// TestPipelinedWriterSurfacesErrors checks that a failing spill target
+// reports an error on the producer side instead of silently dropping
+// runs: the write happens on a background goroutine, so the error may
+// arrive on a later Add or at Sort, but it must arrive.
+func TestPipelinedWriterSurfacesErrors(t *testing.T) {
+	s := New(intLess, int32Codec{}, Config{
+		MaxInMemory: 4,
+		TempDir:     "/nonexistent-extsort-dir/really",
+	})
+	defer s.Discard() // drains the writer if Sort was never reached
+	var sawErr error
+	for i := int32(0); i < 64 && sawErr == nil; i++ {
+		sawErr = s.Add(i)
+	}
+	if sawErr == nil {
+		_, sawErr = s.Sort()
+	}
+	if sawErr == nil {
+		t.Fatal("spilling into a nonexistent TempDir reported no error")
+	}
+}
+
 func countOpenFDs(t *testing.T) int {
 	t.Helper()
 	ents, err := os.ReadDir("/proc/self/fd")

@@ -1,0 +1,76 @@
+//go:build !race
+
+package mapreduce
+
+import (
+	"context"
+	"testing"
+)
+
+// Allocation-regression guards for the round-recycled engine. These pin
+// the steady-state allocation rate of the hot paths so a future change
+// cannot silently reintroduce per-round heap churn; CI runs them by
+// name (-run TestAllocGuard). Excluded under the race detector, which
+// inflates allocation counts.
+
+// TestAllocGuardChainedRound pins the engine-side allocations of one
+// steady-state chained job round (warm BufferPool, output recycled).
+// The budget covers fixed per-job overhead — stats, task goroutines,
+// stream headers, the Dataset wrapper — NOT per-record or per-key work:
+// with 600 records and 50 groups per round, a per-key leak of even one
+// allocation would blow the limit several times over.
+func TestAllocGuardChainedRound(t *testing.T) {
+	const limit = 120
+	cfg := Config{Mappers: 2, Reducers: 2, Pool: NewBufferPool()}
+	pairs := make([]Pair[int32, int64], 600)
+	for i := range pairs {
+		pairs[i] = P(int32(i%50), int64(i))
+	}
+	state := PartitionDataset(pairs, 2)
+	mapFn := func(k int32, v int64, out Emitter[int32, int64]) error {
+		out.Emit(k, v)
+		return nil
+	}
+	redFn := func(k int32, vs []int64, out Emitter[int32, int64]) error {
+		var sum int64
+		for _, v := range vs {
+			sum += v
+		}
+		out.Emit(k, sum)
+		return nil
+	}
+	round := func() {
+		out, _, err := RunDS(context.Background(), cfg, state, mapFn, redFn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Recycle()
+	}
+	round() // warm the pool
+	round()
+	avg := testing.AllocsPerRun(10, round)
+	t.Logf("steady-state chained round: %.1f allocs", avg)
+	if avg > limit {
+		t.Errorf("steady-state chained round allocates %.1f (> %d): buffer recycling regressed", avg, limit)
+	}
+}
+
+// TestAllocGuardMemoryAddBucket pins the memory backend's ingest: an
+// AddBucket is an ownership transfer — amortized segment-list growth
+// only, nothing per record.
+func TestAllocGuardMemoryAddBucket(t *testing.T) {
+	m := newMemoryShuffle[int32, int32](2, 1, nil)
+	bucket := make([]Pair[int32, int32], emitBucketCap)
+	for i := range bucket {
+		bucket[i] = P(int32(i), int32(i))
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := m.AddBucket(0, 1, bucket); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("AddBucket: %.3f allocs amortized", avg)
+	if avg > 0.5 {
+		t.Errorf("memory AddBucket allocates %.3f amortized (> 0.5): ownership transfer regressed", avg)
+	}
+}

@@ -34,9 +34,10 @@ func RunCombined[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	}
 	stats := newStats(cfg.Name)
 	stats.MapInputRecords = int64(len(input))
+	defer stats.snapPool(cfg.Pool)()
 
 	splits := splitRange(len(input), cfg.mappers())
-	backend, err := newShuffleBackend[K2, V2](cfg, len(splits))
+	backend, err := newShuffleBackend(cfg, len(splits), arenaFor[K2, V2](cfg.Pool, cfg.reducers()))
 	if err != nil {
 		return nil, stats, err
 	}

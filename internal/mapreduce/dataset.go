@@ -38,6 +38,11 @@ import (
 type Dataset[K comparable, V any] struct {
 	parts   [][]Pair[K, V]
 	aligned bool
+	// pool is the BufferPool the partition slices were checked out of
+	// (engine-produced and MapValues-produced Datasets only; nil for
+	// caller-built ones). It makes Recycle possible — it never causes
+	// automatic reclamation by itself.
+	pool *BufferPool
 }
 
 // PartitionDataset hashes pairs into an aligned Dataset with the given
@@ -106,13 +111,21 @@ func (d *Dataset[K, V]) Collect() []Pair[K, V] {
 //
 // fn is called sequentially (partitions ascending, resident order
 // within each), so it may close over accumulator state without locking.
+//
+// When d carries a BufferPool (it was produced by a pooled job or a
+// previous MapValues), the output partitions check out of that pool —
+// in a round loop they are the very slices an earlier round's state
+// returned via Recycle or Loop — and the pool travels to the output so
+// the chain keeps recycling. The input d is not consumed; recycle it
+// explicitly once it is dead.
 func MapValues[K comparable, V1, V2 any](d *Dataset[K, V1], fn func(key K, value V1) (V2, bool)) *Dataset[K, V2] {
-	out := &Dataset[K, V2]{parts: make([][]Pair[K, V2], len(d.parts)), aligned: d.aligned}
+	out := &Dataset[K, V2]{parts: make([][]Pair[K, V2], len(d.parts)), aligned: d.aligned, pool: d.pool}
+	ar := arenaFor[K, V2](d.pool, len(d.parts))
 	for i, part := range d.parts {
 		if len(part) == 0 {
 			continue
 		}
-		next := make([]Pair[K, V2], 0, len(part))
+		next := ar.getPairs(i, len(part))
 		for _, p := range part {
 			if v2, keep := fn(p.Key, p.Value); keep {
 				next = append(next, Pair[K, V2]{Key: p.Key, Value: v2})
@@ -121,6 +134,25 @@ func MapValues[K comparable, V1, V2 any](d *Dataset[K, V1], fn func(key K, value
 		out.parts[i] = next
 	}
 	return out
+}
+
+// Recycle returns the Dataset's partition buffers to the BufferPool
+// they were checked out of and empties the Dataset. It is the caller's
+// assertion that the Dataset — and every slice into its partitions —
+// is dead; the storage will back future rounds' buffers. Safe to call
+// on any Dataset (a no-op without a pool) and idempotent. Only the
+// Pair spines are reclaimed: values, and anything they point to, are
+// untouched.
+func (d *Dataset[K, V]) Recycle() {
+	if d.pool == nil {
+		return
+	}
+	ar := arenaFor[K, V](d.pool, len(d.parts))
+	for p, part := range d.parts {
+		ar.putPairs(p, part)
+	}
+	d.parts = nil
+	d.pool = nil
 }
 
 // Repartition re-hashes every record into a fresh aligned Dataset with
@@ -186,28 +218,30 @@ func RunDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
 	}
 	stats := newStats(cfg.Name)
 	stats.MapInputRecords = int64(input.Len())
+	defer stats.snapPool(cfg.Pool)()
 
 	chained := input.aligned && input.Partitions() == cfg.reducers() && !cfg.FlatChaining
 
+	ar := arenaFor[K2, V2](cfg.Pool, cfg.reducers())
 	var backend ShuffleBackend[K2, V2]
 	var err error
 	phase := time.Now()
 	if chained {
-		backend, err = newShuffleBackend[K2, V2](cfg, input.Partitions())
+		backend, err = newShuffleBackend(cfg, input.Partitions(), ar)
 		if err != nil {
 			return nil, stats, err
 		}
 		defer backend.Close()
-		err = runMapPhaseDS(ctx, cfg, input, mapFn, backend, stats)
+		err = runMapPhaseDS(ctx, cfg, input, mapFn, backend, ar, stats)
 	} else {
 		flat := input.Collect()
 		splits := splitRange(len(flat), cfg.mappers())
-		backend, err = newShuffleBackend[K2, V2](cfg, len(splits))
+		backend, err = newShuffleBackend(cfg, len(splits), ar)
 		if err != nil {
 			return nil, stats, err
 		}
 		defer backend.Close()
-		err = runMapPhase(ctx, cfg, splits, flat, mapFn, backend, stats)
+		err = runMapPhase(ctx, cfg, splits, flat, mapFn, backend, ar, stats)
 	}
 	stats.MapWall = time.Since(phase)
 	if err != nil {
@@ -248,7 +282,7 @@ func finishJobDS[K2 comparable, V2 any, K3 comparable, V3 any](
 	if err != nil {
 		return nil, err
 	}
-	out := &Dataset[K3, V3]{parts: outs, aligned: keyCast[K2, K3]() != nil}
+	out := &Dataset[K3, V3]{parts: outs, aligned: keyCast[K2, K3]() != nil, pool: cfg.Pool}
 	stats.ReduceOutputRecords = int64(out.Len())
 	return out, nil
 }
@@ -262,6 +296,7 @@ func runMapPhaseDS[K1 comparable, V1 any, K2 comparable, V2 any](
 	input *Dataset[K1, V1],
 	mapFn MapFunc[K1, V1, K2, V2],
 	backend ShuffleBackend[K2, V2],
+	ar *roundArena[K2, V2],
 	stats *Stats,
 ) error {
 	cast := keyCast[K1, K2]()
@@ -272,7 +307,7 @@ func runMapPhaseDS[K1 comparable, V1 any, K2 comparable, V2 any](
 			if err := cfg.burnAttempts(0, p, stats.addMapRetry); err != nil {
 				return err
 			}
-			em := newShuffleEmitter(backend, p)
+			em := newShuffleEmitter(backend, p, ar)
 			em.selfOK = cast != nil
 			for j := range part {
 				if err := ctx.Err(); err != nil {
@@ -320,6 +355,7 @@ func RunCombinedDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, 
 	}
 	stats := newStats(cfg.Name)
 	stats.MapInputRecords = int64(input.Len())
+	defer stats.snapPool(cfg.Pool)()
 
 	chained := input.aligned && input.Partitions() == cfg.reducers() && !cfg.FlatChaining
 
@@ -337,7 +373,7 @@ func RunCombinedDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, 
 			offsets = append(offsets, sp.lo)
 		}
 	}
-	backend, err = newShuffleBackend[K2, V2](cfg, len(tasks))
+	backend, err = newShuffleBackend(cfg, len(tasks), arenaFor[K2, V2](cfg.Pool, cfg.reducers()))
 	if err != nil {
 		return nil, stats, err
 	}
@@ -396,6 +432,13 @@ func RunJobDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 an
 // its own round count at MaxRounds — a bound the driver budget always
 // reaches first when every round runs at least one job. Loop returns
 // the final state.
+//
+// Ownership: when body returns a fresh Dataset, the superseded state is
+// consumed — Loop recycles its partition buffers into the driver's
+// BufferPool, which is what lets round N+1 run in round N's memory.
+// A body must therefore not retain the state Dataset (or slices into
+// its partitions) across rounds; values, and anything they point to,
+// remain untouched. The final state is never recycled.
 func Loop[K comparable, V any](
 	ctx context.Context,
 	d *Driver,
@@ -415,6 +458,9 @@ func Loop[K comparable, V any](
 		}
 		if next == nil {
 			break
+		}
+		if next != state {
+			state.Recycle()
 		}
 		state = next
 	}

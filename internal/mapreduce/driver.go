@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // Driver coordinates an iterative MapReduce computation: a chain of jobs
@@ -30,8 +31,15 @@ type Driver struct {
 var ErrRoundLimit = errors.New("mapreduce: round limit exceeded")
 
 // NewDriver returns a Driver that runs its jobs with the given base
-// configuration.
+// configuration. Unless the configuration already carries one, the
+// driver attaches a fresh BufferPool, so the rounds of an iterative
+// computation recycle their shuffle and group-sort buffers instead of
+// re-allocating them (see BufferPool); Stats.PooledBytes/PoolMisses
+// report the traffic per job and in the driver totals.
 func NewDriver(cfg Config) *Driver {
+	if cfg.Pool == nil {
+		cfg.Pool = NewBufferPool()
+	}
 	return &Driver{cfg: cfg}
 }
 
@@ -107,11 +115,15 @@ func Identity[K comparable, V any]() MapFunc[K, V, K, V] {
 	}
 }
 
-// CollectValues is a reduce function that re-emits the key with the slice
-// of its values, for jobs whose work happens entirely in the mapper.
+// CollectValues is a reduce function that re-emits the key with a copy
+// of its value slice, for jobs whose work happens entirely in the
+// mapper. The copy is required, not defensive: the engine owns the
+// values slice and reuses its backing array for later groups and
+// rounds (see ReduceFunc), so the emitted slice must be the reducer's
+// own.
 func CollectValues[K comparable, V any]() ReduceFunc[K, V, K, []V] {
 	return func(key K, values []V, out Emitter[K, []V]) error {
-		out.Emit(key, values)
+		out.Emit(key, slices.Clone(values))
 		return nil
 	}
 }

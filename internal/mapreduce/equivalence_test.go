@@ -306,14 +306,14 @@ func TestChunkedIngestionPreservesValueOrder(t *testing.T) {
 		}
 	}
 	for _, bucketCap := range []int{1, 3, 64, perSplit * splits} {
-		mem := newMemoryShuffle[int32, int64](parts, splits)
+		mem := newMemoryShuffle[int32, int64](parts, splits, nil)
 		feed(mem, bucketCap)
 		if got := collect(mem); !reflect.DeepEqual(got, want) {
 			t.Fatalf("memory backend broke value order at bucket cap %d", bucketCap)
 		}
 		mem.Close()
 
-		sp, err := newSpillShuffle[int32, int64](parts, splits, ShuffleConfig{MemoryBudget: 128})
+		sp, err := newSpillShuffle[int32, int64](parts, splits, ShuffleConfig{MemoryBudget: 128}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -350,7 +350,7 @@ func TestSortKeyValsStability(t *testing.T) {
 			keys[i] = int32(rng.Intn(97)) - 48
 			vals[i] = i
 		}
-		sk, sv, run := sortKeyVals(keys, vals, keyOrderKind[int32]())
+		sk, sv, run := sortKeyVals(keys, vals, keyOrderKind[int32](), nil, 0, nil)
 		if !run.exact || run.ord == nil {
 			t.Fatal("int32 keys should produce an exact sorted run")
 		}
@@ -367,7 +367,7 @@ func TestSortKeyValsStability(t *testing.T) {
 			keys[i] = (int64(rng.Intn(31)) - 15) << 40 // spread beyond 32 bits
 			vals[i] = i
 		}
-		sk, sv, _ := sortKeyVals(keys, vals, keyOrderKind[int64]())
+		sk, sv, _ := sortKeyVals(keys, vals, keyOrderKind[int64](), nil, 0, nil)
 		check("int64", sk, sv)
 	})
 	t.Run("string-prefix-and-long", func(t *testing.T) {
@@ -378,7 +378,7 @@ func TestSortKeyValsStability(t *testing.T) {
 			keys[i] = words[rng.Intn(len(words))]
 			vals[i] = i
 		}
-		sk, sv, _ := sortKeyVals(keys, vals, keyOrderKind[string]())
+		sk, sv, _ := sortKeyVals(keys, vals, keyOrderKind[string](), nil, 0, nil)
 		for i := 1; i < n; i++ {
 			if sk[i] < sk[i-1] {
 				t.Fatalf("strings out of order at %d: %q < %q", i, sk[i], sk[i-1])
@@ -395,7 +395,7 @@ func TestSortKeyValsStability(t *testing.T) {
 			keys[i] = nodeKey(rng.Intn(61) - 30)
 			vals[i] = i
 		}
-		sk, sv, run := sortKeyVals(keys, vals, keyOrderKind[nodeKey]())
+		sk, sv, run := sortKeyVals(keys, vals, keyOrderKind[nodeKey](), nil, 0, nil)
 		if !run.exact {
 			t.Fatal("named int32 keys should produce an exact run")
 		}
@@ -414,7 +414,7 @@ func TestSortKeyValsStability(t *testing.T) {
 		for i := range vals {
 			vals[i] = i
 		}
-		sk, sv, run := sortKeyVals(keys, vals, keyOrderKind[float64]())
+		sk, sv, run := sortKeyVals(keys, vals, keyOrderKind[float64](), nil, 0, nil)
 		if run.ord != nil {
 			t.Fatal("float keys must not claim an image-equality run")
 		}

@@ -80,6 +80,11 @@ type MapFunc[K1 comparable, V1 any, K2 comparable, V2 any] func(key K1, value V1
 // number of output pairs. Values arrive in deterministic order (the order
 // mappers emitted them, with ties between mappers broken by input split
 // index). It must be safe to call concurrently for distinct keys.
+//
+// The values slice is only valid for the duration of the call: the
+// engine owns its backing array and reuses it for later groups and
+// later rounds (exactly as Hadoop reuses its value objects). A reduce
+// that wants to keep the values must copy them — CollectValues does.
 type ReduceFunc[K2 comparable, V2 any, K3 comparable, V3 any] func(key K2, values []V2, out Emitter[K3, V3]) error
 
 // Config controls the parallelism, partitioning, and fault injection of
@@ -111,6 +116,14 @@ type Config struct {
 	// Shuffle selects and bounds the shuffle backend (see ShuffleKind).
 	// The zero value is the in-memory backend.
 	Shuffle ShuffleConfig
+
+	// Pool recycles round-lifetime buffers (shuffle buckets, group-sort
+	// arrays, radix scratch) across the jobs that share it, making the
+	// steady state of an iterative computation nearly allocation-free.
+	// NewDriver attaches a pool automatically, so driver-run jobs
+	// recycle out of the box; nil disables recycling. See BufferPool
+	// for the ownership discipline.
+	Pool *BufferPool
 
 	// FlatChaining disables partition-resident chaining: RunDS ignores
 	// Dataset alignment and re-partitions every job's input from the
@@ -207,6 +220,7 @@ const emitBucketCap = 1024
 // start writing runs long before the split finishes.
 type shuffleEmitter[K comparable, V any] struct {
 	backend ShuffleBackend[K, V]
+	ar      *roundArena[K, V]
 	split   int
 	cap     int
 	parts   int
@@ -224,13 +238,14 @@ type shuffleEmitter[K comparable, V any] struct {
 	err    error
 }
 
-func newShuffleEmitter[K comparable, V any](backend ShuffleBackend[K, V], split int) *shuffleEmitter[K, V] {
+func newShuffleEmitter[K comparable, V any](backend ShuffleBackend[K, V], split int, ar *roundArena[K, V]) *shuffleEmitter[K, V] {
 	bcap := backend.BucketCap()
 	if bcap <= 0 {
 		bcap = emitBucketCap
 	}
 	return &shuffleEmitter[K, V]{
 		backend: backend,
+		ar:      ar,
 		split:   split,
 		cap:     bcap,
 		parts:   backend.Partitions(),
@@ -257,7 +272,11 @@ func (e *shuffleEmitter[K, V]) Emit(key K, value V) {
 	e.count++
 	if len(b) >= e.cap {
 		e.err = e.backend.AddBucket(e.split, idx, b)
-		b = make([]Pair[K, V], 0, e.cap)
+		// The replacement bucket comes from the recycler when the job
+		// has one: a backend checks consumed buckets back in, so a
+		// steady-state round fills the same bucket storage it filled
+		// last round.
+		b = e.ar.getBucket(idx, e.cap)
 	}
 	e.buckets[idx] = b
 }
@@ -300,16 +319,18 @@ func Run[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
 	}
 	stats := newStats(cfg.Name)
 	stats.MapInputRecords = int64(len(input))
+	defer stats.snapPool(cfg.Pool)()
 
 	splits := splitRange(len(input), cfg.mappers())
-	backend, err := newShuffleBackend[K2, V2](cfg, len(splits))
+	ar := arenaFor[K2, V2](cfg.Pool, cfg.reducers())
+	backend, err := newShuffleBackend(cfg, len(splits), ar)
 	if err != nil {
 		return nil, stats, err
 	}
 	defer backend.Close()
 
 	phase := time.Now()
-	if err := runMapPhase(ctx, cfg, splits, input, mapFn, backend, stats); err != nil {
+	if err := runMapPhase(ctx, cfg, splits, input, mapFn, backend, ar, stats); err != nil {
 		stats.MapWall = time.Since(phase)
 		return nil, stats, err
 	}
@@ -344,6 +365,7 @@ func runMapPhase[K1 comparable, V1 any, K2 comparable, V2 any](
 	input []Pair[K1, V1],
 	mapFn MapFunc[K1, V1, K2, V2],
 	backend ShuffleBackend[K2, V2],
+	ar *roundArena[K2, V2],
 	stats *Stats,
 ) error {
 	grp := newErrGroup(ctx)
@@ -353,7 +375,7 @@ func runMapPhase[K1 comparable, V1 any, K2 comparable, V2 any](
 			if err := cfg.burnAttempts(0, i, stats.addMapRetry); err != nil {
 				return err
 			}
-			em := newShuffleEmitter(backend, i)
+			em := newShuffleEmitter(backend, i, ar)
 			for j := sp.lo; j < sp.hi; j++ {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -378,7 +400,8 @@ func runMapPhase[K1 comparable, V1 any, K2 comparable, V2 any](
 
 // runReducePhase streams every partition's key groups through reduceFn
 // and concatenates the per-partition outputs (the flat-slice view Run
-// returns).
+// returns). The per-partition buffers never escape this function, so
+// they go straight back to the recycler after the concat.
 func runReducePhase[K2 comparable, V2 any, K3 comparable, V3 any](
 	ctx context.Context,
 	cfg Config,
@@ -395,8 +418,10 @@ func runReducePhase[K2 comparable, V2 any, K3 comparable, V3 any](
 		total += len(o)
 	}
 	all := make([]Pair[K3, V3], 0, total)
-	for _, o := range outs {
+	arOut := arenaFor[K3, V3](cfg.Pool, len(streams))
+	for i, o := range outs {
 		all = append(all, o...)
+		arOut.putPairs(i, o)
 	}
 	return all, nil
 }
@@ -404,7 +429,10 @@ func runReducePhase[K2 comparable, V2 any, K3 comparable, V3 any](
 // runReduceParts streams every partition's key groups through reduceFn,
 // keeping each partition's output separate (the Dataset view RunDS
 // returns). Within a partition groups arrive in sorted key order for
-// determinism; partitions run in parallel.
+// determinism; partitions run in parallel. Output buffers check out of
+// the recycler (a partition's output size is stable across rounds, so
+// round N+1 refills round N's buffer); they return only through an
+// explicit Dataset.Recycle or Loop's superseded-state recycling.
 func runReduceParts[K2 comparable, V2 any, K3 comparable, V3 any](
 	ctx context.Context,
 	cfg Config,
@@ -413,6 +441,7 @@ func runReduceParts[K2 comparable, V2 any, K3 comparable, V3 any](
 	stats *Stats,
 ) ([][]Pair[K3, V3], error) {
 	outs := make([][]Pair[K3, V3], len(streams))
+	arOut := arenaFor[K3, V3](cfg.Pool, len(streams))
 	grp := newErrGroup(ctx)
 	for i, st := range streams {
 		i, st := i, st
@@ -421,7 +450,7 @@ func runReduceParts[K2 comparable, V2 any, K3 comparable, V3 any](
 			if err := cfg.burnAttempts(1, i, stats.addReduceRetry); err != nil {
 				return err
 			}
-			buf := &emitBuf[K3, V3]{}
+			buf := &emitBuf[K3, V3]{pairs: arOut.getPairs(i, 0)}
 			for {
 				if err := ctx.Err(); err != nil {
 					return err

@@ -190,13 +190,6 @@ func keyCmpFor[K comparable](kind orderKind) func(a, b K) int {
 	}
 }
 
-// keyLessFor derives the boolean comparator used by the spill sorter's
-// merge from the shared key order.
-func keyLessFor[K comparable](kind orderKind) func(a, b K) bool {
-	cmpFn := keyCmpFor[K](kind)
-	return func(a, b K) bool { return cmpFn(a, b) < 0 }
-}
-
 // cmpKeyFast is the typed three-way comparator for the exact builtin
 // key types (one type switch per call, no reflection or formatting).
 func cmpKeyFast[K comparable](a, b K) int {
@@ -315,6 +308,63 @@ func stringKeyFn[K comparable](kind orderKind) (fn func(K) string, identity bool
 	return func(k K) string { return fmt.Sprint(k) }, false
 }
 
+// keyImageFn returns the uint64 projection used to accelerate ordered
+// comparisons of K: the order-preserving numeric image when K has one,
+// otherwise the 8-byte big-endian prefix of the key's string form. The
+// projection is order-consistent — img(a) < img(b) implies a < b under
+// the resolved key order, and only equal images require a real key
+// comparison — which is exactly what the spill merge needs to compare
+// machine words instead of boxing keys.
+func keyImageFn[K comparable](kind orderKind) func(K) uint64 {
+	if numFn, _ := numericKeyFn[K](kind); numFn != nil {
+		return numFn
+	}
+	strFn, _ := stringKeyFn[K](kind)
+	return func(k K) uint64 {
+		p, _ := strPrefix64(strFn(k))
+		return p
+	}
+}
+
+// radixScratch holds the reusable temporaries of the radix sorts: the
+// caller-level image/permutation arrays and radixSortU64's scatter
+// buffers and counting histograms. A zero value is ready to use;
+// buffers grow to the largest sort seen and are reused across calls, so
+// a steady-state round loop performs no sort-scratch allocation.
+type radixScratch struct {
+	keys   []uint64 // images / packed keys / prefixes
+	keys2  []uint64 // second image array (the (seq, image) double pass)
+	perm   []int32  // permutation payload
+	tmpK   []uint64 // radix scatter buffer
+	tmpP   []int32  // radix scatter buffer for the payload
+	counts []int32  // histograms (cleared per pass)
+}
+
+// growU64 returns a slice of length n, reusing buf's storage when it is
+// large enough.
+func growU64(buf []uint64, n int) []uint64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]uint64, n)
+}
+
+// growI32 is growU64 for int32 slices.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int32, n)
+}
+
+// histogram returns a zeroed histogram of length n carved from the
+// scratch counts buffer (allocating only on growth).
+func (s *radixScratch) histogram(n int) []int32 {
+	s.counts = growI32(s.counts, n)
+	clear(s.counts)
+	return s.counts
+}
+
 // sortedRun describes the sorted key-image array that rides along with
 // the sorted keys of one partition, letting the group stream find group
 // boundaries by comparing machine words instead of keys.
@@ -347,11 +397,21 @@ type sortedRun struct {
 // partition's in-memory pairs can't meaningfully exceed 2^31 records
 // (that's already >16 GiB of Pair headers).
 //
+// ar/part/rs supply recycled buffers (all may be nil/zero): the
+// returned slices and run.ord are checked out of ar when one is set —
+// the caller owns returning them — while the permutation array and any
+// float-path image array are checked back in here. Inputs of length
+// >= 2 are pure scratch after the call and the caller returns those
+// too; length < 2 inputs are returned unchanged as the outputs.
+//
 // Float keys return no run (run.ord == nil): their images are injective
 // on bit patterns but not on key equality in either direction (-0.0 and
 // +0.0 are equal keys with distinct images), so the stream falls back
 // to key comparisons.
-func sortKeyVals[K comparable, V any](keys []K, vals []V, kind orderKind) ([]K, []V, sortedRun) {
+func sortKeyVals[K comparable, V any](
+	keys []K, vals []V, kind orderKind,
+	ar *roundArena[K, V], part int, rs *radixScratch,
+) ([]K, []V, sortedRun) {
 	n := len(keys)
 	isFloat := kind == orderFloat
 	if !isFloat {
@@ -367,13 +427,13 @@ func sortKeyVals[K comparable, V any](keys []K, vals []V, kind orderKind) ([]K, 
 			// low 32. Radix passes touch only the key bytes; the LSD
 			// scatter is stable, so equal keys keep ascending index
 			// order without the index ever being sorted on.
-			packed := make([]uint64, n)
+			packed := ar.getU64(part, n)
 			for i, k := range keys {
 				packed[i] = numFn(k)<<32 | uint64(uint32(i))
 			}
-			radixSortU64(packed, nil, 4)
-			outK := make([]K, n)
-			outV := make([]V, n)
+			radixSortU64(packed, nil, 4, rs)
+			outK := ar.getKeys(part, n)
+			outV := ar.getVals(part, n)
 			for i, p := range packed {
 				j := uint32(p)
 				outK[i] = keys[j]
@@ -381,15 +441,17 @@ func sortKeyVals[K comparable, V any](keys []K, vals []V, kind orderKind) ([]K, 
 			}
 			return outK, outV, sortedRun{ord: packed, shift: 32, exact: true}
 		}
-		images := make([]uint64, n)
-		perm := make([]int32, n)
+		images := ar.getU64(part, n)
+		perm := ar.getI32(part, n)
 		for i, k := range keys {
 			images[i] = numFn(k)
 			perm[i] = int32(i)
 		}
-		radixSortU64(images, perm, 0)
-		outK, outV := gatherPerm(perm, keys, vals)
+		radixSortU64(images, perm, 0, rs)
+		outK, outV := gatherPerm(perm, keys, vals, ar, part)
+		ar.putI32(part, perm)
 		if isFloat {
+			ar.putU64(part, images)
 			return outK, outV, sortedRun{}
 		}
 		return outK, outV, sortedRun{ord: images, exact: true}
@@ -401,8 +463,8 @@ func sortKeyVals[K comparable, V any](keys []K, vals []V, kind orderKind) ([]K, 
 	// non-identity projections (named string kinds, fmt fallback)
 	// materialize a side array, so each key formats exactly once.
 	strFn, identity := stringKeyFn[K](kind)
-	prefixes := make([]uint64, n)
-	perm := make([]int32, n)
+	prefixes := ar.getU64(part, n)
+	perm := ar.getI32(part, n)
 	var strs []string
 	str := func(i int32) string { return strFn(keys[i]) }
 	if !identity {
@@ -419,7 +481,7 @@ func sortKeyVals[K comparable, V any](keys []K, vals []V, kind orderKind) ([]K, 
 		prefixes[i] = p
 		perm[i] = int32(i)
 	}
-	radixSortU64(prefixes, perm, 0)
+	radixSortU64(prefixes, perm, 0, rs)
 	if anyAmbiguous {
 		// Only ambiguous keys (longer than the prefix, or containing
 		// NUL bytes indistinguishable from the zero padding) can make
@@ -427,7 +489,8 @@ func sortKeyVals[K comparable, V any](keys []K, vals []V, kind orderKind) ([]K, 
 		// exact and no repair pass is needed.
 		fixupPrefixRuns(prefixes, perm, str)
 	}
-	outK, outV := gatherPerm(perm, keys, vals)
+	outK, outV := gatherPerm(perm, keys, vals, ar, part)
+	ar.putI32(part, perm)
 	// A prefix run is exact only when the projection itself is
 	// injective on key equality — true for unambiguous real strings
 	// (identity or named kinds), never for the fmt fallback, where
@@ -436,11 +499,14 @@ func sortKeyVals[K comparable, V any](keys []K, vals []V, kind orderKind) ([]K, 
 	return outK, outV, sortedRun{ord: prefixes, exact: exact}
 }
 
-// gatherPerm gathers keys and vals into fresh slices so that position i
-// holds the elements originally at perm[i].
-func gatherPerm[K comparable, V any](perm []int32, keys []K, vals []V) ([]K, []V) {
-	outK := make([]K, len(perm))
-	outV := make([]V, len(perm))
+// gatherPerm gathers keys and vals into output slices (checked out of
+// ar when one is set) so that position i holds the elements originally
+// at perm[i].
+func gatherPerm[K comparable, V any](
+	perm []int32, keys []K, vals []V, ar *roundArena[K, V], part int,
+) ([]K, []V) {
+	outK := ar.getKeys(part, len(perm))
+	outV := ar.getVals(part, len(perm))
 	for i, p := range perm {
 		outK[i] = keys[p]
 		outV[i] = vals[p]
@@ -509,11 +575,15 @@ func fixupPrefixRuns(prefixes []uint64, perm []int32, str func(int32) string) {
 // packed into the keys themselves). LSD radix with a counting scatter:
 // O(passes·n), no comparator calls. Only bytes that actually vary are
 // histogrammed and scattered — one or/and sweep finds them — so small
-// key spaces cost one or two passes over the data.
-func radixSortU64(keys []uint64, perm []int32, loByte int) {
+// key spaces cost one or two passes over the data. scr supplies the
+// scatter buffers and histograms (nil allocates fresh ones).
+func radixSortU64(keys []uint64, perm []int32, loByte int, scr *radixScratch) {
 	n := len(keys)
 	if n < 2 {
 		return
+	}
+	if scr == nil {
+		scr = &radixScratch{}
 	}
 	or, and := uint64(0), ^uint64(0)
 	for _, k := range keys {
@@ -532,7 +602,7 @@ func radixSortU64(keys []uint64, perm []int32, loByte int) {
 	hi := 63 - bits.LeadingZeros64(diff)
 	if span := hi - lo + 1; span <= 16 && 1<<span <= 4*n {
 		mask := uint64(1)<<span - 1
-		counts := make([]int32, 1<<span)
+		counts := scr.histogram(1 << span)
 		for _, k := range keys {
 			counts[(k>>lo)&mask]++
 		}
@@ -542,7 +612,8 @@ func radixSortU64(keys []uint64, perm []int32, loByte int) {
 			counts[v] = sum
 			sum += c
 		}
-		tmpK := make([]uint64, n)
+		scr.tmpK = growU64(scr.tmpK, n)
+		tmpK := scr.tmpK
 		if perm == nil {
 			for _, k := range keys {
 				d := (k >> lo) & mask
@@ -552,7 +623,8 @@ func radixSortU64(keys []uint64, perm []int32, loByte int) {
 			copy(keys, tmpK)
 			return
 		}
-		tmpP := make([]int32, n)
+		scr.tmpP = growI32(scr.tmpP, n)
+		tmpP := scr.tmpP
 		for i, k := range keys {
 			d := (k >> lo) & mask
 			o := counts[d]
@@ -572,16 +644,20 @@ func radixSortU64(keys []uint64, perm []int32, loByte int) {
 			nb++
 		}
 	}
-	counts := make([][256]int32, nb)
+	// One flat histogram block per active byte, filled in a single
+	// sweep over the data.
+	counts := scr.histogram(nb * 256)
 	for _, k := range keys {
 		for bi := 0; bi < nb; bi++ {
-			counts[bi][(k>>(8*active[bi]))&0xff]++
+			counts[bi*256+int((k>>(8*active[bi]))&0xff)]++
 		}
 	}
-	tmpK := make([]uint64, n)
+	scr.tmpK = growU64(scr.tmpK, n)
+	tmpK := scr.tmpK
 	var tmpP []int32
 	if perm != nil {
-		tmpP = make([]int32, n)
+		scr.tmpP = growI32(scr.tmpP, n)
+		tmpP = scr.tmpP
 	}
 	srcK, dstK := keys, tmpK
 	srcP, dstP := perm, tmpP
@@ -590,7 +666,7 @@ func radixSortU64(keys []uint64, perm []int32, loByte int) {
 		var sum int32
 		for v := 0; v < 256; v++ {
 			offs[v] = sum
-			sum += counts[bi][v]
+			sum += counts[bi*256+v]
 		}
 		shift := uint(8 * active[bi])
 		if perm == nil {
@@ -631,7 +707,7 @@ func sortPairsByKey[K comparable, V any](pairs []Pair[K, V], kind orderKind) {
 		keys[i] = p.Key
 		vals[i] = p.Value
 	}
-	keys, vals, _ = sortKeyVals(keys, vals, kind)
+	keys, vals, _ = sortKeyVals(keys, vals, kind, nil, 0, nil)
 	for i := range pairs {
 		pairs[i] = Pair[K, V]{Key: keys[i], Value: vals[i]}
 	}

@@ -41,7 +41,9 @@ type ShuffleConfig struct {
 	// MemoryBudget is the maximum number of intermediate records the
 	// spilling backend buffers in memory across all partitions before
 	// writing a sorted run to disk (default 1<<20). Ignored by the
-	// memory backend.
+	// memory backend. The pipelined run writer double-buffers, so a
+	// partition's peak can transiently reach twice its budget share
+	// while a run is being written (see extsort.Config.MaxInMemory).
 	MemoryBudget int
 	// TempDir is the directory for spill files (default os.TempDir()).
 	TempDir string
@@ -115,13 +117,14 @@ type GroupStream[K comparable, V any] interface {
 }
 
 // newShuffleBackend constructs the backend selected by cfg for a job
-// with the given number of map splits.
-func newShuffleBackend[K comparable, V any](cfg Config, splits int) (ShuffleBackend[K, V], error) {
+// with the given number of map splits. ar is the job's recycler arena
+// for the intermediate pair type (nil disables recycling).
+func newShuffleBackend[K comparable, V any](cfg Config, splits int, ar *roundArena[K, V]) (ShuffleBackend[K, V], error) {
 	switch cfg.Shuffle.kind() {
 	case ShuffleMemory:
-		return newMemoryShuffle[K, V](cfg.reducers(), splits), nil
+		return newMemoryShuffle[K, V](cfg.reducers(), splits, ar), nil
 	case ShuffleSpill:
-		return newSpillShuffle[K, V](cfg.reducers(), splits, cfg.Shuffle)
+		return newSpillShuffle[K, V](cfg.reducers(), splits, cfg.Shuffle, ar)
 	default:
 		return nil, fmt.Errorf("mapreduce: unknown shuffle backend %q", cfg.Shuffle.Backend)
 	}
@@ -144,18 +147,20 @@ type memoryShuffle[K comparable, V any] struct {
 	reducers int
 	kind     orderKind
 	cmp      func(a, b K) int
+	ar       *roundArena[K, V]
 	// segs[split][partition] lists the split's delivered buckets for
 	// that partition, in arrival (= emission) order.
 	segs    [][][][]Pair[K, V]
 	records int64
 }
 
-func newMemoryShuffle[K comparable, V any](reducers, splits int) *memoryShuffle[K, V] {
+func newMemoryShuffle[K comparable, V any](reducers, splits int, ar *roundArena[K, V]) *memoryShuffle[K, V] {
 	kind := keyOrderKind[K]()
 	return &memoryShuffle[K, V]{
 		reducers: reducers,
 		kind:     kind,
 		cmp:      keyCmpFor[K](kind),
+		ar:       ar,
 		segs:     make([][][][]Pair[K, V], splits),
 	}
 }
@@ -187,7 +192,7 @@ func (m *memoryShuffle[K, V]) Finalize() ([]GroupStream[K, V], error) {
 				m.records += int64(len(seg))
 			}
 		}
-		streams[p] = &memGroupStream[K, V]{segs: segs, kind: m.kind, cmp: m.cmp}
+		streams[p] = &memGroupStream[K, V]{segs: segs, kind: m.kind, cmp: m.cmp, ar: m.ar, part: p}
 	}
 	m.segs = nil
 	return streams, nil
@@ -209,14 +214,23 @@ type memGroup[K comparable, V any] struct {
 // — inside the reduce task's goroutine, so partitions group in parallel
 // — concatenates the pre-partitioned split segments (emission order
 // within a split, splits ascending), computes the stable sort-by-key
-// permutation (a comparator-free radix pass, see sortedPermByKey), and
+// permutation (a comparator-free radix pass, see sortKeyVals), and
 // gathers the keys and values once into two flat arrays. Every group is
 // then a zero-copy sub-slice of the values array: no per-key map, no
 // per-key grown slices.
+//
+// With a recycler arena attached, the stream is where round-lifetime
+// buffers cycle: prime checks the gather arrays and radix scratch out
+// of the arena and returns them (plus the consumed bucket segments) as
+// soon as the sort is done, and Close — the moment the round's groups
+// have been consumed — returns the sorted key, value, and key-image
+// arrays, so the next round's stream for this partition reuses them.
 type memGroupStream[K comparable, V any] struct {
 	segs   [][]Pair[K, V]
 	kind   orderKind
 	cmp    func(a, b K) int
+	ar     *roundArena[K, V]
+	part   int
 	keys   []K
 	vals   []V
 	run    sortedRun
@@ -235,8 +249,8 @@ func (s *memGroupStream[K, V]) prime() {
 		s.segs = nil
 		return
 	}
-	keys := make([]K, total)
-	vals := make([]V, total)
+	keys := s.ar.getKeys(s.part, total)
+	vals := s.ar.getVals(s.part, total)
 	i := 0
 	for _, seg := range s.segs {
 		for _, p := range seg {
@@ -245,8 +259,21 @@ func (s *memGroupStream[K, V]) prime() {
 			i++
 		}
 	}
+	// The bucket segments are dead once copied out: hand them back for
+	// the next round's emitters.
+	for _, seg := range s.segs {
+		s.ar.putBucket(s.part, seg)
+	}
 	s.segs = nil
-	s.keys, s.vals, s.run = sortKeyVals(keys, vals, s.kind)
+	rs := s.ar.getRadix(s.part)
+	s.keys, s.vals, s.run = sortKeyVals(keys, vals, s.kind, s.ar, s.part, rs)
+	s.ar.putRadix(s.part, rs)
+	if total >= 2 {
+		// The gather arrays were consumed as sort scratch (length < 2
+		// inputs pass through unchanged and are still live).
+		s.ar.putKeys(s.part, keys)
+		s.ar.putVals(s.part, vals)
+	}
 }
 
 func (s *memGroupStream[K, V]) Next() (K, []V, bool, error) {
@@ -324,27 +351,55 @@ func (s *memGroupStream[K, V]) tieRun(pos, end int) (K, []V, bool, error) {
 
 // groupTieRun splits a run of comparator-equal pairs into per-key groups
 // by Go equality, in first-occurrence order, copying the values (the run
-// may interleave keys, so zero-copy slicing does not apply). The linear
-// key scan deliberately avoids a map: NaN keys never compare equal, so
-// each NaN pair forms its own group — the same behavior a Go map's
-// insert semantics gave the seed engine. Tie runs exist only for keys
-// without a distinguishing total order and are short in practice.
+// may interleave keys, so zero-copy slicing of the input does not
+// apply). Instead of growing one slice per distinct key — a singleton
+// allocation plus O(log) growth re-allocations per group in the worst
+// case — the group boundaries are counted first and the values are
+// carved as sub-slices of one flat array laid out group by group.
+//
+// The linear key scan deliberately avoids a map: NaN keys never compare
+// equal, so each NaN pair forms its own group — the same behavior a Go
+// map's insert semantics gave the seed engine. Tie runs exist only for
+// keys without a distinguishing total order and are short in practice.
 func groupTieRun[K comparable, V any](keys []K, vals []V) []memGroup[K, V] {
+	// Pass 1: assign each pair to its group and count group sizes.
 	var groups []memGroup[K, V]
+	gidx := make([]int32, len(keys))
+	counts := make([]int32, 0, 8)
 outer:
 	for i, k := range keys {
 		for gi := range groups {
 			if groups[gi].key == k {
-				groups[gi].vals = append(groups[gi].vals, vals[i])
+				gidx[i] = int32(gi)
+				counts[gi]++
 				continue outer
 			}
 		}
-		groups = append(groups, memGroup[K, V]{key: k, vals: []V{vals[i]}})
+		gidx[i] = int32(len(groups))
+		groups = append(groups, memGroup[K, V]{key: k})
+		counts = append(counts, 1)
+	}
+	// Pass 2: carve one region per group out of a single flat array and
+	// scatter the values into their regions in input order.
+	flat := make([]V, len(vals))
+	off := int32(0)
+	for gi := range groups {
+		groups[gi].vals = flat[off : off : off+counts[gi]]
+		off += counts[gi]
+	}
+	for i, v := range vals {
+		gi := gidx[i]
+		groups[gi].vals = append(groups[gi].vals, v)
 	}
 	return groups
 }
 
 func (s *memGroupStream[K, V]) Close() error {
+	// The round's groups have been consumed: the sorted key, value, and
+	// key-image arrays return to the arena for the next round.
+	s.ar.putKeys(s.part, s.keys)
+	s.ar.putVals(s.part, s.vals)
+	s.ar.putU64(s.part, s.run.ord)
 	s.segs, s.keys, s.vals, s.queue = nil, nil, nil, nil
 	s.run = sortedRun{}
 	s.pos = 0
@@ -362,9 +417,14 @@ func (s *memGroupStream[K, V]) Close() error {
 
 // spillRec is one intermediate pair with its global sequence number,
 // which encodes (split, arrival index) so that the merge reproduces the
-// memory backend's deterministic value order within every key.
+// memory backend's deterministic value order within every key. img
+// caches the key's order-consistent uint64 image (see keyImageFn),
+// computed once per record at ingest and at decode — never serialized —
+// so both the run-buffer radix sort and the k-way merge compare machine
+// words instead of repeatedly projecting (or boxing) the key.
 type spillRec[K comparable, V any] struct {
 	seq uint64
+	img uint64
 	key K
 	val V
 }
@@ -375,16 +435,20 @@ const seqSplitShift = 40
 
 type spillShuffle[K comparable, V any] struct {
 	reducers int
-	less     func(a, b K) bool
+	cmp      func(a, b K) int
+	numeric  bool // key images are exact (image tie == comparator tie)
+	imgFn    func(K) uint64
+	ar       *roundArena[K, V]
 	mu       []sync.Mutex // one per partition
 	sorters  []*extsort.Sorter[spillRec[K, V]]
-	seq      []uint64 // per-split arrival counters (split-goroutine owned)
+	recBufs  [][]spillRec[K, V] // per-partition staging (guarded by mu[part])
+	seq      []uint64           // per-split arrival counters (split-goroutine owned)
 	records  int64
 	recMu    sync.Mutex
 	streams  []GroupStream[K, V]
 }
 
-func newSpillShuffle[K comparable, V any](reducers, splits int, cfg ShuffleConfig) (*spillShuffle[K, V], error) {
+func newSpillShuffle[K comparable, V any](reducers, splits int, cfg ShuffleConfig, ar *roundArena[K, V]) (*spillShuffle[K, V], error) {
 	keyCodec, err := resolveSpillCodec[K]()
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: spill shuffle key: %w", err)
@@ -394,38 +458,63 @@ func newSpillShuffle[K comparable, V any](reducers, splits int, cfg ShuffleConfi
 		return nil, fmt.Errorf("mapreduce: spill shuffle value: %w", err)
 	}
 	kind := keyOrderKind[K]()
-	less := keyLessFor[K](kind)
-	bufSort := spillBufSort[K, V](kind)
+	cmpFn := keyCmpFor[K](kind)
+	imgFn := keyImageFn[K](kind)
+	numFn, _ := numericKeyFn[K](kind)
 	perPartition := cfg.memoryBudget() / reducers
 	if perPartition < 64 {
 		perPartition = 64
 	}
 	s := &spillShuffle[K, V]{
 		reducers: reducers,
-		less:     less,
+		cmp:      cmpFn,
+		numeric:  numFn != nil,
+		imgFn:    imgFn,
+		ar:       ar,
 		mu:       make([]sync.Mutex, reducers),
 		sorters:  make([]*extsort.Sorter[spillRec[K, V]], reducers),
+		recBufs:  make([][]spillRec[K, V], reducers),
 		seq:      make([]uint64, splits),
 	}
-	recLess := func(a, b spillRec[K, V]) bool {
-		if less(a.key, b.key) {
-			return true
+	// The merge comparator works on the cached key image: images are
+	// order-consistent (img(a) < img(b) implies a < b), so only equal
+	// images need more work. For numeric kinds an image tie IS a
+	// comparator tie (projections are injective, and the two float
+	// zeros share one image and compare equal), so the comparison
+	// drops straight to the sequence tiebreak — no key is ever boxed.
+	// String-ordered kinds compare the full key on equal prefixes.
+	var recLess func(a, b spillRec[K, V]) bool
+	if s.numeric {
+		recLess = func(a, b spillRec[K, V]) bool {
+			if a.img != b.img {
+				return a.img < b.img
+			}
+			return a.seq < b.seq
 		}
-		if less(b.key, a.key) {
-			return false
+	} else {
+		recLess = func(a, b spillRec[K, V]) bool {
+			if a.img != b.img {
+				return a.img < b.img
+			}
+			if c := cmpFn(a.key, b.key); c != 0 {
+				return c < 0
+			}
+			return a.seq < b.seq
 		}
-		return a.seq < b.seq
 	}
 	for i := range s.sorters {
-		codec := &spillRecCodec[K, V]{key: keyCodec, val: valCodec}
+		codec := &spillRecCodec[K, V]{key: keyCodec, val: valCodec, img: imgFn}
 		s.sorters[i] = extsort.New(recLess, codec, extsort.Config{
 			MaxInMemory: perPartition,
 			TempDir:     cfg.TempDir,
 		})
 		// Run buffers sort with the order-preserving key-image radix
 		// path instead of recLess (same (key, seq) order, no comparator
-		// calls); the merge across runs still uses recLess.
-		s.sorters[i].SetBufferSort(bufSort)
+		// calls); the merge across runs still uses recLess. One scratch
+		// per sorter: buffer sorts run on the ingest goroutine under
+		// the partition lock (or during that partition's Finalize), so
+		// each sorter's sort is single-threaded.
+		s.sorters[i].SetBufferSort(spillBufSort[K, V](kind))
 	}
 	return s, nil
 }
@@ -448,35 +537,59 @@ func (s *spillShuffle[K, V]) AddBucket(split, part int, pairs []Pair[K, V]) erro
 	// records all live in one partition.
 	n := s.seq[split]
 	base := uint64(split) << seqSplitShift
-	var err error
+	imgFn := s.imgFn
 	s.mu[part].Lock()
-	for _, p := range pairs {
-		if err = s.sorters[part].Add(spillRec[K, V]{seq: base | n, key: p.Key, val: p.Value}); err != nil {
-			break
-		}
+	recs := s.recBufs[part]
+	if cap(recs) < len(pairs) {
+		recs = make([]spillRec[K, V], len(pairs))
+	}
+	recs = recs[:len(pairs)]
+	for i, p := range pairs {
+		recs[i] = spillRec[K, V]{seq: base | n, img: imgFn(p.Key), key: p.Key, val: p.Value}
 		n++
 	}
+	err := s.sorters[part].AddBatch(recs)
+	s.recBufs[part] = recs
 	s.mu[part].Unlock()
 	s.seq[split] = n
 	s.recMu.Lock()
 	s.records += int64(len(pairs))
 	s.recMu.Unlock()
+	// The bucket's pairs are copied into the sorter: the slice is dead
+	// and goes back to the arena for the next emitter fill.
+	s.ar.putBucket(part, pairs)
 	return err
 }
 
 func (s *spillShuffle[K, V]) Finalize() ([]GroupStream[K, V], error) {
+	// Each partition's Sort spills and sorts its final run buffer and
+	// primes the run merge — independent per-sorter work, so the
+	// partitions finalize concurrently instead of one after another.
 	streams := make([]GroupStream[K, V], s.reducers)
+	errs := make([]error, s.reducers)
+	var wg sync.WaitGroup
 	for i, sorter := range s.sorters {
-		it, err := sorter.Sort()
+		wg.Add(1)
+		go func(i int, sorter *extsort.Sorter[spillRec[K, V]]) {
+			defer wg.Done()
+			it, err := sorter.Sort()
+			if err != nil {
+				errs[i] = fmt.Errorf("mapreduce: spill shuffle partition %d: %w", i, err)
+				return
+			}
+			streams[i] = &spillGroupStream[K, V]{it: it, cmp: s.cmp, numeric: s.numeric}
+		}(i, sorter)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			for _, st := range streams {
 				if st != nil {
 					st.Close()
 				}
 			}
-			return nil, fmt.Errorf("mapreduce: spill shuffle partition %d: %w", i, err)
+			return nil, err
 		}
-		streams[i] = &spillGroupStream[K, V]{it: it, less: s.less}
 	}
 	s.streams = streams
 	return streams, nil
@@ -511,13 +624,24 @@ func (s *spillShuffle[K, V]) footprint() (records, spilled, runs int64) {
 }
 
 // spillGroupStream assembles key groups from a merged (key, seq)-sorted
-// record stream, with one record of lookahead.
+// record stream, with one record of lookahead. The values buffer is
+// owned by the stream and reused for every group (reduce functions must
+// not retain the values slice beyond the call, see ReduceFunc) — one
+// growing array per partition instead of one allocation per distinct
+// key, which dominated the spill path's allocation profile. Group
+// boundaries compare the cached key images: for numeric kinds an image
+// change IS a key change and an image tie IS a comparator tie (the two
+// float zeros share one image by construction), so no key is ever
+// boxed; string-ordered kinds fall back to a full comparison only when
+// the 8-byte prefixes collide.
 type spillGroupStream[K comparable, V any] struct {
-	it     *extsort.Iterator[spillRec[K, V]]
-	less   func(a, b K) bool
-	head   spillRec[K, V]
-	primed bool
-	done   bool
+	it      *extsort.Iterator[spillRec[K, V]]
+	cmp     func(a, b K) int
+	numeric bool
+	head    spillRec[K, V]
+	vbuf    []V
+	primed  bool
+	done    bool
 }
 
 func (s *spillGroupStream[K, V]) Next() (K, []V, bool, error) {
@@ -537,7 +661,8 @@ func (s *spillGroupStream[K, V]) Next() (K, []V, bool, error) {
 		s.head, s.primed = rec, true
 	}
 	key := s.head.key
-	values := []V{s.head.val}
+	img := s.head.img
+	values := append(s.vbuf[:0], s.head.val)
 	for {
 		rec, ok, err := s.it.Next()
 		if err != nil {
@@ -547,7 +672,7 @@ func (s *spillGroupStream[K, V]) Next() (K, []V, bool, error) {
 			s.done = true
 			break
 		}
-		if s.less(key, rec.key) || s.less(rec.key, key) {
+		if rec.img != img || (!s.numeric && s.cmp(rec.key, key) != 0) {
 			s.head = rec // first record of the next group
 			break
 		}
@@ -564,6 +689,7 @@ func (s *spillGroupStream[K, V]) Next() (K, []V, bool, error) {
 		}
 		values = append(values, rec.val)
 	}
+	s.vbuf = values
 	return key, values, true, nil
 }
 
@@ -572,6 +698,7 @@ func (s *spillGroupStream[K, V]) Close() error {
 		s.it.Close()
 		s.it = nil
 	}
+	s.vbuf = nil
 	s.done = true
 	return nil
 }

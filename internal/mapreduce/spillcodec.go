@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"bufio"
 	"bytes"
 	"encoding"
 	"encoding/binary"
@@ -314,14 +315,27 @@ func gobCodec[T any]() spillCodec[T] {
 	}
 }
 
-// spillRecCodec frames (seq, key, value) records for extsort run files:
-// uvarint seq, uvarint key length, key bytes, uvarint value length,
-// value bytes. One codec instance serves one sorter, so the scratch
-// buffers are safe.
+// spillRecCodec frames (seq, key, value) records for extsort run files
+// as a single length-prefixed frame: uvarint frame length, then a
+// payload of uvarint seq, uvarint key length, key bytes, value bytes
+// (the value's length is whatever remains). One frame means the merge
+// decodes a record with a single buffered-reader window — the payload
+// is peeked and parsed in place with no per-field read calls and, in
+// the common case, no copy at all. The cached key image (spillRec.img)
+// is never serialized; Decode recomputes it through img so merged
+// records compare on machine words. One codec instance serves one
+// sorter — Encode runs only on the sorter's writer goroutine and
+// Decode only on the merge reader — so the scratch buffers are safe.
+//
+// The element dec functions must not retain their input slice: it
+// aliases either the reader's internal buffer or a reused scratch.
 type spillRecCodec[K comparable, V any] struct {
 	key     spillCodec[K]
 	val     spillCodec[V]
-	scratch []byte
+	img     func(K) uint64
+	scratch []byte // payload under construction (Encode)
+	frame   []byte // frame length + payload (Encode)
+	rbuf    []byte // frame readback when peeking fails (Decode)
 	kbuf    []byte
 	vbuf    []byte
 }
@@ -334,14 +348,16 @@ func (c *spillRecCodec[K, V]) Encode(w io.Writer, rec spillRec[K, V]) error {
 	if c.vbuf, err = c.val.enc(c.vbuf[:0], rec.val); err != nil {
 		return err
 	}
-	buf := c.scratch[:0]
-	buf = binary.AppendUvarint(buf, rec.seq)
-	buf = binary.AppendUvarint(buf, uint64(len(c.kbuf)))
-	buf = append(buf, c.kbuf...)
-	buf = binary.AppendUvarint(buf, uint64(len(c.vbuf)))
-	buf = append(buf, c.vbuf...)
-	c.scratch = buf
-	_, err = w.Write(buf)
+	payload := c.scratch[:0]
+	payload = binary.AppendUvarint(payload, rec.seq)
+	payload = binary.AppendUvarint(payload, uint64(len(c.kbuf)))
+	payload = append(payload, c.kbuf...)
+	payload = append(payload, c.vbuf...)
+	c.scratch = payload
+	frame := binary.AppendUvarint(c.frame[:0], uint64(len(payload)))
+	frame = append(frame, payload...)
+	c.frame = frame
+	_, err = w.Write(frame)
 	return err
 }
 
@@ -351,37 +367,104 @@ func (c *spillRecCodec[K, V]) Decode(r io.Reader) (spillRec[K, V], error) {
 	if !ok {
 		return rec, fmt.Errorf("mapreduce: spill decode: reader lacks io.ByteReader")
 	}
-	seq, err := binary.ReadUvarint(br)
+	// Fast path: peek the frame-length varint and the whole payload out
+	// of the reader's buffer in one window and consume both with a
+	// single Discard — frames are small and the run readers buffer
+	// 64 KiB, so per record this is two bounds checks and no copy.
+	var data []byte
+	if bufr, isBuf := r.(*bufio.Reader); isBuf {
+		window, _ := bufr.Peek(binary.MaxVarintLen64)
+		if len(window) == 0 {
+			// Distinguish the clean end of a run from a read error.
+			if _, perr := bufr.Peek(1); perr != nil {
+				return rec, perr
+			}
+		}
+		n, m := binary.Uvarint(window)
+		if m > 0 && m+int(n) <= bufr.Size() {
+			full, perr := bufr.Peek(m + int(n))
+			if perr != nil {
+				return rec, frameErr(perr)
+			}
+			data = full[m:]
+			rec, derr := c.decodeFrame(data)
+			bufr.Discard(m + int(n))
+			return rec, derr
+		}
+		// Varint truncated near EOF or oversized frame: fall through.
+	}
+	n, err := readUvarint(r, br)
 	if err != nil {
 		// io.EOF before the first byte is the clean end of a run.
 		return rec, err
 	}
-	rec.seq = seq
-	if c.kbuf, err = readFrame(r, br, c.kbuf); err != nil {
+	if uint64(cap(c.rbuf)) < n {
+		c.rbuf = make([]byte, n)
+	}
+	c.rbuf = c.rbuf[:n]
+	if _, err = io.ReadFull(r, c.rbuf); err != nil {
 		return rec, frameErr(err)
 	}
-	if rec.key, err = c.key.dec(c.kbuf); err != nil {
+	data = c.rbuf
+	return c.decodeFrame(data)
+}
+
+// decodeFrame parses one record payload (seq, klen, key, val). The
+// input aliases reader-owned or scratch storage; element decoders copy
+// anything they keep.
+func (c *spillRecCodec[K, V]) decodeFrame(data []byte) (spillRec[K, V], error) {
+	var rec spillRec[K, V]
+	var err error
+	seq, m := binary.Uvarint(data)
+	if m <= 0 {
+		return rec, errSpillShort
+	}
+	rec.seq = seq
+	data = data[m:]
+	klen, m := binary.Uvarint(data)
+	if m <= 0 || klen > uint64(len(data)-m) {
+		return rec, errSpillShort
+	}
+	data = data[m:]
+	if rec.key, err = c.key.dec(data[:klen]); err != nil {
 		return rec, err
 	}
-	if c.vbuf, err = readFrame(r, br, c.vbuf); err != nil {
-		return rec, frameErr(err)
+	if c.img != nil {
+		rec.img = c.img(rec.key)
 	}
-	rec.val, err = c.val.dec(c.vbuf)
+	rec.val, err = c.val.dec(data[klen:])
 	return rec, err
 }
 
-// readFrame reads one uvarint-length-prefixed frame into buf.
-func readFrame(r io.Reader, br io.ByteReader, buf []byte) ([]byte, error) {
-	l, err := binary.ReadUvarint(br)
-	if err != nil {
-		return buf, err
+// readUvarint reads one unsigned varint. When the reader is a
+// *bufio.Reader (the merge's run readers always are) the varint is
+// parsed from the reader's peeked window in one shot instead of through
+// per-byte ReadByte calls — the per-record decode overhead of the merge
+// is mostly varint parsing, so this is worth the type test.
+func readUvarint(r io.Reader, br io.ByteReader) (uint64, error) {
+	bufr, ok := r.(*bufio.Reader)
+	if !ok {
+		return binary.ReadUvarint(br)
 	}
-	if uint64(cap(buf)) < l {
-		buf = make([]byte, l)
+	window, _ := bufr.Peek(binary.MaxVarintLen64)
+	if len(window) == 0 {
+		// Distinguish a clean EOF from a read error.
+		if _, err := bufr.Peek(1); err != nil {
+			return 0, err
+		}
+		return binary.ReadUvarint(br)
 	}
-	buf = buf[:l]
-	_, err = io.ReadFull(r, buf)
-	return buf, err
+	x, n := binary.Uvarint(window)
+	if n <= 0 {
+		if len(window) < binary.MaxVarintLen64 {
+			// The varint may straddle the window end near EOF; fall
+			// back to the byte-wise reader, which reports truncation.
+			return binary.ReadUvarint(br)
+		}
+		return 0, fmt.Errorf("mapreduce: spill decode: varint overflow")
+	}
+	bufr.Discard(n)
+	return x, nil
 }
 
 // frameErr normalizes a mid-record EOF to a real error: only a clean

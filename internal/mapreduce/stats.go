@@ -50,6 +50,15 @@ type Stats struct {
 	// memory budget.
 	SpilledRecords int64
 	SpillRuns      int64
+	// PooledBytes and PoolMisses describe the job's use of its buffer
+	// recycler (Config.Pool): bytes of buffer storage served from the
+	// pool's free lists instead of the heap, and checkouts that missed
+	// and had to allocate. Both are zero for jobs without a pool. A
+	// chained iterative computation converges to all-hits after its
+	// first round — rising misses across rounds mean the recycler is
+	// being starved (buffers escaping without a matching Recycle).
+	PooledBytes int64
+	PoolMisses  int64
 	// MapWall, ShuffleWall and ReduceWall are the wall-clock durations
 	// of the job's phases: the parallel map tasks (including map-side
 	// partitioning of the emitted pairs), shuffle finalization (sealing
@@ -83,6 +92,21 @@ func (s *Stats) addRouted(local, cross int64) {
 // addReduceGroup records one key group streamed to a reducer.
 func (s *Stats) addReduceGroup() { atomic.AddInt64(&s.ReduceGroups, 1) }
 
+// snapPool snapshots the pool's cumulative counters and returns a
+// closure that records the delta accrued while the job ran. Jobs under
+// one Driver run sequentially, so the delta is the job's own traffic.
+func (s *Stats) snapPool(p *BufferPool) func() {
+	if p == nil {
+		return func() {}
+	}
+	b0, m0 := p.counters()
+	return func() {
+		b1, m1 := p.counters()
+		s.PooledBytes = b1 - b0
+		s.PoolMisses = m1 - m0
+	}
+}
+
 // recordShuffle copies the shuffle backend's footprint into the stats
 // once the job's tasks have finished with it.
 func (s *Stats) recordShuffle(backend any) {
@@ -112,6 +136,8 @@ func (s *Stats) Add(o *Stats) {
 	s.ReduceTaskRetries += atomic.LoadInt64(&o.ReduceTaskRetries)
 	s.SpilledRecords += o.SpilledRecords
 	s.SpillRuns += o.SpillRuns
+	s.PooledBytes += o.PooledBytes
+	s.PoolMisses += o.PoolMisses
 	s.MapWall += o.MapWall
 	s.ShuffleWall += o.ShuffleWall
 	s.ReduceWall += o.ReduceWall
@@ -131,6 +157,9 @@ func (s *Stats) String() string {
 	}
 	if s.SpilledRecords > 0 {
 		line += fmt.Sprintf(" spilled=%d runs=%d", s.SpilledRecords, s.SpillRuns)
+	}
+	if s.PooledBytes > 0 || s.PoolMisses > 0 {
+		line += fmt.Sprintf(" pooled=%dB poolmiss=%d", s.PooledBytes, s.PoolMisses)
 	}
 	if s.MapWall > 0 || s.ShuffleWall > 0 || s.ReduceWall > 0 {
 		line += fmt.Sprintf(" map=%s shuffle=%s reduce=%s",

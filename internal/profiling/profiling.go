@@ -1,0 +1,50 @@
+// Package profiling wires the CLIs' -cpuprofile/-memprofile flags to
+// runtime/pprof, so perf work on the real workloads is reproducible
+// (see README's benchmarking section). One implementation shared by
+// every cmd keeps the capture semantics identical across tools.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile (when cpu is non-empty) and returns a stop
+// function that ends it and writes a heap profile (when mem is
+// non-empty). The stop function must run before a normal exit — call it
+// via defer in main; profiles are skipped on error exits through
+// os.Exit. prefix labels any profile-writing errors on stderr.
+func Start(cpu, mem, prefix string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", prefix, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", prefix, err)
+			}
+		}
+	}, nil
+}

@@ -4,6 +4,11 @@
 # files. Uses benchstat when it is on PATH; otherwise prints a
 # side-by-side table with ns/op and allocs/op ratios.
 #
+# Any benchmark whose allocs/op regresses by more than 10% is flagged
+# with an ALLOC-REGRESSION line and the script exits non-zero, so CI
+# (or a pre-merge check) can fail on reintroduced allocation churn
+# even when wall-clock noise hides it.
+#
 # Usage: scripts/bench_compare.sh OLD NEW
 #        scripts/bench_compare.sh BENCH_baseline.json BENCH_pr2.json
 set -e
@@ -37,21 +42,48 @@ to_bench "$new" >"$tmpdir/new.txt"
 
 if command -v benchstat >/dev/null 2>&1; then
     benchstat "$tmpdir/old.txt" "$tmpdir/new.txt"
-    exit 0
+else
+    awk '
+    FNR == NR {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        ns[name] = $3; allocs[name] = $7
+        next
+    }
+    {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        if (!(name in ns)) next
+        printf "%-36s ns/op %12.0f -> %12.0f (%5.2fx)   allocs/op %8d -> %8d (%5.2fx)\n",
+            name, ns[name], $3, ($3 > 0 ? ns[name] / $3 : 0),
+            allocs[name], $7, ($7 > 0 ? allocs[name] / $7 : 0)
+    }
+    ' "$tmpdir/old.txt" "$tmpdir/new.txt"
+    echo "(ratios > 1.00x mean the new run is better; install benchstat for significance tests)"
 fi
 
+# Allocation-regression gate: >10% more allocs/op than the old snapshot
+# fails the comparison (wall clock is noisy on shared runners;
+# allocation counts are deterministic, so this catches real churn).
 awk '
 FNR == NR {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns[name] = $3; allocs[name] = $7
+    allocs[name] = $7
     next
 }
 {
     name = $1; sub(/-[0-9]+$/, "", name)
-    if (!(name in ns)) next
-    printf "%-36s ns/op %12.0f -> %12.0f (%5.2fx)   allocs/op %8d -> %8d (%5.2fx)\n",
-        name, ns[name], $3, ($3 > 0 ? ns[name] / $3 : 0),
-        allocs[name], $7, ($7 > 0 ? allocs[name] / $7 : 0)
+    if (!(name in allocs)) next
+    if ($7 > allocs[name] * 1.10 && $7 - allocs[name] > 2) {
+        if (allocs[name] > 0)
+            printf "ALLOC-REGRESSION %-36s allocs/op %8d -> %8d (+%.0f%%)\n",
+                name, allocs[name], $7, ($7 / allocs[name] - 1) * 100
+        else
+            printf "ALLOC-REGRESSION %-36s allocs/op %8d -> %8d (was allocation-free)\n",
+                name, allocs[name], $7
+        bad = 1
+    }
 }
-' "$tmpdir/old.txt" "$tmpdir/new.txt"
-echo "(ratios > 1.00x mean the new run is better; install benchstat for significance tests)"
+END { exit bad }
+' "$tmpdir/old.txt" "$tmpdir/new.txt" || {
+    echo "allocs/op regressed by more than 10% (see ALLOC-REGRESSION lines above)" >&2
+    exit 1
+}
