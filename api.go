@@ -80,7 +80,28 @@ const (
 	// spill to disk and key groups are merge-streamed to reducers, so
 	// matchings over graphs far larger than RAM still complete.
 	ShuffleSpill = mapreduce.ShuffleSpill
+	// ShuffleDist shards reduce partitions across the worker processes
+	// of Options.Dist (see StartDistCluster): buckets stream to each
+	// partition's owner over TCP and workers group-sort and reduce
+	// locally. The matching output is byte-identical to the local
+	// backends for the same seed and partition count.
+	ShuffleDist = mapreduce.ShuffleDist
 )
+
+// DistCluster is a connected set of distributed worker processes (see
+// mapreduce.StartDistCluster); pass one in Options.Dist together with
+// Algorithm-independent ShuffleDist. Worker processes serve via
+// ServeDistWorker after registering the jobs with core.RegisterDistJobs.
+type DistCluster = mapreduce.DistCluster
+
+// DistClusterOptions configures StartDistCluster.
+type DistClusterOptions = mapreduce.DistClusterOptions
+
+// StartDistCluster listens for n workers (optionally spawning them) and
+// returns the connected cluster. The caller owns it and must Close it.
+func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
+	return mapreduce.StartDistCluster(n, opts)
+}
 
 // Options configures Match.
 type Options struct {
@@ -111,6 +132,9 @@ type Options struct {
 	// equivalence tests pin this); the flat mode exists for comparison
 	// and costs a re-hash of every record every round.
 	FlatDataflow bool
+	// Dist is the worker cluster jobs shard across when Shuffle is
+	// ShuffleDist. Required for (and only meaningful with) that backend.
+	Dist *DistCluster
 }
 
 func (o Options) mr() mapreduce.Config {
@@ -123,6 +147,7 @@ func (o Options) mr() mapreduce.Config {
 			TempDir:      o.ShuffleTempDir,
 		},
 		FlatChaining: o.FlatDataflow,
+		Dist:         o.Dist,
 	}
 }
 

@@ -6,32 +6,53 @@
 //
 //	bmatch -in graph.txt -algo greedymr
 //	bmatch -in graph.txt -algo stackmr -eps 0.5 -seed 7 -v
+//	bmatch -in graph.txt -algo greedymr -dist-workers 2
 //
 // Algorithms: greedymr, stackmr, stackgreedymr, stackmrstrict, greedy,
 // stackseq.
+//
+// Distributed mode: -dist-workers N shards the reduce partitions of
+// every MapReduce job across N worker processes. By default the
+// coordinator re-executes its own binary N times in worker mode
+// (self-exec); with -dist-spawn=false it instead listens on -dist-listen
+// and waits for externally launched workers, each started as
+// `bmatch -dist-connect host:port -in graph.txt [-sigma σ]` with the
+// same graph file. The matching output is byte-identical to the
+// single-process backends for the same seed and partition count.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	socialmatch "repro"
+	"repro/internal/cliio"
+	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/mapreduce"
 	"repro/internal/profiling"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bmatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
 		in      = flag.String("in", "", "input graph file (edge-list format); - or empty reads stdin")
 		algo    = flag.String("algo", "greedymr", "greedymr | stackmr | stackgreedymr | stackmrstrict | greedy | stackseq")
 		eps     = flag.Float64("eps", 1, "stack slackness parameter")
 		seed    = flag.Int64("seed", 1, "random seed")
 		sigma   = flag.Float64("sigma", 0, "drop edges below this weight before matching")
-		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill")
+		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill (-dist-workers selects dist)")
 		budget  = flag.Int("spill-budget", 0, "max in-memory intermediate records per job for -shuffle spill (0 = default 1M)")
 		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
 		flat    = flag.Bool("flat", false, "disable partition-resident round chaining (re-partition every round from a flat slice)")
@@ -40,14 +61,35 @@ func main() {
 		exact   = flag.Bool("exact", false, "with -compare: also solve exactly via min-cost flow (small graphs only)")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		distWorkers = flag.Int("dist-workers", 0, "shard reduce partitions across this many worker processes (0 = single process)")
+		distConnect = flag.String("dist-connect", "", "worker mode: connect to a coordinator at host:port, serve its jobs, and exit")
+		distListen  = flag.String("dist-listen", "", "coordinator listen address for -dist-workers (default 127.0.0.1:0)")
+		distSpawn   = flag.Bool("dist-spawn", true, "self-exec the -dist-workers worker processes (false: wait for -dist-connect workers)")
 	)
 	flag.Parse()
 
-	stopProfiles, err := profiling.Start(*cpuprof, *memprof, "bmatch")
+	stopProfiles, err := profiling.Start(*cpuprof, *memprof)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	defer stopProfiles()
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
+	g, err := loadGraph(*in, *sigma)
+	if err != nil {
+		return err
+	}
+
+	if *distConnect != "" {
+		// Worker mode: same graph, same registered jobs, serve until the
+		// coordinator hangs up.
+		core.RegisterDistJobs(g)
+		return mapreduce.ServeDistWorker(context.Background(), *distConnect)
+	}
 
 	shuffleOpts := socialmatch.Options{
 		Shuffle:             socialmatch.ShuffleKind(*shuffle),
@@ -55,27 +97,42 @@ func main() {
 		ShuffleTempDir:      *tempdir,
 		FlatDataflow:        *flat,
 	}
-
-	r := os.Stdin
-	if *in != "" && *in != "-" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fail(err)
+	if *distWorkers > 0 {
+		if *in == "" || *in == "-" {
+			return fmt.Errorf("-dist-workers needs -in to name a file (workers load the same graph)")
 		}
-		defer f.Close()
-		r = f
+		clusterOpts := mapreduce.DistClusterOptions{Listen: *distListen}
+		if *distSpawn {
+			workerArgs := []string{"-in", *in}
+			if *sigma > 0 {
+				workerArgs = append(workerArgs, "-sigma", fmt.Sprint(*sigma))
+			}
+			clusterOpts.Spawn, err = mapreduce.DistSelfExec(workerArgs...)
+			if err != nil {
+				return err
+			}
+		}
+		cluster, err := mapreduce.StartDistCluster(*distWorkers, clusterOpts)
+		if err != nil {
+			return err
+		}
+		// The checked close matters here too: it reaps the spawned
+		// workers, and a worker that died with a nonzero status is a
+		// failed run.
+		defer func() {
+			if cerr := cluster.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		shuffleOpts.Shuffle = socialmatch.ShuffleDist
+		shuffleOpts.Dist = cluster
 	}
-	g, err := graph.Read(r)
-	if err != nil {
-		fail(err)
-	}
-	if *sigma > 0 {
-		g = g.FilterEdges(*sigma)
-	}
+
+	out := cliio.Stdout()
+	defer cliio.CloseInto(out, &err)
 
 	if *compare {
-		compareAll(g, *eps, *seed, *exact, shuffleOpts)
-		return
+		return compareAll(out, g, *eps, *seed, *exact, shuffleOpts)
 	}
 
 	opts := shuffleOpts
@@ -84,59 +141,88 @@ func main() {
 	opts.Seed = *seed
 	res, err := socialmatch.Match(context.Background(), g, opts)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	m := res.Matching
-	fmt.Printf("algorithm:        %s\n", *algo)
-	fmt.Printf("graph:            |T|=%d |C|=%d |E|=%d\n", g.NumItems(), g.NumConsumers(), g.NumEdges())
-	fmt.Printf("matching value:   %.4f\n", m.Value())
-	fmt.Printf("matched edges:    %d\n", m.Size())
-	fmt.Printf("MapReduce rounds: %d\n", res.Rounds)
-	fmt.Printf("violation eps':   %.6f (max stretch %.3f)\n", m.Violation(), m.MaxViolationFactor())
+	fmt.Fprintf(out, "algorithm:        %s\n", *algo)
+	fmt.Fprintf(out, "graph:            |T|=%d |C|=%d |E|=%d\n", g.NumItems(), g.NumConsumers(), g.NumEdges())
+	fmt.Fprintf(out, "matching value:   %.4f\n", m.Value())
+	fmt.Fprintf(out, "matched edges:    %d\n", m.Size())
+	fmt.Fprintf(out, "MapReduce rounds: %d\n", res.Rounds)
+	fmt.Fprintf(out, "violation eps':   %.6f (max stretch %.3f)\n", m.Violation(), m.MaxViolationFactor())
 	if res.Shuffle.SpilledRecords > 0 {
-		fmt.Printf("shuffle spill:    %d records in %d runs\n",
+		fmt.Fprintf(out, "shuffle spill:    %d records in %d runs\n",
 			res.Shuffle.SpilledRecords, res.Shuffle.SpillRuns)
 	}
-	fmt.Printf("phase walls:      map=%s shuffle=%s reduce=%s (summed over rounds)\n",
+	fmt.Fprintf(out, "phase walls:      map=%s shuffle=%s reduce=%s (summed over rounds)\n",
 		res.Shuffle.MapWall.Round(time.Microsecond),
 		res.Shuffle.ShuffleWall.Round(time.Microsecond),
 		res.Shuffle.ReduceWall.Round(time.Microsecond))
 	if res.Shuffle.LocalRouted > 0 || res.Shuffle.CrossRouted > 0 {
-		fmt.Printf("shuffle routing:  local=%d cross=%d (identity-routed vs hashed records)\n",
+		fmt.Fprintf(out, "shuffle routing:  local=%d cross=%d (identity-routed vs hashed records)\n",
 			res.Shuffle.LocalRouted, res.Shuffle.CrossRouted)
 	}
 	if res.Shuffle.PooledBytes > 0 || res.Shuffle.PoolMisses > 0 {
-		fmt.Printf("buffer pool:      %d bytes reused, %d misses (summed over rounds)\n",
+		fmt.Fprintf(out, "buffer pool:      %d bytes reused, %d misses (summed over rounds)\n",
 			res.Shuffle.PooledBytes, res.Shuffle.PoolMisses)
+	}
+	if res.Shuffle.RemoteBytesOut > 0 || res.Shuffle.RemoteBytesIn > 0 {
+		fmt.Fprintf(out, "dist transport:   %d bytes out, %d bytes in, worker wall %s (summed over rounds)\n",
+			res.Shuffle.RemoteBytesOut, res.Shuffle.RemoteBytesIn,
+			res.Shuffle.WorkerWall.Round(time.Microsecond))
 	}
 	if *verbose {
 		for _, e := range m.Edges() {
-			fmt.Printf("match item=%d consumer=%d w=%.4f\n",
+			fmt.Fprintf(out, "match item=%d consumer=%d w=%.4f\n",
 				int(e.Item), int(e.Consumer)-g.NumItems(), e.Weight)
 		}
 	}
+	return nil
+}
+
+// loadGraph reads the graph (file or stdin) and applies the -sigma
+// pre-filter — the shared preprocessing of coordinator and workers, so
+// both sides hold identical graphs.
+func loadGraph(in string, sigma float64) (*graph.Bipartite, error) {
+	r := io.Reader(os.Stdin)
+	if in != "" && in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := graph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if sigma > 0 {
+		g = g.FilterEdges(sigma)
+	}
+	return g, nil
 }
 
 // compareAll runs every algorithm on the same graph and prints one row
 // per algorithm; with exact it appends the flow-based optimum and a
 // value/OPT column.
-func compareAll(g *graph.Bipartite, eps float64, seed int64, exact bool, shuffleOpts socialmatch.Options) {
+func compareAll(out io.Writer, g *graph.Bipartite, eps float64, seed int64, exact bool, shuffleOpts socialmatch.Options) error {
 	ctx := context.Background()
 	opt := 0.0
 	if exact {
 		_, v, err := flow.MaxWeightBMatching(g)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		opt = v
 	}
-	fmt.Printf("graph: |T|=%d |C|=%d |E|=%d\n", g.NumItems(), g.NumConsumers(), g.NumEdges())
-	fmt.Printf("%-14s %12s %8s %8s %10s", "algorithm", "value", "edges", "rounds", "eps'")
+	fmt.Fprintf(out, "graph: |T|=%d |C|=%d |E|=%d\n", g.NumItems(), g.NumConsumers(), g.NumEdges())
+	fmt.Fprintf(out, "%-14s %12s %8s %8s %10s", "algorithm", "value", "edges", "rounds", "eps'")
 	if exact {
-		fmt.Printf(" %10s", "value/OPT")
+		fmt.Fprintf(out, " %10s", "value/OPT")
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	for _, alg := range socialmatch.Algorithms() {
 		opts := shuffleOpts
 		opts.Algorithm = alg
@@ -144,21 +230,17 @@ func compareAll(g *graph.Bipartite, eps float64, seed int64, exact bool, shuffle
 		opts.Seed = seed
 		res, err := socialmatch.Match(ctx, g.Clone(), opts)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		m := res.Matching
-		fmt.Printf("%-14s %12.2f %8d %8d %10.5f", alg, m.Value(), m.Size(), res.Rounds, m.Violation())
+		fmt.Fprintf(out, "%-14s %12.2f %8d %8d %10.5f", alg, m.Value(), m.Size(), res.Rounds, m.Violation())
 		if exact && opt > 0 {
-			fmt.Printf(" %10.3f", m.Value()/opt)
+			fmt.Fprintf(out, " %10.3f", m.Value()/opt)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	if exact {
-		fmt.Printf("%-14s %12.2f\n", "exact(flow)", opt)
+		fmt.Fprintf(out, "%-14s %12.2f\n", "exact(flow)", opt)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "bmatch:", err)
-	os.Exit(1)
+	return nil
 }

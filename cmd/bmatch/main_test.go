@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"testing"
 
 	socialmatch "repro"
@@ -23,13 +24,20 @@ func testGraph() *graph.Bipartite {
 func TestCompareAllRunsEveryAlgorithm(t *testing.T) {
 	// compareAll must complete without error on a well-formed graph,
 	// both with and without the exact oracle.
-	compareAll(testGraph(), 1, 1, false, socialmatch.Options{})
-	compareAll(testGraph(), 1, 1, true, socialmatch.Options{})
+	if err := compareAll(io.Discard, testGraph(), 1, 1, false, socialmatch.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareAll(io.Discard, testGraph(), 1, 1, true, socialmatch.Options{}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestCompareAllOnSpillBackend(t *testing.T) {
-	compareAll(testGraph(), 1, 1, false, socialmatch.Options{
+	err := compareAll(io.Discard, testGraph(), 1, 1, false, socialmatch.Options{
 		Shuffle:             socialmatch.ShuffleSpill,
 		ShuffleMemoryBudget: 8,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }

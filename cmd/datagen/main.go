@@ -12,58 +12,70 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cliio"
 	"repro/internal/dataset"
 	"repro/internal/extsort"
 	"repro/internal/graph"
 )
 
 func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	var (
-		name      = flag.String("dataset", "flickr-small", "flickr-small | flickr-large | yahoo-answers | synthetic")
-		sigma     = flag.Float64("sigma", 0, "similarity threshold for candidate edges (0 keeps all positive pairs)")
-		alpha     = flag.Float64("alpha", 1, "consumer capacity multiplier b(u) = alpha * n(u)")
-		scale     = flag.Float64("scale", 1, "corpus size scale factor in (0,1]")
-		out       = flag.String("o", "", "output file (default stdout)")
-		items     = flag.Int("items", 20000, "synthetic: number of items")
-		consumers = flag.Int("consumers", 2000, "synthetic: number of consumers")
-		degree    = flag.Int("degree", 10, "synthetic: mean item degree")
-		seed      = flag.Int64("seed", 1, "random seed")
-		sorted    = flag.Bool("sort", false, "write edges in descending weight order (bounded-memory external sort)")
+		name      = fs.String("dataset", "flickr-small", "flickr-small | flickr-large | yahoo-answers | synthetic")
+		sigma     = fs.Float64("sigma", 0, "similarity threshold for candidate edges (0 keeps all positive pairs)")
+		alpha     = fs.Float64("alpha", 1, "consumer capacity multiplier b(u) = alpha * n(u)")
+		scale     = fs.Float64("scale", 1, "corpus size scale factor in (0,1]")
+		out       = fs.String("o", "", "output file (default stdout)")
+		items     = fs.Int("items", 20000, "synthetic: number of items")
+		consumers = fs.Int("consumers", 2000, "synthetic: number of consumers")
+		degree    = fs.Int("degree", 10, "synthetic: mean item degree")
+		seed      = fs.Int64("seed", 1, "random seed")
+		sorted    = fs.Bool("sort", false, "write edges in descending weight order (bounded-memory external sort)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h printed usage; that is a clean exit, not a failure.
+			return nil
+		}
+		return err
+	}
 
 	g, err := build(*name, *sigma, *alpha, *scale, *items, *consumers, *degree, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
+		return err
 	}
 	if *sorted {
 		if g, err = sortEdges(g); err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	// The checked close is what makes a full disk a nonzero exit: the
+	// write may land entirely in the buffer, and only a clean
+	// flush-and-close proves the graph reached the file.
+	w, err := cliio.Create(*out)
+	if err != nil {
+		return err
 	}
+	defer cliio.CloseInto(w, &err)
 	if err := graph.Write(w, g); err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "datagen: %s |T|=%d |C|=%d |E|=%d\n",
 		*name, g.NumItems(), g.NumConsumers(), g.NumEdges())
+	return nil
 }
 
 func build(name string, sigma, alpha, scale float64, items, consumers, degree int, seed int64) (*graph.Bipartite, error) {

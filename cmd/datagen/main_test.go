@@ -1,10 +1,48 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/graph"
 )
+
+// TestRunWritesGraphFile pins the happy path of the checked output
+// helper: run writes a loadable graph and exits clean.
+func TestRunWritesGraphFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	err := run([]string{"-dataset", "synthetic", "-items", "50", "-consumers", "10", "-o", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumItems() != 50 || g.NumEdges() == 0 {
+		t.Fatalf("round trip lost the graph: |T|=%d |E|=%d", g.NumItems(), g.NumEdges())
+	}
+}
+
+// TestRunFailingOutputExitsNonzero pins the satellite bugfix end to
+// end: writing the graph to a full device must surface as an error (a
+// nonzero exit from main), never a silent success with a truncated
+// file. Before the cliio rework this very invocation exited 0.
+func TestRunFailingOutputExitsNonzero(t *testing.T) {
+	if _, err := os.OpenFile("/dev/full", os.O_WRONLY, 0); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	err := run([]string{"-dataset", "synthetic", "-items", "50", "-consumers", "10", "-o", "/dev/full"})
+	if err == nil {
+		t.Fatal("writing to a full device reported success")
+	}
+}
 
 func TestBuildKnownDatasets(t *testing.T) {
 	for _, name := range []string{"flickr-small", "flickr-large", "yahoo-answers"} {

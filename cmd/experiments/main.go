@@ -18,12 +18,20 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliio"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
 		quick   = flag.Bool("quick", false, "run with reduced corpora")
 		scale   = flag.Float64("scale", 0, "explicit corpus scale in (0,1] (overrides -quick)")
@@ -52,25 +60,32 @@ func main() {
 	}
 	cfg.MR.FlatChaining = *flat
 
-	var w io.Writer = os.Stdout
+	// Every report line flows through checked outputs: the terminal copy
+	// and the optional -o file both flush-and-close via cliio, so a full
+	// disk under the tee exits nonzero instead of truncating the report.
+	stdout := cliio.Stdout()
+	defer cliio.CloseInto(stdout, &err)
+	var w io.Writer = stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fail(err)
+		f, ferr := cliio.Create(*out)
+		if ferr != nil {
+			return ferr
 		}
-		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		defer cliio.CloseInto(f, &err)
+		w = io.MultiWriter(stdout, f)
 	}
 
 	ctx := context.Background()
+	var runErr error
 	run := func(name string, fn func() error) {
-		if *only != "" && *only != name {
+		if runErr != nil || (*only != "" && *only != name) {
 			return
 		}
 		t0 := time.Now()
 		fmt.Fprintf(w, "=== %s ===\n", name)
 		if err := fn(); err != nil {
-			fail(err)
+			runErr = fmt.Errorf("%s: %w", name, err)
+			return
 		}
 		fmt.Fprintf(w, "(%s in %s)\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
@@ -91,6 +106,13 @@ func main() {
 		}
 		if s.PooledBytes > 0 || s.PoolMisses > 0 {
 			fmt.Fprintf(w, "buffer pool: %d bytes reused, %d misses\n", s.PooledBytes, s.PoolMisses)
+		}
+		if s.RemoteBytesOut > 0 || s.RemoteBytesIn > 0 {
+			// Measured distributed footprint (dist backend), the
+			// counterpart of the ClusterModel estimates in the
+			// scalability tables.
+			fmt.Fprintf(w, "dist:        %d bytes out, %d bytes in, worker wall %s\n",
+				s.RemoteBytesOut, s.RemoteBytesIn, s.WorkerWall.Round(time.Microsecond))
 		}
 	}
 
@@ -161,9 +183,5 @@ func main() {
 		}
 		return nil
 	})
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return runErr
 }

@@ -7,6 +7,13 @@
 //
 //	simjoin -dataset flickr-small -sigma 4
 //	simjoin -dataset yahoo-answers -sigma 0.2 -scale 0.2 -o graph.txt
+//	simjoin -dataset flickr-small -sigma 4 -dist-workers 2
+//
+// Distributed mode mirrors cmd/bmatch: -dist-workers N re-executes this
+// binary N times in worker mode (each regenerates the same deterministic
+// corpus from the flags and serves the verification reduces);
+// -dist-connect host:port runs one worker against a separately launched
+// coordinator.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliio"
 	"repro/internal/dataset"
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
@@ -24,32 +32,57 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simjoin:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
 		name    = flag.String("dataset", "flickr-small", "flickr-small | flickr-large | yahoo-answers")
 		sigma   = flag.Float64("sigma", 4, "similarity threshold (must be > 0)")
 		alpha   = flag.Float64("alpha", 1, "capacity multiplier applied when writing the graph")
 		scale   = flag.Float64("scale", 1, "corpus size scale factor in (0,1]")
 		seed    = flag.Int64("seed", 1, "random seed")
-		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill")
+		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill (-dist-workers selects dist)")
 		budget  = flag.Int("spill-budget", 0, "max in-memory intermediate records per job for -shuffle spill (0 = default 1M)")
 		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
 		flat    = flag.Bool("flat", false, "disable Dataset-chained jobs (re-partition each job from a flat slice)")
 		out     = flag.String("o", "", "write the candidate graph (with capacities) to this file")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		distWorkers = flag.Int("dist-workers", 0, "shard reduce partitions across this many worker processes (0 = single process)")
+		distConnect = flag.String("dist-connect", "", "worker mode: connect to a coordinator at host:port, serve its jobs, and exit")
+		distListen  = flag.String("dist-listen", "", "coordinator listen address for -dist-workers (default 127.0.0.1:0)")
+		distSpawn   = flag.Bool("dist-spawn", true, "self-exec the -dist-workers worker processes (false: wait for -dist-connect workers)")
 	)
 	flag.Parse()
 
-	stopProfiles, err := profiling.Start(*cpuprof, *memprof, "simjoin")
+	stopProfiles, err := profiling.Start(*cpuprof, *memprof)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	defer stopProfiles()
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	c, err := corpus(*name, *scale, *seed)
 	if err != nil {
-		fail(err)
+		return err
 	}
+
+	if *distConnect != "" {
+		// Worker mode: the corpus regenerated above is deterministic
+		// given the flags, so the verification reduces close over the
+		// exact vectors the coordinator probes with.
+		simjoin.RegisterDistJobs(c.Items, c.Consumers, *sigma)
+		return mapreduce.ServeDistWorker(context.Background(), *distConnect)
+	}
+
 	mr := mapreduce.Config{
 		Shuffle: mapreduce.ShuffleConfig{
 			Backend:      mapreduce.ShuffleKind(*shuffle),
@@ -58,54 +91,97 @@ func main() {
 		},
 		FlatChaining: *flat,
 	}
-	res, err := simjoin.Join(context.Background(), c.Items, c.Consumers, *sigma, simjoin.Options{MR: mr})
-	if err != nil {
-		fail(err)
+	if *distWorkers > 0 {
+		opts := mapreduce.DistClusterOptions{Listen: *distListen}
+		if *distSpawn {
+			opts.Spawn, err = mapreduce.DistSelfExec(
+				"-dataset", *name,
+				"-sigma", fmt.Sprint(*sigma),
+				"-scale", fmt.Sprint(*scale),
+				"-seed", fmt.Sprint(*seed),
+			)
+			if err != nil {
+				return err
+			}
+		}
+		cluster, err := mapreduce.StartDistCluster(*distWorkers, opts)
+		if err != nil {
+			return err
+		}
+		// Checked close: reaps spawned workers; a nonzero worker exit
+		// fails the run.
+		defer func() {
+			if cerr := cluster.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		mr.Shuffle.Backend = mapreduce.ShuffleDist
+		mr.Dist = cluster
 	}
 
+	res, err := simjoin.Join(context.Background(), c.Items, c.Consumers, *sigma, simjoin.Options{MR: mr})
+	if err != nil {
+		return err
+	}
+
+	w := cliio.Stdout()
+	defer cliio.CloseInto(w, &err)
+
 	pairs := int64(c.NumItems()) * int64(c.NumConsumers())
-	fmt.Printf("dataset:        %s (|T|=%d |C|=%d, %d possible pairs)\n",
+	fmt.Fprintf(w, "dataset:        %s (|T|=%d |C|=%d, %d possible pairs)\n",
 		c.Name, c.NumItems(), c.NumConsumers(), pairs)
-	fmt.Printf("sigma:          %g\n", *sigma)
-	fmt.Printf("MR rounds:      %d\n", res.Rounds)
-	fmt.Printf("index postings: %d\n", res.PostingEntries)
-	fmt.Printf("candidates:     %d (%.4f%% of all pairs)\n",
+	fmt.Fprintf(w, "sigma:          %g\n", *sigma)
+	fmt.Fprintf(w, "MR rounds:      %d\n", res.Rounds)
+	fmt.Fprintf(w, "index postings: %d\n", res.PostingEntries)
+	fmt.Fprintf(w, "candidates:     %d (%.4f%% of all pairs)\n",
 		res.Candidates, 100*float64(res.Candidates)/float64(pairs))
-	fmt.Printf("edges >= sigma: %d (%.1f%% of candidates survive verification)\n",
+	fmt.Fprintf(w, "edges >= sigma: %d (%.1f%% of candidates survive verification)\n",
 		len(res.Edges), 100*float64(len(res.Edges))/float64(max64(res.Candidates, 1)))
-	fmt.Printf("shuffle:        %d records\n", res.Shuffle.ShuffleRecords)
+	fmt.Fprintf(w, "shuffle:        %d records\n", res.Shuffle.ShuffleRecords)
 	if res.Shuffle.SpilledRecords > 0 {
-		fmt.Printf("spilled:        %d records in %d runs\n",
+		fmt.Fprintf(w, "spilled:        %d records in %d runs\n",
 			res.Shuffle.SpilledRecords, res.Shuffle.SpillRuns)
 	}
-	fmt.Printf("phase walls:    map=%s shuffle=%s reduce=%s (summed over rounds)\n",
+	fmt.Fprintf(w, "phase walls:    map=%s shuffle=%s reduce=%s (summed over rounds)\n",
 		res.Shuffle.MapWall.Round(time.Microsecond),
 		res.Shuffle.ShuffleWall.Round(time.Microsecond),
 		res.Shuffle.ReduceWall.Round(time.Microsecond))
 	if res.Shuffle.LocalRouted > 0 || res.Shuffle.CrossRouted > 0 {
-		fmt.Printf("routing:        local=%d cross=%d (identity-routed vs hashed records)\n",
+		fmt.Fprintf(w, "routing:        local=%d cross=%d (identity-routed vs hashed records)\n",
 			res.Shuffle.LocalRouted, res.Shuffle.CrossRouted)
 	}
 	if res.Shuffle.PooledBytes > 0 || res.Shuffle.PoolMisses > 0 {
-		fmt.Printf("buffer pool:    %d bytes reused, %d misses\n",
+		fmt.Fprintf(w, "buffer pool:    %d bytes reused, %d misses\n",
 			res.Shuffle.PooledBytes, res.Shuffle.PoolMisses)
+	}
+	if res.Shuffle.RemoteBytesOut > 0 || res.Shuffle.RemoteBytesIn > 0 {
+		fmt.Fprintf(w, "dist transport: %d bytes out, %d bytes in, worker wall %s\n",
+			res.Shuffle.RemoteBytesOut, res.Shuffle.RemoteBytesIn,
+			res.Shuffle.WorkerWall.Round(time.Microsecond))
 	}
 
 	if *out != "" {
 		g := simjoin.ToGraph(res.Edges, c.NumItems(), c.NumConsumers())
 		if err := c.ApplyCapacities(g, *alpha); err != nil {
-			fail(err)
+			return err
 		}
-		f, err := os.Create(*out)
+		f, err := cliio.Create(*out)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		defer f.Close()
 		if err := graph.Write(f, g); err != nil {
-			fail(err)
+			f.Close()
+			return err
 		}
-		fmt.Printf("wrote:          %s\n", *out)
+		// The checked close is the write barrier: only a clean close
+		// proves the graph reached the file (a full disk exits nonzero
+		// here instead of reporting "wrote" below).
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote:          %s\n", *out)
 	}
+	return nil
 }
 
 func corpus(name string, scale float64, seed int64) (*dataset.Corpus, error) {
@@ -140,9 +216,4 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "simjoin:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,91 @@
+// Package cliio routes every CLI's output through one checked path. The
+// repository's tools used to write results through bare `defer
+// f.Close()`, which discards the error a full disk or failing
+// descriptor reports at flush/close time — the process would exit 0
+// with a silently truncated graph, matching, or profile. An Output
+// buffers writes, and its Close flushes the buffer and closes the file,
+// returning the first error anywhere on that path; the tools' run
+// functions propagate it into a nonzero exit.
+package cliio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// Output is a buffered, close-checked output destination.
+type Output struct {
+	w        *bufio.Writer
+	f        *os.File
+	ownsFile bool
+	path     string
+	closed   bool
+}
+
+// Create opens path for writing. An empty path or "-" selects standard
+// output (which Close flushes but does not close).
+func Create(path string) (*Output, error) {
+	if path == "" || path == "-" {
+		return Stdout(), nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{w: bufio.NewWriterSize(f, 1<<16), f: f, ownsFile: true, path: path}, nil
+}
+
+// Stdout wraps standard output. Close flushes, so short writes and
+// ENOSPC on a redirected stdout surface exactly like file errors.
+func Stdout() *Output {
+	return &Output{w: bufio.NewWriterSize(os.Stdout, 1<<16), f: os.Stdout, path: "stdout"}
+}
+
+// Wrap adopts an already-open file (used by tests and by callers that
+// open files in special modes). Close closes it.
+func Wrap(f *os.File) *Output {
+	return &Output{w: bufio.NewWriterSize(f, 1<<16), f: f, ownsFile: true, path: f.Name()}
+}
+
+// Write implements io.Writer.
+func (o *Output) Write(p []byte) (int, error) { return o.w.Write(p) }
+
+// Path names the destination for error messages.
+func (o *Output) Path() string { return o.path }
+
+// Close flushes the buffer and closes the file (when owned), returning
+// the first error on the whole path. It must run on every exit that
+// claims success — a nil return is the only proof the bytes reached the
+// file. Idempotent: later calls return nil.
+func (o *Output) Close() error {
+	if o.closed {
+		return nil
+	}
+	o.closed = true
+	flushErr := o.w.Flush()
+	var closeErr error
+	if o.ownsFile {
+		closeErr = o.f.Close()
+	}
+	if flushErr != nil {
+		return fmt.Errorf("writing %s: %w", o.path, flushErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("closing %s: %w", o.path, closeErr)
+	}
+	return nil
+}
+
+// CloseInto is the defer helper for run-style mains: it closes o and,
+// when the surrounding function is otherwise succeeding, stores the
+// close error into *err so a failed flush turns into a nonzero exit.
+//
+//	out, err := cliio.Create(path)
+//	...
+//	defer cliio.CloseInto(out, &retErr)
+func CloseInto(o *Output, err *error) {
+	if cerr := o.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
+}

@@ -1,0 +1,110 @@
+package cliio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCreateWriteClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	o, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(o, "hello %d\n", 42)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello 42\n" {
+		t.Fatalf("wrote %q", data)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+}
+
+// TestCloseSurfacesWriteFailure pins the bug this package exists for: a
+// failing descriptor must turn into a Close error (and therefore a
+// nonzero exit), never a silent success. The descriptor is made to fail
+// by opening the target read-only — every buffered byte bounces at
+// flush, exactly like ENOSPC on a full disk.
+func TestCloseSurfacesWriteFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ro.txt")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path) // read-only: writes fail with EBADF
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Wrap(f)
+	fmt.Fprintln(o, "doomed bytes")
+	err = o.Close()
+	if err == nil {
+		t.Fatal("Close swallowed the write failure")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error does not name the destination: %v", err)
+	}
+}
+
+// TestCloseSurfacesENOSPC writes through a full device when the
+// platform provides one (/dev/full on Linux): the classic
+// disk-full-exit-0 scenario.
+func TestCloseSurfacesENOSPC(t *testing.T) {
+	f, err := os.OpenFile("/dev/full", os.O_WRONLY, 0)
+	if err != nil {
+		t.Skip("/dev/full not available")
+	}
+	o := Wrap(f)
+	fmt.Fprintln(o, "does not fit")
+	if err := o.Close(); err == nil {
+		t.Fatal("writing to a full device closed clean")
+	}
+}
+
+func TestCloseIntoKeepsFirstError(t *testing.T) {
+	f, err := os.Open(os.DevNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Wrap(f)
+	fmt.Fprintln(o, "x")
+	var retErr error
+	CloseInto(o, &retErr)
+	if retErr == nil {
+		t.Fatal("CloseInto dropped the close error")
+	}
+	// A pre-existing error wins; the close error must not overwrite it.
+	f2, _ := os.Open(os.DevNull)
+	o2 := Wrap(f2)
+	fmt.Fprintln(o2, "x")
+	prior := fmt.Errorf("prior failure")
+	retErr = prior
+	CloseInto(o2, &retErr)
+	if retErr != prior {
+		t.Fatalf("CloseInto replaced the prior error with %v", retErr)
+	}
+}
+
+func TestStdoutPathSelection(t *testing.T) {
+	for _, p := range []string{"", "-"} {
+		o, err := Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Path() != "stdout" {
+			t.Fatalf("Create(%q) path %q", p, o.Path())
+		}
+		if err := o.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

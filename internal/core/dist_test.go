@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+)
+
+// startWorkers runs n in-process dist workers over loopback TCP; the
+// worker goroutines share this process's registry, so RegisterDistJobs
+// below arms them with the same graph the coordinator side uses —
+// exactly what a re-executed CLI worker does after loading the graph.
+func startWorkers(t *testing.T, n int) *mapreduce.DistCluster {
+	t.Helper()
+	var wg sync.WaitGroup
+	cl, err := mapreduce.StartDistCluster(n, mapreduce.DistClusterOptions{
+		Timeout: 30 * time.Second,
+		OnListen: func(addr string) {
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					mapreduce.ServeDistWorker(context.Background(), addr)
+				}()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		wg.Wait()
+	})
+	return cl
+}
+
+// TestDistMatchingBitIdenticalToMemory is the tentpole's acceptance
+// gate at the algorithm level: every MapReduce matching algorithm must
+// produce a byte-identical matching on the dist backend (2 workers over
+// loopback) and the memory backend, for the same seed and partition
+// count — value bit for bit, edges id for id, round for round.
+func TestDistMatchingBitIdenticalToMemory(t *testing.T) {
+	g := graph.RandomBipartite(graph.RandomConfig{
+		NumItems: 16, NumConsumers: 12, EdgeProb: 0.4,
+		MaxWeight: 3, MaxCapacity: 3, Seed: 7,
+	})
+	RegisterDistJobs(g)
+	cl := startWorkers(t, 2)
+	ctx := context.Background()
+
+	distMR := mapreduce.Config{
+		Mappers: 2, Reducers: 2,
+		Shuffle: mapreduce.ShuffleConfig{Backend: mapreduce.ShuffleDist},
+		Dist:    cl,
+	}
+	memMR := mapreduce.Config{Mappers: 2, Reducers: 2}
+
+	type runner struct {
+		name string
+		run  func(mr mapreduce.Config) (*Result, error)
+	}
+	runners := []runner{
+		{"greedymr", func(mr mapreduce.Config) (*Result, error) {
+			return GreedyMR(ctx, g.Clone(), GreedyMROptions{MR: mr})
+		}},
+		{"stackmr", func(mr mapreduce.Config) (*Result, error) {
+			return StackMR(ctx, g.Clone(), StackOptions{MR: mr, Eps: 1, Seed: 5})
+		}},
+		{"stackgreedymr", func(mr mapreduce.Config) (*Result, error) {
+			return StackGreedyMR(ctx, g.Clone(), StackOptions{MR: mr, Eps: 0.5, Seed: 5})
+		}},
+		{"stackmrstrict", func(mr mapreduce.Config) (*Result, error) {
+			return StackMRStrict(ctx, g.Clone(), StackOptions{MR: mr, Eps: 1, Seed: 5})
+		}},
+	}
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			mem, err := r.run(memMR)
+			if err != nil {
+				t.Fatalf("memory: %v", err)
+			}
+			dist, err := r.run(distMR)
+			if err != nil {
+				t.Fatalf("dist: %v", err)
+			}
+			if mem.Matching.Value() != dist.Matching.Value() {
+				t.Fatalf("value diverges: memory %v, dist %v", mem.Matching.Value(), dist.Matching.Value())
+			}
+			if !reflect.DeepEqual(mem.Matching.Edges(), dist.Matching.Edges()) {
+				t.Fatalf("matched edges diverge:\nmemory %v\ndist   %v", mem.Matching.Edges(), dist.Matching.Edges())
+			}
+			if mem.Rounds != dist.Rounds {
+				t.Fatalf("rounds diverge: memory %d, dist %d", mem.Rounds, dist.Rounds)
+			}
+			if dist.Shuffle.RemoteBytesOut == 0 {
+				t.Fatal("dist run reports no remote traffic — did the jobs really shard?")
+			}
+		})
+	}
+}

@@ -67,6 +67,11 @@ func GreedyMR(ctx context.Context, g *graph.Bipartite, opts GreedyMROptions) (*R
 		if err != nil {
 			return nil, fmt.Errorf("core: greedymr round %d: %w", driver.Rounds(), err)
 		}
+		// The round output is folded driver-side (matched edges, next
+		// state), so a worker-resident output moves here first.
+		if err := out.Materialize(); err != nil {
+			return nil, fmt.Errorf("core: greedymr round %d: %w", driver.Rounds(), err)
+		}
 		var roundMatched []int32
 		next := mapreduce.MapValues(out, func(v graph.NodeID, o greedyOut) (nodeState, bool) {
 			roundMatched = append(roundMatched, o.matched...)

@@ -173,6 +173,12 @@ func mmStage(
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", name, err)
 	}
+	// The stage maps close over the per-iteration seed, which dist
+	// workers do not receive, so the next stage's map must run
+	// coordinator-side: move a worker-resident output here.
+	if err := out.Materialize(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
 	return out, nil
 }
 
@@ -332,6 +338,9 @@ func mmCleanup(
 ) (next *mapreduce.Dataset[graph.NodeID, mmNode], matched []int32, err error) {
 	out, err := mapreduce.RunJobDS(ctx, driver, "mm-cleanup", cur, cleanupMap, cleanupReduce)
 	if err != nil {
+		return nil, nil, fmt.Errorf("core: mm-cleanup: %w", err)
+	}
+	if err := out.Materialize(); err != nil {
 		return nil, nil, fmt.Errorf("core: mm-cleanup: %w", err)
 	}
 	next = mapreduce.MapValues(out, func(_ graph.NodeID, o mmOut) (mmNode, bool) {

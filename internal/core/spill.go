@@ -292,6 +292,106 @@ func (m *filterMsg) UnmarshalBinary(data []byte) error {
 	return err
 }
 
+// --- reduce-output types -----------------------------------------------
+//
+// The distributed runtime streams reduce output (and resident Dataset
+// partitions) between processes, so the jobs' output value types need
+// the same compact binary form the intermediate messages already have.
+// The spilling backend never serializes these (it spills intermediates
+// only); the codecs exist for the wire.
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s nodeState) MarshalBinary() ([]byte, error) {
+	return appendNodeState(nil, &s), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *nodeState) UnmarshalBinary(data []byte) error {
+	r := &spillReader{data: data}
+	*s = *r.nodeState()
+	return r.err("nodeState")
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s mmNode) MarshalBinary() ([]byte, error) {
+	return appendMMNode(nil, &s), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *mmNode) UnmarshalBinary(data []byte) error {
+	r := &spillReader{data: data}
+	*s = *r.mmNode()
+	return r.err("mmNode")
+}
+
+func appendInt32s(buf []byte, xs []int32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(xs)))
+	for _, x := range xs {
+		buf = binary.AppendVarint(buf, int64(x))
+	}
+	return buf
+}
+
+func (r *spillReader) int32s() []int32 {
+	n := r.uvarint()
+	if r.bad || n > uint64(len(r.data)) {
+		r.bad = true
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	xs := make([]int32, 0, n)
+	for i := uint64(0); i < n && !r.bad; i++ {
+		xs = append(xs, int32(r.varint()))
+	}
+	return xs
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (o greedyOut) MarshalBinary() ([]byte, error) {
+	var tag byte
+	if o.alive {
+		tag |= tagFlagA
+	}
+	buf := appendInt32s([]byte{tag}, o.matched)
+	return appendNodeState(buf, &o.state), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (o *greedyOut) UnmarshalBinary(data []byte) error {
+	r := &spillReader{data: data}
+	tag := r.byte()
+	*o = greedyOut{alive: tag&tagFlagA != 0}
+	o.matched = r.int32s()
+	o.state = *r.nodeState()
+	return r.err("greedyOut")
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (o mmOut) MarshalBinary() ([]byte, error) {
+	var tag byte
+	if o.state != nil {
+		tag |= tagSelf
+	}
+	buf := appendInt32s([]byte{tag}, o.matched)
+	if o.state != nil {
+		buf = appendMMNode(buf, o.state)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (o *mmOut) UnmarshalBinary(data []byte) error {
+	r := &spillReader{data: data}
+	tag := r.byte()
+	*o = mmOut{matched: r.int32s()}
+	if tag&tagSelf != 0 {
+		o.state = r.mmNode()
+	}
+	return r.err("mmOut")
+}
+
 // marshalEdgeValueMsg encodes the shared shape of dualMsg and filterMsg:
 // either the node's state, or (edge, yOverB).
 func marshalEdgeValueMsg(self *nodeState, edge int32, yOverB float64) ([]byte, error) {

@@ -207,7 +207,13 @@ func (st *stackState) updateDuals(
 		inLayer[ei] = true
 	}
 	y := st.y
-	out, err := mapreduce.RunJobDS(ctx, driver, "stack-update", records,
+	cfg := driver.Config("stack-update")
+	if cfg.Shuffle.Backend == mapreduce.ShuffleDist {
+		// The reduce closes over the current duals; ship them so the
+		// workers' registered factory rebuilds the identical closure.
+		cfg.DistParams = encodeStackParams(y, nil, 0)
+	}
+	out, stats, err := mapreduce.RunDS(ctx, cfg, records,
 		func(v graph.NodeID, s nodeState, out mapreduce.Emitter[graph.NodeID, dualMsg]) error {
 			sCopy := s
 			out.Emit(v, dualMsg{self: &sCopy})
@@ -219,42 +225,57 @@ func (st *stackState) updateDuals(
 			}
 			return nil
 		},
-		func(v graph.NodeID, msgs []dualMsg, out mapreduce.Emitter[graph.NodeID, float64]) error {
-			var self *nodeState
-			otherYB := make(map[int32]float64, len(msgs))
-			for _, m := range msgs {
-				if m.self != nil {
-					self = m.self
-					continue
-				}
-				otherYB[m.edge] = m.yOverB
-			}
-			if self == nil {
-				return nil
-			}
-			ybSelf := y[v] / float64(self.B)
-			var sumDelta float64
-			for _, h := range self.Adj {
-				yb, ok := otherYB[h.ID]
-				if !ok {
-					continue
-				}
-				delta := (h.W - ybSelf - yb) / 2
-				if delta > 0 {
-					sumDelta += delta
-				}
-			}
-			if sumDelta > 0 {
-				out.Emit(v, sumDelta)
-			}
-			return nil
-		})
+		dualUpdateReduce(y))
 	if err != nil {
+		return fmt.Errorf("core: stack-update: %w", err)
+	}
+	if err := driver.Observe(stats); err != nil {
+		return err
+	}
+	if err := out.Materialize(); err != nil {
 		return fmt.Errorf("core: stack-update: %w", err)
 	}
 	out.Each(func(v graph.NodeID, d float64) { st.y[v] += d })
 	out.Recycle()
 	return nil
+}
+
+// dualUpdateReduce builds the stack-update reduce over the given duals:
+// node v raises y(v) by the sum of its layer edges' positive δ, folded
+// in adjacency order for bit-identical floats under any dataflow. The
+// constructor form is what lets a dist worker rebuild the exact closure
+// from shipped parameters (see RegisterDistJobs).
+func dualUpdateReduce(y []float64) mapreduce.ReduceFunc[graph.NodeID, dualMsg, graph.NodeID, float64] {
+	return func(v graph.NodeID, msgs []dualMsg, out mapreduce.Emitter[graph.NodeID, float64]) error {
+		var self *nodeState
+		otherYB := make(map[int32]float64, len(msgs))
+		for _, m := range msgs {
+			if m.self != nil {
+				self = m.self
+				continue
+			}
+			otherYB[m.edge] = m.yOverB
+		}
+		if self == nil {
+			return nil
+		}
+		ybSelf := y[v] / float64(self.B)
+		var sumDelta float64
+		for _, h := range self.Adj {
+			yb, ok := otherYB[h.ID]
+			if !ok {
+				continue
+			}
+			delta := (h.W - ybSelf - yb) / 2
+			if delta > 0 {
+				sumDelta += delta
+			}
+		}
+		if sumDelta > 0 {
+			out.Emit(v, sumDelta)
+		}
+		return nil
+	}
 }
 
 // filterMsg carries the post-update y_u/b(u) of the sending endpoint
@@ -281,7 +302,11 @@ func (st *stackState) filterEdges(
 	}
 	y := st.y
 	threshold := 1.0 / (3 + 2*st.opts.Eps)
-	out, err := mapreduce.RunJobDS(ctx, driver, "stack-filter", records,
+	cfg := driver.Config("stack-filter")
+	if cfg.Shuffle.Backend == mapreduce.ShuffleDist {
+		cfg.DistParams = encodeStackParams(y, layer, threshold)
+	}
+	out, stats, err := mapreduce.RunDS(ctx, cfg, records,
 		func(v graph.NodeID, s nodeState, out mapreduce.Emitter[graph.NodeID, filterMsg]) error {
 			sCopy := s
 			out.Emit(v, filterMsg{self: &sCopy})
@@ -291,49 +316,63 @@ func (st *stackState) filterEdges(
 			}
 			return nil
 		},
-		func(v graph.NodeID, msgs []filterMsg, out mapreduce.Emitter[graph.NodeID, nodeState]) error {
-			var self *nodeState
-			for _, m := range msgs {
-				if m.self != nil {
-					self = m.self
-					break
-				}
-			}
-			if self == nil {
-				return nil
-			}
-			ybSelf := y[v] / float64(self.B)
-			otherYB := make(map[int32]float64, len(msgs))
-			for _, m := range msgs {
-				if m.self == nil {
-					otherYB[m.edge] = m.yOverB
-				}
-			}
-			next := nodeState{B: self.B}
-			for _, h := range self.Adj {
-				if inLayer[h.ID] {
-					continue // stacked: leaves the working graph
-				}
-				yb, ok := otherYB[h.ID]
-				if !ok {
-					continue // neighbor gone
-				}
-				if ybSelf+yb >= threshold*h.W-1e-15 {
-					continue // weakly covered: removed
-				}
-				next.Adj = append(next.Adj, h)
-			}
-			if len(next.Adj) > 0 {
-				out.Emit(v, next)
-			}
-			return nil
-		})
+		stackFilterReduce(y, inLayer, threshold))
 	if err != nil {
+		return nil, fmt.Errorf("core: stack-filter: %w", err)
+	}
+	if err := driver.Observe(stats); err != nil {
+		return nil, err
+	}
+	if err := out.Materialize(); err != nil {
 		return nil, fmt.Errorf("core: stack-filter: %w", err)
 	}
 	// The reducer emits each surviving node under its own key, so the
 	// output Dataset is aligned as-is: it IS the next layer's input.
 	return out, nil
+}
+
+// stackFilterReduce builds the stack-filter reduce over the post-update
+// duals, the stacked layer, and the weakly-covered threshold — the
+// other parameterized closure the dist workers rebuild from shipped
+// state.
+func stackFilterReduce(y []float64, inLayer map[int32]bool, threshold float64) mapreduce.ReduceFunc[graph.NodeID, filterMsg, graph.NodeID, nodeState] {
+	return func(v graph.NodeID, msgs []filterMsg, out mapreduce.Emitter[graph.NodeID, nodeState]) error {
+		var self *nodeState
+		for _, m := range msgs {
+			if m.self != nil {
+				self = m.self
+				break
+			}
+		}
+		if self == nil {
+			return nil
+		}
+		ybSelf := y[v] / float64(self.B)
+		otherYB := make(map[int32]float64, len(msgs))
+		for _, m := range msgs {
+			if m.self == nil {
+				otherYB[m.edge] = m.yOverB
+			}
+		}
+		next := nodeState{B: self.B}
+		for _, h := range self.Adj {
+			if inLayer[h.ID] {
+				continue // stacked: leaves the working graph
+			}
+			yb, ok := otherYB[h.ID]
+			if !ok {
+				continue // neighbor gone
+			}
+			if ybSelf+yb >= threshold*h.W-1e-15 {
+				continue // weakly covered: removed
+			}
+			next.Adj = append(next.Adj, h)
+		}
+		if len(next.Adj) > 0 {
+			out.Emit(v, next)
+		}
+		return nil
+	}
 }
 
 // pop runs the pop phase: one MapReduce job per layer, in LIFO order.
@@ -374,14 +413,11 @@ func (st *stackState) pop(ctx context.Context, driver *mapreduce.Driver) ([]int3
 				}
 				return nil
 			},
-			func(ei int32, alive []bool, out mapreduce.Emitter[int32, bool]) error {
-				ok := len(alive) == 2 && alive[0] && alive[1]
-				if ok {
-					out.Emit(ei, true)
-				}
-				return nil
-			})
+			stackPopReduce)
 		if err != nil {
+			return nil, fmt.Errorf("core: stack-pop layer %d: %w", l, err)
+		}
+		if err := out.Materialize(); err != nil {
 			return nil, fmt.Errorf("core: stack-pop layer %d: %w", l, err)
 		}
 		for _, p := range out.Collect() {
@@ -393,4 +429,13 @@ func (st *stackState) pop(ctx context.Context, driver *mapreduce.Driver) ([]int3
 		out.Recycle()
 	}
 	return included, nil
+}
+
+// stackPopReduce includes a layer edge when both endpoints reported
+// themselves alive. Stateless, so dist workers register it as-is.
+func stackPopReduce(ei int32, alive []bool, out mapreduce.Emitter[int32, bool]) error {
+	if len(alive) == 2 && alive[0] && alive[1] {
+		out.Emit(ei, true)
+	}
+	return nil
 }

@@ -119,11 +119,11 @@ func (st *stackState) popStrict(ctx context.Context, driver *mapreduce.Driver) (
 				}
 				return nil
 			},
-			func(ei int32, oks []bool, out mapreduce.Emitter[int32, bool]) error {
-				out.Emit(ei, len(oks) == 2 && oks[0] && oks[1])
-				return nil
-			})
+			strictPopReduce)
 		if err != nil {
+			return nil, fmt.Errorf("core: strict-pop layer %d: %w", l, err)
+		}
+		if err := outDS.Materialize(); err != nil {
 			return nil, fmt.Errorf("core: strict-pop layer %d: %w", l, err)
 		}
 		// Collected flat (ascending edge order) because the capacity and
@@ -223,11 +223,11 @@ func (st *stackState) resolveOverflow(
 				out.Emit(v, m)
 				return nil
 			},
-			func(v graph.NodeID, ms []float64, out mapreduce.Emitter[graph.NodeID, float64]) error {
-				out.Emit(v, ms[0])
-				return nil
-			})
+			sublayerMaxReduce)
 		if err != nil {
+			return nil, fmt.Errorf("core: strict-sublayer-filter: %w", err)
+		}
+		if err := maxOut.Materialize(); err != nil {
 			return nil, fmt.Errorf("core: strict-sublayer-filter: %w", err)
 		}
 		maxDelta := make(map[graph.NodeID]float64, maxOut.Len())
@@ -284,6 +284,20 @@ func (st *stackState) resolveOverflow(
 		pending = next
 	}
 	return included, nil
+}
+
+// strictPopReduce decides tentative inclusion: both endpoints must have
+// reported capacity headroom. Stateless, registered as-is for dist.
+func strictPopReduce(ei int32, oks []bool, out mapreduce.Emitter[int32, bool]) error {
+	out.Emit(ei, len(oks) == 2 && oks[0] && oks[1])
+	return nil
+}
+
+// sublayerMaxReduce forwards the per-node δ maximum computed map-side
+// (one message per node). Stateless, registered as-is for dist.
+func sublayerMaxReduce(v graph.NodeID, ms []float64, out mapreduce.Emitter[graph.NodeID, float64]) error {
+	out.Emit(v, ms[0])
+	return nil
 }
 
 // overflowRecords builds the node-view records of an overflow subgraph

@@ -43,6 +43,11 @@ type Dataset[K comparable, V any] struct {
 	// caller-built ones). It makes Recycle possible — it never causes
 	// automatic reclamation by itself.
 	pool *BufferPool
+	// rem marks a worker-resident Dataset (dist backend): the records
+	// live on the cluster's workers and parts holds only empty slots.
+	// Len works from the per-partition counts in the handle; record
+	// access requires Materialize (see dist.go).
+	rem *distResident
 }
 
 // PartitionDataset hashes pairs into an aligned Dataset with the given
@@ -67,6 +72,13 @@ func (d *Dataset[K, V]) Aligned() bool { return d.aligned }
 // counters — O(partitions), never a record scan — which is what makes
 // it the fixed-point test of Loop.
 func (d *Dataset[K, V]) Len() int {
+	if d.rem != nil {
+		n := int64(0)
+		for _, c := range d.rem.counts {
+			n += c
+		}
+		return int(n)
+	}
 	n := 0
 	for _, p := range d.parts {
 		n += len(p)
@@ -76,13 +88,17 @@ func (d *Dataset[K, V]) Len() int {
 
 // Part returns one partition's records in resident order. Callers must
 // not modify the slice.
-func (d *Dataset[K, V]) Part(p int) []Pair[K, V] { return d.parts[p] }
+func (d *Dataset[K, V]) Part(p int) []Pair[K, V] {
+	d.mustMaterialize()
+	return d.parts[p]
+}
 
 // Each calls fn for every record, partition by partition in resident
 // order. The iteration order is deterministic (partitions ascending,
 // records in reduce-emission order within each), but not globally
 // key-sorted; order-sensitive consumers should use Collect.
 func (d *Dataset[K, V]) Each(fn func(key K, value V)) {
+	d.mustMaterialize()
 	for _, part := range d.parts {
 		for _, p := range part {
 			fn(p.Key, p.Value)
@@ -94,6 +110,7 @@ func (d *Dataset[K, V]) Each(fn func(key K, value V)) {
 // the normalized output Run returns, so a computation that ends in
 // Collect is indistinguishable from one that never chained.
 func (d *Dataset[K, V]) Collect() []Pair[K, V] {
+	d.mustMaterialize()
 	out := make([]Pair[K, V], 0, d.Len())
 	for _, part := range d.parts {
 		out = append(out, part...)
@@ -119,6 +136,7 @@ func (d *Dataset[K, V]) Collect() []Pair[K, V] {
 // the chain keeps recycling. The input d is not consumed; recycle it
 // explicitly once it is dead.
 func MapValues[K comparable, V1, V2 any](d *Dataset[K, V1], fn func(key K, value V1) (V2, bool)) *Dataset[K, V2] {
+	d.mustMaterialize()
 	out := &Dataset[K, V2]{parts: make([][]Pair[K, V2], len(d.parts)), aligned: d.aligned, pool: d.pool}
 	ar := arenaFor[K, V2](d.pool, len(d.parts))
 	for i, part := range d.parts {
@@ -144,6 +162,14 @@ func MapValues[K comparable, V1, V2 any](d *Dataset[K, V1], fn func(key K, value
 // Pair spines are reclaimed: values, and anything they point to, are
 // untouched.
 func (d *Dataset[K, V]) Recycle() {
+	if d.rem != nil {
+		// Worker-resident records never reached this process: release
+		// them where they live.
+		d.dropResident()
+		d.parts = nil
+		d.pool = nil
+		return
+	}
 	if d.pool == nil {
 		return
 	}
@@ -160,6 +186,7 @@ func (d *Dataset[K, V]) Recycle() {
 // away from the group keys, or when the next job runs with a different
 // reducer count.
 func (d *Dataset[K, V]) Repartition(parts int) *Dataset[K, V] {
+	d.mustMaterialize()
 	if parts < 1 {
 		parts = 1
 	}
@@ -219,6 +246,14 @@ func RunDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
 	stats := newStats(cfg.Name)
 	stats.MapInputRecords = int64(input.Len())
 	defer stats.snapPool(cfg.Pool)()
+
+	if cfg.Shuffle.kind() == ShuffleDist {
+		out, err := runDistDS[K1, V1, K2, V2, K3, V3](ctx, cfg, input, mapFn, stats)
+		return out, stats, err
+	}
+	if err := input.Materialize(); err != nil {
+		return nil, stats, err
+	}
 
 	chained := input.aligned && input.Partitions() == cfg.reducers() && !cfg.FlatChaining
 
@@ -356,6 +391,16 @@ func RunCombinedDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, 
 	stats := newStats(cfg.Name)
 	stats.MapInputRecords = int64(input.Len())
 	defer stats.snapPool(cfg.Pool)()
+
+	if cfg.Shuffle.kind() == ShuffleDist {
+		// Combining erases the per-record provenance a worker-side
+		// reduce would need to stay bit-identical, and no algorithm in
+		// this repository combines; fail loudly instead of diverging.
+		return nil, stats, errors.New("mapreduce: the dist shuffle backend does not support combiner jobs")
+	}
+	if err := input.Materialize(); err != nil {
+		return nil, stats, err
+	}
 
 	chained := input.aligned && input.Partitions() == cfg.reducers() && !cfg.FlatChaining
 

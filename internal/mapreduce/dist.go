@@ -1,0 +1,989 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mapreduce/remote"
+)
+
+// This file is the coordinator half of the distributed execution mode
+// (ShuffleDist): reduce partitions are sharded across worker processes
+// connected over the length-prefixed TCP transport of
+// internal/mapreduce/remote. The coordinator runs the map phase (or, for
+// chained jobs whose input already resides on the workers, only
+// orchestrates it), streams pre-partitioned buckets to the partitions'
+// owners, and the workers group-sort and reduce their partitions locally
+// with the same radix path and buffer pool the in-memory backend uses —
+// which is what makes the output bit-identical to ShuffleMemory for the
+// same seed and partition count. Reduce output either streams back
+// (Run) or stays worker-resident (RunDS), so the next chained job's
+// self-addressed pairs never cross the wire. The worker half lives in
+// distworker.go; workers run the reduce (and, when chained, map)
+// functions registered under the job's name via RegisterDistJob — the
+// function values themselves never travel.
+
+// DistCluster is a set of connected worker processes, shared by every
+// job of a computation (Config.Dist). Workers own reduce partitions
+// round-robin (partition p belongs to worker p mod N). A cluster is
+// single-computation: jobs run one at a time, and the first transport
+// or job error breaks the cluster — later jobs fail fast rather than
+// running on a cluster in an unknown state.
+type DistCluster struct {
+	conns []*remote.Conn
+	procs []*exec.Cmd
+
+	mu     sync.Mutex
+	seq    uint64
+	broken error
+	closed bool
+	// lastIn/lastOut checkpoint the transport counters at the previous
+	// job's end, so a job's RemoteBytes* delta also covers the
+	// inter-job traffic that belongs to it in spirit — most importantly
+	// the Materialize fetch of the previous job's resident output.
+	lastIn  int64
+	lastOut int64
+}
+
+// DistClusterOptions configures StartDistCluster.
+type DistClusterOptions struct {
+	// Listen is the coordinator's listen address (default "127.0.0.1:0",
+	// an ephemeral loopback port). Use a routable address to accept
+	// workers from other machines.
+	Listen string
+	// Spawn, when non-nil, is invoked once per worker with the
+	// coordinator's listen address and must return a ready-to-start
+	// command for a worker that will connect there (the self-exec
+	// pattern: a CLI re-executes its own binary in worker mode). When
+	// nil the coordinator only waits for externally launched workers.
+	Spawn func(addr string) *exec.Cmd
+	// Timeout bounds the wait for all workers to connect (default 60s).
+	Timeout time.Duration
+	// OnListen, when non-nil, is called with the coordinator's listen
+	// address once it is accepting, before any worker connects — the
+	// hook in-process workers (tests, embedded deployments) use to dial
+	// in from goroutines of the same process.
+	OnListen func(addr string)
+}
+
+// StartDistCluster listens for n workers, optionally spawning them via
+// opts.Spawn, completes the handshake with each, and returns the
+// connected cluster. The caller owns the cluster and must Close it.
+func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mapreduce: dist cluster needs >= 1 worker, got %d", n)
+	}
+	addr := opts.Listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: dist listen: %w", err)
+	}
+	defer ln.Close()
+
+	cl := &DistCluster{}
+	if opts.OnListen != nil {
+		opts.OnListen(ln.Addr().String())
+	}
+	if opts.Spawn != nil {
+		for i := 0; i < n; i++ {
+			cmd := opts.Spawn(ln.Addr().String())
+			if err := cmd.Start(); err != nil {
+				cl.abort()
+				return nil, fmt.Errorf("mapreduce: spawning dist worker %d: %w", i, err)
+			}
+			cl.procs = append(cl.procs, cmd)
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for i := 0; i < n; i++ {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		nc, err := ln.Accept()
+		if err != nil {
+			cl.abort()
+			return nil, fmt.Errorf("mapreduce: waiting for dist worker %d of %d: %w", i+1, n, err)
+		}
+		conn := remote.NewConn(nc)
+		if err := remote.AwaitHello(conn); err != nil {
+			conn.Close()
+			cl.abort()
+			return nil, fmt.Errorf("mapreduce: dist worker handshake: %w", err)
+		}
+		if err := remote.Welcome(conn, i, n); err != nil {
+			conn.Close()
+			cl.abort()
+			return nil, fmt.Errorf("mapreduce: dist worker handshake: %w", err)
+		}
+		cl.conns = append(cl.conns, conn)
+	}
+	return cl, nil
+}
+
+// abort is the startup-failure teardown: spawned workers may still be
+// mid-handshake (their connections are not in conns, so Close's Bye
+// never reaches them and its Wait would block on them forever) — kill
+// them before reaping.
+func (cl *DistCluster) abort() {
+	for _, c := range cl.conns {
+		c.Close()
+	}
+	for _, cmd := range cl.procs {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	for _, cmd := range cl.procs {
+		cmd.Wait()
+	}
+	cl.mu.Lock()
+	cl.closed = true
+	cl.mu.Unlock()
+}
+
+// DistSelfExec returns a Spawn function that re-executes the current
+// binary with "-dist-connect <addr>" followed by workerArgs, stderr
+// inherited — the one self-exec recipe shared by every CLI's
+// -dist-workers mode.
+func DistSelfExec(workerArgs ...string) (func(addr string) *exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	return func(addr string) *exec.Cmd {
+		cmd := exec.Command(exe, append([]string{"-dist-connect", addr}, workerArgs...)...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}, nil
+}
+
+// Workers returns the number of connected workers.
+func (cl *DistCluster) Workers() int { return len(cl.conns) }
+
+// Err returns the error that broke the cluster, or nil while it is
+// healthy.
+func (cl *DistCluster) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.broken
+}
+
+// fail latches the first fatal error and closes every connection, which
+// unblocks any goroutine blocked on the transport.
+func (cl *DistCluster) fail(err error) {
+	cl.mu.Lock()
+	already := cl.broken != nil
+	if !already {
+		cl.broken = err
+	}
+	cl.mu.Unlock()
+	if !already {
+		for _, c := range cl.conns {
+			c.Close()
+		}
+	}
+}
+
+// nextSeq allocates a job sequence number (never zero, so zero can mean
+// "no job" in message fields).
+func (cl *DistCluster) nextSeq() uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.seq++
+	return cl.seq
+}
+
+// bytesInOut sums the transport byte counters over all connections.
+func (cl *DistCluster) bytesInOut() (in, out int64) {
+	for _, c := range cl.conns {
+		in += c.BytesIn()
+		out += c.BytesOut()
+	}
+	return in, out
+}
+
+// Close dismisses the workers (best effort), closes the connections,
+// and reaps any spawned worker processes.
+func (cl *DistCluster) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	healthy := cl.broken == nil
+	cl.mu.Unlock()
+	for _, c := range cl.conns {
+		if healthy {
+			c.WriteFrame([]byte{byte(remote.MsgBye)})
+		}
+		c.Close()
+	}
+	var err error
+	for _, cmd := range cl.procs {
+		if werr := cmd.Wait(); werr != nil && healthy && err == nil {
+			err = fmt.Errorf("mapreduce: dist worker exited: %w", werr)
+		}
+	}
+	return err
+}
+
+// distTypeID names a concrete Go type for the job handshake: the
+// coordinator and worker compare ids for all four job types before any
+// record travels, so a registration mismatch fails loudly instead of
+// corrupting a decode.
+func distTypeID[T any]() string {
+	return reflect.TypeOf((*T)(nil)).Elem().String()
+}
+
+// distJobHeader is the decoded MsgJobStart, shared by both sides.
+type distJobHeader struct {
+	seq        uint64
+	name       string
+	mode       remote.JobMode
+	splits     int
+	reducers   int
+	wantOutput bool
+	inputSeq   uint64
+	k2id, v2id string
+	k3id, v3id string
+	params     []byte
+}
+
+func (h *distJobHeader) encode() []byte {
+	buf := []byte{byte(remote.MsgJobStart)}
+	buf = remote.AppendUvarint(buf, h.seq)
+	buf = remote.AppendString(buf, h.name)
+	buf = append(buf, byte(h.mode))
+	buf = remote.AppendUvarint(buf, uint64(h.splits))
+	buf = remote.AppendUvarint(buf, uint64(h.reducers))
+	if h.wantOutput {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = remote.AppendUvarint(buf, h.inputSeq)
+	buf = remote.AppendString(buf, h.k2id)
+	buf = remote.AppendString(buf, h.v2id)
+	buf = remote.AppendString(buf, h.k3id)
+	buf = remote.AppendString(buf, h.v3id)
+	buf = remote.AppendBytes(buf, h.params)
+	return buf
+}
+
+// parseJobHeader decodes a MsgJobStart payload (the type byte already
+// consumed).
+func parseJobHeader(cur *remote.Cursor) (*distJobHeader, error) {
+	h := &distJobHeader{}
+	h.seq = cur.Uvarint()
+	h.name = cur.String()
+	h.mode = remote.JobMode(cur.Byte())
+	h.splits = int(cur.Uvarint())
+	h.reducers = int(cur.Uvarint())
+	h.wantOutput = cur.Byte() != 0
+	h.inputSeq = cur.Uvarint()
+	h.k2id = cur.String()
+	h.v2id = cur.String()
+	h.k3id = cur.String()
+	h.v3id = cur.String()
+	h.params = append([]byte(nil), cur.Bytes()...)
+	if err := cur.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: malformed job-start: %w", err)
+	}
+	return h, nil
+}
+
+// encodePairs appends count length-prefixed (key, value) encodings.
+func encodePairs[K comparable, V any](buf []byte, pairs []Pair[K, V], kc spillCodec[K], vc spillCodec[V]) ([]byte, error) {
+	var scratch []byte
+	for i := range pairs {
+		var err error
+		if scratch, err = kc.enc(scratch[:0], pairs[i].Key); err != nil {
+			return nil, err
+		}
+		buf = remote.AppendBytes(buf, scratch)
+		if scratch, err = vc.enc(scratch[:0], pairs[i].Value); err != nil {
+			return nil, err
+		}
+		buf = remote.AppendBytes(buf, scratch)
+	}
+	return buf, nil
+}
+
+// pairCap bounds a wire-declared pair count by the remaining payload —
+// every pair carries at least two 1-byte length prefixes — so a
+// corrupted count cannot drive a pre-allocation past the bytes that
+// could possibly back it.
+func pairCap(cur *remote.Cursor, count int) int {
+	if max := len(cur.Rest()) / 2; count > max || count < 0 {
+		return max
+	}
+	return count
+}
+
+// decodePairs appends count decoded pairs to out.
+func decodePairs[K comparable, V any](cur *remote.Cursor, count int, kc spillCodec[K], vc spillCodec[V], out []Pair[K, V]) ([]Pair[K, V], error) {
+	if count > len(cur.Rest())/2 || count < 0 {
+		return out, fmt.Errorf("pair count %d exceeds the %d-byte payload", count, len(cur.Rest()))
+	}
+	for i := 0; i < count; i++ {
+		kb := cur.Bytes()
+		vb := cur.Bytes()
+		if err := cur.Err(); err != nil {
+			return out, err
+		}
+		k, err := kc.dec(kb)
+		if err != nil {
+			return out, err
+		}
+		v, err := vc.dec(vb)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Pair[K, V]{Key: k, Value: v})
+	}
+	return out, nil
+}
+
+// encodeBucketFrame builds one MsgBucket frame.
+func encodeBucketFrame[K comparable, V any](seq uint64, split, part int, pairs []Pair[K, V], kc spillCodec[K], vc spillCodec[V]) ([]byte, error) {
+	buf := []byte{byte(remote.MsgBucket)}
+	buf = remote.AppendUvarint(buf, seq)
+	buf = remote.AppendUvarint(buf, uint64(split))
+	buf = remote.AppendUvarint(buf, uint64(part))
+	buf = remote.AppendUvarint(buf, uint64(len(pairs)))
+	return encodePairs(buf, pairs, kc, vc)
+}
+
+// distWorkerReport aggregates what one worker told the coordinator
+// about a job.
+type distWorkerReport struct {
+	groups     int64
+	outRecords int64
+	reduceWall time.Duration
+	mapWall    time.Duration
+	emitted    int64
+	local      int64
+	cross      int64
+	counts     map[int]int64
+	counters   map[string]int64
+}
+
+// distJobRun is the coordinator's state for one in-flight job.
+type distJobRun[K2 comparable, V2 any, K3 comparable, V3 any] struct {
+	cl       *DistCluster
+	hdr      *distJobHeader
+	k2c      spillCodec[K2]
+	v2c      spillCodec[V2]
+	k3c      spillCodec[K3]
+	v3c      spillCodec[V3]
+	bytesIn0 int64
+	bytesOut0 int64
+
+	mu      sync.Mutex
+	outs    [][]Pair[K3, V3]
+	reports []distWorkerReport
+
+	mapDones  atomic.Int64
+	flushOnce sync.Once
+	flushErr  error
+	records   atomic.Int64
+}
+
+// startDistJob resolves the four codecs, announces the job to every
+// worker, and starts one reader goroutine per connection. done receives
+// the readers' first error (nil on success) exactly once.
+func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
+	cfg Config, mode remote.JobMode, splits int, inputSeq uint64, wantOutput bool,
+) (*distJobRun[K2, V2, K3, V3], error) {
+	cl := cfg.Dist
+	if cl == nil {
+		return nil, errors.New("mapreduce: shuffle backend \"dist\" requires Config.Dist (a started DistCluster)")
+	}
+	if err := cl.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: dist cluster is broken: %w", err)
+	}
+	k2c, err := resolveSpillCodec[K2]()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: dist key codec: %w", err)
+	}
+	v2c, err := resolveSpillCodec[V2]()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: dist value codec: %w", err)
+	}
+	k3c, err := resolveSpillCodec[K3]()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: dist output key codec: %w", err)
+	}
+	v3c, err := resolveSpillCodec[V3]()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: dist output value codec: %w", err)
+	}
+	j := &distJobRun[K2, V2, K3, V3]{
+		cl: cl,
+		hdr: &distJobHeader{
+			seq:        cl.nextSeq(),
+			name:       cfg.Name,
+			mode:       mode,
+			splits:     splits,
+			reducers:   cfg.reducers(),
+			wantOutput: wantOutput,
+			inputSeq:   inputSeq,
+			k2id:       distTypeID[K2](),
+			v2id:       distTypeID[V2](),
+			k3id:       distTypeID[K3](),
+			v3id:       distTypeID[V3](),
+			params:     cfg.DistParams,
+		},
+		k2c: k2c, v2c: v2c, k3c: k3c, v3c: v3c,
+		outs:    make([][]Pair[K3, V3], cfg.reducers()),
+		reports: make([]distWorkerReport, cl.Workers()),
+	}
+	cl.mu.Lock()
+	j.bytesIn0, j.bytesOut0 = cl.lastIn, cl.lastOut
+	cl.mu.Unlock()
+	frame := j.hdr.encode()
+	for _, c := range cl.conns {
+		if err := c.WriteFrame(frame); err != nil {
+			err = fmt.Errorf("mapreduce: dist job %q: announcing to worker: %w", cfg.Name, err)
+			cl.fail(err)
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// sendBucket encodes one bucket and streams it to the partition's
+// owner.
+func (j *distJobRun[K2, V2, K3, V3]) sendBucket(split, part int, pairs []Pair[K2, V2]) error {
+	frame, err := encodeBucketFrame(j.hdr.seq, split, part, pairs, j.k2c, j.v2c)
+	if err != nil {
+		return fmt.Errorf("mapreduce: dist job %q: encoding bucket: %w", j.hdr.name, err)
+	}
+	owner := remote.Owner(part, j.cl.Workers())
+	if err := j.cl.conns[owner].WriteFrame(frame); err != nil {
+		err = fmt.Errorf("mapreduce: dist job %q: streaming bucket to worker %d: %w", j.hdr.name, owner, err)
+		j.cl.fail(err)
+		return err
+	}
+	j.records.Add(int64(len(pairs)))
+	return nil
+}
+
+// flushAll tells every worker that ingestion is sealed.
+func (j *distJobRun[K2, V2, K3, V3]) flushAll() error {
+	j.flushOnce.Do(func() {
+		frame := remote.AppendUvarint([]byte{byte(remote.MsgFlush)}, j.hdr.seq)
+		for w, c := range j.cl.conns {
+			if err := c.WriteFrame(frame); err != nil {
+				j.flushErr = fmt.Errorf("mapreduce: dist job %q: flushing worker %d: %w", j.hdr.name, w, err)
+				j.cl.fail(j.flushErr)
+				return
+			}
+		}
+	})
+	return j.flushErr
+}
+
+// reader consumes one worker's frames for this job until its MsgJobDone
+// (or an error). Chained-mode cross-partition buckets are relayed
+// verbatim to their owner's connection: the frame format is identical in
+// both directions, so the relay is a single WriteFrame with no
+// re-encoding. Because a worker sends all its buckets before its
+// MsgMapDone and the reader processes frames in order, once every
+// worker's MsgMapDone has been processed every relay has been delivered
+// — that is the barrier after which the flush is safe.
+func (j *distJobRun[K2, V2, K3, V3]) reader(w int) error {
+	conn := j.cl.conns[w]
+	numWorkers := j.cl.Workers()
+	for {
+		payload, err := conn.ReadFrame()
+		if err != nil {
+			return fmt.Errorf("mapreduce: dist job %q: transport error from worker %d: %w", j.hdr.name, w, err)
+		}
+		cur := remote.NewCursor(payload)
+		switch t := remote.MsgType(cur.Byte()); t {
+		case remote.MsgBucket:
+			seq := cur.Uvarint()
+			cur.Uvarint() // split
+			part := int(cur.Uvarint())
+			if err := cur.Err(); err != nil || seq != j.hdr.seq ||
+				part < 0 || part >= j.hdr.reducers {
+				return fmt.Errorf("mapreduce: dist job %q: malformed bucket relay from worker %d", j.hdr.name, w)
+			}
+			owner := remote.Owner(part, numWorkers)
+			if err := j.cl.conns[owner].WriteFrame(payload); err != nil {
+				return fmt.Errorf("mapreduce: dist job %q: relaying bucket to worker %d: %w", j.hdr.name, owner, err)
+			}
+		case remote.MsgMapDone:
+			cur.Uvarint() // seq
+			rep := &j.reports[w]
+			rep.emitted = int64(cur.Uvarint())
+			rep.local = int64(cur.Uvarint())
+			rep.cross = int64(cur.Uvarint())
+			rep.mapWall = time.Duration(cur.Uvarint())
+			if err := cur.Err(); err != nil {
+				return fmt.Errorf("mapreduce: dist job %q: malformed map-done from worker %d", j.hdr.name, w)
+			}
+			if j.mapDones.Add(1) == int64(numWorkers) {
+				if err := j.flushAll(); err != nil {
+					return err
+				}
+			}
+		case remote.MsgReduced:
+			cur.Uvarint() // seq
+			part := int(cur.Uvarint())
+			count := int(cur.Uvarint())
+			if err := cur.Err(); err != nil || part < 0 || part >= len(j.outs) {
+				return fmt.Errorf("mapreduce: dist job %q: malformed reduce output from worker %d", j.hdr.name, w)
+			}
+			pairs, err := decodePairs(cur, count, j.k3c, j.v3c, make([]Pair[K3, V3], 0, pairCap(cur, count)))
+			if err != nil {
+				return fmt.Errorf("mapreduce: dist job %q: decoding partition %d: %w", j.hdr.name, part, err)
+			}
+			j.mu.Lock()
+			j.outs[part] = pairs
+			j.mu.Unlock()
+		case remote.MsgJobDone:
+			cur.Uvarint() // seq
+			rep := &j.reports[w]
+			rep.groups = int64(cur.Uvarint())
+			rep.outRecords = int64(cur.Uvarint())
+			rep.reduceWall = time.Duration(cur.Uvarint())
+			nParts := int(cur.Uvarint())
+			rep.counts = make(map[int]int64, min(nParts, j.hdr.reducers))
+			for i := 0; i < nParts; i++ {
+				part := int(cur.Uvarint())
+				if part < 0 || part >= j.hdr.reducers {
+					return fmt.Errorf("mapreduce: dist job %q: job-done names partition %d of %d", j.hdr.name, part, j.hdr.reducers)
+				}
+				rep.counts[part] = int64(cur.Uvarint())
+			}
+			nCounters := int(cur.Uvarint())
+			if nCounters > 0 {
+				rep.counters = make(map[string]int64, nCounters)
+				for i := 0; i < nCounters; i++ {
+					name := cur.String()
+					rep.counters[name] = int64(cur.Uvarint())
+				}
+			}
+			if err := cur.Err(); err != nil {
+				return fmt.Errorf("mapreduce: dist job %q: malformed job-done from worker %d", j.hdr.name, w)
+			}
+			return nil
+		case remote.MsgError:
+			cur.Uvarint() // seq
+			return fmt.Errorf("mapreduce: dist job %q: worker %d: %s", j.hdr.name, w, cur.String())
+		default:
+			return fmt.Errorf("mapreduce: dist job %q: unexpected %v from worker %d", j.hdr.name, t, w)
+		}
+	}
+}
+
+// finish drives the job to completion after the coordinator's own
+// sending is done (mapErr carries a local map-phase failure): runs the
+// per-connection readers, observes the flush barrier, aggregates the
+// worker reports into stats, and burns the coordinator-side failure
+// coins so injected-failure statistics match the local backends.
+func (j *distJobRun[K2, V2, K3, V3]) finish(ctx context.Context, cfg Config, stats *Stats, mapErr error) ([][]Pair[K3, V3], []int64, error) {
+	readErrs := make([]error, j.cl.Workers())
+	var wg sync.WaitGroup
+	for w := range j.cl.conns {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := j.reader(w); err != nil {
+				readErrs[w] = err
+				// Break the cluster immediately: closing the
+				// connections unblocks the sibling readers, whose
+				// workers may be waiting on a flush that can no longer
+				// come. fail latches the first error, so the root cause
+				// wins over the cascade it triggers.
+				j.cl.fail(err)
+			}
+		}()
+	}
+	// A cancelled context must unblock the readers: break the cluster,
+	// which closes the connections under them.
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	if ctx != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			select {
+			case <-ctx.Done():
+				j.cl.fail(fmt.Errorf("mapreduce: dist job %q: %w", j.hdr.name, ctx.Err()))
+			case <-watchDone:
+			}
+		}()
+	}
+
+	if mapErr != nil {
+		// The coordinator's map phase failed: the workers are still
+		// waiting for buckets, so the cluster cannot be reused.
+		j.cl.fail(fmt.Errorf("mapreduce: dist job %q failed during map: %w", j.hdr.name, mapErr))
+	} else if j.hdr.mode == remote.ModeFlat {
+		// Flat jobs have no worker map phase: the coordinator sealed
+		// ingestion the moment its own map tasks finished.
+		if err := j.flushAll(); err != nil {
+			mapErr = err
+		}
+	}
+	wg.Wait()
+	close(watchDone)
+	watchWG.Wait()
+	if mapErr != nil {
+		return nil, nil, mapErr
+	}
+	for _, err := range readErrs {
+		if err != nil {
+			// Return the first-latched error (the root cause), not
+			// whichever cascade error this slot happens to hold.
+			if first := j.cl.Err(); first != nil {
+				return nil, nil, first
+			}
+			return nil, nil, err
+		}
+	}
+
+	// Aggregate the worker reports.
+	counts := make([]int64, j.hdr.reducers)
+	var workerWall time.Duration
+	for w := range j.reports {
+		rep := &j.reports[w]
+		stats.ReduceGroups += rep.groups
+		stats.ReduceOutputRecords += rep.outRecords
+		if wall := rep.mapWall + rep.reduceWall; wall > workerWall {
+			workerWall = wall
+		}
+		for part, n := range rep.counts {
+			counts[part] = n
+		}
+		if cfg.DistCounters != nil {
+			for name, v := range rep.counters {
+				cfg.DistCounters.Inc(name, v)
+			}
+		}
+		if j.hdr.mode == remote.ModeChained {
+			stats.addMapOutput(rep.emitted)
+			stats.addRouted(rep.local, rep.cross)
+			j.records.Add(rep.local + rep.cross)
+		}
+	}
+	stats.WorkerWall = workerWall
+	in, out := j.cl.bytesInOut()
+	stats.RemoteBytesIn = in - j.bytesIn0
+	stats.RemoteBytesOut = out - j.bytesOut0
+	j.cl.mu.Lock()
+	j.cl.lastIn, j.cl.lastOut = in, out
+	j.cl.mu.Unlock()
+	stats.ShuffleRecords = j.records.Load()
+
+	// Burn the failure coins the local backends would have drawn for
+	// the reduce tasks (and, for chained jobs, the worker-side map
+	// tasks): user functions are pure, so a re-executed attempt changes
+	// nothing but the retry counters — keeping Stats comparable across
+	// backends under injected failures.
+	if cfg.FailureRate > 0 {
+		if j.hdr.mode == remote.ModeChained {
+			for p := 0; p < j.hdr.splits; p++ {
+				if err := cfg.burnAttempts(0, p, stats.addMapRetry); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		for p := 0; p < j.hdr.reducers; p++ {
+			if err := cfg.burnAttempts(1, p, stats.addReduceRetry); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return j.outs, counts, nil
+}
+
+// distSender is the ShuffleBackend the coordinator's map phase emits
+// into under ShuffleDist: buckets stream straight to the owning worker.
+// Finalize is never reached — reduce happens on the workers — so the
+// dist path never builds a GroupStream.
+type distSender[K2 comparable, V2 any, K3 comparable, V3 any] struct {
+	j  *distJobRun[K2, V2, K3, V3]
+	ar *roundArena[K2, V2]
+}
+
+func (s *distSender[K2, V2, K3, V3]) Partitions() int { return s.j.hdr.reducers }
+func (s *distSender[K2, V2, K3, V3]) BucketCap() int  { return 0 }
+
+func (s *distSender[K2, V2, K3, V3]) AddBucket(split, part int, pairs []Pair[K2, V2]) error {
+	err := s.j.sendBucket(split, part, pairs)
+	// The bucket is on the wire: its storage feeds the next emitter fill.
+	s.ar.putBucket(part, pairs)
+	return err
+}
+
+func (s *distSender[K2, V2, K3, V3]) Finalize() ([]GroupStream[K2, V2], error) {
+	return nil, errors.New("mapreduce: dist backend has no local group streams")
+}
+
+func (s *distSender[K2, V2, K3, V3]) Close() error { return nil }
+
+// runDistFlat executes one flat job on the dist backend: local map
+// phase, buckets streamed to the workers, reduce output streamed back
+// and normalized exactly like Run.
+func runDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	input []Pair[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	stats *Stats,
+) ([]Pair[K3, V3], error) {
+	splits := splitRange(len(input), cfg.mappers())
+	job, err := startDistJob[K2, V2, K3, V3](cfg, remote.ModeFlat, len(splits), 0, true)
+	if err != nil {
+		return nil, err
+	}
+	ar := arenaFor[K2, V2](cfg.Pool, cfg.reducers())
+	sender := &distSender[K2, V2, K3, V3]{j: job, ar: ar}
+	phase := time.Now()
+	mapErr := runMapPhase(ctx, cfg, splits, input, mapFn, sender, ar, stats)
+	stats.MapWall = time.Since(phase)
+	phase = time.Now()
+	outs, _, err := job.finish(ctx, cfg, stats, mapErr)
+	stats.ReduceWall = time.Since(phase)
+	if err != nil {
+		return nil, err
+	}
+	var total int
+	for _, o := range outs {
+		total += len(o)
+	}
+	all := make([]Pair[K3, V3], 0, total)
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	sortPairs(all)
+	return all, nil
+}
+
+// runDistDS executes one Dataset job on the dist backend. Output stays
+// worker-resident (the returned Dataset holds a residency handle, not
+// records); a chained input that is itself worker-resident is mapped on
+// the workers, so self-addressed pairs never touch the wire.
+func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	input *Dataset[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	stats *Stats,
+) (*Dataset[K3, V3], error) {
+	cl := cfg.Dist
+	if cl == nil {
+		return nil, errors.New("mapreduce: shuffle backend \"dist\" requires Config.Dist (a started DistCluster)")
+	}
+	remoteChained := input.rem != nil && input.rem.cl == cl && input.aligned &&
+		input.Partitions() == cfg.reducers() && !cfg.FlatChaining
+	if input.rem != nil && !remoteChained {
+		// Resident on the cluster but not consumable in place (partition
+		// mismatch, forced flat, alignment lost): move it here first.
+		if err := input.Materialize(); err != nil {
+			return nil, err
+		}
+	}
+
+	var job *distJobRun[K2, V2, K3, V3]
+	var err error
+	phase := time.Now()
+	if remoteChained {
+		job, err = startDistJob[K2, V2, K3, V3](cfg, remote.ModeChained, input.Partitions(), input.rem.seq, false)
+		if err != nil {
+			return nil, err
+		}
+		// The map phase runs on the workers; the readers in finish
+		// observe it through MsgMapDone and the flush barrier.
+	} else {
+		chained := input.aligned && input.Partitions() == cfg.reducers() && !cfg.FlatChaining
+		ar := arenaFor[K2, V2](cfg.Pool, cfg.reducers())
+		var mapErr error
+		if chained {
+			job, err = startDistJob[K2, V2, K3, V3](cfg, remote.ModeFlat, input.Partitions(), 0, false)
+			if err != nil {
+				return nil, err
+			}
+			sender := &distSender[K2, V2, K3, V3]{j: job, ar: ar}
+			mapErr = runMapPhaseDS(ctx, cfg, input, mapFn, sender, ar, stats)
+		} else {
+			flat := input.Collect()
+			splits := splitRange(len(flat), cfg.mappers())
+			job, err = startDistJob[K2, V2, K3, V3](cfg, remote.ModeFlat, len(splits), 0, false)
+			if err != nil {
+				return nil, err
+			}
+			sender := &distSender[K2, V2, K3, V3]{j: job, ar: ar}
+			mapErr = runMapPhase(ctx, cfg, splits, flat, mapFn, sender, ar, stats)
+		}
+		stats.MapWall = time.Since(phase)
+		phase = time.Now()
+		_, counts, err := job.finish(ctx, cfg, stats, mapErr)
+		stats.ReduceWall = time.Since(phase)
+		if err != nil {
+			return nil, err
+		}
+		return newRemoteDataset[K3, V3](cl, job.hdr.seq, counts, keyCast[K2, K3]() != nil, cfg.Pool), nil
+	}
+	_, counts, err := job.finish(ctx, cfg, stats, nil)
+	stats.MapWall = 0
+	stats.ReduceWall = time.Since(phase)
+	if err != nil {
+		return nil, err
+	}
+	return newRemoteDataset[K3, V3](cl, job.hdr.seq, counts, keyCast[K2, K3]() != nil, cfg.Pool), nil
+}
+
+// distResident is a Dataset's residency handle: which cluster and job
+// own the records, and how many live in each partition (Len without a
+// fetch).
+type distResident struct {
+	cl     *DistCluster
+	seq    uint64
+	counts []int64
+}
+
+// newRemoteDataset wraps a worker-resident job output in a Dataset.
+func newRemoteDataset[K comparable, V any](cl *DistCluster, seq uint64, counts []int64, aligned bool, pool *BufferPool) *Dataset[K, V] {
+	return &Dataset[K, V]{
+		parts:   make([][]Pair[K, V], len(counts)),
+		aligned: aligned,
+		pool:    pool,
+		rem:     &distResident{cl: cl, seq: seq, counts: counts},
+	}
+}
+
+// Materialize moves a worker-resident Dataset's records to the caller:
+// every partition is fetched from its owning worker and the residency is
+// released (the workers drop their copies). A no-op for local Datasets.
+// Record access (Collect, Each, Part, MapValues, Repartition) requires a
+// materialized Dataset; in-repo algorithms call Materialize explicitly
+// after every job whose output they read driver-side, so fetch errors
+// surface as errors rather than panics.
+func (d *Dataset[K, V]) Materialize() error {
+	if d.rem == nil {
+		return nil
+	}
+	rem := d.rem
+	if err := rem.cl.Err(); err != nil {
+		return fmt.Errorf("mapreduce: materializing dataset: dist cluster is broken: %w", err)
+	}
+	kc, err := resolveSpillCodec[K]()
+	if err != nil {
+		return fmt.Errorf("mapreduce: materializing dataset: %w", err)
+	}
+	vc, err := resolveSpillCodec[V]()
+	if err != nil {
+		return fmt.Errorf("mapreduce: materializing dataset: %w", err)
+	}
+	fetch := remote.AppendUvarint([]byte{byte(remote.MsgFetch)}, rem.seq)
+	// One fetch per connection, concurrently: the workers own disjoint
+	// partitions and each connection has its own reader, so the
+	// materialization wall is the slowest worker's transfer, not the
+	// sum — this sits on the per-round critical path of every algorithm
+	// that folds job output driver-side.
+	errs := make([]error, len(rem.cl.conns))
+	var wg sync.WaitGroup
+	for w, conn := range rem.cl.conns {
+		w, conn := w, conn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := d.fetchFrom(conn, fetch, kc, vc); err != nil {
+				errs[w] = fmt.Errorf("mapreduce: fetching resident partitions from worker %d: %w", w, err)
+				rem.cl.fail(errs[w])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	d.rem = nil
+	return nil
+}
+
+// fetchFrom drains one worker's resident partitions for this dataset.
+func (d *Dataset[K, V]) fetchFrom(conn *remote.Conn, fetch []byte, kc spillCodec[K], vc spillCodec[V]) error {
+	if err := conn.WriteFrame(fetch); err != nil {
+		return err
+	}
+	for {
+		payload, err := conn.ReadFrame()
+		if err != nil {
+			return err
+		}
+		cur := remote.NewCursor(payload)
+		switch t := remote.MsgType(cur.Byte()); t {
+		case remote.MsgPart:
+			cur.Uvarint() // seq
+			part := int(cur.Uvarint())
+			count := int(cur.Uvarint())
+			if err := cur.Err(); err != nil || part < 0 || part >= len(d.parts) {
+				return fmt.Errorf("malformed resident partition frame")
+			}
+			pairs, err := decodePairs(cur, count, kc, vc, make([]Pair[K, V], 0, pairCap(cur, count)))
+			if err != nil {
+				return err
+			}
+			d.parts[part] = pairs
+		case remote.MsgFetchDone:
+			return nil
+		case remote.MsgError:
+			cur.Uvarint()
+			return errors.New(cur.String())
+		default:
+			return fmt.Errorf("unexpected %v during fetch", t)
+		}
+	}
+}
+
+// mustMaterialize backs the record accessors of Dataset. Reaching a
+// fetch failure here means a remote Dataset was accessed without a
+// prior Materialize check — a programming error — so it fails loudly.
+func (d *Dataset[K, V]) mustMaterialize() {
+	if err := d.Materialize(); err != nil {
+		panic(fmt.Sprintf("mapreduce: unchecked access to a worker-resident Dataset: %v (call Materialize and handle the error first)", err))
+	}
+}
+
+// dropResident releases a worker-resident Dataset's partitions on the
+// workers (Recycle's remote half). Best effort: a transport failure here
+// breaks the cluster, and the next job reports it.
+func (d *Dataset[K, V]) dropResident() {
+	rem := d.rem
+	d.rem = nil
+	if rem == nil || rem.cl.Err() != nil {
+		return
+	}
+	frame := remote.AppendUvarint([]byte{byte(remote.MsgDrop)}, rem.seq)
+	for w, conn := range rem.cl.conns {
+		if err := conn.WriteFrame(frame); err != nil {
+			rem.cl.fail(fmt.Errorf("mapreduce: dropping resident dataset on worker %d: %w", w, err))
+			return
+		}
+	}
+}

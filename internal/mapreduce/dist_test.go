@@ -1,0 +1,378 @@
+package mapreduce
+
+import (
+	"context"
+	"net"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mapreduce/remote"
+)
+
+// startTestCluster starts n in-process workers serving the dist
+// protocol over loopback TCP — real sockets, real frames, same process,
+// so registered test closures are available on "both" sides.
+func startTestCluster(t *testing.T, n int) *DistCluster {
+	t.Helper()
+	var wg sync.WaitGroup
+	cl, err := StartDistCluster(n, DistClusterOptions{
+		Timeout: 30 * time.Second,
+		OnListen: func(addr string) {
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := ServeDistWorker(context.Background(), addr); err != nil {
+						t.Logf("in-process worker: %v", err)
+					}
+				}()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		wg.Wait()
+	})
+	return cl
+}
+
+// distCfg is the dist-backend analogue of spillCfg.
+func distCfg(cl *DistCluster, name string) Config {
+	return Config{
+		Mappers: 4, Reducers: 3, Name: name,
+		Shuffle: ShuffleConfig{Backend: ShuffleDist},
+		Dist:    cl,
+	}
+}
+
+func distCfg4(cl *DistCluster, name string) Config {
+	cfg := distCfg(cl, name)
+	cfg.Reducers = 4
+	return cfg
+}
+
+// TestDistChainedStaysResident pins the partition-residency contract:
+// once a Dataset lives on the workers, a chained job's self-addressed
+// pairs never cross the wire. The first RunDS ships the whole input
+// (local Dataset, every bucket travels); the second consumes the
+// worker-resident output with a purely self-addressed map, so its
+// RemoteBytesOut may carry only control frames — orders of magnitude
+// below the first job's.
+func TestDistChainedStaysResident(t *testing.T) {
+	cl := startTestCluster(t, 2)
+	cfg := distCfg4(cl, "self-step")
+	ctx := context.Background()
+
+	ds1, st1, err := RunDS(ctx, cfg, PartitionDataset(ringInput(), cfg.reducers()), selfMap, ringReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, st2, err := RunDS(ctx, cfg, ds1, selfMap, ringReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.LocalRouted != ringN || st2.CrossRouted != 0 {
+		t.Fatalf("chained self-job routed local=%d cross=%d, want %d/0", st2.LocalRouted, st2.CrossRouted, ringN)
+	}
+	if st2.RemoteBytesOut >= st1.RemoteBytesOut/4 {
+		t.Fatalf("resident chaining still ships data: job1 sent %dB, job2 sent %dB", st1.RemoteBytesOut, st2.RemoteBytesOut)
+	}
+
+	// Bit-identity against the memory backend's chained dataflow.
+	memCfg := Config{Mappers: 4, Reducers: 4, Name: "self-step"}
+	m1, _, err := RunDS(ctx, memCfg, PartitionDataset(ringInput(), 4), selfMap, ringReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := RunDS(ctx, memCfg, m1, selfMap, ringReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds2.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds2.Collect(), m2.Collect()) {
+		t.Fatal("chained dist output diverges from memory")
+	}
+	ds1.Recycle()
+	ds2.Recycle()
+}
+
+// TestDistChainedCrossTraffic runs a chained job that mixes identity
+// routes with ring messages: output must stay bit-identical to the
+// memory backend and the routing split must match.
+func TestDistChainedCrossTraffic(t *testing.T) {
+	cl := startTestCluster(t, 2)
+	cfg := distCfg4(cl, "ring-step")
+	ctx := context.Background()
+
+	run := func(cfg Config) ([]Pair[int32, int64], *Stats) {
+		t.Helper()
+		ds1, _, err := RunDS(ctx, cfg, PartitionDataset(ringInput(), cfg.reducers()), ringMap, ringReduce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds2, st2, err := RunDS(ctx, cfg, ds1, ringMap, ringReduce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ds2.Collect()
+		ds1.Recycle()
+		ds2.Recycle()
+		return out, st2
+	}
+	dist, dstats := run(cfg)
+	mem, mstats := run(Config{Mappers: 4, Reducers: 4, Name: "ring-step"})
+	if !reflect.DeepEqual(dist, mem) {
+		t.Fatal("chained ring job diverges between dist and memory")
+	}
+	if dstats.LocalRouted != mstats.LocalRouted || dstats.LocalRouted == 0 {
+		t.Fatalf("identity-routing split differs: dist local=%d, memory local=%d",
+			dstats.LocalRouted, mstats.LocalRouted)
+	}
+	if dstats.CrossRouted != mstats.CrossRouted {
+		t.Fatalf("cross-routing split differs: dist cross=%d, memory cross=%d",
+			dstats.CrossRouted, mstats.CrossRouted)
+	}
+}
+
+// TestDistParamsReachWorkers pins the DistParams channel: the worker
+// factory rebuilds the reduce from the per-job blob.
+func TestDistParamsReachWorkers(t *testing.T) {
+	cl := startTestCluster(t, 2)
+	cfg := distCfg(cl, "param-add")
+	cfg.DistParams = []byte{42}
+	out, _, err := Run(context.Background(), cfg, ringInput(),
+		Identity[int32, int64](),
+		func(k int32, vs []int64, out Emitter[int32, int64]) error { return nil }, // ignored: workers run the registered reduce
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range out {
+		if want := int64(p.Key) + 3 + 42; p.Value != want {
+			t.Fatalf("key %d: got %d, want %d (offset not applied)", p.Key, p.Value, want)
+		}
+	}
+}
+
+// TestDistCountersMergeBack pins the worker-counter report: increments
+// made inside worker reduces surface in Config.DistCounters.
+func TestDistCountersMergeBack(t *testing.T) {
+	cl := startTestCluster(t, 2)
+	cfg := distCfg(cl, "counted")
+	cfg.DistCounters = NewCounters()
+	out, _, err := Run(context.Background(), cfg, ringInput(),
+		Identity[int32, int64](), ringReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.DistCounters.Get("groups-seen"); got != int64(len(out)) {
+		t.Fatalf("worker counters report %d groups, output has %d", got, len(out))
+	}
+}
+
+// TestDistUnregisteredJobFails pins the failure mode of a missing
+// registration: a clear error, not a hang or a decode mess.
+func TestDistUnregisteredJobFails(t *testing.T) {
+	cl := startTestCluster(t, 1)
+	cfg := distCfg(cl, "never-registered")
+	_, _, err := Run(context.Background(), cfg, ringInput(),
+		Identity[int32, int64](), ringReduce)
+	if err == nil || !strings.Contains(err.Error(), "no dist job registered") {
+		t.Fatalf("unregistered job: got %v", err)
+	}
+}
+
+// TestDistReduceErrorSurfaces pins user-function error propagation from
+// a worker.
+func TestDistReduceErrorSurfaces(t *testing.T) {
+	cl := startTestCluster(t, 2)
+	cfg := distCfg(cl, "boom-reduce")
+	_, _, err := Run(context.Background(), cfg, ringInput(),
+		Identity[int32, int64](), ringReduce)
+	if err == nil || !strings.Contains(err.Error(), "boom on key 7") {
+		t.Fatalf("worker reduce error lost: %v", err)
+	}
+	if cl.Err() == nil {
+		t.Fatal("failed job left the cluster marked healthy")
+	}
+}
+
+// TestDistChainedMapErrorSurfaces pins the failure path of a
+// worker-side map: the coordinator's flush barrier waits on every
+// worker's map-done, so a silently dropped map failure would hang the
+// job forever. The error must surface from the chained RunDS promptly.
+func TestDistChainedMapErrorSurfaces(t *testing.T) {
+	cl := startTestCluster(t, 2)
+	cfg := distCfg4(cl, "map-boom")
+	ctx := context.Background()
+	ds1, _, err := RunDS(ctx, cfg, PartitionDataset(ringInput(), cfg.reducers()),
+		selfMap, ringReduce)
+	if err == nil {
+		// The first job ships a local input (coordinator-side map with
+		// the closure above never runs worker-side), so it succeeds;
+		// the chained second job runs the registered map on the workers.
+		done := make(chan error, 1)
+		go func() {
+			_, _, err := RunDS(ctx, cfg, ds1, selfMap, ringReduce)
+			done <- err
+		}()
+		select {
+		case err = <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("worker-side map failure hung the chained job")
+		}
+	}
+	if err == nil || !strings.Contains(err.Error(), "map boom on key 11") {
+		t.Fatalf("worker map error lost: %v", err)
+	}
+}
+
+// TestDistWorkerDisconnectMidShuffle simulates a worker vanishing while
+// buckets stream: a rogue peer completes the handshake, reads the job
+// start, then hangs up. Run must return a transport error promptly —
+// no goroutine may keep waiting on the flush barrier.
+func TestDistWorkerDisconnectMidShuffle(t *testing.T) {
+	var wg sync.WaitGroup
+	cl, err := StartDistCluster(2, DistClusterOptions{
+		Timeout: 30 * time.Second,
+		OnListen: func(addr string) {
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				ServeDistWorker(context.Background(), addr)
+			}()
+			go func() { // rogue worker
+				defer wg.Done()
+				nc, err := net.Dial("tcp", addr)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				conn := remote.NewConn(nc)
+				if err := remote.Hello(conn); err != nil {
+					return
+				}
+				if _, _, err := remote.AwaitWelcome(conn); err != nil {
+					return
+				}
+				conn.ReadFrame() // the job start
+				conn.Close()     // die mid-shuffle
+			}()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { cl.Close(); wg.Wait() }()
+
+	cfg := distCfg(cl, "eq-int32")
+	cfg.Reducers = 4
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Run(context.Background(), cfg, int32Input(), int32Map, int32Reduce)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("worker disconnect yielded a clean run")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker disconnect hung the job")
+	}
+}
+
+// TestDistKilledWorkerProcess is the end-to-end kill test: two real
+// worker processes (this test binary re-executed via MR_DIST_TEST_WORKER),
+// one SIGKILLed mid-job. Run must surface a transport error, not hang,
+// and the cluster must refuse further jobs.
+func TestDistKilledWorkerProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := StartDistCluster(2, DistClusterOptions{
+		Timeout: 30 * time.Second,
+		Spawn: func(addr string) *exec.Cmd {
+			cmd := exec.Command(exe, "-test.run", "^$")
+			cmd.Env = append(os.Environ(), distWorkerEnv+"="+addr)
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cl.procs[0].Process.Kill()
+	}()
+	cfg := distCfg(cl, "slow-reduce")
+	done := make(chan error, 1)
+	slowJob := func() error {
+		_, _, err := Run(context.Background(), cfg, ringInput(),
+			Identity[int32, int64](), ringReduce)
+		return err
+	}
+	go func() { done <- slowJob() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("killed worker yielded a clean run")
+		}
+		t.Logf("killed worker surfaced: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("killed worker hung the job")
+	}
+	if err := slowJob(); err == nil {
+		t.Fatal("broken cluster accepted another job")
+	}
+}
+
+// BenchmarkDistShuffle measures a full flat job on two loopback
+// workers: the cost of encode + TCP + decode + remote group-sort-reduce
+// + result streaming, comparable with BenchmarkShuffleHeavy on the
+// local backends.
+func BenchmarkDistShuffle(b *testing.B) {
+	var wg sync.WaitGroup
+	cl, err := StartDistCluster(2, DistClusterOptions{
+		Timeout: 30 * time.Second,
+		OnListen: func(addr string) {
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ServeDistWorker(context.Background(), addr)
+				}()
+			}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { cl.Close(); wg.Wait() }()
+	cfg := distCfg4(cl, "eq-int32")
+	input := int32Input()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(context.Background(), cfg, input, int32Map, int32Reduce); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

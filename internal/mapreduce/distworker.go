@@ -1,0 +1,578 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mapreduce/remote"
+)
+
+// This file is the worker half of the distributed execution mode: the
+// job registry, the serve loop a worker process runs, and the per-job
+// handler that ingests buckets, group-sorts each owned partition with
+// the same radix path the in-memory backend uses, runs the registered
+// reduce function, and either streams the output back or keeps it
+// resident for the next chained job. Function values cannot travel, so
+// a worker runs the map/reduce functions registered under the job's
+// name — for jobs whose functions close over driver-side round state,
+// the registered factory rebuilds them from the job's parameter blob
+// (Config.DistParams).
+
+// DistJob is one registered job's worker-side behavior.
+type DistJob[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any] struct {
+	// Map is required only for chained consumption of a worker-resident
+	// input (the partition-resident fast path); flat jobs, whose map
+	// phase runs on the coordinator, leave it nil.
+	Map MapFunc[K1, V1, K2, V2]
+	// Reduce runs over every owned partition's key groups. Required.
+	Reduce ReduceFunc[K2, V2, K3, V3]
+	// Counters, when non-nil, is snapshotted into the job-done report
+	// and merged into the coordinator's Config.DistCounters — the
+	// distributed form of shared job counters.
+	Counters *Counters
+}
+
+// distJobRunner is the untyped face of a registered job.
+type distJobRunner interface {
+	run(s *workerSession, h *distJobHeader) error
+}
+
+var distJobs = struct {
+	mu sync.RWMutex
+	m  map[string]func(params []byte) (distJobRunner, error)
+}{m: make(map[string]func(params []byte) (distJobRunner, error))}
+
+// RegisterDistJob registers the worker-side functions for every dist
+// job named `name` (Config.Name). The factory runs once per job
+// execution with the job's parameter blob, so reduces that close over
+// per-round driver state rebuild it here. Registration is process-wide
+// and the last registration for a name wins — a worker process serves
+// one computation at a time. Coordinators don't need registrations;
+// only the processes that serve (ServeDistWorker) do, which for the
+// self-exec CLIs is the re-executed binary.
+func RegisterDistJob[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	name string,
+	factory func(params []byte) (DistJob[K1, V1, K2, V2, K3, V3], error),
+) {
+	distJobs.mu.Lock()
+	defer distJobs.mu.Unlock()
+	distJobs.m[name] = func(params []byte) (distJobRunner, error) {
+		job, err := factory(params)
+		if err != nil {
+			return nil, fmt.Errorf("building job %q: %w", name, err)
+		}
+		if job.Reduce == nil {
+			return nil, fmt.Errorf("job %q registered without a reduce function", name)
+		}
+		return &distWorkerJob[K1, V1, K2, V2, K3, V3]{job: job}, nil
+	}
+}
+
+// RegisterDistReduce registers a parameter-free, reduce-only job: the
+// common case for reduces that capture nothing (or only immutable
+// shared inputs). Such jobs cannot consume a worker-resident input
+// chained (no map function); their map phase always runs on the
+// coordinator.
+func RegisterDistReduce[K2 comparable, V2 any, K3 comparable, V3 any](
+	name string, reduce ReduceFunc[K2, V2, K3, V3],
+) {
+	RegisterDistJob(name, func([]byte) (DistJob[K3, V3, K2, V2, K3, V3], error) {
+		return DistJob[K3, V3, K2, V2, K3, V3]{Reduce: reduce}, nil
+	})
+}
+
+func lookupDistJob(name string, params []byte) (distJobRunner, error) {
+	distJobs.mu.RLock()
+	factory, ok := distJobs.m[name]
+	distJobs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("no dist job registered as %q (workers run registered functions; see RegisterDistJob)", name)
+	}
+	return factory(params)
+}
+
+// residentSet is one retained job output, typed underneath.
+type residentSet interface {
+	fetch(conn *remote.Conn, seq uint64) error
+	drop()
+}
+
+// residentData retains one job's reduce output per owned partition
+// between jobs.
+type residentData[K comparable, V any] struct {
+	parts [][]Pair[K, V]
+	kc    spillCodec[K]
+	vc    spillCodec[V]
+	ar    *roundArena[K, V]
+}
+
+// fetch streams every retained partition and releases it (fetch moves;
+// the coordinator's Materialize owns the records afterwards).
+func (r *residentData[K, V]) fetch(conn *remote.Conn, seq uint64) error {
+	for p, pairs := range r.parts {
+		if pairs == nil {
+			continue
+		}
+		frame := []byte{byte(remote.MsgPart)}
+		frame = remote.AppendUvarint(frame, seq)
+		frame = remote.AppendUvarint(frame, uint64(p))
+		frame = remote.AppendUvarint(frame, uint64(len(pairs)))
+		frame, err := encodePairs(frame, pairs, r.kc, r.vc)
+		if err != nil {
+			return fmt.Errorf("encoding resident partition %d: %w", p, err)
+		}
+		if err := conn.WriteFrame(frame); err != nil {
+			return err
+		}
+	}
+	r.drop()
+	return conn.WriteFrame(remote.AppendUvarint([]byte{byte(remote.MsgFetchDone)}, seq))
+}
+
+// drop recycles the retained partition buffers.
+func (r *residentData[K, V]) drop() {
+	for p, pairs := range r.parts {
+		if pairs != nil {
+			r.ar.putPairs(p, pairs)
+		}
+	}
+	r.parts = nil
+}
+
+// workerSession is one worker process's connection-lifetime state.
+type workerSession struct {
+	conn     *remote.Conn
+	id       int
+	workers  int
+	pool     *BufferPool
+	resident map[uint64]residentSet
+}
+
+// owns reports whether this worker owns reduce partition p.
+func (s *workerSession) owns(p int) bool { return remote.Owner(p, s.workers) == s.id }
+
+// ServeDistWorker connects to a coordinator and serves jobs until the
+// coordinator says goodbye (clean nil return) or the session fails. It
+// is the main loop of a worker process — the self-exec CLIs call it in
+// worker mode — and is equally happy on a goroutine for in-process
+// tests. Cancelling ctx closes the connection and ends the session.
+func ServeDistWorker(ctx context.Context, addr string) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("mapreduce: dist worker dialing %s: %w", addr, err)
+	}
+	conn := remote.NewConn(nc)
+	defer conn.Close()
+	if err := remote.Hello(conn); err != nil {
+		return fmt.Errorf("mapreduce: dist worker handshake: %w", err)
+	}
+	id, workers, err := remote.AwaitWelcome(conn)
+	if err != nil {
+		return fmt.Errorf("mapreduce: dist worker handshake: %w", err)
+	}
+	if ctx != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				conn.Close()
+			case <-watchDone:
+			}
+		}()
+	}
+	s := &workerSession{
+		conn:     conn,
+		id:       id,
+		workers:  workers,
+		pool:     NewBufferPool(),
+		resident: make(map[uint64]residentSet),
+	}
+	return s.serve()
+}
+
+// sendError best-effort reports a fatal job error before the session
+// ends; the coordinator surfaces it verbatim.
+func (s *workerSession) sendError(seq uint64, err error) {
+	frame := remote.AppendUvarint([]byte{byte(remote.MsgError)}, seq)
+	frame = remote.AppendString(frame, err.Error())
+	s.conn.WriteFrame(frame)
+}
+
+func (s *workerSession) serve() error {
+	for {
+		payload, err := s.conn.ReadFrame()
+		if err != nil {
+			// The coordinator hanging up without a goodbye usually means
+			// it failed; the worker just winds down.
+			return nil
+		}
+		cur := remote.NewCursor(payload)
+		switch t := remote.MsgType(cur.Byte()); t {
+		case remote.MsgJobStart:
+			h, err := parseJobHeader(cur)
+			if err != nil {
+				s.sendError(0, err)
+				return err
+			}
+			runner, err := lookupDistJob(h.name, h.params)
+			if err != nil {
+				s.sendError(h.seq, err)
+				return fmt.Errorf("mapreduce: dist worker: %w", err)
+			}
+			if err := runner.run(s, h); err != nil {
+				s.sendError(h.seq, err)
+				return fmt.Errorf("mapreduce: dist worker: job %q: %w", h.name, err)
+			}
+		case remote.MsgFetch:
+			seq := cur.Uvarint()
+			ent, ok := s.resident[seq]
+			if !ok {
+				err := fmt.Errorf("fetch of unknown resident job %d", seq)
+				s.sendError(seq, err)
+				return fmt.Errorf("mapreduce: dist worker: %w", err)
+			}
+			delete(s.resident, seq)
+			if err := ent.fetch(s.conn, seq); err != nil {
+				return fmt.Errorf("mapreduce: dist worker: fetch: %w", err)
+			}
+		case remote.MsgDrop:
+			seq := cur.Uvarint()
+			if ent, ok := s.resident[seq]; ok {
+				ent.drop()
+				delete(s.resident, seq)
+			}
+		case remote.MsgBye:
+			return nil
+		default:
+			err := fmt.Errorf("unexpected %v between jobs", t)
+			s.sendError(0, err)
+			return fmt.Errorf("mapreduce: dist worker: %w", err)
+		}
+	}
+}
+
+// distWorkerJob executes one job on a worker.
+type distWorkerJob[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any] struct {
+	job DistJob[K1, V1, K2, V2, K3, V3]
+}
+
+// workerSender is the ShuffleBackend a chained worker-side map phase
+// emits into: buckets for owned partitions land in the local shuffle
+// directly (this is the path self-addressed pairs take — they never
+// touch the wire), buckets for foreign partitions stream to the
+// coordinator, which relays them to their owner.
+type workerSender[K2 comparable, V2 any] struct {
+	s       *workerSession
+	seq     uint64
+	local   *memoryShuffle[K2, V2]
+	ar      *roundArena[K2, V2]
+	kc      spillCodec[K2]
+	vc      spillCodec[V2]
+	sent    atomic.Int64
+	reducers int
+}
+
+func (ws *workerSender[K2, V2]) Partitions() int { return ws.reducers }
+func (ws *workerSender[K2, V2]) BucketCap() int  { return 0 }
+
+func (ws *workerSender[K2, V2]) AddBucket(split, part int, pairs []Pair[K2, V2]) error {
+	if ws.s.owns(part) {
+		// Ownership transfer, exactly like the in-memory backend.
+		return ws.local.AddBucket(split, part, pairs)
+	}
+	frame, err := encodeBucketFrame(ws.seq, split, part, pairs, ws.kc, ws.vc)
+	if err != nil {
+		return fmt.Errorf("encoding bucket: %w", err)
+	}
+	if err := ws.s.conn.WriteFrame(frame); err != nil {
+		return err
+	}
+	ws.sent.Add(int64(len(pairs)))
+	ws.ar.putBucket(part, pairs)
+	return nil
+}
+
+func (ws *workerSender[K2, V2]) Finalize() ([]GroupStream[K2, V2], error) {
+	return nil, fmt.Errorf("workerSender has no streams")
+}
+func (ws *workerSender[K2, V2]) Close() error { return nil }
+
+func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJobHeader) error {
+	// The four type ids must match before any record is decoded: a
+	// mismatch means the coordinator and this worker registered
+	// different functions under the same name.
+	if h.k2id != distTypeID[K2]() || h.v2id != distTypeID[V2]() ||
+		h.k3id != distTypeID[K3]() || h.v3id != distTypeID[V3]() {
+		return fmt.Errorf("job %q type mismatch: coordinator sends (%s,%s)->(%s,%s), worker registered (%s,%s)->(%s,%s)",
+			h.name, h.k2id, h.v2id, h.k3id, h.v3id,
+			distTypeID[K2](), distTypeID[V2](), distTypeID[K3](), distTypeID[V3]())
+	}
+	k2c, err := resolveSpillCodec[K2]()
+	if err != nil {
+		return err
+	}
+	v2c, err := resolveSpillCodec[V2]()
+	if err != nil {
+		return err
+	}
+	k3c, err := resolveSpillCodec[K3]()
+	if err != nil {
+		return err
+	}
+	v3c, err := resolveSpillCodec[V3]()
+	if err != nil {
+		return err
+	}
+
+	ar := arenaFor[K2, V2](s.pool, h.reducers)
+	shuffle := newMemoryShuffle[K2, V2](h.reducers, h.splits, ar)
+
+	// Ingest: either the coordinator streams every bucket (flat), or
+	// this worker maps its resident input partitions while the main
+	// loop below keeps receiving the buckets other workers relay here.
+	var mapErrOnce sync.Once
+	var mapErr error
+	mapDone := make(chan struct{})
+	if h.mode == remote.ModeChained {
+		input, ok := s.resident[h.inputSeq].(*residentData[K1, V1])
+		if !ok {
+			return fmt.Errorf("job %q: resident input %d is missing or has a different type", h.name, h.inputSeq)
+		}
+		if r.job.Map == nil {
+			return fmt.Errorf("job %q has no registered map function, cannot consume a worker-resident input", h.name)
+		}
+		sender := &workerSender[K2, V2]{
+			s: s, seq: h.seq, local: shuffle, ar: ar, kc: k2c, vc: v2c, reducers: h.reducers,
+		}
+		go func() {
+			defer close(mapDone)
+			start := time.Now()
+			emitted, local, cross, err := r.runResidentMap(s, input, sender)
+			if err != nil {
+				mapErrOnce.Do(func() { mapErr = err })
+				// The coordinator's flush barrier waits for every
+				// worker's map-done; a silent failure here would leave
+				// the whole job waiting on a flush that can never come.
+				// The error frame fails the job (and the cluster)
+				// instead.
+				s.sendError(h.seq, fmt.Errorf("map: %w", err))
+				return
+			}
+			frame := remote.AppendUvarint([]byte{byte(remote.MsgMapDone)}, h.seq)
+			frame = remote.AppendUvarint(frame, uint64(emitted))
+			frame = remote.AppendUvarint(frame, uint64(local))
+			frame = remote.AppendUvarint(frame, uint64(cross))
+			frame = remote.AppendUvarint(frame, uint64(time.Since(start)))
+			if err := s.conn.WriteFrame(frame); err != nil {
+				mapErrOnce.Do(func() { mapErr = err })
+			}
+		}()
+	} else {
+		close(mapDone)
+	}
+
+	// Main ingest loop: buckets until the flush.
+	for {
+		payload, err := s.conn.ReadFrame()
+		if err != nil {
+			// A resident-map failure reported above makes the
+			// coordinator tear the cluster down, which surfaces here as
+			// a read error: report the root cause, not the teardown.
+			select {
+			case <-mapDone:
+				if mapErr != nil {
+					return fmt.Errorf("job %q: map: %w", h.name, mapErr)
+				}
+			default:
+			}
+			return fmt.Errorf("job %q: transport error during shuffle: %w", h.name, err)
+		}
+		cur := remote.NewCursor(payload)
+		t := remote.MsgType(cur.Byte())
+		if t == remote.MsgFlush {
+			cur.Uvarint()
+			break
+		}
+		if t != remote.MsgBucket {
+			return fmt.Errorf("job %q: unexpected %v during shuffle", h.name, t)
+		}
+		cur.Uvarint() // seq
+		split := int(cur.Uvarint())
+		part := int(cur.Uvarint())
+		count := int(cur.Uvarint())
+		if err := cur.Err(); err != nil || split < 0 || split >= h.splits ||
+			part < 0 || part >= h.reducers || !s.owns(part) {
+			return fmt.Errorf("job %q: malformed bucket (split %d, part %d)", h.name, split, part)
+		}
+		bucket, err := decodePairs(cur, count, k2c, v2c, ar.getBucket(part, pairCap(cur, count)))
+		if err != nil {
+			return fmt.Errorf("job %q: decoding bucket: %w", h.name, err)
+		}
+		if err := shuffle.AddBucket(split, part, bucket); err != nil {
+			return err
+		}
+	}
+	<-mapDone
+	if mapErr != nil {
+		return fmt.Errorf("job %q: map: %w", h.name, mapErr)
+	}
+
+	// Group-sort and reduce the owned partitions, in parallel — the
+	// memory backend's radix group path runs inside each goroutine,
+	// checked out of this worker's round-recycled pool.
+	reduceStart := time.Now()
+	streams, err := shuffle.Finalize()
+	if err != nil {
+		return err
+	}
+	arOut := arenaFor[K3, V3](s.pool, h.reducers)
+	outs := make([][]Pair[K3, V3], h.reducers)
+	outCounts := make([]int64, h.reducers)
+	var groups atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, h.reducers)
+	for p, st := range streams {
+		if !s.owns(p) {
+			st.Close()
+			continue
+		}
+		p, st := p, st
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer st.Close()
+			buf := &emitBuf[K3, V3]{pairs: arOut.getPairs(p, 0)}
+			for {
+				k, values, ok, err := st.Next()
+				if err != nil {
+					errs[p] = fmt.Errorf("partition %d: %w", p, err)
+					return
+				}
+				if !ok {
+					break
+				}
+				groups.Add(1)
+				if err := r.job.Reduce(k, values, buf); err != nil {
+					errs[p] = fmt.Errorf("reduce key %v: %w", k, err)
+					return
+				}
+			}
+			outs[p] = buf.pairs
+			outCounts[p] = int64(len(buf.pairs)) // survives the streamed-output nil below
+			if h.wantOutput {
+				frame := []byte{byte(remote.MsgReduced)}
+				frame = remote.AppendUvarint(frame, h.seq)
+				frame = remote.AppendUvarint(frame, uint64(p))
+				frame = remote.AppendUvarint(frame, uint64(len(buf.pairs)))
+				frame, err := encodePairs(frame, buf.pairs, k3c, v3c)
+				if err != nil {
+					errs[p] = fmt.Errorf("encoding partition %d output: %w", p, err)
+					return
+				}
+				if err := s.conn.WriteFrame(frame); err != nil {
+					errs[p] = err
+					return
+				}
+				// Streamed back: the buffer returns to the pool.
+				arOut.putPairs(p, buf.pairs)
+				outs[p] = nil
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("job %q: %w", h.name, err)
+		}
+	}
+
+	// Retain resident output and report.
+	var outRecords int64
+	frame := remote.AppendUvarint([]byte{byte(remote.MsgJobDone)}, h.seq)
+	frame = remote.AppendUvarint(frame, uint64(groups.Load()))
+	var ownedParts []int
+	for p := 0; p < h.reducers; p++ {
+		if s.owns(p) {
+			ownedParts = append(ownedParts, p)
+			outRecords += outCounts[p]
+		}
+	}
+	frame = remote.AppendUvarint(frame, uint64(outRecords))
+	frame = remote.AppendUvarint(frame, uint64(time.Since(reduceStart)))
+	frame = remote.AppendUvarint(frame, uint64(len(ownedParts)))
+	for _, p := range ownedParts {
+		frame = remote.AppendUvarint(frame, uint64(p))
+		frame = remote.AppendUvarint(frame, uint64(outCounts[p]))
+	}
+	if c := r.job.Counters; c != nil {
+		snap := c.Snapshot()
+		names := c.Names()
+		frame = remote.AppendUvarint(frame, uint64(len(names)))
+		for _, name := range names {
+			frame = remote.AppendString(frame, name)
+			frame = remote.AppendUvarint(frame, uint64(snap[name]))
+		}
+	} else {
+		frame = remote.AppendUvarint(frame, 0)
+	}
+	if !h.wantOutput {
+		s.resident[h.seq] = &residentData[K3, V3]{parts: outs, kc: k3c, vc: v3c, ar: arOut}
+	}
+	return s.conn.WriteFrame(frame)
+}
+
+// runResidentMap maps this worker's resident input partitions,
+// identity-routing self-addressed pairs into the local shuffle — the
+// partition-resident fast path, now running where the partition lives.
+func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) runResidentMap(
+	s *workerSession, input *residentData[K1, V1], sender *workerSender[K2, V2],
+) (emitted, local, cross int64, err error) {
+	cast := keyCast[K1, K2]()
+	var wg sync.WaitGroup
+	errs := make([]error, len(input.parts))
+	var em, lo, cr atomic.Int64
+	for p, part := range input.parts {
+		if !s.owns(p) || part == nil {
+			continue
+		}
+		p, part := p, part
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := newShuffleEmitter(sender, p, sender.ar)
+			e.selfOK = cast != nil
+			for j := range part {
+				if e.selfOK {
+					e.self = cast(part[j].Key)
+				}
+				if err := r.job.Map(part[j].Key, part[j].Value, e); err != nil {
+					errs[p] = fmt.Errorf("map partition %d record %d: %w", p, j, err)
+					return
+				}
+				if e.err != nil {
+					errs[p] = e.err
+					return
+				}
+			}
+			if err := e.finish(); err != nil {
+				errs[p] = err
+				return
+			}
+			em.Add(e.count)
+			lo.Add(e.local)
+			cr.Add(e.cross)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	return em.Load(), lo.Load(), cr.Load(), nil
+}

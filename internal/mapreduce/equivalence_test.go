@@ -68,41 +68,49 @@ func referenceRun[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V
 	return out
 }
 
-// wordCountJob is the canonical string-keyed workload with an
-// order-insensitive reduce made order-sensitive: it concatenates
-// value positions so any value-order deviation shows.
+// The three equivalence corpora below are shared with the distributed
+// backend's tests (dist_test.go), which run the same functions on
+// in-test worker processes — so the map/reduce functions live at file
+// scope and the reduces register under the eq* job names in
+// registerDistTestJobs (main_test.go).
+
+// wcMap and wcReduce form the canonical string-keyed workload with an
+// order-insensitive reduce made order-sensitive: it concatenates value
+// positions so any value-order deviation shows.
+func wcMap(k int, line string, out Emitter[string, string]) error {
+	start := 0
+	for j := 0; j <= len(line); j++ {
+		if j == len(line) || line[j] == ' ' {
+			if j > start {
+				out.Emit(line[start:j], fmt.Sprintf("%d.%d", k, start))
+			}
+			start = j + 1
+		}
+	}
+	return nil
+}
+
+func wcReduce(w string, vs []string, out Emitter[string, string]) error {
+	s := ""
+	for _, v := range vs {
+		s += v + ","
+	}
+	out.Emit(w, s)
+	return nil
+}
+
 func wordCountJob(t *testing.T, cfg Config) []Pair[string, string] {
 	t.Helper()
 	input := make([]Pair[int, string], 400)
 	for i := range input {
 		input[i] = P(i, fmt.Sprintf("w%d w%d w%d", i%31, i%7, i%3))
 	}
-	mapFn := func(k int, line string, out Emitter[string, string]) error {
-		start := 0
-		for j := 0; j <= len(line); j++ {
-			if j == len(line) || line[j] == ' ' {
-				if j > start {
-					out.Emit(line[start:j], fmt.Sprintf("%d.%d", k, start))
-				}
-				start = j + 1
-			}
-		}
-		return nil
-	}
-	redFn := func(w string, vs []string, out Emitter[string, string]) error {
-		s := ""
-		for _, v := range vs {
-			s += v + ","
-		}
-		out.Emit(w, s)
-		return nil
-	}
-	out, _, err := Run(context.Background(), cfg, input, mapFn, redFn)
+	out, _, err := Run(context.Background(), cfg, input, wcMap, wcReduce)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The reference comparison re-runs the same functions outside Run.
-	ref := referenceRun(t, cfg.mappers(), cfg.reducers(), input, mapFn, redFn)
+	ref := referenceRun(t, cfg.mappers(), cfg.reducers(), input, wcMap, wcReduce)
 	if !reflect.DeepEqual(out, ref) {
 		t.Fatalf("%s backend diverges from the reference shuffle", cfg.Shuffle.kind())
 	}
@@ -121,34 +129,41 @@ func TestShuffleMatchesReferenceWordCount(t *testing.T) {
 
 // TestShuffleMatchesReferenceIntKeys exercises the packed 32-bit radix
 // path against the reference on an order-sensitive int32-keyed job.
-func TestShuffleMatchesReferenceIntKeys(t *testing.T) {
+func int32Map(k, v int32, out Emitter[int32, int32]) error {
+	for f := int32(0); f < 5; f++ {
+		out.Emit((k*17+f)%257-128, v+f) // negative keys included
+	}
+	return nil
+}
+
+func int32Reduce(k int32, vs []int32, out Emitter[int32, int64]) error {
+	acc := int64(0)
+	for i, v := range vs {
+		acc = acc*31 + int64(v)*int64(i+1) // order-sensitive fold
+	}
+	out.Emit(k, acc)
+	return nil
+}
+
+func int32Input() []Pair[int32, int32] {
 	input := make([]Pair[int32, int32], 3000)
 	for i := range input {
 		input[i] = P(int32(i), int32(i))
 	}
-	mapFn := func(k, v int32, out Emitter[int32, int32]) error {
-		for f := int32(0); f < 5; f++ {
-			out.Emit((k*17+f)%257-128, v+f) // negative keys included
-		}
-		return nil
-	}
-	redFn := func(k int32, vs []int32, out Emitter[int32, int64]) error {
-		acc := int64(0)
-		for i, v := range vs {
-			acc = acc*31 + int64(v)*int64(i+1) // order-sensitive fold
-		}
-		out.Emit(k, acc)
-		return nil
-	}
+	return input
+}
+
+func TestShuffleMatchesReferenceIntKeys(t *testing.T) {
+	input := int32Input()
 	run := func(cfg Config) []Pair[int32, int64] {
-		out, _, err := Run(context.Background(), cfg, input, mapFn, redFn)
+		out, _, err := Run(context.Background(), cfg, input, int32Map, int32Reduce)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return out
 	}
 	mem := run(Config{Mappers: 4, Reducers: 4})
-	ref := referenceRun(t, 4, 4, input, mapFn, redFn)
+	ref := referenceRun(t, 4, 4, input, int32Map, int32Reduce)
 	if !reflect.DeepEqual(mem, ref) {
 		t.Fatal("memory backend diverges from reference on int32 keys")
 	}
@@ -190,25 +205,29 @@ func TestShuffleMatchesReferenceCompositeKeys(t *testing.T) {
 // slow path: distinct composite keys whose fmt representations collide
 // must still meet Go-map grouping semantics (each distinct key is one
 // group, value order preserved) — the case the spill backend rejects.
-func TestMemoryBackendGroupsCollidingFmtKeys(t *testing.T) {
-	input := []Pair[int, int]{P(0, 0), P(1, 1), P(2, 2), P(3, 3)}
-	out, _, err := Run(context.Background(), Config{Mappers: 1, Reducers: 1}, input,
-		func(k, v int, out Emitter[badKey, int]) error {
-			// Alternate between two distinct keys that both print "{a  b}".
-			if k%2 == 0 {
-				out.Emit(badKey{"a ", "b"}, v)
-			} else {
-				out.Emit(badKey{"a", " b"}, v)
-			}
-			return nil
-		},
-		func(k badKey, vs []int, out Emitter[int, []int]) error {
-			out.Emit(len(vs), append([]int(nil), vs...))
-			return nil
-		})
-	if err != nil {
-		t.Fatal(err)
+func collideMap(k, v int, out Emitter[badKey, int]) error {
+	// Alternate between two distinct keys that both print "{a  b}".
+	if k%2 == 0 {
+		out.Emit(badKey{"a ", "b"}, v)
+	} else {
+		out.Emit(badKey{"a", " b"}, v)
 	}
+	return nil
+}
+
+func collideReduce(k badKey, vs []int, out Emitter[int, []int]) error {
+	out.Emit(len(vs), append([]int(nil), vs...))
+	return nil
+}
+
+func collideInput() []Pair[int, int] {
+	return []Pair[int, int]{P(0, 0), P(1, 1), P(2, 2), P(3, 3)}
+}
+
+// checkCollideOutput verifies the Go-map grouping semantics of the
+// colliding-key corpus: two groups of two values, value order intact.
+func checkCollideOutput(t *testing.T, out []Pair[int, []int]) {
+	t.Helper()
 	if len(out) != 2 {
 		t.Fatalf("colliding keys produced %d groups, want 2: %v", len(out), out)
 	}
@@ -220,6 +239,15 @@ func TestMemoryBackendGroupsCollidingFmtKeys(t *testing.T) {
 			t.Fatalf("value order broken within tie group: %v", p.Value)
 		}
 	}
+}
+
+func TestMemoryBackendGroupsCollidingFmtKeys(t *testing.T) {
+	out, _, err := Run(context.Background(), Config{Mappers: 1, Reducers: 1}, collideInput(),
+		collideMap, collideReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCollideOutput(t, out)
 }
 
 // TestChunkedIngestionPreservesValueOrder is the property test for the
@@ -541,4 +569,64 @@ func TestDatasetChainedMatchesReference(t *testing.T) {
 	if !reflect.DeepEqual(sp.Collect(), ref) {
 		t.Fatal("chained spill Dataset job diverges from the reference shuffle")
 	}
+}
+
+// TestDistMatchesMemoryAndSpill pins the distributed backend to the
+// same semantics: two in-test workers over loopback TCP must reproduce
+// the memory and spill backends' output bit-for-bit on the three
+// equivalence corpora (string-keyed wordcount, order-sensitive int32
+// fold, fmt-colliding composite keys). The reduces run inside the
+// worker goroutines via the registry (registerDistTestJobs), exactly as
+// they would in a worker process.
+func TestDistMatchesMemoryAndSpill(t *testing.T) {
+	cl := startTestCluster(t, 2)
+
+	t.Run("wordcount", func(t *testing.T) {
+		mem := wordCountJob(t, Config{Mappers: 4, Reducers: 3, Name: "eq-wordcount"})
+		spill := wordCountJob(t, spillCfg(64))
+		dist := wordCountJob(t, distCfg(cl, "eq-wordcount"))
+		if !reflect.DeepEqual(mem, dist) {
+			t.Fatal("dist diverges from memory on word count")
+		}
+		if !reflect.DeepEqual(spill, dist) {
+			t.Fatal("dist diverges from spill on word count")
+		}
+	})
+	t.Run("int32", func(t *testing.T) {
+		input := int32Input()
+		run := func(cfg Config) []Pair[int32, int64] {
+			out, _, err := Run(context.Background(), cfg, input, int32Map, int32Reduce)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		mem := run(Config{Mappers: 4, Reducers: 4, Name: "eq-int32"})
+		dist := run(distCfg4(cl, "eq-int32"))
+		if !reflect.DeepEqual(mem, dist) {
+			t.Fatal("dist diverges from memory on int32 keys")
+		}
+		spillCfg := spillCfg(128)
+		spillCfg.Reducers = 4
+		if spill := run(spillCfg); !reflect.DeepEqual(spill, dist) {
+			t.Fatal("dist diverges from spill on int32 keys")
+		}
+	})
+	t.Run("fmt-collision", func(t *testing.T) {
+		mem, _, err := Run(context.Background(), Config{Mappers: 1, Reducers: 1, Name: "eq-collide"},
+			collideInput(), collideMap, collideReduce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := distCfg(cl, "eq-collide")
+		cfg.Mappers, cfg.Reducers = 1, 1
+		dist, _, err := Run(context.Background(), cfg, collideInput(), collideMap, collideReduce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCollideOutput(t, dist)
+		if !reflect.DeepEqual(mem, dist) {
+			t.Fatal("dist diverges from memory on fmt-colliding keys")
+		}
+	})
 }

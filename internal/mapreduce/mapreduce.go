@@ -37,6 +37,15 @@
 // shuffle.go for the ShuffleBackend contract. Per-phase wall times are
 // recorded in Stats (MapWall, ShuffleWall, ReduceWall).
 //
+// The third mode is distributed execution (ShuffleDist, dist.go): the
+// reduce partitions shard across worker processes connected over the
+// framed TCP transport of internal/mapreduce/remote, each worker
+// group-sorting and reducing its partitions locally with the functions
+// registered under the job's name (RegisterDistJob) — output
+// bit-identical to the memory backend for the same seed and partition
+// count, with chained Dataset output staying worker-resident between
+// rounds.
+//
 // Iterative computations chain jobs through Dataset (dataset.go), the
 // engine's partition-resident currency between jobs: reduce output
 // stays per-partition, the next job consumes it partition-by-partition,
@@ -116,6 +125,20 @@ type Config struct {
 	// Shuffle selects and bounds the shuffle backend (see ShuffleKind).
 	// The zero value is the in-memory backend.
 	Shuffle ShuffleConfig
+
+	// Dist is the worker cluster jobs run on when Shuffle.Backend is
+	// ShuffleDist (see StartDistCluster). Ignored by the local backends.
+	Dist *DistCluster
+	// DistParams is an opaque per-job parameter blob delivered to the
+	// workers' registered job factory (RegisterDistJob): how a reduce
+	// that closes over driver-side round state (dual variables, layer
+	// sets) ships that state to the processes that run it. Ignored by
+	// the local backends.
+	DistParams []byte
+	// DistCounters, when set, receives the worker-side counter
+	// snapshots of a dist job (the registered job's Counters), merged
+	// after the job completes. Ignored by the local backends.
+	DistCounters *Counters
 
 	// Pool recycles round-lifetime buffers (shuffle buckets, group-sort
 	// arrays, radix scratch) across the jobs that share it, making the
@@ -320,6 +343,11 @@ func Run[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
 	stats := newStats(cfg.Name)
 	stats.MapInputRecords = int64(len(input))
 	defer stats.snapPool(cfg.Pool)()
+
+	if cfg.Shuffle.kind() == ShuffleDist {
+		out, err := runDistFlat[K1, V1, K2, V2, K3, V3](ctx, cfg, input, mapFn, stats)
+		return out, stats, err
+	}
 
 	splits := splitRange(len(input), cfg.mappers())
 	ar := arenaFor[K2, V2](cfg.Pool, cfg.reducers())

@@ -1,0 +1,385 @@
+// Package remote is the wire layer of the distributed MapReduce
+// runtime: length-prefixed frames over a byte stream (TCP in
+// production, loopback or pipes in tests), the coordinator/worker
+// handshake, and the message vocabulary the two sides exchange. It
+// knows nothing about keys, values, or jobs — payload encoding beyond
+// the fixed header fields belongs to the engine (internal/mapreduce),
+// which owns the typed codecs. Keeping the package this small means the
+// protocol can be unit-tested without an engine and the engine can be
+// tested without sockets.
+//
+// Framing: every message is one frame — a uvarint payload length
+// followed by the payload, whose first byte is the message type. A
+// frame is the atomic unit of interleaving: writers serialize whole
+// frames under the connection's lock, so a bucket from one map task
+// never interleaves with another's, and readers need no resynchronization.
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Proto is the protocol version exchanged in the handshake. A
+// coordinator and worker built from different engine revisions refuse
+// to pair rather than diverge silently.
+const Proto = 1
+
+// MsgType identifies one protocol message. The direction annotations
+// are the only ones that occur; receiving a type from the wrong
+// direction is a protocol error.
+type MsgType byte
+
+const (
+	// MsgHello (worker → coordinator) opens a connection: proto version.
+	MsgHello MsgType = 1 + iota
+	// MsgWelcome (coordinator → worker) completes the handshake: proto
+	// version, worker id, worker count.
+	MsgWelcome
+	// MsgJobStart (coordinator → worker) announces one job: sequence
+	// number, job name, mode, split/partition geometry, codec ids, and
+	// the job parameter blob.
+	MsgJobStart
+	// MsgBucket carries one pre-partitioned bucket of intermediate
+	// pairs: coordinator → worker for buckets the coordinator's map
+	// phase produced (or relays), worker → coordinator for chained-mode
+	// buckets addressed to a partition another worker owns.
+	MsgBucket
+	// MsgMapDone (worker → coordinator, chained mode) reports that the
+	// worker finished mapping its resident partitions (all its MsgBucket
+	// frames precede it on the connection).
+	MsgMapDone
+	// MsgFlush (coordinator → worker) seals ingestion for the job: every
+	// bucket addressed to the worker has been delivered; group, reduce,
+	// and report.
+	MsgFlush
+	// MsgReduced (worker → coordinator) streams one partition's reduce
+	// output when the coordinator asked for the output back.
+	MsgReduced
+	// MsgJobDone (worker → coordinator) closes the worker's side of a
+	// job: reduce statistics, per-partition resident record counts, and
+	// the worker's counter snapshot.
+	MsgJobDone
+	// MsgFetch (coordinator → worker) asks for the resident output
+	// partitions of an earlier job.
+	MsgFetch
+	// MsgPart (worker → coordinator) streams one resident partition in
+	// response to MsgFetch; MsgFetchDone follows the last one.
+	MsgPart
+	// MsgFetchDone (worker → coordinator) ends a fetch reply.
+	MsgFetchDone
+	// MsgDrop (coordinator → worker) frees the resident output of an
+	// earlier job (Dataset.Recycle's remote half). No reply.
+	MsgDrop
+	// MsgError (worker → coordinator) reports a fatal job error; the
+	// worker closes the connection after sending it.
+	MsgError
+	// MsgBye (coordinator → worker) ends the session; the worker exits
+	// its serve loop cleanly.
+	MsgBye
+)
+
+// String names the message type for error text.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgWelcome:
+		return "welcome"
+	case MsgJobStart:
+		return "job-start"
+	case MsgBucket:
+		return "bucket"
+	case MsgMapDone:
+		return "map-done"
+	case MsgFlush:
+		return "flush"
+	case MsgReduced:
+		return "reduced"
+	case MsgJobDone:
+		return "job-done"
+	case MsgFetch:
+		return "fetch"
+	case MsgPart:
+		return "part"
+	case MsgFetchDone:
+		return "fetch-done"
+	case MsgDrop:
+		return "drop"
+	case MsgError:
+		return "error"
+	case MsgBye:
+		return "bye"
+	}
+	return fmt.Sprintf("msg(%d)", byte(t))
+}
+
+// maxFrame bounds a single frame so a corrupted length prefix cannot
+// drive an allocation of arbitrary size. 1 GiB comfortably holds the
+// largest realistic partition frame.
+const maxFrame = 1 << 30
+
+// JobMode selects how a worker sources a job's intermediate pairs.
+type JobMode byte
+
+const (
+	// ModeFlat: the coordinator's map phase streams every bucket over
+	// the connection.
+	ModeFlat JobMode = iota
+	// ModeChained: the worker maps its resident input partitions from an
+	// earlier job's output; only cross-partition pairs travel (relayed
+	// through the coordinator).
+	ModeChained
+)
+
+// Conn is one framed connection endpoint. Reads and writes are
+// independently safe: any number of goroutines may WriteFrame (whole
+// frames serialize under the write lock), while a single reader owns
+// ReadFrame. BytesIn/BytesOut count frame bytes in both directions —
+// the engine's RemoteBytesIn/RemoteBytesOut stats snapshot them.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu      sync.Mutex
+	bw       *bufio.Writer
+	lenBuf   [binary.MaxVarintLen64]byte
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewConn wraps a network connection in the framed protocol.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 1<<16),
+		bw: bufio.NewWriterSize(c, 1<<16),
+	}
+}
+
+// RemoteAddr names the peer, for error messages.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+
+// BytesIn returns the cumulative payload bytes read from the peer.
+func (c *Conn) BytesIn() int64 { return c.bytesIn.Load() }
+
+// BytesOut returns the cumulative payload bytes written to the peer.
+func (c *Conn) BytesOut() int64 { return c.bytesOut.Load() }
+
+// WriteFrame sends one whole frame (the payload's first byte must be
+// the message type) and flushes it, so a frame is visible to the peer
+// as soon as the call returns — the protocol's barriers (flush, done)
+// rely on that.
+func (c *Conn) WriteFrame(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	n := binary.PutUvarint(c.lenBuf[:], uint64(len(payload)))
+	if _, err := c.bw.Write(c.lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	c.bytesOut.Add(int64(n + len(payload)))
+	return nil
+}
+
+// ReadFrame reads the next frame payload. The returned slice is owned
+// by the caller. io.EOF surfaces only on a clean frame boundary; a
+// partial frame reports a truncation error.
+func (c *Conn) ReadFrame() ([]byte, error) {
+	n, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("remote: reading frame length: %w", err)
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("remote: frame of %d bytes exceeds the %d byte limit", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, fmt.Errorf("remote: truncated frame: %w", err)
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("remote: empty frame")
+	}
+	c.bytesIn.Add(uvarintLen(n) + int64(n))
+	return payload, nil
+}
+
+// Close tears the connection down. Safe to call from any goroutine and
+// idempotent; a blocked ReadFrame or WriteFrame on another goroutine
+// returns with an error once the underlying connection closes.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.c.Close() })
+	return c.closeErr
+}
+
+func uvarintLen(v uint64) int64 {
+	n := int64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// --- payload encoding helpers -----------------------------------------
+//
+// Payloads are built with append-style helpers mirroring encoding/binary
+// and consumed with a cursor that latches its first error, so message
+// builders and parsers read as straight-line field lists.
+
+// AppendUvarint appends v to buf.
+func AppendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+// AppendString appends a uvarint length and the string bytes.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendBytes appends a uvarint length and the raw bytes.
+func AppendBytes(buf []byte, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// Cursor decodes a payload field by field. The zero value over a
+// payload is ready to use; Err reports the first malformed field and
+// every later read returns zero values.
+type Cursor struct {
+	data []byte
+	err  error
+}
+
+// NewCursor returns a cursor over payload.
+func NewCursor(payload []byte) *Cursor { return &Cursor{data: payload} }
+
+// Err returns the first decode error.
+func (c *Cursor) Err() error { return c.err }
+
+// Rest returns the undecoded remainder of the payload.
+func (c *Cursor) Rest() []byte { return c.data }
+
+func (c *Cursor) fail() {
+	if c.err == nil {
+		c.err = fmt.Errorf("remote: truncated message payload")
+	}
+}
+
+// Byte reads one raw byte.
+func (c *Cursor) Byte() byte {
+	if c.err != nil || len(c.data) < 1 {
+		c.fail()
+		return 0
+	}
+	b := c.data[0]
+	c.data = c.data[1:]
+	return b
+}
+
+// Uvarint reads one unsigned varint.
+func (c *Cursor) Uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.data)
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.data = c.data[n:]
+	return v
+}
+
+// String reads a length-prefixed string.
+func (c *Cursor) String() string { return string(c.Bytes()) }
+
+// Bytes reads a length-prefixed byte field. The returned slice aliases
+// the payload.
+func (c *Cursor) Bytes() []byte {
+	n := c.Uvarint()
+	if c.err != nil || uint64(len(c.data)) < n {
+		c.fail()
+		return nil
+	}
+	b := c.data[:n]
+	c.data = c.data[n:]
+	return b
+}
+
+// --- handshake --------------------------------------------------------
+
+// Hello sends the worker's opening message.
+func Hello(c *Conn) error {
+	return c.WriteFrame(AppendUvarint([]byte{byte(MsgHello)}, Proto))
+}
+
+// Welcome sends the coordinator's handshake reply.
+func Welcome(c *Conn, workerID, numWorkers int) error {
+	buf := []byte{byte(MsgWelcome)}
+	buf = AppendUvarint(buf, Proto)
+	buf = AppendUvarint(buf, uint64(workerID))
+	buf = AppendUvarint(buf, uint64(numWorkers))
+	return c.WriteFrame(buf)
+}
+
+// AwaitHello reads and validates the worker's hello.
+func AwaitHello(c *Conn) error {
+	payload, err := c.ReadFrame()
+	if err != nil {
+		return err
+	}
+	cur := NewCursor(payload)
+	if t := MsgType(cur.Byte()); t != MsgHello {
+		return fmt.Errorf("remote: expected hello, got %v", t)
+	}
+	if v := cur.Uvarint(); v != Proto || cur.Err() != nil {
+		return fmt.Errorf("remote: protocol version mismatch: worker speaks %d, coordinator %d", v, Proto)
+	}
+	return nil
+}
+
+// AwaitWelcome reads and validates the coordinator's welcome, returning
+// the worker's id and the worker count.
+func AwaitWelcome(c *Conn) (workerID, numWorkers int, err error) {
+	payload, err := c.ReadFrame()
+	if err != nil {
+		return 0, 0, err
+	}
+	cur := NewCursor(payload)
+	if t := MsgType(cur.Byte()); t != MsgWelcome {
+		return 0, 0, fmt.Errorf("remote: expected welcome, got %v", t)
+	}
+	if v := cur.Uvarint(); v != Proto {
+		return 0, 0, fmt.Errorf("remote: protocol version mismatch: coordinator speaks %d, worker %d", v, Proto)
+	}
+	workerID = int(cur.Uvarint())
+	numWorkers = int(cur.Uvarint())
+	if err := cur.Err(); err != nil {
+		return 0, 0, err
+	}
+	if numWorkers < 1 || workerID < 0 || workerID >= numWorkers {
+		return 0, 0, fmt.Errorf("remote: malformed welcome: worker %d of %d", workerID, numWorkers)
+	}
+	return workerID, numWorkers, nil
+}
+
+// Owner maps a reduce partition to the worker that owns it: the fixed
+// round-robin rule both sides apply, so partition assignment never
+// travels beyond the worker count in the handshake.
+func Owner(part, numWorkers int) int { return part % numWorkers }

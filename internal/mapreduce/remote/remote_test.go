@@ -1,0 +1,156 @@
+package remote
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+// pipePair returns two framed endpoints of an in-memory connection.
+func pipePair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	return ca, cb
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := pipePair(t)
+	payloads := [][]byte{
+		{byte(MsgFlush)},
+		append([]byte{byte(MsgBucket)}, make([]byte, 100_000)...),
+		AppendString([]byte{byte(MsgError)}, "boom"),
+	}
+	go func() {
+		for _, p := range payloads {
+			if err := a.WriteFrame(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		a.Close()
+	}()
+	for i, want := range payloads {
+		got, err := b.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(got) != len(want) || got[0] != want[0] {
+			t.Fatalf("frame %d: got %d bytes type %v, want %d bytes type %v",
+				i, len(got), MsgType(got[0]), len(want), MsgType(want[0]))
+		}
+	}
+	if _, err := b.ReadFrame(); err != io.EOF {
+		t.Fatalf("after close: got %v, want io.EOF", err)
+	}
+	if a.BytesOut() == 0 || a.BytesOut() != b.BytesIn() {
+		t.Fatalf("byte counters disagree: out=%d in=%d", a.BytesOut(), b.BytesIn())
+	}
+}
+
+func TestConcurrentWritersDoNotInterleave(t *testing.T) {
+	a, b := pipePair(t)
+	const writers, frames = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each writer sends frames filled with its own id; any
+			// interleaving inside a frame corrupts the fill.
+			body := make([]byte, 1+337)
+			body[0] = byte(MsgBucket)
+			for i := range body[1:] {
+				body[1+i] = byte(w)
+			}
+			for i := 0; i < frames; i++ {
+				if err := a.WriteFrame(body); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		a.Close()
+		close(done)
+	}()
+	n := 0
+	for {
+		p, err := b.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := p[1]
+		for _, by := range p[1:] {
+			if by != w {
+				t.Fatalf("interleaved frame: fill %d contains %d", w, by)
+			}
+		}
+		n++
+	}
+	<-done
+	if n != writers*frames {
+		t.Fatalf("read %d frames, want %d", n, writers*frames)
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	a, b := pipePair(t) // a: worker side, b: coordinator side
+	errc := make(chan error, 1)
+	go func() {
+		if err := AwaitHello(b); err != nil {
+			errc <- err
+			return
+		}
+		errc <- Welcome(b, 2, 5)
+	}()
+	if err := Hello(a); err != nil {
+		t.Fatal(err)
+	}
+	id, n, err := AwaitWelcome(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 || n != 5 {
+		t.Fatalf("welcome decoded as worker %d of %d, want 2 of 5", id, n)
+	}
+}
+
+func TestCursorLatchesErrors(t *testing.T) {
+	cur := NewCursor([]byte{0x05}) // claims a 5-byte field with no bytes
+	if b := cur.Bytes(); b != nil {
+		t.Fatalf("truncated field returned %v", b)
+	}
+	if cur.Err() == nil {
+		t.Fatal("cursor did not latch the truncation")
+	}
+	if v := cur.Uvarint(); v != 0 {
+		t.Fatalf("post-error read returned %d", v)
+	}
+}
+
+func TestOwnerCoversAllWorkers(t *testing.T) {
+	seen := map[int]bool{}
+	for p := 0; p < 12; p++ {
+		w := Owner(p, 3)
+		if w < 0 || w >= 3 {
+			t.Fatalf("partition %d assigned to worker %d of 3", p, w)
+		}
+		seen[w] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("round-robin left workers idle: %v", seen)
+	}
+}

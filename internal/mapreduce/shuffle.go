@@ -32,6 +32,14 @@ const (
 	// buffered records fills, sorted runs are spilled to disk and
 	// merge-streamed back to the reducers.
 	ShuffleSpill ShuffleKind = "spill"
+	// ShuffleDist shards the reduce partitions across the worker
+	// processes of Config.Dist: map-side buckets stream to each
+	// partition's owner over TCP, the workers group-sort and reduce
+	// locally, and the output either streams back (Run) or stays
+	// worker-resident between chained jobs (RunDS). Output is
+	// bit-identical to ShuffleMemory for the same seed and partition
+	// count. See dist.go and distworker.go.
+	ShuffleDist ShuffleKind = "dist"
 )
 
 // ShuffleConfig selects and bounds the shuffle backend of a job.
@@ -125,6 +133,10 @@ func newShuffleBackend[K comparable, V any](cfg Config, splits int, ar *roundAre
 		return newMemoryShuffle[K, V](cfg.reducers(), splits, ar), nil
 	case ShuffleSpill:
 		return newSpillShuffle[K, V](cfg.reducers(), splits, cfg.Shuffle, ar)
+	case ShuffleDist:
+		// Run/RunDS intercept the dist mode before reaching the backend
+		// constructor; only the combiner paths arrive here.
+		return nil, fmt.Errorf("mapreduce: the dist shuffle backend does not support combiner jobs")
 	default:
 		return nil, fmt.Errorf("mapreduce: unknown shuffle backend %q", cfg.Shuffle.Backend)
 	}

@@ -69,6 +69,11 @@ func resolveSpillCodec[T any]() (spillCodec[T], error) {
 		if c, ok := reflectCodec[T](t); ok {
 			return c, nil
 		}
+		if t.Kind() == reflect.Slice {
+			if c, ok := sliceCodec[T](t); ok {
+				return c, nil
+			}
+		}
 	}
 	return gobCodec[T](), nil
 }
@@ -292,6 +297,103 @@ func reflectElemCodec(t reflect.Type) (elemEnc, elemDec, bool) {
 	default:
 		return nil, nil, false
 	}
+}
+
+// sliceCodec serializes a slice type as a uvarint element count followed
+// by length-prefixed elements. Element encoding is resolved reflectively
+// in the same preference order as the top level: the element's own
+// BinaryMarshaler/BinaryUnmarshaler methods when it has them (this is
+// what makes values like the []posting groups of the similarity join
+// wire-able — the element type carries the codec, the unnamed slice
+// type cannot), then the reflective scalar codec. The per-element length
+// prefix makes decode independent of whether the element encoding is
+// self-delimiting.
+func sliceCodec[T any](t reflect.Type) (spillCodec[T], bool) {
+	elem := t.Elem()
+	encE, decE, ok := sliceElemCodec(elem)
+	if !ok {
+		return spillCodec[T]{}, false
+	}
+	return spillCodec[T]{
+		enc: func(buf []byte, v T) ([]byte, error) {
+			rv := reflect.ValueOf(v)
+			n := rv.Len()
+			buf = binary.AppendUvarint(buf, uint64(n))
+			var scratch []byte
+			for i := 0; i < n; i++ {
+				eb, err := encE(scratch[:0], rv.Index(i))
+				if err != nil {
+					return nil, err
+				}
+				scratch = eb
+				buf = binary.AppendUvarint(buf, uint64(len(eb)))
+				buf = append(buf, eb...)
+			}
+			return buf, nil
+		},
+		dec: func(data []byte) (T, error) {
+			var v T
+			n, m := binary.Uvarint(data)
+			if m <= 0 {
+				return v, errSpillShort
+			}
+			data = data[m:]
+			// Every element carries at least a 1-byte length prefix, so
+			// the count is bounded by the remaining payload — a
+			// corrupted count fails here instead of sizing an
+			// arbitrarily large allocation (or overflowing int).
+			if n > uint64(len(data)) {
+				return v, errSpillShort
+			}
+			rv := reflect.MakeSlice(t, int(n), int(n))
+			for i := 0; i < int(n); i++ {
+				l, m := binary.Uvarint(data)
+				if m <= 0 || uint64(len(data)-m) < l {
+					return v, errSpillShort
+				}
+				if err := decE(data[m:m+int(l)], rv.Index(i)); err != nil {
+					return v, err
+				}
+				data = data[m+int(l):]
+			}
+			if len(data) != 0 {
+				return v, fmt.Errorf("mapreduce: slice decode: %d trailing bytes", len(data))
+			}
+			reflect.ValueOf(&v).Elem().Set(rv)
+			return v, nil
+		},
+	}, true
+}
+
+// sliceElemCodec resolves one slice element's encode/decode, preferring
+// the element's marshaling methods over the reflective scalar codec.
+func sliceElemCodec(elem reflect.Type) (func([]byte, reflect.Value) ([]byte, error), func([]byte, reflect.Value) error, bool) {
+	marshaler := reflect.TypeFor[encoding.BinaryMarshaler]()
+	unmarshaler := reflect.TypeFor[encoding.BinaryUnmarshaler]()
+	if elem.Implements(marshaler) && reflect.PointerTo(elem).Implements(unmarshaler) {
+		return func(buf []byte, v reflect.Value) ([]byte, error) {
+				b, err := v.Interface().(encoding.BinaryMarshaler).MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				return append(buf, b...), nil
+			}, func(data []byte, into reflect.Value) error {
+				return into.Addr().Interface().(encoding.BinaryUnmarshaler).UnmarshalBinary(data)
+			}, true
+	}
+	encE, decE, ok := reflectElemCodec(elem)
+	if !ok {
+		return nil, nil, false
+	}
+	return func(buf []byte, v reflect.Value) ([]byte, error) {
+			return encE(buf, v), nil
+		}, func(data []byte, into reflect.Value) error {
+			rest, err := decE(data, into)
+			if err == nil && len(rest) != 0 {
+				err = fmt.Errorf("mapreduce: slice element decode: %d trailing bytes", len(rest))
+			}
+			return err
+		}, true
 }
 
 // gobCodec is the slow-path fallback: one self-describing gob stream per

@@ -59,6 +59,20 @@ type Stats struct {
 	// being starved (buffers escaping without a matching Recycle).
 	PooledBytes int64
 	PoolMisses  int64
+	// RemoteBytesOut and RemoteBytesIn are the transport bytes the
+	// coordinator exchanged with the dist backend's workers during the
+	// job (frames out: job control and intermediate buckets; frames in:
+	// relayed buckets, reduce output, reports). Zero for the local
+	// backends. Chained jobs whose self-addressed pairs stay
+	// worker-resident show it here: RemoteBytesOut covers only the
+	// cross-partition traffic.
+	RemoteBytesOut int64
+	RemoteBytesIn  int64
+	// WorkerWall is the largest map+reduce wall clock any single dist
+	// worker reported for the job — the distributed critical path, which
+	// is what a measured scale-out comparison against ClusterModel's
+	// estimate should use. Zero for the local backends.
+	WorkerWall time.Duration
 	// MapWall, ShuffleWall and ReduceWall are the wall-clock durations
 	// of the job's phases: the parallel map tasks (including map-side
 	// partitioning of the emitted pairs), shuffle finalization (sealing
@@ -138,6 +152,9 @@ func (s *Stats) Add(o *Stats) {
 	s.SpillRuns += o.SpillRuns
 	s.PooledBytes += o.PooledBytes
 	s.PoolMisses += o.PoolMisses
+	s.RemoteBytesOut += o.RemoteBytesOut
+	s.RemoteBytesIn += o.RemoteBytesIn
+	s.WorkerWall += o.WorkerWall
 	s.MapWall += o.MapWall
 	s.ShuffleWall += o.ShuffleWall
 	s.ReduceWall += o.ReduceWall
@@ -160,6 +177,10 @@ func (s *Stats) String() string {
 	}
 	if s.PooledBytes > 0 || s.PoolMisses > 0 {
 		line += fmt.Sprintf(" pooled=%dB poolmiss=%d", s.PooledBytes, s.PoolMisses)
+	}
+	if s.RemoteBytesOut > 0 || s.RemoteBytesIn > 0 {
+		line += fmt.Sprintf(" remote=%dB out/%dB in workerwall=%s",
+			s.RemoteBytesOut, s.RemoteBytesIn, s.WorkerWall.Round(time.Microsecond))
 	}
 	if s.MapWall > 0 || s.ShuffleWall > 0 || s.ReduceWall > 0 {
 		line += fmt.Sprintf(" map=%s shuffle=%s reduce=%s",

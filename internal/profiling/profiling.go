@@ -5,18 +5,21 @@
 package profiling
 
 import (
-	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"repro/internal/cliio"
 )
 
 // Start begins a CPU profile (when cpu is non-empty) and returns a stop
 // function that ends it and writes a heap profile (when mem is
-// non-empty). The stop function must run before a normal exit — call it
-// via defer in main; profiles are skipped on error exits through
-// os.Exit. prefix labels any profile-writing errors on stderr.
-func Start(cpu, mem, prefix string) (func(), error) {
+// non-empty). The stop function must run before a normal exit — the
+// CLIs call it through their run() error path — and returns the first
+// profile-write failure, so a truncated or unwritable profile exits
+// nonzero instead of silently producing a corrupt file (profiles route
+// through cliio's checked close like every other CLI output).
+func Start(cpu, mem string) (func() error, error) {
 	var cpuFile *os.File
 	if cpu != "" {
 		f, err := os.Create(cpu)
@@ -29,22 +32,29 @@ func Start(cpu, mem, prefix string) (func(), error) {
 		}
 		cpuFile = f
 	}
-	return func() {
+	return func() error {
+		var err error
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			// StartCPUProfile wrote to the raw file; wrap it only for
+			// the checked close (the buffer holds nothing).
+			err = cliio.Wrap(cpuFile).Close()
 		}
 		if mem != "" {
-			f, err := os.Create(mem)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", prefix, err)
-				return
+			out, cerr := cliio.Create(mem)
+			if cerr != nil {
+				if err == nil {
+					err = cerr
+				}
+				return err
 			}
-			defer f.Close()
 			runtime.GC() // materialize the final live set
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", prefix, err)
+			werr := pprof.WriteHeapProfile(out)
+			cliio.CloseInto(out, &werr)
+			if err == nil {
+				err = werr
 			}
 		}
+		return err
 	}, nil
 }

@@ -51,7 +51,14 @@ else
     }
     {
         name = $1; sub(/-[0-9]+$/, "", name)
-        if (!(name in ns)) next
+        if (!(name in ns)) {
+            # A benchmark only the new snapshot records (a datapoint a
+            # PR introduces, e.g. BenchmarkDistShuffle in BENCH_pr5):
+            # report it instead of silently skipping, so new subsystems
+            # enter the record the moment they land.
+            printf "%-36s NEW        ns/op %12.0f                allocs/op %8d\n", name, $3, $7
+            next
+        }
         printf "%-36s ns/op %12.0f -> %12.0f (%5.2fx)   allocs/op %8d -> %8d (%5.2fx)\n",
             name, ns[name], $3, ($3 > 0 ? ns[name] / $3 : 0),
             allocs[name], $7, ($7 > 0 ? allocs[name] / $7 : 0)
