@@ -135,6 +135,14 @@ type Options struct {
 	// Dist is the worker cluster jobs shard across when Shuffle is
 	// ShuffleDist. Required for (and only meaningful with) that backend.
 	Dist *DistCluster
+	// CheckpointEvery throttles dist checkpointing of worker-resident
+	// round state: 0 checkpoints every retained round output (the
+	// default — every round is recoverable), k > 0 every k-th, negative
+	// disables checkpointing. Checkpoints are what let a matching run
+	// survive worker death: the coordinator re-assigns a dead worker's
+	// partitions, restores them from mirrored checkpoint frames, and
+	// replays from the round boundary. Ignored by the local backends.
+	CheckpointEvery int
 }
 
 func (o Options) mr() mapreduce.Config {
@@ -146,8 +154,9 @@ func (o Options) mr() mapreduce.Config {
 			MemoryBudget: o.ShuffleMemoryBudget,
 			TempDir:      o.ShuffleTempDir,
 		},
-		FlatChaining: o.FlatDataflow,
-		Dist:         o.Dist,
+		FlatChaining:    o.FlatDataflow,
+		Dist:            o.Dist,
+		CheckpointEvery: o.CheckpointEvery,
 	}
 }
 

@@ -66,6 +66,9 @@ func run() (err error) {
 		distConnect = flag.String("dist-connect", "", "worker mode: connect to a coordinator at host:port, serve its jobs, and exit")
 		distListen  = flag.String("dist-listen", "", "coordinator listen address for -dist-workers (default 127.0.0.1:0)")
 		distSpawn   = flag.Bool("dist-spawn", true, "self-exec the -dist-workers worker processes (false: wait for -dist-connect workers)")
+		distLate    = flag.Bool("dist-accept-late", false, "keep accepting replacement -dist-connect workers after startup; they adopt a dead worker's partitions at the next recovery")
+		ckptEvery   = flag.Int("ckpt-every", 0, "dist checkpoint throttle: 0 checkpoints every round's resident state, k>0 every k-th round, negative disables (a lost worker then kills the run)")
+		ckptDir     = flag.String("dist-ckpt-dir", "", "worker mode: additionally persist checkpoints as local run files in this directory (default: coordinator mirror only)")
 	)
 	flag.Parse()
 
@@ -88,7 +91,8 @@ func run() (err error) {
 		// Worker mode: same graph, same registered jobs, serve until the
 		// coordinator hangs up.
 		core.RegisterDistJobs(g)
-		return mapreduce.ServeDistWorker(context.Background(), *distConnect)
+		return mapreduce.ServeDistWorkerOpts(context.Background(), *distConnect,
+			mapreduce.DistWorkerOptions{CheckpointDir: *ckptDir})
 	}
 
 	shuffleOpts := socialmatch.Options{
@@ -96,12 +100,13 @@ func run() (err error) {
 		ShuffleMemoryBudget: *budget,
 		ShuffleTempDir:      *tempdir,
 		FlatDataflow:        *flat,
+		CheckpointEvery:     *ckptEvery,
 	}
 	if *distWorkers > 0 {
 		if *in == "" || *in == "-" {
 			return fmt.Errorf("-dist-workers needs -in to name a file (workers load the same graph)")
 		}
-		clusterOpts := mapreduce.DistClusterOptions{Listen: *distListen}
+		clusterOpts := mapreduce.DistClusterOptions{Listen: *distListen, AcceptLate: *distLate}
 		if *distSpawn {
 			workerArgs := []string{"-in", *in}
 			if *sigma > 0 {
@@ -116,6 +121,14 @@ func run() (err error) {
 		if err != nil {
 			return err
 		}
+		defer func() {
+			// Printed only when something was actually lost, so a healthy
+			// run's output stays byte-stable for the CI smoke diffs.
+			if lost, retried, reseeded := cluster.RecoveryStats(); lost > 0 {
+				fmt.Fprintf(os.Stderr, "dist recovery:    %d workers lost, %d jobs retried, %d partitions reseeded\n",
+					lost, retried, reseeded)
+			}
+		}()
 		// The checked close matters here too: it reaps the spawned
 		// workers, and a worker that died with a nonzero status is a
 		// failed run.

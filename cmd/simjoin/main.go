@@ -57,6 +57,9 @@ func run() (err error) {
 		distConnect = flag.String("dist-connect", "", "worker mode: connect to a coordinator at host:port, serve its jobs, and exit")
 		distListen  = flag.String("dist-listen", "", "coordinator listen address for -dist-workers (default 127.0.0.1:0)")
 		distSpawn   = flag.Bool("dist-spawn", true, "self-exec the -dist-workers worker processes (false: wait for -dist-connect workers)")
+		distLate    = flag.Bool("dist-accept-late", false, "keep accepting replacement -dist-connect workers after startup; they adopt a dead worker's partitions at the next recovery")
+		ckptEvery   = flag.Int("ckpt-every", 0, "dist checkpoint throttle: 0 checkpoints every round's resident state, k>0 every k-th round, negative disables")
+		ckptDir     = flag.String("dist-ckpt-dir", "", "worker mode: additionally persist checkpoints as local run files in this directory (default: coordinator mirror only)")
 	)
 	flag.Parse()
 
@@ -80,7 +83,8 @@ func run() (err error) {
 		// given the flags, so the verification reduces close over the
 		// exact vectors the coordinator probes with.
 		simjoin.RegisterDistJobs(c.Items, c.Consumers, *sigma)
-		return mapreduce.ServeDistWorker(context.Background(), *distConnect)
+		return mapreduce.ServeDistWorkerOpts(context.Background(), *distConnect,
+			mapreduce.DistWorkerOptions{CheckpointDir: *ckptDir})
 	}
 
 	mr := mapreduce.Config{
@@ -89,10 +93,11 @@ func run() (err error) {
 			MemoryBudget: *budget,
 			TempDir:      *tempdir,
 		},
-		FlatChaining: *flat,
+		FlatChaining:    *flat,
+		CheckpointEvery: *ckptEvery,
 	}
 	if *distWorkers > 0 {
-		opts := mapreduce.DistClusterOptions{Listen: *distListen}
+		opts := mapreduce.DistClusterOptions{Listen: *distListen, AcceptLate: *distLate}
 		if *distSpawn {
 			opts.Spawn, err = mapreduce.DistSelfExec(
 				"-dataset", *name,
@@ -108,6 +113,14 @@ func run() (err error) {
 		if err != nil {
 			return err
 		}
+		defer func() {
+			// Only when something was lost, so healthy smoke output stays
+			// byte-stable.
+			if lost, retried, reseeded := cluster.RecoveryStats(); lost > 0 {
+				fmt.Fprintf(os.Stderr, "dist recovery:  %d workers lost, %d jobs retried, %d partitions reseeded\n",
+					lost, retried, reseeded)
+			}
+		}()
 		// Checked close: reaps spawned workers; a nonzero worker exit
 		// fails the run.
 		defer func() {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/remote"
 )
 
 // startWorkers runs n in-process dist workers over loopback TCP; the
@@ -101,6 +102,86 @@ func TestDistMatchingBitIdenticalToMemory(t *testing.T) {
 			if dist.Shuffle.RemoteBytesOut == 0 {
 				t.Fatal("dist run reports no remote traffic — did the jobs really shard?")
 			}
+		})
+	}
+}
+
+// TestDistMatchingSurvivesWorkerLoss extends the acceptance gate to the
+// recovery path: every MapReduce matching algorithm runs on a cluster
+// whose connection to one worker is severed mid-shuffle at a
+// seed-derived frame (indistinguishable from that worker being
+// SIGKILLed), and the recovered matching must still be bit-identical to
+// the fault-free memory run — value, edges, and round count.
+func TestDistMatchingSurvivesWorkerLoss(t *testing.T) {
+	g := graph.RandomBipartite(graph.RandomConfig{
+		NumItems: 16, NumConsumers: 12, EdgeProb: 0.4,
+		MaxWeight: 3, MaxCapacity: 3, Seed: 11,
+	})
+	RegisterDistJobs(g)
+	ctx := context.Background()
+	memMR := mapreduce.Config{Mappers: 2, Reducers: 2}
+
+	type runner struct {
+		name string
+		run  func(mr mapreduce.Config) (*Result, error)
+	}
+	runners := []runner{
+		{"greedymr", func(mr mapreduce.Config) (*Result, error) {
+			return GreedyMR(ctx, g.Clone(), GreedyMROptions{MR: mr})
+		}},
+		{"stackmr", func(mr mapreduce.Config) (*Result, error) {
+			return StackMR(ctx, g.Clone(), StackOptions{MR: mr, Eps: 1, Seed: 5})
+		}},
+		{"stackgreedymr", func(mr mapreduce.Config) (*Result, error) {
+			return StackGreedyMR(ctx, g.Clone(), StackOptions{MR: mr, Eps: 0.5, Seed: 5})
+		}},
+		{"stackmrstrict", func(mr mapreduce.Config) (*Result, error) {
+			return StackMRStrict(ctx, g.Clone(), StackOptions{MR: mr, Eps: 1, Seed: 5})
+		}},
+	}
+	for i, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			mem, err := r.run(memMR)
+			if err != nil {
+				t.Fatalf("memory: %v", err)
+			}
+
+			// A fresh cluster per algorithm: a severed worker stays dead
+			// for the cluster's lifetime.
+			cl := startWorkers(t, 2)
+			seed := int64(31 + i)
+			f := &remote.Fault{Op: remote.FaultSever}
+			if i%2 == 0 {
+				f.AfterWrites = remote.FaultPoint(seed, 2, 20)
+			} else {
+				f.AfterReads = remote.FaultPoint(seed, 2, 12)
+			}
+			if err := cl.InjectFault(i%2, f); err != nil {
+				t.Fatal(err)
+			}
+			distMR := mapreduce.Config{
+				Mappers: 2, Reducers: 2,
+				Shuffle: mapreduce.ShuffleConfig{Backend: mapreduce.ShuffleDist},
+				Dist:    cl,
+			}
+			dist, err := r.run(distMR)
+			if err != nil {
+				t.Fatalf("dist with injected worker loss: %v", err)
+			}
+			if mem.Matching.Value() != dist.Matching.Value() {
+				t.Fatalf("value diverges: memory %v, dist %v", mem.Matching.Value(), dist.Matching.Value())
+			}
+			if !reflect.DeepEqual(mem.Matching.Edges(), dist.Matching.Edges()) {
+				t.Fatalf("matched edges diverge:\nmemory %v\ndist   %v", mem.Matching.Edges(), dist.Matching.Edges())
+			}
+			if mem.Rounds != dist.Rounds {
+				t.Fatalf("rounds diverge: memory %d, dist %d", mem.Rounds, dist.Rounds)
+			}
+			lost, retried, reseeded := cl.RecoveryStats()
+			if lost < 1 || retried < 1 {
+				t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", lost, retried)
+			}
+			t.Logf("%s: lost=%d retried=%d reseeded=%d", r.name, lost, retried, reseeded)
 		})
 	}
 }

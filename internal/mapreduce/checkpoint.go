@@ -1,0 +1,235 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Checkpoint run files are the durable half of the dist runtime's fault
+// tolerance. At each round's flush barrier a worker persists the job
+// output it retains (its resident Dataset partitions) to a local run
+// file, one length-prefixed frame per partition in the same style as
+// the extsort spill runs (spillcodec.go): uvarint frame length, then a
+// payload of uvarint seq, uvarint partition, uvarint pair count, the
+// encoded pair blob, and a trailing CRC-32 of everything before it.
+// The pair blob is the canonical encodePairs image — the same bytes
+// that travel in MsgCkpt mirror frames and MsgBucket traffic — so a
+// restored partition is bit-identical to the lost one by construction.
+//
+// A MANIFEST file names the run files that were written completely
+// (tmp + rename, manifest updated only after the run file is renamed
+// into place), newest last. Loading walks the manifest backwards: a
+// truncated or corrupted trailing frame — the signature of a crash
+// mid-write — fails that file's validation and falls back to the
+// previous round's checkpoint instead of surfacing garbage.
+//
+// Live recovery restores partitions from the coordinator's in-memory
+// mirror of the MsgCkpt stream (dist.go); the local files are the
+// operator-facing durable copy, bounded to the last two rounds.
+
+// ckptPart is one partition's checkpoint image.
+type ckptPart struct {
+	part  int
+	count int
+	blob  []byte // canonical encodePairs image
+}
+
+// ckptManifestName is the manifest file within a checkpoint directory.
+const ckptManifestName = "MANIFEST"
+
+// ckptKeepFiles bounds the retained run files: the current round and
+// the previous one (the fallback when the trailing file is damaged).
+const ckptKeepFiles = 2
+
+type ckptManifestEntry struct {
+	seq    uint64
+	file   string
+	frames int
+}
+
+// checkpointWriter persists rounds into one directory. Not safe for
+// concurrent use; the worker session writes from its job goroutine.
+// Writes are best-effort: the first I/O failure disables the writer
+// (the coordinator's mirror still has the frames) rather than failing
+// the job.
+type checkpointWriter struct {
+	dir      string
+	entries  []ckptManifestEntry
+	disabled error
+}
+
+func newCheckpointWriter(dir string) *checkpointWriter {
+	return &checkpointWriter{dir: dir}
+}
+
+// write persists one job's retained partitions as ckpt-<seq>.run and
+// publishes it in the manifest, pruning files beyond ckptKeepFiles.
+func (w *checkpointWriter) write(seq uint64, parts []ckptPart) error {
+	if w.disabled != nil {
+		return w.disabled
+	}
+	if err := w.writeFile(seq, parts); err != nil {
+		w.disabled = err
+		return err
+	}
+	return nil
+}
+
+func (w *checkpointWriter) writeFile(seq uint64, parts []ckptPart) error {
+	if err := os.MkdirAll(w.dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("ckpt-%016x.run", seq)
+	tmp := filepath.Join(w.dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var frame []byte
+	for _, p := range parts {
+		frame = appendCkptFrame(frame[:0], seq, p)
+		if _, err = f.Write(frame); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	// No fsync: an fsync per round would dominate small rounds (file
+	// write ~50us, fsync ~1ms), and durability-on-crash is not what the
+	// run files promise — the loader CRC-validates every frame and falls
+	// back past a torn trailing file, and live recovery restores from
+	// the coordinator's mirror anyway.
+	if err = f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err = os.Rename(tmp, filepath.Join(w.dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	w.entries = append(w.entries, ckptManifestEntry{seq: seq, file: name, frames: len(parts)})
+	for len(w.entries) > ckptKeepFiles {
+		os.Remove(filepath.Join(w.dir, w.entries[0].file))
+		w.entries = w.entries[1:]
+	}
+	return w.writeManifest()
+}
+
+func (w *checkpointWriter) writeManifest() error {
+	var sb strings.Builder
+	for _, e := range w.entries {
+		fmt.Fprintf(&sb, "%d %s %d\n", e.seq, e.file, e.frames)
+	}
+	tmp := filepath.Join(w.dir, ckptManifestName+".tmp")
+	if err := os.WriteFile(tmp, []byte(sb.String()), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(w.dir, ckptManifestName))
+}
+
+// appendCkptFrame appends one partition frame: uvarint length, payload
+// (seq, part, count, blob), CRC-32 (IEEE) of the payload.
+func appendCkptFrame(buf []byte, seq uint64, p ckptPart) []byte {
+	var body []byte
+	body = binary.AppendUvarint(body, seq)
+	body = binary.AppendUvarint(body, uint64(p.part))
+	body = binary.AppendUvarint(body, uint64(p.count))
+	body = append(body, p.blob...)
+	buf = binary.AppendUvarint(buf, uint64(len(body)+4))
+	buf = append(buf, body...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+}
+
+// checkpointData is one fully validated round restored from disk.
+type checkpointData struct {
+	seq   uint64
+	parts []ckptPart
+}
+
+// loadLatestCheckpoint returns the newest round in dir whose run file
+// validates end to end, falling back through the manifest when the
+// trailing file is truncated or corrupted. Returns (nil, nil) when the
+// directory holds no usable checkpoint at all.
+func loadLatestCheckpoint(dir string) (*checkpointData, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ckptManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var entries []ckptManifestEntry
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var e ckptManifestEntry
+		if _, err := fmt.Sscanf(line, "%d %s %d", &e.seq, &e.file, &e.frames); err != nil {
+			return nil, fmt.Errorf("mapreduce: malformed checkpoint manifest line %q", line)
+		}
+		entries = append(entries, e)
+	}
+	var firstErr error
+	for i := len(entries) - 1; i >= 0; i-- {
+		ck, err := loadCheckpointFile(filepath.Join(dir, entries[i].file), entries[i].seq, entries[i].frames)
+		if err == nil {
+			return ck, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	return nil, fmt.Errorf("mapreduce: no usable checkpoint in %s: %w", dir, firstErr)
+}
+
+// loadCheckpointFile validates and decodes one run file. Any truncated
+// frame, CRC mismatch, sequence mismatch, or frame-count shortfall
+// fails the whole file — a checkpoint is restored completely or not at
+// all.
+func loadCheckpointFile(path string, seq uint64, frames int) (*checkpointData, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck := &checkpointData{seq: seq}
+	for len(data) > 0 {
+		n, m := binary.Uvarint(data)
+		if m <= 0 || n < 4 || n > uint64(len(data)-m) {
+			return nil, fmt.Errorf("mapreduce: checkpoint %s: truncated frame %d", path, len(ck.parts))
+		}
+		frame := data[m : m+int(n)]
+		data = data[m+int(n):]
+		body, sum := frame[:len(frame)-4], frame[len(frame)-4:]
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(sum) {
+			return nil, fmt.Errorf("mapreduce: checkpoint %s: CRC mismatch in frame %d", path, len(ck.parts))
+		}
+		cur := body
+		fseq, m1 := binary.Uvarint(cur)
+		cur = cur[m1:]
+		part, m2 := binary.Uvarint(cur)
+		cur = cur[m2:]
+		count, m3 := binary.Uvarint(cur)
+		cur = cur[m3:]
+		if m1 <= 0 || m2 <= 0 || m3 <= 0 {
+			return nil, fmt.Errorf("mapreduce: checkpoint %s: malformed frame %d", path, len(ck.parts))
+		}
+		if fseq != seq {
+			return nil, fmt.Errorf("mapreduce: checkpoint %s: frame for job %d in file for job %d", path, fseq, seq)
+		}
+		ck.parts = append(ck.parts, ckptPart{part: int(part), count: int(count), blob: cur})
+	}
+	if len(ck.parts) != frames {
+		return nil, fmt.Errorf("mapreduce: checkpoint %s: %d frames, manifest expects %d", path, len(ck.parts), frames)
+	}
+	sort.Slice(ck.parts, func(i, j int) bool { return ck.parts[i].part < ck.parts[j].part })
+	return ck, nil
+}

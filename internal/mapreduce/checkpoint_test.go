@@ -1,0 +1,226 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mapreduce/remote"
+)
+
+// randomPartition draws a random pair slice and its canonical encoding
+// — the exact bytes a MsgCkpt frame (and thus a run-file frame) carries.
+func randomPartition(t *testing.T, rng *rand.Rand, part int) ([]Pair[string, int64], ckptPart) {
+	t.Helper()
+	kc, err := resolveSpillCodec[string]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := resolveSpillCodec[int64]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rng.Intn(40)
+	pairs := make([]Pair[string, int64], n)
+	for i := range pairs {
+		key := make([]byte, rng.Intn(12))
+		rng.Read(key)
+		pairs[i] = P(string(key), rng.Int63()-rng.Int63())
+	}
+	blob, err := encodePairs(nil, pairs, kc, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, ckptPart{part: part, count: n, blob: blob}
+}
+
+// writeRandomRound persists one random round and returns the source
+// pairs keyed by partition.
+func writeRandomRound(t *testing.T, w *checkpointWriter, rng *rand.Rand, seq uint64, nparts int) map[int][]Pair[string, int64] {
+	t.Helper()
+	want := make(map[int][]Pair[string, int64], nparts)
+	parts := make([]ckptPart, 0, nparts)
+	for p := 0; p < nparts; p++ {
+		pairs, cp := randomPartition(t, rng, p)
+		want[p] = pairs
+		parts = append(parts, cp)
+	}
+	// Shuffle the frame order: restore must not depend on it.
+	rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+	if err := w.write(seq, parts); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// decodeCkpt decodes a restored checkpoint back into per-partition
+// pairs through the canonical codec.
+func decodeCkpt(t *testing.T, ck *checkpointData) map[int][]Pair[string, int64] {
+	t.Helper()
+	kc, _ := resolveSpillCodec[string]()
+	vc, _ := resolveSpillCodec[int64]()
+	got := make(map[int][]Pair[string, int64], len(ck.parts))
+	for _, p := range ck.parts {
+		cur := remote.NewCursor(p.blob)
+		pairs, err := decodePairs(cur, p.count, kc, vc, make([]Pair[string, int64], 0, p.count))
+		if err != nil {
+			t.Fatalf("partition %d: %v", p.part, err)
+		}
+		got[p.part] = pairs
+	}
+	return got
+}
+
+// TestCheckpointRoundTrip is the codec property test: random partition
+// images over several rounds survive the run-file round trip exactly,
+// the newest round wins, and the retention bound holds.
+func TestCheckpointRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			w := newCheckpointWriter(dir)
+			nparts := 1 + rng.Intn(6)
+			var want map[int][]Pair[string, int64]
+			rounds := 2 + rng.Intn(3)
+			for r := 0; r < rounds; r++ {
+				want = writeRandomRound(t, w, rng, uint64(10+r), nparts)
+			}
+			ck, err := loadLatestCheckpoint(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ck == nil || ck.seq != uint64(10+rounds-1) {
+				t.Fatalf("restored checkpoint %+v, want newest seq %d", ck, 10+rounds-1)
+			}
+			if !reflect.DeepEqual(decodeCkpt(t, ck), want) {
+				t.Fatal("restored pairs diverge from the written round")
+			}
+
+			files, err := filepath.Glob(filepath.Join(dir, "ckpt-*.run"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(files) > ckptKeepFiles {
+				t.Fatalf("%d run files retained, want <= %d", len(files), ckptKeepFiles)
+			}
+		})
+	}
+}
+
+// damage mutilates the newest run file in dir with fn.
+func damageNewest(t *testing.T, dir string, fn func([]byte) []byte) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "ckpt-*.run"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no run files to damage: %v", err)
+	}
+	newest := files[len(files)-1] // seq-encoded names sort chronologically
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, fn(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointFallsBackPastDamage pins the crash-mid-write story:
+// a truncated or bit-flipped trailing run file fails validation and the
+// loader falls back to the previous round instead of surfacing garbage.
+func TestCheckpointFallsBackPastDamage(t *testing.T) {
+	damages := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)-1-len(b)/3] },
+		"bitflip": func(b []byte) []byte {
+			b[len(b)/2] ^= 0x40
+			return b
+		},
+		"emptied": func([]byte) []byte { return nil },
+	}
+	for name, fn := range damages {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			dir := t.TempDir()
+			w := newCheckpointWriter(dir)
+			prev := writeRandomRound(t, w, rng, 7, 3)
+			writeRandomRound(t, w, rng, 8, 3)
+			damageNewest(t, dir, fn)
+
+			ck, err := loadLatestCheckpoint(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ck == nil || ck.seq != 7 {
+				t.Fatalf("restored %+v, want fallback to seq 7", ck)
+			}
+			if !reflect.DeepEqual(decodeCkpt(t, ck), prev) {
+				t.Fatal("fallback round diverges from what was written")
+			}
+		})
+	}
+}
+
+// TestCheckpointAllDamagedErrors: when every manifest entry fails
+// validation, the loader reports an error — it must not silently treat
+// a wrecked directory as "no checkpoint".
+func TestCheckpointAllDamagedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dir := t.TempDir()
+	w := newCheckpointWriter(dir)
+	writeRandomRound(t, w, rng, 1, 2)
+	writeRandomRound(t, w, rng, 2, 2)
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.run"))
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ck, err := loadLatestCheckpoint(dir); err == nil {
+		t.Fatalf("wrecked directory restored %+v without error", ck)
+	}
+}
+
+// TestCheckpointEmptyDir: no manifest means no checkpoint, not an
+// error — the fresh-worker case.
+func TestCheckpointEmptyDir(t *testing.T) {
+	ck, err := loadLatestCheckpoint(t.TempDir())
+	if err != nil || ck != nil {
+		t.Fatalf("empty dir: got (%+v, %v), want (nil, nil)", ck, err)
+	}
+}
+
+// TestCheckpointMalformedManifest: a mangled manifest surfaces as an
+// error naming the line.
+func TestCheckpointMalformedManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ckptManifestName), []byte("what even\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadLatestCheckpoint(dir)
+	if err == nil || !strings.Contains(err.Error(), "malformed checkpoint manifest") {
+		t.Fatalf("malformed manifest: got %v", err)
+	}
+}
+
+// TestCheckpointWriterSelfDisables: the first I/O failure disables the
+// writer (best-effort contract) instead of failing every later round.
+func TestCheckpointWriterSelfDisables(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "blocked")
+	if err := os.WriteFile(dir, []byte("a file where the dir should go"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := newCheckpointWriter(filepath.Join(dir, "sub"))
+	if err := w.write(1, []ckptPart{{part: 0, count: 0}}); err == nil {
+		t.Fatal("write into an impossible dir succeeded")
+	}
+	if w.disabled == nil {
+		t.Fatal("failed writer did not disable itself")
+	}
+	if err := w.write(2, nil); err == nil {
+		t.Fatal("disabled writer accepted another round")
+	}
+}

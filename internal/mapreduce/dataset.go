@@ -484,12 +484,24 @@ func RunJobDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 an
 // A body must therefore not retain the state Dataset (or slices into
 // its partitions) across rounds; values, and anything they point to,
 // remain untouched. The final state is never recycled.
+//
+// Fault tolerance: a round that fails to a dist worker death
+// (WorkerLostError) is replayed from its entry state, as long as that
+// state is still restorable — held locally, or reconstructible on the
+// cluster from checkpoint mirrors (DistCluster.canRestore). This is the
+// round-boundary replay hook: the engine's own job retry covers deaths
+// whose inputs were checkpointed, and Loop covers the rest, because a
+// round's entry state is by definition a complete cut of the
+// computation. The replay budget is the cluster size (each replay
+// implies at least one worker died); algorithms recover without
+// changes.
 func Loop[K comparable, V any](
 	ctx context.Context,
 	d *Driver,
 	state *Dataset[K, V],
 	body func(ctx context.Context, round int, state *Dataset[K, V]) (*Dataset[K, V], error),
 ) (*Dataset[K, V], error) {
+	replays := 0
 	for round := 0; state.Len() > 0; round++ {
 		if err := ctx.Err(); err != nil {
 			return state, err
@@ -498,6 +510,10 @@ func Loop[K comparable, V any](
 			return state, fmt.Errorf("%w (%d loop rounds without convergence)", ErrRoundLimit, round)
 		}
 		next, err := body(ctx, round, state)
+		for err != nil && replays < state.replayBudget() && state.replayable(err) {
+			replays++
+			next, err = body(ctx, round, state)
+		}
 		if err != nil {
 			return state, err
 		}
@@ -510,4 +526,27 @@ func Loop[K comparable, V any](
 		state = next
 	}
 	return state, nil
+}
+
+// replayable reports whether re-running a round from this entry state
+// can succeed after err: the error must be a worker loss, and a
+// worker-resident state must still be reconstructible on the cluster.
+func (d *Dataset[K, V]) replayable(err error) bool {
+	if !isWorkerLost(err) {
+		return false
+	}
+	if d.rem == nil {
+		return true // the entry state lives on the coordinator
+	}
+	return d.rem.cl.canRestore(d.rem.seq)
+}
+
+// replayBudget bounds a Loop's round replays: one per worker the
+// cluster could lose, with a small allowance when the state is local
+// and the cluster unknown.
+func (d *Dataset[K, V]) replayBudget() int {
+	if d.rem != nil {
+		return len(d.rem.cl.conns)
+	}
+	return 4
 }

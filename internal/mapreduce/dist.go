@@ -32,11 +32,18 @@ import (
 // function values themselves never travel.
 
 // DistCluster is a set of connected worker processes, shared by every
-// job of a computation (Config.Dist). Workers own reduce partitions
-// round-robin (partition p belongs to worker p mod N). A cluster is
-// single-computation: jobs run one at a time, and the first transport
-// or job error breaks the cluster — later jobs fail fast rather than
-// running on a cluster in an unknown state.
+// job of a computation (Config.Dist). Reduce partitions start out owned
+// round-robin (partition p belongs to worker p mod N); each job carries
+// its own partition→worker assignment in the job header, so when a
+// worker dies its partitions are re-assigned to the survivors (or to a
+// late-joining replacement) while every surviving partition stays put.
+// A cluster is single-computation: jobs run one at a time. Worker death
+// latches the *round*, not the cluster — the in-flight job is aborted
+// on the survivors and retried with restored input (see the recovery
+// protocol on distJobRun). Only non-transport failures (a user function
+// erroring, a malformed frame, context cancellation) break the cluster,
+// and later jobs then fail fast rather than running on a cluster in an
+// unknown state.
 type DistCluster struct {
 	conns []*remote.Conn
 	procs []*exec.Cmd
@@ -51,6 +58,77 @@ type DistCluster struct {
 	// the Materialize fetch of the previous job's resident output.
 	lastIn  int64
 	lastOut int64
+	// dead marks connections whose workers were lost (transport error
+	// or kill). A dead slot keeps its index — partition assignments name
+	// workers by index — but is skipped by every frame loop.
+	dead     []bool
+	sawDeath bool
+	// owners maps a partition count to the sticky assignment array for
+	// that geometry. Only a dead worker's partitions ever move (to the
+	// live workers, round-robin in partition order), so data resident on
+	// survivors is never reassigned away from them.
+	owners map[int][]int
+	// residency tracks every worker-resident job output: where each
+	// partition currently lives and, when the job was checkpointed, the
+	// coordinator's mirror of its partition images (fed by MsgCkpt
+	// frames at the flush barrier). The mirror is what recovery re-seeds
+	// lost partitions from.
+	residency map[uint64]*distMirror
+	// retained counts jobs whose output stayed worker-resident, for the
+	// Config.CheckpointEvery throttle.
+	retained uint64
+	// late holds replacement workers accepted after startup
+	// (DistClusterOptions.AcceptLate); recovery adopts them into conns.
+	late []*remote.Conn
+	ln   net.Listener
+
+	recoveries atomic.Int64
+	reseeded   atomic.Int64
+}
+
+// distMirror is the residency record of one retained job output.
+type distMirror struct {
+	loc    []int   // current owner of each partition
+	counts []int64 // pairs per partition (from the job reports)
+	// blobs are the checkpointed partition images (canonical encodePairs
+	// bytes); nil when the job ran with checkpointing throttled off, in
+	// which case a lost partition is unrecoverable.
+	blobs [][]byte
+}
+
+// WorkerLostError reports that a dist worker died. The engine retries
+// the in-flight job internally after a loss, so this error escapes a
+// Run/RunDS call only when recovery is impossible: no live workers
+// remain, the retry budget is exhausted, or a job's worker-resident
+// input was lost without a checkpoint to restore it from.
+// mapreduce.Loop treats an escaped WorkerLostError as replayable when
+// the loop state itself is restorable (see Loop).
+type WorkerLostError struct {
+	// Worker is the index of the lost worker (-1 when the loss is
+	// positional, e.g. "no live workers").
+	Worker int
+	// Job names the job that was in flight, if any.
+	Job string
+	// Err is the underlying transport or recovery failure.
+	Err error
+}
+
+func (e *WorkerLostError) Error() string {
+	who := "dist worker"
+	if e.Worker >= 0 {
+		who = fmt.Sprintf("dist worker %d", e.Worker)
+	}
+	if e.Job != "" {
+		return fmt.Sprintf("mapreduce: job %q: %s lost: %v", e.Job, who, e.Err)
+	}
+	return fmt.Sprintf("mapreduce: %s lost: %v", who, e.Err)
+}
+
+func (e *WorkerLostError) Unwrap() error { return e.Err }
+
+func isWorkerLost(err error) bool {
+	var wl *WorkerLostError
+	return errors.As(err, &wl)
 }
 
 // DistClusterOptions configures StartDistCluster.
@@ -72,6 +150,12 @@ type DistClusterOptions struct {
 	// hook in-process workers (tests, embedded deployments) use to dial
 	// in from goroutines of the same process.
 	OnListen func(addr string)
+	// AcceptLate keeps the coordinator's listener open after the initial
+	// n workers connect, so replacement workers can join a running
+	// cluster with -dist-connect. Recovery adopts them and hands them
+	// the partitions of dead workers. Off by default (the listener
+	// closes once startup completes).
+	AcceptLate bool
 }
 
 // StartDistCluster listens for n workers, optionally spawning them via
@@ -93,7 +177,6 @@ func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: dist listen: %w", err)
 	}
-	defer ln.Close()
 
 	cl := &DistCluster{}
 	if opts.OnListen != nil {
@@ -103,6 +186,7 @@ func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
 		for i := 0; i < n; i++ {
 			cmd := opts.Spawn(ln.Addr().String())
 			if err := cmd.Start(); err != nil {
+				ln.Close()
 				cl.abort()
 				return nil, fmt.Errorf("mapreduce: spawning dist worker %d: %w", i, err)
 			}
@@ -116,23 +200,75 @@ func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
 		}
 		nc, err := ln.Accept()
 		if err != nil {
+			ln.Close()
 			cl.abort()
 			return nil, fmt.Errorf("mapreduce: waiting for dist worker %d of %d: %w", i+1, n, err)
 		}
+		// The accept deadline does not cover the handshake: a spawned
+		// worker that connects and then dies (or hangs) before sending
+		// its hello would otherwise block this read forever. The same
+		// overall deadline bounds it; cleared once the worker is in.
+		nc.SetReadDeadline(deadline)
 		conn := remote.NewConn(nc)
 		if err := remote.AwaitHello(conn); err != nil {
 			conn.Close()
+			ln.Close()
 			cl.abort()
 			return nil, fmt.Errorf("mapreduce: dist worker handshake: %w", err)
 		}
 		if err := remote.Welcome(conn, i, n); err != nil {
 			conn.Close()
+			ln.Close()
 			cl.abort()
 			return nil, fmt.Errorf("mapreduce: dist worker handshake: %w", err)
 		}
+		nc.SetReadDeadline(time.Time{})
 		cl.conns = append(cl.conns, conn)
 	}
+	if opts.AcceptLate {
+		cl.ln = ln
+		go cl.acceptLate(ln)
+	} else {
+		ln.Close()
+	}
 	return cl, nil
+}
+
+// acceptLate admits replacement workers after startup. Each gets the
+// next worker index; recovery (recoverAssignments) adopts them into the
+// cluster between job attempts. Exits when the listener closes.
+func (cl *DistCluster) acceptLate(ln net.Listener) {
+	for {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Time{})
+		}
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nc.SetReadDeadline(time.Now().Add(distAbortTimeout))
+		conn := remote.NewConn(nc)
+		if err := remote.AwaitHello(conn); err != nil {
+			conn.Close()
+			continue
+		}
+		cl.mu.Lock()
+		id := len(cl.conns) + len(cl.late)
+		cl.mu.Unlock()
+		if err := remote.Welcome(conn, id, id+1); err != nil {
+			conn.Close()
+			continue
+		}
+		nc.SetReadDeadline(time.Time{})
+		cl.mu.Lock()
+		if cl.closed || cl.broken != nil {
+			cl.mu.Unlock()
+			conn.Close()
+			return
+		}
+		cl.late = append(cl.late, conn)
+		cl.mu.Unlock()
+	}
 }
 
 // abort is the startup-failure teardown: spawned workers may still be
@@ -208,6 +344,385 @@ func (cl *DistCluster) nextSeq() uint64 {
 	return cl.seq
 }
 
+// distAbortTimeout bounds how long recovery waits for a survivor to
+// acknowledge an abort before declaring it dead too. It doubles as the
+// read-deadline backstop on the survivors' connections while an abort
+// is in flight, so a wedged worker cannot block recovery forever.
+const distAbortTimeout = 30 * time.Second
+
+// isDead reports whether worker w has been lost.
+func (cl *DistCluster) isDead(w int) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.deadLocked(w)
+}
+
+func (cl *DistCluster) deadLocked(w int) bool {
+	return w < len(cl.dead) && cl.dead[w]
+}
+
+// liveCount returns the number of workers still alive.
+func (cl *DistCluster) liveCount() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	n := 0
+	for w := range cl.conns {
+		if !cl.deadLocked(w) {
+			n++
+		}
+	}
+	return n
+}
+
+// markDead records worker w as lost and closes its connection, which
+// unblocks any goroutine reading or writing it. Idempotent. It does not
+// break the cluster — worker death is the recoverable failure mode.
+func (cl *DistCluster) markDead(w int, cause error) {
+	if cl.noteDead(w) {
+		cl.conns[w].Close()
+	}
+}
+
+// noteDead marks worker w dead without closing its connection, and
+// reports whether this call made the transition. Write-failure paths
+// use the window between marking and closing to drain a parting
+// MsgError off the socket (drainFatal); everyone else goes through
+// markDead.
+func (cl *DistCluster) noteDead(w int) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if w < 0 || w >= len(cl.conns) || cl.deadLocked(w) {
+		return false
+	}
+	if cl.dead == nil || len(cl.dead) < len(cl.conns) {
+		dead := make([]bool, len(cl.conns))
+		copy(dead, cl.dead)
+		cl.dead = dead
+	}
+	cl.dead[w] = true
+	cl.sawDeath = true
+	return true
+}
+
+// liveWorkers snapshots the indexes of the workers currently alive.
+func (cl *DistCluster) liveWorkers() []int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var live []int
+	for w := range cl.conns {
+		if !cl.deadLocked(w) {
+			live = append(live, w)
+		}
+	}
+	return live
+}
+
+// drainFatal reads briefly from a worker whose connection just failed a
+// write, looking for the MsgError it may have sent before going away: a
+// deterministic user-function or registration failure must surface as
+// itself, not as the transport error it caused. Only called from paths
+// where no reader goroutine owns the connection (job announce, flat
+// bucket streaming, re-seeding). Returns "" when the worker died
+// silently — the recoverable case.
+func (cl *DistCluster) drainFatal(w int) string {
+	c := cl.conns[w]
+	c.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	defer c.SetReadDeadline(time.Time{})
+	for i := 0; i < 16; i++ {
+		payload, err := c.ReadFrame()
+		if err != nil {
+			return ""
+		}
+		cur := remote.NewCursor(payload)
+		if remote.MsgType(cur.Byte()) == remote.MsgError {
+			cur.Uvarint() // seq
+			return cur.String()
+		}
+	}
+	return ""
+}
+
+// reassignLocked rewrites an assignment array so no partition names a
+// dead worker: the dead workers' partitions go round-robin, in
+// partition order, over the live workers. Deterministic in the dead
+// set, and a no-op for partitions whose owner is alive — surviving
+// partitions never move, which is what lets recovery re-seed only what
+// was actually lost.
+func (cl *DistCluster) reassignLocked(owners []int) {
+	var live []int
+	for w := range cl.conns {
+		if !cl.deadLocked(w) {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	k := 0
+	for p, w := range owners {
+		if cl.deadLocked(w) {
+			owners[p] = live[k%len(live)]
+			k++
+		}
+	}
+}
+
+// ownersFor returns a snapshot of the sticky partition assignment for
+// the given partition count, creating it (p mod N, with any already-dead
+// workers substituted) on first use. The returned slice is the caller's
+// own copy: a concurrent death re-assigns the stored array, never a
+// running job's view.
+func (cl *DistCluster) ownersFor(parts int) []int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return append([]int(nil), cl.ownersForLocked(parts)...)
+}
+
+// ownersForLocked returns the stored (mutable) assignment array for the
+// geometry, creating it on first use. Callers hold cl.mu.
+func (cl *DistCluster) ownersForLocked(parts int) []int {
+	if cl.owners == nil {
+		cl.owners = make(map[int][]int)
+	}
+	o := cl.owners[parts]
+	if o == nil {
+		o = make([]int, parts)
+		for p := range o {
+			o[p] = remote.Owner(p, len(cl.conns))
+		}
+		cl.reassignLocked(o)
+		cl.owners[parts] = o
+	}
+	return o
+}
+
+// recoverAssignments runs between a lost job attempt and its retry:
+// adopt any late-joined replacement workers, then rewrite every stored
+// assignment so dead workers own nothing.
+func (cl *DistCluster) recoverAssignments() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, c := range cl.late {
+		cl.conns = append(cl.conns, c)
+		if cl.dead != nil {
+			cl.dead = append(cl.dead, false)
+		}
+	}
+	cl.late = nil
+	for _, o := range cl.owners {
+		cl.reassignLocked(o)
+	}
+}
+
+// retryAfterLoss reports whether a job lost to worker death should be
+// retried: the cluster is otherwise healthy, at least one worker
+// survives, and the retry budget (one per worker slot — each worker can
+// die at most once) is not exhausted.
+func (cl *DistCluster) retryAfterLoss(attempt int) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.broken != nil || cl.closed {
+		return false
+	}
+	live := 0
+	for w := range cl.conns {
+		if !cl.deadLocked(w) {
+			live++
+		}
+	}
+	return live > 0 && attempt < len(cl.conns)
+}
+
+// registerResident records a retained job output's partition locations
+// and, when the job was checkpointed, the mirrored partition images.
+func (cl *DistCluster) registerResident(seq uint64, owners []int, counts []int64, blobs [][]byte) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.residency == nil {
+		cl.residency = make(map[uint64]*distMirror)
+	}
+	cl.residency[seq] = &distMirror{
+		loc:    append([]int(nil), owners...),
+		counts: counts,
+		blobs:  blobs,
+	}
+}
+
+// forgetResident drops the residency record (and mirror) of a consumed
+// or recycled dataset.
+func (cl *DistCluster) forgetResident(seq uint64) {
+	cl.mu.Lock()
+	delete(cl.residency, seq)
+	cl.mu.Unlock()
+}
+
+// mirrorPart returns partition p's checkpointed image for job seq, if
+// the coordinator holds one.
+func (cl *DistCluster) mirrorPart(seq uint64, p int) ([]byte, bool) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	m := cl.residency[seq]
+	if m == nil || m.blobs == nil || p < 0 || p >= len(m.blobs) {
+		return nil, false
+	}
+	return m.blobs[p], true
+}
+
+// ensureResident prepares job seq's resident output for use as a
+// chained input: any partition whose worker died is re-seeded, from the
+// checkpoint mirror, onto the worker the current assignment names. A
+// no-op (and zero seeds) while the cluster is healthy. Returns the
+// number of partitions re-seeded, or a WorkerLostError when a lost
+// partition has no mirror to restore it from.
+func (cl *DistCluster) ensureResident(seq uint64, name string) (int, error) {
+	cl.mu.Lock()
+	m := cl.residency[seq]
+	if m == nil {
+		cl.mu.Unlock()
+		return 0, fmt.Errorf("mapreduce: dist job %q: input dataset %d is not resident on this cluster", name, seq)
+	}
+	owners := cl.ownersForLocked(len(m.loc))
+	type seed struct {
+		w     int
+		frame []byte
+	}
+	var seeds []seed
+	for p, w := range m.loc {
+		if !cl.deadLocked(w) {
+			continue
+		}
+		if m.blobs == nil || (m.blobs[p] == nil && m.counts[p] > 0) {
+			dead := w
+			cl.mu.Unlock()
+			return 0, &WorkerLostError{Worker: dead, Job: name,
+				Err: fmt.Errorf("resident input partition %d was lost and the producing job was not checkpointed (Config.CheckpointEvery)", p)}
+		}
+		target := owners[p]
+		frame := []byte{byte(remote.MsgSeed)}
+		frame = remote.AppendUvarint(frame, seq)
+		frame = remote.AppendUvarint(frame, uint64(p))
+		frame = remote.AppendUvarint(frame, uint64(m.counts[p]))
+		frame = append(frame, m.blobs[p]...)
+		seeds = append(seeds, seed{w: target, frame: frame})
+		m.loc[p] = target
+	}
+	cl.mu.Unlock()
+	for _, s := range seeds {
+		if err := cl.conns[s.w].WriteFrame(s.frame); err != nil {
+			cl.markDead(s.w, err)
+			return 0, &WorkerLostError{Worker: s.w, Job: name,
+				Err: fmt.Errorf("re-seeding recovered partition: %w", err)}
+		}
+	}
+	if n := int64(len(seeds)); n > 0 {
+		cl.reseeded.Add(n)
+	}
+	return len(seeds), nil
+}
+
+// residencySnapshot copies job seq's partition locations, for a fetch
+// that must know which worker should stream each partition (a stale
+// seed on a worker that lost the partition again must not shadow the
+// current owner's copy). nil when the job has no residency record.
+func (cl *DistCluster) residencySnapshot(seq uint64) []int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	m := cl.residency[seq]
+	if m == nil {
+		return nil
+	}
+	return append([]int(nil), m.loc...)
+}
+
+// canRestore reports whether job seq's resident output could still be
+// reconstructed in full: the cluster is healthy with at least one live
+// worker, and every partition either lives on a live worker or has a
+// checkpoint mirror. This is Loop's replay test — it decides whether
+// re-running a round from its entry state can possibly succeed.
+func (cl *DistCluster) canRestore(seq uint64) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.broken != nil || cl.closed {
+		return false
+	}
+	live := 0
+	for w := range cl.conns {
+		if !cl.deadLocked(w) {
+			live++
+		}
+	}
+	if live == 0 {
+		return false
+	}
+	m := cl.residency[seq]
+	if m == nil {
+		return false
+	}
+	for p, w := range m.loc {
+		if cl.deadLocked(w) && (m.blobs == nil || (m.blobs[p] == nil && m.counts[p] > 0)) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkpointNext applies the Config.CheckpointEvery throttle: whether
+// the next retained job output should be checkpointed.
+func (cl *DistCluster) checkpointNext(every int) bool {
+	if every < 0 {
+		return false
+	}
+	if every == 0 {
+		every = 1
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.retained%uint64(every) == 0
+}
+
+// noteRetained counts one successfully retained job output.
+func (cl *DistCluster) noteRetained() {
+	cl.mu.Lock()
+	cl.retained++
+	cl.mu.Unlock()
+}
+
+// RecoveryStats reports the cluster's cumulative recovery activity:
+// workers lost, job attempts retried after a loss, and partitions
+// restored from the checkpoint mirror.
+func (cl *DistCluster) RecoveryStats() (lost int, recoveries, reseeded int64) {
+	cl.mu.Lock()
+	for w := range cl.conns {
+		if cl.deadLocked(w) {
+			lost++
+		}
+	}
+	cl.mu.Unlock()
+	return lost, cl.recoveries.Load(), cl.reseeded.Load()
+}
+
+// KillWorker SIGKILLs the i-th spawned worker process — demo and test
+// instrumentation for the recovery path. Only meaningful for clusters
+// started with Spawn.
+func (cl *DistCluster) KillWorker(i int) error {
+	if i < 0 || i >= len(cl.procs) {
+		return fmt.Errorf("mapreduce: no spawned worker %d", i)
+	}
+	return cl.procs[i].Process.Kill()
+}
+
+// InjectFault arms a deterministic transport fault on the coordinator's
+// connection to worker w (see remote.Fault). Severing that connection
+// is indistinguishable from the worker dying mid-stream, which makes
+// every recovery path reproducible in-process by seed.
+func (cl *DistCluster) InjectFault(w int, f *remote.Fault) error {
+	if w < 0 || w >= len(cl.conns) {
+		return fmt.Errorf("mapreduce: no dist worker %d", w)
+	}
+	cl.conns[w].Arm(f)
+	return nil
+}
+
 // bytesInOut sums the transport byte counters over all connections.
 func (cl *DistCluster) bytesInOut() (in, out int64) {
 	for _, c := range cl.conns {
@@ -218,7 +733,9 @@ func (cl *DistCluster) bytesInOut() (in, out int64) {
 }
 
 // Close dismisses the workers (best effort), closes the connections,
-// and reaps any spawned worker processes.
+// and reaps any spawned worker processes. Workers that died and were
+// recovered from do not surface exit errors here — their loss was
+// already part of the computation's story.
 func (cl *DistCluster) Close() error {
 	cl.mu.Lock()
 	if cl.closed {
@@ -227,16 +744,27 @@ func (cl *DistCluster) Close() error {
 	}
 	cl.closed = true
 	healthy := cl.broken == nil
+	reportExits := healthy && !cl.sawDeath
+	dead := append([]bool(nil), cl.dead...)
+	late := cl.late
+	cl.late = nil
 	cl.mu.Unlock()
-	for _, c := range cl.conns {
-		if healthy {
+	if cl.ln != nil {
+		cl.ln.Close()
+	}
+	for w, c := range cl.conns {
+		if healthy && (w >= len(dead) || !dead[w]) {
 			c.WriteFrame([]byte{byte(remote.MsgBye)})
 		}
 		c.Close()
 	}
+	for _, c := range late {
+		c.WriteFrame([]byte{byte(remote.MsgBye)})
+		c.Close()
+	}
 	var err error
 	for _, cmd := range cl.procs {
-		if werr := cmd.Wait(); werr != nil && healthy && err == nil {
+		if werr := cmd.Wait(); werr != nil && reportExits && err == nil {
 			err = fmt.Errorf("mapreduce: dist worker exited: %w", werr)
 		}
 	}
@@ -259,11 +787,24 @@ type distJobHeader struct {
 	splits     int
 	reducers   int
 	wantOutput bool
-	inputSeq   uint64
+	// ckpt asks the workers to checkpoint their retained output at the
+	// flush barrier: persist it to a local run file and stream a mirror
+	// copy (MsgCkpt) to the coordinator before MsgJobDone.
+	ckpt     bool
+	inputSeq uint64
+	// owners is the job's partition→worker assignment, one entry per
+	// reduce partition. Carried in the header (rather than derived from
+	// the worker count) so a recovered cluster can hand a dead worker's
+	// partitions to survivors without moving anyone else's.
+	owners     []int
 	k2id, v2id string
 	k3id, v3id string
 	params     []byte
 }
+
+// owner returns the worker index that owns partition p under this job's
+// assignment.
+func (h *distJobHeader) owner(p int) int { return h.owners[p] }
 
 func (h *distJobHeader) encode() []byte {
 	buf := []byte{byte(remote.MsgJobStart)}
@@ -277,7 +818,16 @@ func (h *distJobHeader) encode() []byte {
 	} else {
 		buf = append(buf, 0)
 	}
+	if h.ckpt {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
 	buf = remote.AppendUvarint(buf, h.inputSeq)
+	buf = remote.AppendUvarint(buf, uint64(len(h.owners)))
+	for _, w := range h.owners {
+		buf = remote.AppendUvarint(buf, uint64(w))
+	}
 	buf = remote.AppendString(buf, h.k2id)
 	buf = remote.AppendString(buf, h.v2id)
 	buf = remote.AppendString(buf, h.k3id)
@@ -296,7 +846,16 @@ func parseJobHeader(cur *remote.Cursor) (*distJobHeader, error) {
 	h.splits = int(cur.Uvarint())
 	h.reducers = int(cur.Uvarint())
 	h.wantOutput = cur.Byte() != 0
+	h.ckpt = cur.Byte() != 0
 	h.inputSeq = cur.Uvarint()
+	nOwners := int(cur.Uvarint())
+	if nOwners != h.reducers || nOwners > len(cur.Rest()) {
+		return nil, fmt.Errorf("mapreduce: malformed job-start: %d owners for %d partitions", nOwners, h.reducers)
+	}
+	h.owners = make([]int, nOwners)
+	for i := range h.owners {
+		h.owners[i] = int(cur.Uvarint())
+	}
 	h.k2id = cur.String()
 	h.v2id = cur.String()
 	h.k3id = cur.String()
@@ -384,32 +943,50 @@ type distWorkerReport struct {
 	counters   map[string]int64
 }
 
-// distJobRun is the coordinator's state for one in-flight job.
+// distJobRun is the coordinator's state for one job attempt.
+//
+// Recovery protocol: a worker death during the attempt (a transport
+// error on its connection, observed by a reader or a writer) marks the
+// worker dead and initiates an abort — MsgAbort to every survivor, each
+// of which abandons the job, drops anything retained under its sequence
+// number, and acknowledges with MsgAborted, the last frame it sends for
+// that sequence. Readers discard everything up to the ack, so the wire
+// is quiet when finish returns the latched WorkerLostError and the
+// retry loop (runDistFlat/runDistDS) re-announces the job with a
+// reassigned partition map. Only worker death aborts; a user-function
+// error or malformed frame still breaks the cluster (fail-fast), since
+// retrying a deterministic failure cannot help.
 type distJobRun[K2 comparable, V2 any, K3 comparable, V3 any] struct {
-	cl       *DistCluster
-	hdr      *distJobHeader
-	k2c      spillCodec[K2]
-	v2c      spillCodec[V2]
-	k3c      spillCodec[K3]
-	v3c      spillCodec[V3]
-	bytesIn0 int64
+	cl        *DistCluster
+	hdr       *distJobHeader
+	k2c       spillCodec[K2]
+	v2c       spillCodec[V2]
+	k3c       spillCodec[K3]
+	v3c       spillCodec[V3]
+	bytesIn0  int64
 	bytesOut0 int64
+	// live is the set of workers alive at the announce — the workers
+	// that received MsgJobStart and owe a MsgJobDone (or MsgAborted).
+	live []int
 
-	mu      sync.Mutex
-	outs    [][]Pair[K3, V3]
-	reports []distWorkerReport
+	mu        sync.Mutex
+	outs      [][]Pair[K3, V3]
+	reports   []distWorkerReport
+	loss      *WorkerLostError
+	ckptBlobs [][]byte
 
 	mapDones  atomic.Int64
+	aborting  atomic.Bool
 	flushOnce sync.Once
 	flushErr  error
 	records   atomic.Int64
 }
 
-// startDistJob resolves the four codecs, announces the job to every
-// worker, and starts one reader goroutine per connection. done receives
-// the readers' first error (nil on success) exactly once.
+// startDistJob resolves the four codecs, snapshots the live worker set
+// and the partition assignment into the job header, and announces the
+// job to every live worker.
 func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
-	cfg Config, mode remote.JobMode, splits int, inputSeq uint64, wantOutput bool,
+	cfg Config, mode remote.JobMode, splits int, inputSeq uint64, wantOutput, ckpt bool,
 ) (*distJobRun[K2, V2, K3, V3], error) {
 	cl := cfg.Dist
 	if cl == nil {
@@ -434,6 +1011,10 @@ func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: dist output value codec: %w", err)
 	}
+	live := cl.liveWorkers()
+	if len(live) == 0 {
+		return nil, &WorkerLostError{Worker: -1, Job: cfg.Name, Err: errors.New("no live workers")}
+	}
 	j := &distJobRun[K2, V2, K3, V3]{
 		cl: cl,
 		hdr: &distJobHeader{
@@ -443,7 +1024,9 @@ func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
 			splits:     splits,
 			reducers:   cfg.reducers(),
 			wantOutput: wantOutput,
+			ckpt:       ckpt,
 			inputSeq:   inputSeq,
+			owners:     cl.ownersFor(cfg.reducers()),
 			k2id:       distTypeID[K2](),
 			v2id:       distTypeID[V2](),
 			k3id:       distTypeID[K3](),
@@ -451,6 +1034,7 @@ func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
 			params:     cfg.DistParams,
 		},
 		k2c: k2c, v2c: v2c, k3c: k3c, v3c: v3c,
+		live:    live,
 		outs:    make([][]Pair[K3, V3], cfg.reducers()),
 		reports: make([]distWorkerReport, cl.Workers()),
 	}
@@ -458,41 +1042,162 @@ func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
 	j.bytesIn0, j.bytesOut0 = cl.lastIn, cl.lastOut
 	cl.mu.Unlock()
 	frame := j.hdr.encode()
-	for _, c := range cl.conns {
-		if err := c.WriteFrame(frame); err != nil {
-			err = fmt.Errorf("mapreduce: dist job %q: announcing to worker: %w", cfg.Name, err)
-			cl.fail(err)
-			return nil, err
+	var started []int
+	for _, w := range live {
+		if err := cl.conns[w].WriteFrame(frame); err != nil {
+			return nil, j.announceFailed(started, w, err)
 		}
+		started = append(started, w)
 	}
 	return j, nil
 }
 
+// announceFailed handles a worker death during the job announce, before
+// any reader goroutine exists: classify the death (a parting MsgError is
+// a deterministic failure and breaks the cluster), then synchronously
+// abort the workers that already received the announce so the retry
+// starts from a quiet wire.
+func (j *distJobRun[K2, V2, K3, V3]) announceFailed(started []int, w int, cause error) error {
+	if j.cl.noteDead(w) {
+		if msg := j.cl.drainFatal(w); msg != "" {
+			err := fmt.Errorf("mapreduce: dist job %q: worker %d: %s", j.hdr.name, w, msg)
+			j.cl.conns[w].Close()
+			j.cl.fail(err)
+			return err
+		}
+		j.cl.conns[w].Close()
+	}
+	j.setLoss(w, cause)
+	frame := remote.AppendUvarint([]byte{byte(remote.MsgAbort)}, j.hdr.seq)
+	for _, sw := range started {
+		if j.cl.isDead(sw) {
+			continue
+		}
+		c := j.cl.conns[sw]
+		c.SetReadDeadline(time.Now().Add(distAbortTimeout))
+		if err := c.WriteFrame(frame); err != nil {
+			j.cl.markDead(sw, err)
+			continue
+		}
+		j.drainAborted(sw)
+		c.SetReadDeadline(time.Time{})
+	}
+	return j.lossErr()
+}
+
+// setLoss latches the first worker loss of the attempt.
+func (j *distJobRun[K2, V2, K3, V3]) setLoss(w int, cause error) {
+	j.mu.Lock()
+	if j.loss == nil {
+		j.loss = &WorkerLostError{Worker: w, Job: j.hdr.name, Err: cause}
+	}
+	j.mu.Unlock()
+}
+
+// lossErr returns the latched loss (never nil once a loss was set).
+func (j *distJobRun[K2, V2, K3, V3]) lossErr() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.loss == nil {
+		return &WorkerLostError{Worker: -1, Job: j.hdr.name, Err: errors.New("worker lost")}
+	}
+	return j.loss
+}
+
+// initiateAbort marks worker w dead, latches the loss, and — once per
+// attempt — tells every surviving worker to abandon the job. Each
+// survivor's connection gets a read deadline first: a worker that
+// neither acknowledges the abort nor dies within distAbortTimeout is
+// declared dead by timeout, so recovery cannot wedge on a stuck
+// survivor.
+func (j *distJobRun[K2, V2, K3, V3]) initiateAbort(w int, cause error) {
+	j.cl.markDead(w, cause)
+	j.setLoss(w, cause)
+	if !j.aborting.CompareAndSwap(false, true) {
+		return
+	}
+	frame := remote.AppendUvarint([]byte{byte(remote.MsgAbort)}, j.hdr.seq)
+	for _, lw := range j.live {
+		if j.cl.isDead(lw) {
+			continue
+		}
+		c := j.cl.conns[lw]
+		c.SetReadDeadline(time.Now().Add(distAbortTimeout))
+		if err := c.WriteFrame(frame); err != nil {
+			j.cl.markDead(lw, err)
+		}
+	}
+}
+
+// senderLost handles a write failure to worker w from a path with no
+// active reader on the connection (flat-mode bucket streaming): drain
+// for a deterministic parting error, then abort the attempt.
+func (j *distJobRun[K2, V2, K3, V3]) senderLost(w int, cause error) error {
+	if j.cl.noteDead(w) {
+		if msg := j.cl.drainFatal(w); msg != "" {
+			err := fmt.Errorf("mapreduce: dist job %q: worker %d: %s", j.hdr.name, w, msg)
+			j.cl.conns[w].Close()
+			j.cl.fail(err)
+			return err
+		}
+		j.cl.conns[w].Close()
+	}
+	j.initiateAbort(w, cause)
+	return j.lossErr()
+}
+
+// drainAborted reads worker w's frames until its MsgAborted ack (the
+// read deadline armed at abort time bounds the wait). Used for workers
+// whose reader already returned before the abort began.
+func (j *distJobRun[K2, V2, K3, V3]) drainAborted(w int) {
+	conn := j.cl.conns[w]
+	for {
+		payload, err := conn.ReadFrame()
+		if err != nil {
+			j.cl.markDead(w, err)
+			return
+		}
+		cur := remote.NewCursor(payload)
+		if remote.MsgType(cur.Byte()) == remote.MsgAborted {
+			return
+		}
+	}
+}
+
 // sendBucket encodes one bucket and streams it to the partition's
-// owner.
+// owner under the job's assignment.
 func (j *distJobRun[K2, V2, K3, V3]) sendBucket(split, part int, pairs []Pair[K2, V2]) error {
 	frame, err := encodeBucketFrame(j.hdr.seq, split, part, pairs, j.k2c, j.v2c)
 	if err != nil {
 		return fmt.Errorf("mapreduce: dist job %q: encoding bucket: %w", j.hdr.name, err)
 	}
-	owner := remote.Owner(part, j.cl.Workers())
+	owner := j.hdr.owner(part)
 	if err := j.cl.conns[owner].WriteFrame(frame); err != nil {
-		err = fmt.Errorf("mapreduce: dist job %q: streaming bucket to worker %d: %w", j.hdr.name, owner, err)
-		j.cl.fail(err)
-		return err
+		return j.senderLost(owner, fmt.Errorf("streaming bucket: %w", err))
 	}
 	j.records.Add(int64(len(pairs)))
 	return nil
 }
 
-// flushAll tells every worker that ingestion is sealed.
+// flushAll tells every live worker that ingestion is sealed. An abort
+// supersedes the flush: aborting workers are unblocked by MsgAbort
+// instead.
 func (j *distJobRun[K2, V2, K3, V3]) flushAll() error {
 	j.flushOnce.Do(func() {
+		if j.aborting.Load() {
+			j.flushErr = j.lossErr()
+			return
+		}
 		frame := remote.AppendUvarint([]byte{byte(remote.MsgFlush)}, j.hdr.seq)
-		for w, c := range j.cl.conns {
-			if err := c.WriteFrame(frame); err != nil {
-				j.flushErr = fmt.Errorf("mapreduce: dist job %q: flushing worker %d: %w", j.hdr.name, w, err)
-				j.cl.fail(j.flushErr)
+		for _, w := range j.live {
+			if j.cl.isDead(w) {
+				continue
+			}
+			if err := j.cl.conns[w].WriteFrame(frame); err != nil {
+				// The flush phase always has readers running; the dying
+				// worker's own reader surfaces any parting MsgError.
+				j.initiateAbort(w, fmt.Errorf("flushing: %w", err))
+				j.flushErr = j.lossErr()
 				return
 			}
 		}
@@ -508,13 +1213,28 @@ func (j *distJobRun[K2, V2, K3, V3]) flushAll() error {
 // MsgMapDone and the reader processes frames in order, once every
 // worker's MsgMapDone has been processed every relay has been delivered
 // — that is the barrier after which the flush is safe.
-func (j *distJobRun[K2, V2, K3, V3]) reader(w int) error {
+// readerOutcome is how one worker's reader goroutine ended. A non-nil
+// error from reader supersedes the outcome: it is a deterministic
+// failure (malformed frame, user error) that breaks the cluster.
+type readerOutcome int
+
+const (
+	// outcomeLost: the connection died (or the worker died during an
+	// abort) — the attempt is being aborted and may be retried.
+	outcomeLost readerOutcome = iota
+	// outcomeDone: the worker completed the job (MsgJobDone).
+	outcomeDone
+	// outcomeAborted: the worker acknowledged the abort.
+	outcomeAborted
+)
+
+func (j *distJobRun[K2, V2, K3, V3]) reader(w int) (readerOutcome, error) {
 	conn := j.cl.conns[w]
-	numWorkers := j.cl.Workers()
 	for {
 		payload, err := conn.ReadFrame()
 		if err != nil {
-			return fmt.Errorf("mapreduce: dist job %q: transport error from worker %d: %w", j.hdr.name, w, err)
+			j.initiateAbort(w, fmt.Errorf("transport error: %w", err))
+			return outcomeLost, nil
 		}
 		cur := remote.NewCursor(payload)
 		switch t := remote.MsgType(cur.Byte()); t {
@@ -524,11 +1244,17 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) error {
 			part := int(cur.Uvarint())
 			if err := cur.Err(); err != nil || seq != j.hdr.seq ||
 				part < 0 || part >= j.hdr.reducers {
-				return fmt.Errorf("mapreduce: dist job %q: malformed bucket relay from worker %d", j.hdr.name, w)
+				return 0, fmt.Errorf("mapreduce: dist job %q: malformed bucket relay from worker %d", j.hdr.name, w)
 			}
-			owner := remote.Owner(part, numWorkers)
+			if j.aborting.Load() {
+				continue // attempt is being torn down; drop the relay
+			}
+			owner := j.hdr.owner(part)
 			if err := j.cl.conns[owner].WriteFrame(payload); err != nil {
-				return fmt.Errorf("mapreduce: dist job %q: relaying bucket to worker %d: %w", j.hdr.name, owner, err)
+				// The relay target died, not this worker: abort the
+				// attempt but keep draining our own connection until the
+				// MsgAborted ack.
+				j.initiateAbort(owner, fmt.Errorf("relaying bucket: %w", err))
 			}
 		case remote.MsgMapDone:
 			cur.Uvarint() // seq
@@ -538,26 +1264,53 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) error {
 			rep.cross = int64(cur.Uvarint())
 			rep.mapWall = time.Duration(cur.Uvarint())
 			if err := cur.Err(); err != nil {
-				return fmt.Errorf("mapreduce: dist job %q: malformed map-done from worker %d", j.hdr.name, w)
+				return 0, fmt.Errorf("mapreduce: dist job %q: malformed map-done from worker %d", j.hdr.name, w)
 			}
-			if j.mapDones.Add(1) == int64(numWorkers) {
-				if err := j.flushAll(); err != nil {
-					return err
-				}
+			if j.aborting.Load() {
+				continue
+			}
+			if j.mapDones.Add(1) == int64(len(j.live)) {
+				// flushAll's only failure mode here is a worker loss that
+				// already initiated the abort; nothing more to do.
+				j.flushAll()
 			}
 		case remote.MsgReduced:
 			cur.Uvarint() // seq
 			part := int(cur.Uvarint())
 			count := int(cur.Uvarint())
 			if err := cur.Err(); err != nil || part < 0 || part >= len(j.outs) {
-				return fmt.Errorf("mapreduce: dist job %q: malformed reduce output from worker %d", j.hdr.name, w)
+				return 0, fmt.Errorf("mapreduce: dist job %q: malformed reduce output from worker %d", j.hdr.name, w)
+			}
+			if j.aborting.Load() {
+				continue
 			}
 			pairs, err := decodePairs(cur, count, j.k3c, j.v3c, make([]Pair[K3, V3], 0, pairCap(cur, count)))
 			if err != nil {
-				return fmt.Errorf("mapreduce: dist job %q: decoding partition %d: %w", j.hdr.name, part, err)
+				return 0, fmt.Errorf("mapreduce: dist job %q: decoding partition %d: %w", j.hdr.name, part, err)
 			}
 			j.mu.Lock()
 			j.outs[part] = pairs
+			j.mu.Unlock()
+		case remote.MsgCkpt:
+			seq := cur.Uvarint()
+			part := int(cur.Uvarint())
+			cur.Uvarint() // count
+			if err := cur.Err(); err != nil || seq != j.hdr.seq ||
+				part < 0 || part >= j.hdr.reducers {
+				return 0, fmt.Errorf("mapreduce: dist job %q: malformed checkpoint frame from worker %d", j.hdr.name, w)
+			}
+			if j.aborting.Load() {
+				continue
+			}
+			blob := cur.Rest()
+			if blob == nil {
+				blob = []byte{}
+			}
+			j.mu.Lock()
+			if j.ckptBlobs == nil {
+				j.ckptBlobs = make([][]byte, j.hdr.reducers)
+			}
+			j.ckptBlobs[part] = blob
 			j.mu.Unlock()
 		case remote.MsgJobDone:
 			cur.Uvarint() // seq
@@ -570,7 +1323,7 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) error {
 			for i := 0; i < nParts; i++ {
 				part := int(cur.Uvarint())
 				if part < 0 || part >= j.hdr.reducers {
-					return fmt.Errorf("mapreduce: dist job %q: job-done names partition %d of %d", j.hdr.name, part, j.hdr.reducers)
+					return 0, fmt.Errorf("mapreduce: dist job %q: job-done names partition %d of %d", j.hdr.name, part, j.hdr.reducers)
 				}
 				rep.counts[part] = int64(cur.Uvarint())
 			}
@@ -583,14 +1336,30 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) error {
 				}
 			}
 			if err := cur.Err(); err != nil {
-				return fmt.Errorf("mapreduce: dist job %q: malformed job-done from worker %d", j.hdr.name, w)
+				return 0, fmt.Errorf("mapreduce: dist job %q: malformed job-done from worker %d", j.hdr.name, w)
 			}
-			return nil
+			if j.aborting.Load() {
+				// The worker finished before seeing the abort; its
+				// MsgAborted ack is still coming. Keep reading so finish
+				// doesn't have to.
+				continue
+			}
+			return outcomeDone, nil
+		case remote.MsgAborted:
+			return outcomeAborted, nil
 		case remote.MsgError:
 			cur.Uvarint() // seq
-			return fmt.Errorf("mapreduce: dist job %q: worker %d: %s", j.hdr.name, w, cur.String())
+			msg := cur.String()
+			if j.aborting.Load() {
+				// A worker that errors while tearing down is as good as
+				// dead; the retry will surface any deterministic failure
+				// on a healthy attempt.
+				j.cl.markDead(w, fmt.Errorf("worker error during abort: %s", msg))
+				return outcomeLost, nil
+			}
+			return 0, fmt.Errorf("mapreduce: dist job %q: worker %d: %s", j.hdr.name, w, msg)
 		default:
-			return fmt.Errorf("mapreduce: dist job %q: unexpected %v from worker %d", j.hdr.name, t, w)
+			return 0, fmt.Errorf("mapreduce: dist job %q: unexpected %v from worker %d", j.hdr.name, t, w)
 		}
 	}
 }
@@ -602,19 +1371,23 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) error {
 // coins so injected-failure statistics match the local backends.
 func (j *distJobRun[K2, V2, K3, V3]) finish(ctx context.Context, cfg Config, stats *Stats, mapErr error) ([][]Pair[K3, V3], []int64, error) {
 	readErrs := make([]error, j.cl.Workers())
+	outcomes := make([]readerOutcome, j.cl.Workers())
 	var wg sync.WaitGroup
-	for w := range j.cl.conns {
+	for _, w := range j.live {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := j.reader(w); err != nil {
+			out, err := j.reader(w)
+			outcomes[w] = out
+			if err != nil {
 				readErrs[w] = err
-				// Break the cluster immediately: closing the
-				// connections unblocks the sibling readers, whose
-				// workers may be waiting on a flush that can no longer
-				// come. fail latches the first error, so the root cause
-				// wins over the cascade it triggers.
+				// A deterministic failure breaks the cluster
+				// immediately: closing the connections unblocks the
+				// sibling readers, whose workers may be waiting on a
+				// flush that can no longer come. fail latches the first
+				// error, so the root cause wins over the cascade it
+				// triggers.
 				j.cl.fail(err)
 			}
 		}()
@@ -636,9 +1409,14 @@ func (j *distJobRun[K2, V2, K3, V3]) finish(ctx context.Context, cfg Config, sta
 	}
 
 	if mapErr != nil {
-		// The coordinator's map phase failed: the workers are still
-		// waiting for buckets, so the cluster cannot be reused.
-		j.cl.fail(fmt.Errorf("mapreduce: dist job %q failed during map: %w", j.hdr.name, mapErr))
+		if !isWorkerLost(mapErr) {
+			// The coordinator's map phase failed deterministically: the
+			// workers are still waiting for buckets, so the cluster
+			// cannot be reused.
+			j.cl.fail(fmt.Errorf("mapreduce: dist job %q failed during map: %w", j.hdr.name, mapErr))
+		}
+		// A worker loss during the map phase already initiated the
+		// abort; the readers drain to their MsgAborted acks.
 	} else if j.hdr.mode == remote.ModeFlat {
 		// Flat jobs have no worker map phase: the coordinator sealed
 		// ingestion the moment its own map tasks finished.
@@ -649,9 +1427,24 @@ func (j *distJobRun[K2, V2, K3, V3]) finish(ctx context.Context, cfg Config, sta
 	wg.Wait()
 	close(watchDone)
 	watchWG.Wait()
-	if mapErr != nil {
-		return nil, nil, mapErr
+
+	if j.aborting.Load() {
+		// Workers whose reader returned on MsgJobDone before the abort
+		// began still owe a MsgAborted ack; collect it so the next
+		// attempt starts from a quiet wire (the abort-time read deadline
+		// bounds the wait), then clear the deadlines the abort armed.
+		for _, w := range j.live {
+			if outcomes[w] == outcomeDone && readErrs[w] == nil && !j.cl.isDead(w) {
+				j.drainAborted(w)
+			}
+		}
+		for _, w := range j.live {
+			if !j.cl.isDead(w) {
+				j.cl.conns[w].SetReadDeadline(time.Time{})
+			}
+		}
 	}
+
 	for _, err := range readErrs {
 		if err != nil {
 			// Return the first-latched error (the root cause), not
@@ -661,6 +1454,15 @@ func (j *distJobRun[K2, V2, K3, V3]) finish(ctx context.Context, cfg Config, sta
 			}
 			return nil, nil, err
 		}
+	}
+	if err := j.cl.Err(); err != nil {
+		return nil, nil, err
+	}
+	if j.aborting.Load() {
+		return nil, nil, j.lossErr()
+	}
+	if mapErr != nil {
+		return nil, nil, mapErr
 	}
 
 	// Aggregate the worker reports.
@@ -743,9 +1545,12 @@ func (s *distSender[K2, V2, K3, V3]) Finalize() ([]GroupStream[K2, V2], error) {
 
 func (s *distSender[K2, V2, K3, V3]) Close() error { return nil }
 
-// runDistFlat executes one flat job on the dist backend: local map
-// phase, buckets streamed to the workers, reduce output streamed back
-// and normalized exactly like Run.
+// runDistFlat executes one flat job on the dist backend, retrying the
+// whole job (a flat job's input lives on the coordinator, so a retry
+// needs no restoration) when an attempt dies to worker loss and
+// survivors remain. Each attempt runs against scratch stats; only the
+// successful attempt's numbers merge into the caller's, so retried work
+// is invisible everywhere except Stats.WorkerRecoveries.
 func runDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
 	ctx context.Context,
 	cfg Config,
@@ -753,8 +1558,35 @@ func runDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	mapFn MapFunc[K1, V1, K2, V2],
 	stats *Stats,
 ) ([]Pair[K3, V3], error) {
+	cl := cfg.Dist
+	for attempt := 0; ; attempt++ {
+		as := newStats(cfg.Name)
+		out, err := tryDistFlat[K1, V1, K2, V2, K3, V3](ctx, cfg, input, mapFn, as)
+		if err == nil {
+			as.WorkerRecoveries = int64(attempt)
+			stats.Add(as)
+			return out, nil
+		}
+		if cl == nil || !isWorkerLost(err) || !cl.retryAfterLoss(attempt) {
+			return nil, err
+		}
+		cl.recoveries.Add(1)
+		cl.recoverAssignments()
+	}
+}
+
+// tryDistFlat is one flat-job attempt: local map phase, buckets
+// streamed to the workers, reduce output streamed back and normalized
+// exactly like Run.
+func tryDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	input []Pair[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	stats *Stats,
+) ([]Pair[K3, V3], error) {
 	splits := splitRange(len(input), cfg.mappers())
-	job, err := startDistJob[K2, V2, K3, V3](cfg, remote.ModeFlat, len(splits), 0, true)
+	job, err := startDistJob[K2, V2, K3, V3](cfg, remote.ModeFlat, len(splits), 0, true, false)
 	if err != nil {
 		return nil, err
 	}
@@ -781,10 +1613,12 @@ func runDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	return all, nil
 }
 
-// runDistDS executes one Dataset job on the dist backend. Output stays
-// worker-resident (the returned Dataset holds a residency handle, not
-// records); a chained input that is itself worker-resident is mapped on
-// the workers, so self-addressed pairs never touch the wire.
+// runDistDS executes one Dataset job on the dist backend, retrying the
+// whole job when an attempt dies to worker loss. A worker-resident
+// input is restorable across attempts as long as every lost partition
+// has a coordinator-mirrored checkpoint blob (ensureResident re-seeds
+// it to the new owner); an input held on the coordinator needs no
+// restoration at all.
 func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
 	ctx context.Context,
 	cfg Config,
@@ -805,12 +1639,59 @@ func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 			return nil, err
 		}
 	}
+	// One checkpoint decision per job, not per attempt: a retried job
+	// checkpoints iff the original would have.
+	ckpt := cl.checkpointNext(cfg.CheckpointEvery)
+	for attempt := 0; ; attempt++ {
+		as := newStats(cfg.Name)
+		out, err := tryDistDS[K1, V1, K2, V2, K3, V3](ctx, cfg, input, mapFn, as, remoteChained, ckpt)
+		if err == nil {
+			as.WorkerRecoveries = int64(attempt)
+			stats.Add(as)
+			cl.noteRetained()
+			return out, nil
+		}
+		if !isWorkerLost(err) || !cl.retryAfterLoss(attempt) {
+			return nil, err
+		}
+		if remoteChained && !cl.canRestore(input.rem.seq) {
+			// The input itself lost partitions that were never
+			// checkpointed; engine-level retry cannot reconstruct them.
+			// Loop-level replay (Dataset.Loop) may still recover from the
+			// round boundary.
+			return nil, err
+		}
+		cl.recoveries.Add(1)
+		cl.recoverAssignments()
+	}
+}
 
+// tryDistDS is one Dataset-job attempt. Output stays worker-resident
+// (the returned Dataset holds a residency handle, not records); a
+// chained input that is itself worker-resident is mapped on the
+// workers, so self-addressed pairs never touch the wire.
+func tryDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 any](
+	ctx context.Context,
+	cfg Config,
+	input *Dataset[K1, V1],
+	mapFn MapFunc[K1, V1, K2, V2],
+	stats *Stats,
+	remoteChained, ckpt bool,
+) (*Dataset[K3, V3], error) {
+	cl := cfg.Dist
 	var job *distJobRun[K2, V2, K3, V3]
 	var err error
 	phase := time.Now()
 	if remoteChained {
-		job, err = startDistJob[K2, V2, K3, V3](cfg, remote.ModeChained, input.Partitions(), input.rem.seq, false)
+		// Re-seed any input partition whose owner died: stream the
+		// mirrored checkpoint blob to the partition's new owner before
+		// announcing the job that consumes it.
+		reseeded, err := cl.ensureResident(input.rem.seq, cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		stats.ReseededPartitions = int64(reseeded)
+		job, err = startDistJob[K2, V2, K3, V3](cfg, remote.ModeChained, input.Partitions(), input.rem.seq, false, ckpt)
 		if err != nil {
 			return nil, err
 		}
@@ -821,7 +1702,7 @@ func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 		ar := arenaFor[K2, V2](cfg.Pool, cfg.reducers())
 		var mapErr error
 		if chained {
-			job, err = startDistJob[K2, V2, K3, V3](cfg, remote.ModeFlat, input.Partitions(), 0, false)
+			job, err = startDistJob[K2, V2, K3, V3](cfg, remote.ModeFlat, input.Partitions(), 0, false, ckpt)
 			if err != nil {
 				return nil, err
 			}
@@ -830,7 +1711,7 @@ func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 		} else {
 			flat := input.Collect()
 			splits := splitRange(len(flat), cfg.mappers())
-			job, err = startDistJob[K2, V2, K3, V3](cfg, remote.ModeFlat, len(splits), 0, false)
+			job, err = startDistJob[K2, V2, K3, V3](cfg, remote.ModeFlat, len(splits), 0, false, ckpt)
 			if err != nil {
 				return nil, err
 			}
@@ -844,6 +1725,7 @@ func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 		if err != nil {
 			return nil, err
 		}
+		cl.registerResident(job.hdr.seq, job.hdr.owners, counts, job.takeCkptBlobs())
 		return newRemoteDataset[K3, V3](cl, job.hdr.seq, counts, keyCast[K2, K3]() != nil, cfg.Pool), nil
 	}
 	_, counts, err := job.finish(ctx, cfg, stats, nil)
@@ -852,7 +1734,18 @@ func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 	if err != nil {
 		return nil, err
 	}
+	cl.registerResident(job.hdr.seq, job.hdr.owners, counts, job.takeCkptBlobs())
 	return newRemoteDataset[K3, V3](cl, job.hdr.seq, counts, keyCast[K2, K3]() != nil, cfg.Pool), nil
+}
+
+// takeCkptBlobs hands the attempt's mirrored checkpoint frames to the
+// residency registry (nil when the job didn't checkpoint).
+func (j *distJobRun[K2, V2, K3, V3]) takeCkptBlobs() [][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	blobs := j.ckptBlobs
+	j.ckptBlobs = nil
+	return blobs
 }
 
 // distResident is a Dataset's residency handle: which cluster and job
@@ -898,36 +1791,69 @@ func (d *Dataset[K, V]) Materialize() error {
 		return fmt.Errorf("mapreduce: materializing dataset: %w", err)
 	}
 	fetch := remote.AppendUvarint([]byte{byte(remote.MsgFetch)}, rem.seq)
-	// One fetch per connection, concurrently: the workers own disjoint
-	// partitions and each connection has its own reader, so the
+	// One fetch per live connection, concurrently: the workers own
+	// disjoint partitions and each connection has its own reader, so the
 	// materialization wall is the slowest worker's transfer, not the
 	// sum — this sits on the per-round critical path of every algorithm
-	// that folds job output driver-side.
+	// that folds job output driver-side. loc filters stale copies: after
+	// a recovery a partition may exist on both its old owner (a seed
+	// that was reassigned again) and its current one; only the current
+	// owner's copy is accepted.
+	loc := rem.cl.residencySnapshot(rem.seq)
+	live := rem.cl.liveWorkers()
 	errs := make([]error, len(rem.cl.conns))
 	var wg sync.WaitGroup
-	for w, conn := range rem.cl.conns {
-		w, conn := w, conn
+	for _, w := range live {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := d.fetchFrom(conn, fetch, kc, vc); err != nil {
+			if err := d.fetchFrom(rem.cl.conns[w], w, loc, fetch, kc, vc); err != nil {
 				errs[w] = fmt.Errorf("mapreduce: fetching resident partitions from worker %d: %w", w, err)
-				rem.cl.fail(errs[w])
+				rem.cl.markDead(w, errs[w])
 			}
 		}()
 	}
 	wg.Wait()
+	var lost error
 	for _, err := range errs {
 		if err != nil {
-			return err
+			lost = &WorkerLostError{Worker: -1, Job: "materialize", Err: err}
+			break
 		}
 	}
+	// Fill the holes — partitions owned by a worker that died before or
+	// during the fetch — from the coordinator's checkpoint mirror. The
+	// mirror blob is the canonical encodePairs image, so the decoded
+	// partition is bit-identical to the lost copy.
+	for p := range d.parts {
+		if d.parts[p] != nil || p >= len(rem.counts) || rem.counts[p] == 0 {
+			continue
+		}
+		blob, ok := rem.cl.mirrorPart(rem.seq, p)
+		if !ok || blob == nil {
+			if lost != nil {
+				return lost
+			}
+			return fmt.Errorf("mapreduce: materializing dataset: partition %d lost without a checkpoint", p)
+		}
+		n := int(rem.counts[p])
+		cur := remote.NewCursor(blob)
+		pairs, err := decodePairs(cur, n, kc, vc, make([]Pair[K, V], 0, n))
+		if err != nil {
+			return fmt.Errorf("mapreduce: materializing dataset: restoring partition %d from checkpoint: %w", p, err)
+		}
+		d.parts[p] = pairs
+	}
+	rem.cl.forgetResident(rem.seq)
 	d.rem = nil
 	return nil
 }
 
 // fetchFrom drains one worker's resident partitions for this dataset.
-func (d *Dataset[K, V]) fetchFrom(conn *remote.Conn, fetch []byte, kc spillCodec[K], vc spillCodec[V]) error {
+// loc (the cluster's residency map, nil when unknown) gates acceptance:
+// only the current owner's copy of a partition is installed.
+func (d *Dataset[K, V]) fetchFrom(conn *remote.Conn, w int, loc []int, fetch []byte, kc spillCodec[K], vc spillCodec[V]) error {
 	if err := conn.WriteFrame(fetch); err != nil {
 		return err
 	}
@@ -944,6 +1870,9 @@ func (d *Dataset[K, V]) fetchFrom(conn *remote.Conn, fetch []byte, kc spillCodec
 			count := int(cur.Uvarint())
 			if err := cur.Err(); err != nil || part < 0 || part >= len(d.parts) {
 				return fmt.Errorf("malformed resident partition frame")
+			}
+			if loc != nil && part < len(loc) && loc[part] != w {
+				continue // stale copy from a previous assignment
 			}
 			pairs, err := decodePairs(cur, count, kc, vc, make([]Pair[K, V], 0, pairCap(cur, count)))
 			if err != nil {
@@ -971,19 +1900,23 @@ func (d *Dataset[K, V]) mustMaterialize() {
 }
 
 // dropResident releases a worker-resident Dataset's partitions on the
-// workers (Recycle's remote half). Best effort: a transport failure here
-// breaks the cluster, and the next job reports it.
+// workers (Recycle's remote half). Best effort: a worker that cannot be
+// told is marked dead (its copy dies with it), and the coordinator's
+// mirror is forgotten unconditionally.
 func (d *Dataset[K, V]) dropResident() {
 	rem := d.rem
 	d.rem = nil
-	if rem == nil || rem.cl.Err() != nil {
+	if rem == nil {
+		return
+	}
+	rem.cl.forgetResident(rem.seq)
+	if rem.cl.Err() != nil {
 		return
 	}
 	frame := remote.AppendUvarint([]byte{byte(remote.MsgDrop)}, rem.seq)
-	for w, conn := range rem.cl.conns {
-		if err := conn.WriteFrame(frame); err != nil {
-			rem.cl.fail(fmt.Errorf("mapreduce: dropping resident dataset on worker %d: %w", w, err))
-			return
+	for _, w := range rem.cl.liveWorkers() {
+		if err := rem.cl.conns[w].WriteFrame(frame); err != nil {
+			rem.cl.markDead(w, fmt.Errorf("mapreduce: dropping resident dataset on worker %d: %w", w, err))
 		}
 	}
 }

@@ -239,8 +239,10 @@ func TestDistChainedMapErrorSurfaces(t *testing.T) {
 
 // TestDistWorkerDisconnectMidShuffle simulates a worker vanishing while
 // buckets stream: a rogue peer completes the handshake, reads the job
-// start, then hangs up. Run must return a transport error promptly —
-// no goroutine may keep waiting on the flush barrier.
+// start, then hangs up. The coordinator must recover — abort the round,
+// reassign the rogue's partitions to the survivor, and replay — so the
+// job completes bit-identical to the memory backend, with nothing left
+// waiting on the flush barrier.
 func TestDistWorkerDisconnectMidShuffle(t *testing.T) {
 	var wg sync.WaitGroup
 	cl, err := StartDistCluster(2, DistClusterOptions{
@@ -277,25 +279,45 @@ func TestDistWorkerDisconnectMidShuffle(t *testing.T) {
 
 	cfg := distCfg(cl, "eq-int32")
 	cfg.Reducers = 4
-	done := make(chan error, 1)
+	type result struct {
+		out []Pair[int32, int64]
+		err error
+	}
+	done := make(chan result, 1)
 	go func() {
-		_, _, err := Run(context.Background(), cfg, int32Input(), int32Map, int32Reduce)
-		done <- err
+		out, _, err := Run(context.Background(), cfg, int32Input(), int32Map, int32Reduce)
+		done <- result{out, err}
 	}()
+	var got []Pair[int32, int64]
 	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("worker disconnect yielded a clean run")
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("worker disconnect not recovered: %v", r.err)
 		}
+		got = r.out
 	case <-time.After(30 * time.Second):
 		t.Fatal("worker disconnect hung the job")
+	}
+
+	want, _, err := Run(context.Background(),
+		Config{Mappers: 4, Reducers: 4, Name: "eq-int32"},
+		int32Input(), int32Map, int32Reduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered run diverges from memory backend")
+	}
+	if lost, retried, _ := cl.RecoveryStats(); lost < 1 || retried < 1 {
+		t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", lost, retried)
 	}
 }
 
 // TestDistKilledWorkerProcess is the end-to-end kill test: two real
 // worker processes (this test binary re-executed via MR_DIST_TEST_WORKER),
-// one SIGKILLed mid-job. Run must surface a transport error, not hang,
-// and the cluster must refuse further jobs.
+// one SIGKILLed mid-job. The run must complete on the survivor with
+// output bit-identical to the memory backend, and the cluster must keep
+// accepting jobs afterwards.
 func TestDistKilledWorkerProcess(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns worker processes")
@@ -323,24 +345,91 @@ func TestDistKilledWorkerProcess(t *testing.T) {
 		cl.procs[0].Process.Kill()
 	}()
 	cfg := distCfg(cl, "slow-reduce")
-	done := make(chan error, 1)
-	slowJob := func() error {
-		_, _, err := Run(context.Background(), cfg, ringInput(),
-			Identity[int32, int64](), ringReduce)
-		return err
+	type result struct {
+		out []Pair[int32, int64]
+		err error
 	}
-	go func() { done <- slowJob() }()
+	done := make(chan result, 1)
+	slowJob := func() ([]Pair[int32, int64], error) {
+		out, _, err := Run(context.Background(), cfg, ringInput(),
+			Identity[int32, int64](), ringReduce)
+		return out, err
+	}
+	go func() {
+		out, err := slowJob()
+		done <- result{out, err}
+	}()
+	var got []Pair[int32, int64]
 	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("killed worker yielded a clean run")
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("killed worker not recovered: %v", r.err)
 		}
-		t.Logf("killed worker surfaced: %v", err)
+		got = r.out
 	case <-time.After(60 * time.Second):
 		t.Fatal("killed worker hung the job")
 	}
-	if err := slowJob(); err == nil {
-		t.Fatal("broken cluster accepted another job")
+
+	// The registered "slow-reduce" emits (key, group size); mirror it on
+	// the memory backend for the bit-identity check.
+	want, _, err := Run(context.Background(),
+		Config{Mappers: 4, Reducers: 3, Name: "slow-reduce"},
+		ringInput(), Identity[int32, int64](),
+		func(k int32, vs []int64, out Emitter[int32, int64]) error {
+			out.Emit(k, int64(len(vs)))
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered run diverges from memory backend")
+	}
+	if lost, retried, _ := cl.RecoveryStats(); lost < 1 || retried < 1 {
+		t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", lost, retried)
+	}
+
+	// The cluster latched the round, not itself: it must still run jobs
+	// on the survivor.
+	if _, err := slowJob(); err != nil {
+		t.Fatalf("recovered cluster rejected a follow-up job: %v", err)
+	}
+}
+
+// TestDistStartupStalledHandshake pins the handshake deadline: a spawn
+// that connects and then wedges before sending its hello must fail
+// StartDistCluster at Timeout, not hang it forever.
+func TestDistStartupStalledHandshake(t *testing.T) {
+	quit := make(chan struct{})
+	t.Cleanup(func() { close(quit) })
+	done := make(chan error, 1)
+	go func() {
+		cl, err := StartDistCluster(1, DistClusterOptions{
+			Timeout: 1 * time.Second,
+			OnListen: func(addr string) {
+				go func() { // wedged worker: dials, then goes silent
+					nc, err := net.Dial("tcp", addr)
+					if err != nil {
+						return
+					}
+					defer nc.Close()
+					<-quit
+				}()
+			},
+		})
+		if err == nil {
+			cl.Close()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled handshake produced a cluster")
+		}
+		t.Logf("stalled handshake surfaced: %v", err)
+	case <-time.After(15 * time.Second):
+		t.Fatal("stalled handshake hung StartDistCluster")
 	}
 }
 

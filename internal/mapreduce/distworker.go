@@ -143,6 +143,62 @@ func (r *residentData[K, V]) drop() {
 	r.parts = nil
 }
 
+// chainedInput resolves a chained job's worker-resident input,
+// installing any re-seeded partitions (MsgSeed blobs held by the
+// session) first. A worker that retained nothing for the sequence — a
+// late joiner, or a survivor that only now inherited partitions —
+// starts from an empty set and fills it from its seeds.
+func chainedInput[K1 comparable, V1 any](s *workerSession, h *distJobHeader) (*residentData[K1, V1], error) {
+	ent, ok := s.resident[h.inputSeq]
+	var rd *residentData[K1, V1]
+	if ok {
+		rd, ok = ent.(*residentData[K1, V1])
+		if !ok {
+			return nil, fmt.Errorf("job %q: resident input %d has a different type", h.name, h.inputSeq)
+		}
+	} else {
+		kc, err := resolveSpillCodec[K1]()
+		if err != nil {
+			return nil, err
+		}
+		vc, err := resolveSpillCodec[V1]()
+		if err != nil {
+			return nil, err
+		}
+		rd = &residentData[K1, V1]{
+			parts: make([][]Pair[K1, V1], h.splits),
+			kc:    kc, vc: vc,
+			ar: arenaFor[K1, V1](s.pool, h.splits),
+		}
+		s.resident[h.inputSeq] = rd
+	}
+	for part, sb := range s.seeds[h.inputSeq] {
+		if part >= len(rd.parts) {
+			return nil, fmt.Errorf("job %q: seed for partition %d of %d", h.name, part, len(rd.parts))
+		}
+		if rd.parts[part] != nil {
+			continue // the local copy is authoritative
+		}
+		pairs, err := decodePairs(remote.NewCursor(sb.blob), sb.count, rd.kc, rd.vc,
+			rd.ar.getPairs(part, sb.count))
+		if err != nil {
+			return nil, fmt.Errorf("job %q: decoding seeded partition %d: %w", h.name, part, err)
+		}
+		rd.parts[part] = pairs
+	}
+	delete(s.seeds, h.inputSeq)
+	return rd, nil
+}
+
+// seedBlob is one re-seeded partition awaiting its consuming job: the
+// raw encodePairs image the coordinator mirrored from a checkpoint
+// frame, decoded lazily when the chained job that reads it starts (the
+// session doesn't know the partition's types until then).
+type seedBlob struct {
+	count int
+	blob  []byte
+}
+
 // workerSession is one worker process's connection-lifetime state.
 type workerSession struct {
 	conn     *remote.Conn
@@ -150,10 +206,54 @@ type workerSession struct {
 	workers  int
 	pool     *BufferPool
 	resident map[uint64]residentSet
+	// seeds holds re-seeded partitions by producing-job sequence, then
+	// partition (MsgSeed, sent ahead of the job that consumes them).
+	seeds map[uint64]map[int]seedBlob
+	// aborted records job sequences this session acknowledged an abort
+	// for: bucket/flush frames already in flight for those sequences
+	// keep arriving after the MsgAborted ack and must be ignored, not
+	// treated as protocol errors. Bounded by the number of worker
+	// deaths the cluster survives.
+	aborted map[uint64]bool
+	// Checkpoint run files (lazy, opt-in): ckptDir is where they go.
+	// Empty disables them — the coordinator's MsgCkpt mirror alone
+	// carries recovery, and the per-round file metadata traffic would
+	// tax every small round for a copy nothing reads by default.
+	ckpt    *checkpointWriter
+	ckptDir string
 }
 
-// owns reports whether this worker owns reduce partition p.
-func (s *workerSession) owns(p int) bool { return remote.Owner(p, s.workers) == s.id }
+// errJobAborted is the sentinel a job handler returns when the
+// coordinator aborted the job mid-flight: the session acked the abort
+// and is ready for the next announce — not an error.
+var errJobAborted = fmt.Errorf("dist job aborted by coordinator")
+
+// ackAbort records the aborted sequence and sends the MsgAborted ack —
+// the last frame this session emits for that sequence.
+func (s *workerSession) ackAbort(seq uint64) error {
+	s.aborted[seq] = true
+	return s.conn.WriteFrame(remote.AppendUvarint([]byte{byte(remote.MsgAborted)}, seq))
+}
+
+// checkpointTo returns the session's run-file writer, or nil when the
+// session has no checkpoint directory (the default): local run files
+// are the operator's opt-in durable copy, the coordinator's mirror is
+// what recovery actually restores from.
+func (s *workerSession) checkpointTo() *checkpointWriter {
+	if s.ckpt == nil && s.ckptDir != "" {
+		s.ckpt = newCheckpointWriter(s.ckptDir)
+	}
+	return s.ckpt
+}
+
+// DistWorkerOptions tunes one worker session (ServeDistWorkerOpts).
+type DistWorkerOptions struct {
+	// CheckpointDir, when set, makes the session additionally persist
+	// its checkpoint frames as local run files there (a durable,
+	// operator-inspectable copy). Empty — the default — keeps
+	// checkpoints mirror-only on the coordinator.
+	CheckpointDir string
+}
 
 // ServeDistWorker connects to a coordinator and serves jobs until the
 // coordinator says goodbye (clean nil return) or the session fails. It
@@ -161,6 +261,11 @@ func (s *workerSession) owns(p int) bool { return remote.Owner(p, s.workers) == 
 // worker mode — and is equally happy on a goroutine for in-process
 // tests. Cancelling ctx closes the connection and ends the session.
 func ServeDistWorker(ctx context.Context, addr string) error {
+	return ServeDistWorkerOpts(ctx, addr, DistWorkerOptions{})
+}
+
+// ServeDistWorkerOpts is ServeDistWorker with session options.
+func ServeDistWorkerOpts(ctx context.Context, addr string, opts DistWorkerOptions) error {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("mapreduce: dist worker dialing %s: %w", addr, err)
@@ -191,6 +296,9 @@ func ServeDistWorker(ctx context.Context, addr string) error {
 		workers:  workers,
 		pool:     NewBufferPool(),
 		resident: make(map[uint64]residentSet),
+		seeds:    make(map[uint64]map[int]seedBlob),
+		aborted:  make(map[uint64]bool),
+		ckptDir:  opts.CheckpointDir,
 	}
 	return s.serve()
 }
@@ -225,19 +333,70 @@ func (s *workerSession) serve() error {
 				return fmt.Errorf("mapreduce: dist worker: %w", err)
 			}
 			if err := runner.run(s, h); err != nil {
+				if err == errJobAborted {
+					continue // ack already sent; await the retry announce
+				}
 				s.sendError(h.seq, err)
 				return fmt.Errorf("mapreduce: dist worker: job %q: %w", h.name, err)
 			}
-		case remote.MsgFetch:
+		case remote.MsgSeed:
+			// A recovered partition, re-homed here ahead of the job that
+			// consumes it. Kept as the raw blob: the types arrive with
+			// that job's header.
 			seq := cur.Uvarint()
-			ent, ok := s.resident[seq]
-			if !ok {
-				err := fmt.Errorf("fetch of unknown resident job %d", seq)
+			part := int(cur.Uvarint())
+			count := int(cur.Uvarint())
+			if err := cur.Err(); err != nil || part < 0 {
+				err := fmt.Errorf("malformed seed frame")
 				s.sendError(seq, err)
 				return fmt.Errorf("mapreduce: dist worker: %w", err)
 			}
-			delete(s.resident, seq)
-			if err := ent.fetch(s.conn, seq); err != nil {
+			blob := cur.Rest()
+			if blob == nil {
+				blob = []byte{}
+			}
+			m := s.seeds[seq]
+			if m == nil {
+				m = make(map[int]seedBlob)
+				s.seeds[seq] = m
+			}
+			m[part] = seedBlob{count: count, blob: blob}
+		case remote.MsgAbort:
+			// An abort can land between jobs when this worker finished
+			// (or never started) the aborted attempt: ack it and forget
+			// anything retained under that sequence.
+			seq := cur.Uvarint()
+			if ent, ok := s.resident[seq]; ok {
+				ent.drop()
+				delete(s.resident, seq)
+			}
+			if err := s.ackAbort(seq); err != nil {
+				return fmt.Errorf("mapreduce: dist worker: acking abort: %w", err)
+			}
+		case remote.MsgBucket, remote.MsgFlush:
+			// Stray shuffle frames for an aborted attempt, written
+			// concurrently with the abort: drop them.
+			seq := cur.Uvarint()
+			if !s.aborted[seq] {
+				err := fmt.Errorf("unexpected %v between jobs", t)
+				s.sendError(seq, err)
+				return fmt.Errorf("mapreduce: dist worker: %w", err)
+			}
+		case remote.MsgFetch:
+			seq := cur.Uvarint()
+			if ent, ok := s.resident[seq]; ok {
+				delete(s.resident, seq)
+				if err := ent.fetch(s.conn, seq); err != nil {
+					return fmt.Errorf("mapreduce: dist worker: fetch: %w", err)
+				}
+				continue
+			}
+			// Not resident here — but re-seeded partitions this session
+			// holds for the sequence still belong to the fetch. A worker
+			// with neither (it never owned any partition of the job)
+			// reports an empty set; the coordinator restores the rest
+			// from its mirror.
+			if err := s.fetchSeeds(seq); err != nil {
 				return fmt.Errorf("mapreduce: dist worker: fetch: %w", err)
 			}
 		case remote.MsgDrop:
@@ -246,6 +405,7 @@ func (s *workerSession) serve() error {
 				ent.drop()
 				delete(s.resident, seq)
 			}
+			delete(s.seeds, seq)
 		case remote.MsgBye:
 			return nil
 		default:
@@ -254,6 +414,24 @@ func (s *workerSession) serve() error {
 			return fmt.Errorf("mapreduce: dist worker: %w", err)
 		}
 	}
+}
+
+// fetchSeeds answers a fetch for a sequence this session only holds
+// seeds for (if any): each seed streams back as a MsgPart frame — the
+// blob is already the canonical encodePairs image — then MsgFetchDone.
+func (s *workerSession) fetchSeeds(seq uint64) error {
+	for part, sb := range s.seeds[seq] {
+		frame := []byte{byte(remote.MsgPart)}
+		frame = remote.AppendUvarint(frame, seq)
+		frame = remote.AppendUvarint(frame, uint64(part))
+		frame = remote.AppendUvarint(frame, uint64(sb.count))
+		frame = append(frame, sb.blob...)
+		if err := s.conn.WriteFrame(frame); err != nil {
+			return err
+		}
+	}
+	delete(s.seeds, seq)
+	return s.conn.WriteFrame(remote.AppendUvarint([]byte{byte(remote.MsgFetchDone)}, seq))
 }
 
 // distWorkerJob executes one job on a worker.
@@ -267,13 +445,14 @@ type distWorkerJob[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, 
 // touch the wire), buckets for foreign partitions stream to the
 // coordinator, which relays them to their owner.
 type workerSender[K2 comparable, V2 any] struct {
-	s       *workerSession
-	seq     uint64
-	local   *memoryShuffle[K2, V2]
-	ar      *roundArena[K2, V2]
-	kc      spillCodec[K2]
-	vc      spillCodec[V2]
-	sent    atomic.Int64
+	s        *workerSession
+	h        *distJobHeader
+	seq      uint64
+	local    *memoryShuffle[K2, V2]
+	ar       *roundArena[K2, V2]
+	kc       spillCodec[K2]
+	vc       spillCodec[V2]
+	sent     atomic.Int64
 	reducers int
 }
 
@@ -281,7 +460,7 @@ func (ws *workerSender[K2, V2]) Partitions() int { return ws.reducers }
 func (ws *workerSender[K2, V2]) BucketCap() int  { return 0 }
 
 func (ws *workerSender[K2, V2]) AddBucket(split, part int, pairs []Pair[K2, V2]) error {
-	if ws.s.owns(part) {
+	if ws.h.owner(part) == ws.s.id {
 		// Ownership transfer, exactly like the in-memory backend.
 		return ws.local.AddBucket(split, part, pairs)
 	}
@@ -339,15 +518,15 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 	var mapErr error
 	mapDone := make(chan struct{})
 	if h.mode == remote.ModeChained {
-		input, ok := s.resident[h.inputSeq].(*residentData[K1, V1])
-		if !ok {
-			return fmt.Errorf("job %q: resident input %d is missing or has a different type", h.name, h.inputSeq)
+		input, err := chainedInput[K1, V1](s, h)
+		if err != nil {
+			return err
 		}
 		if r.job.Map == nil {
 			return fmt.Errorf("job %q has no registered map function, cannot consume a worker-resident input", h.name)
 		}
 		sender := &workerSender[K2, V2]{
-			s: s, seq: h.seq, local: shuffle, ar: ar, kc: k2c, vc: v2c, reducers: h.reducers,
+			s: s, h: h, seq: h.seq, local: shuffle, ar: ar, kc: k2c, vc: v2c, reducers: h.reducers,
 		}
 		go func() {
 			defer close(mapDone)
@@ -376,7 +555,9 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 		close(mapDone)
 	}
 
-	// Main ingest loop: buckets until the flush.
+	// Main ingest loop: buckets until the flush — or an abort, which
+	// abandons the job after the resident map (if any) has wound down,
+	// so the MsgAborted ack is truly this sequence's last frame.
 	for {
 		payload, err := s.conn.ReadFrame()
 		if err != nil {
@@ -398,15 +579,34 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 			cur.Uvarint()
 			break
 		}
+		if t == remote.MsgAbort {
+			seq := cur.Uvarint()
+			if seq != h.seq {
+				// A stale abort for an earlier attempt: ack and keep
+				// ingesting the current job.
+				if err := s.ackAbort(seq); err != nil {
+					return fmt.Errorf("job %q: acking stale abort: %w", h.name, err)
+				}
+				continue
+			}
+			<-mapDone
+			if err := s.ackAbort(seq); err != nil {
+				return fmt.Errorf("job %q: acking abort: %w", h.name, err)
+			}
+			return errJobAborted
+		}
 		if t != remote.MsgBucket {
 			return fmt.Errorf("job %q: unexpected %v during shuffle", h.name, t)
 		}
-		cur.Uvarint() // seq
+		seq := cur.Uvarint()
 		split := int(cur.Uvarint())
 		part := int(cur.Uvarint())
 		count := int(cur.Uvarint())
-		if err := cur.Err(); err != nil || split < 0 || split >= h.splits ||
-			part < 0 || part >= h.reducers || !s.owns(part) {
+		if seq != h.seq && s.aborted[seq] {
+			continue // stray frame from an aborted attempt
+		}
+		if err := cur.Err(); err != nil || seq != h.seq || split < 0 || split >= h.splits ||
+			part < 0 || part >= h.reducers || h.owner(part) != s.id {
 			return fmt.Errorf("job %q: malformed bucket (split %d, part %d)", h.name, split, part)
 		}
 		bucket, err := decodePairs(cur, count, k2c, v2c, ar.getBucket(part, pairCap(cur, count)))
@@ -437,7 +637,7 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 	var wg sync.WaitGroup
 	errs := make([]error, h.reducers)
 	for p, st := range streams {
-		if !s.owns(p) {
+		if h.owner(p) != s.id {
 			st.Close()
 			continue
 		}
@@ -491,16 +691,47 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 		}
 	}
 
+	// Checkpoint the retained output: one frame per owned partition
+	// (empty partitions included — restoration must distinguish "empty"
+	// from "missing") streamed to the coordinator's mirror, plus a local
+	// run file. The mirror stream is mandatory (a transport failure here
+	// fails the job like any other); the local file is best-effort.
+	var ownedParts []int
+	for p := 0; p < h.reducers; p++ {
+		if h.owner(p) == s.id {
+			ownedParts = append(ownedParts, p)
+		}
+	}
+	if h.ckpt && !h.wantOutput {
+		var fileParts []ckptPart
+		for _, p := range ownedParts {
+			frame := []byte{byte(remote.MsgCkpt)}
+			frame = remote.AppendUvarint(frame, h.seq)
+			frame = remote.AppendUvarint(frame, uint64(p))
+			frame = remote.AppendUvarint(frame, uint64(len(outs[p])))
+			blobStart := len(frame)
+			frame, err := encodePairs(frame, outs[p], k3c, v3c)
+			if err != nil {
+				return fmt.Errorf("job %q: encoding checkpoint partition %d: %w", h.name, p, err)
+			}
+			// Buffered: the MsgJobDone write below flushes the whole
+			// checkpoint stream in one syscall.
+			if err := s.conn.WriteFrameBuffered(frame); err != nil {
+				return fmt.Errorf("job %q: streaming checkpoint partition %d: %w", h.name, p, err)
+			}
+			fileParts = append(fileParts, ckptPart{part: p, count: len(outs[p]), blob: frame[blobStart:]})
+		}
+		if w := s.checkpointTo(); w != nil {
+			w.write(h.seq, fileParts) // self-disables on I/O error
+		}
+	}
+
 	// Retain resident output and report.
 	var outRecords int64
 	frame := remote.AppendUvarint([]byte{byte(remote.MsgJobDone)}, h.seq)
 	frame = remote.AppendUvarint(frame, uint64(groups.Load()))
-	var ownedParts []int
-	for p := 0; p < h.reducers; p++ {
-		if s.owns(p) {
-			ownedParts = append(ownedParts, p)
-			outRecords += outCounts[p]
-		}
+	for _, p := range ownedParts {
+		outRecords += outCounts[p]
 	}
 	frame = remote.AppendUvarint(frame, uint64(outRecords))
 	frame = remote.AppendUvarint(frame, uint64(time.Since(reduceStart)))
@@ -537,7 +768,7 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) runResidentMap(
 	errs := make([]error, len(input.parts))
 	var em, lo, cr atomic.Int64
 	for p, part := range input.parts {
-		if !s.owns(p) || part == nil {
+		if sender.h.owner(p) != s.id || part == nil {
 			continue
 		}
 		p, part := p, part

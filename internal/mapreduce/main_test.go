@@ -106,6 +106,18 @@ func registerDistTestJobs() {
 		out.Emit(k, int64(len(vs)))
 		return nil
 	})
+	// Chained ring job with a slowed reduce: same output as "ring-step"
+	// (the sleep changes nothing), but each round is wide enough that the
+	// chaos suite's SIGKILL reliably lands mid-computation.
+	RegisterDistJob("slow-ring", func([]byte) (DistJob[int32, int64, int32, int64, int32, int64], error) {
+		return DistJob[int32, int64, int32, int64, int32, int64]{
+			Map: ringMap,
+			Reduce: func(k int32, vs []int64, out Emitter[int32, int64]) error {
+				time.Sleep(5 * time.Millisecond)
+				return ringReduce(k, vs, out)
+			},
+		}, nil
+	})
 	// Failing reduce: a user-function error must surface from Run.
 	RegisterDistReduce("boom-reduce", func(k int32, vs []int64, out Emitter[int32, int64]) error {
 		if k == 7 {

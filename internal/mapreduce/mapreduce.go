@@ -139,6 +139,15 @@ type Config struct {
 	// snapshots of a dist job (the registered job's Counters), merged
 	// after the job completes. Ignored by the local backends.
 	DistCounters *Counters
+	// CheckpointEvery throttles dist checkpointing of worker-resident
+	// job outputs: 0 (the default) checkpoints every retained output,
+	// k > 0 every k-th, and a negative value disables checkpointing
+	// entirely (a lost worker then loses its partitions for good).
+	// Checkpointed outputs are mirrored on the coordinator and persisted
+	// to worker-local run files; they are what recovery restores from
+	// after a worker death. Ignored by the local backends and by plain
+	// Run (whose output returns to the coordinator anyway).
+	CheckpointEvery int
 
 	// Pool recycles round-lifetime buffers (shuffle buckets, group-sort
 	// arrays, radix scratch) across the jobs that share it, making the

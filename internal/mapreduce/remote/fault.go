@@ -1,0 +1,108 @@
+// Deterministic fault injection for the framed transport. A Fault is
+// armed on one Conn endpoint and counts the frames that endpoint moves
+// in a single direction; when the count reaches the trigger it severs
+// the connection (simulating a worker death observed mid-stream) or
+// stalls it once (simulating a network hiccup). Counting one direction
+// only keeps the trigger deterministic: reads and writes interleave
+// differently run to run, but the k-th frame written to a given peer is
+// always the same frame for a fixed job and seed.
+package remote
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// FaultOp selects what an armed Fault does when it triggers.
+type FaultOp int
+
+const (
+	// FaultSever closes the connection, so both the blocked reader and
+	// every later writer observe a transport error — exactly what a
+	// SIGKILLed worker process produces, without the process.
+	FaultSever FaultOp = iota
+	// FaultDelay stalls the triggering frame once for Delay and then
+	// lets traffic continue; it exercises the slow-worker paths (abort
+	// backstop deadlines) without killing anyone.
+	FaultDelay
+)
+
+// Fault is one armed failure. AfterWrites and AfterReads are 1-based
+// frame triggers for their direction: AfterWrites = k fires in place of
+// the k-th WriteFrame on the armed endpoint, AfterReads = k in place of
+// the k-th ReadFrame. Zero leaves a direction unarmed. A Fault fires at
+// most once (a severed connection keeps failing on its own afterwards).
+type Fault struct {
+	Op          FaultOp
+	AfterWrites int
+	AfterReads  int
+	Delay       time.Duration
+
+	writes atomic.Int64
+	reads  atomic.Int64
+	fired  atomic.Bool
+}
+
+// errSevered is what the armed endpoint reports once a FaultSever has
+// triggered; later frames on the closed connection fail with ordinary
+// transport errors from the socket.
+var errSevered = fmt.Errorf("remote: injected fault severed the connection")
+
+func (f *Fault) beforeWrite(c *Conn) error {
+	if f.AfterWrites <= 0 {
+		return nil
+	}
+	if f.writes.Add(1) < int64(f.AfterWrites) {
+		return nil
+	}
+	return f.fire(c)
+}
+
+func (f *Fault) beforeRead(c *Conn) error {
+	if f.AfterReads <= 0 {
+		return nil
+	}
+	if f.reads.Add(1) < int64(f.AfterReads) {
+		return nil
+	}
+	return f.fire(c)
+}
+
+func (f *Fault) fire(c *Conn) error {
+	if !f.fired.CompareAndSwap(false, true) {
+		if f.Op == FaultSever {
+			return errSevered
+		}
+		return nil
+	}
+	switch f.Op {
+	case FaultDelay:
+		time.Sleep(f.Delay)
+		return nil
+	default:
+		c.Close()
+		return errSevered
+	}
+}
+
+// Arm installs a fault on this endpoint. Passing nil disarms. Test
+// instrumentation only — nothing in the production paths arms faults.
+func (c *Conn) Arm(f *Fault) { c.fault.Store(f) }
+
+// FaultPoint derives a deterministic frame index in [lo, hi) from a
+// seed (SplitMix64 finalizer), so a fault matrix keyed by seed
+// reproduces the exact same failure point on every run and every
+// machine.
+func FaultPoint(seed int64, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	x := uint64(seed) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return lo + int(x%uint64(hi-lo))
+}

@@ -23,6 +23,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Proto is the protocol version exchanged in the handshake. A
@@ -82,6 +83,26 @@ const (
 	// MsgBye (coordinator → worker) ends the session; the worker exits
 	// its serve loop cleanly.
 	MsgBye
+	// MsgAbort (coordinator → worker) cancels the named in-flight job
+	// after a sibling worker died: discard the job's partial shuffle
+	// state and any output retained under its sequence number, then
+	// acknowledge. The round is latched — the session and every resident
+	// dataset of earlier jobs survive.
+	MsgAbort
+	// MsgAborted (worker → coordinator) acknowledges MsgAbort. It is the
+	// last frame the worker sends for the aborted sequence number, so
+	// the coordinator can discard everything it reads up to it.
+	MsgAborted
+	// MsgCkpt (worker → coordinator) mirrors one retained partition at
+	// the round's flush barrier: sequence number, partition, pair count,
+	// and the encoded pair blob. The coordinator's mirror is what
+	// recovery re-seeds lost partitions from.
+	MsgCkpt
+	// MsgSeed (coordinator → worker) installs one recovered partition on
+	// the worker that now owns it (same layout as MsgCkpt). Ordered
+	// before the retried job's MsgJobStart on the same connection, so no
+	// acknowledgement is needed.
+	MsgSeed
 )
 
 // String names the message type for error text.
@@ -115,6 +136,14 @@ func (t MsgType) String() string {
 		return "error"
 	case MsgBye:
 		return "bye"
+	case MsgAbort:
+		return "abort"
+	case MsgAborted:
+		return "aborted"
+	case MsgCkpt:
+		return "checkpoint"
+	case MsgSeed:
+		return "seed"
 	}
 	return fmt.Sprintf("msg(%d)", byte(t))
 }
@@ -152,6 +181,10 @@ type Conn struct {
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
 
+	// fault, when armed, injects a deterministic failure into this
+	// endpoint's frame stream (see fault.go). Nil in production.
+	fault atomic.Pointer[Fault]
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -181,6 +214,11 @@ func (c *Conn) BytesOut() int64 { return c.bytesOut.Load() }
 func (c *Conn) WriteFrame(payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if f := c.fault.Load(); f != nil {
+		if err := f.beforeWrite(c); err != nil {
+			return err
+		}
+	}
 	n := binary.PutUvarint(c.lenBuf[:], uint64(len(payload)))
 	if _, err := c.bw.Write(c.lenBuf[:n]); err != nil {
 		return err
@@ -195,10 +233,42 @@ func (c *Conn) WriteFrame(payload []byte) error {
 	return nil
 }
 
+// WriteFrameBuffered appends one frame to the connection's write buffer
+// without forcing a flush; the frame reaches the wire with the next
+// WriteFrame on this connection (or earlier, if the buffer fills). For
+// frames that are always followed by a flushed one — the checkpoint
+// stream ahead of its job-done — this makes a round's checkpoint cost
+// one syscall instead of one per partition. Armed faults count a
+// buffered frame exactly like a flushed one, so FaultPoint indices
+// stay stable across both write paths.
+func (c *Conn) WriteFrameBuffered(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if f := c.fault.Load(); f != nil {
+		if err := f.beforeWrite(c); err != nil {
+			return err
+		}
+	}
+	n := binary.PutUvarint(c.lenBuf[:], uint64(len(payload)))
+	if _, err := c.bw.Write(c.lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	c.bytesOut.Add(int64(n + len(payload)))
+	return nil
+}
+
 // ReadFrame reads the next frame payload. The returned slice is owned
 // by the caller. io.EOF surfaces only on a clean frame boundary; a
 // partial frame reports a truncation error.
 func (c *Conn) ReadFrame() ([]byte, error) {
+	if f := c.fault.Load(); f != nil {
+		if err := f.beforeRead(c); err != nil {
+			return nil, err
+		}
+	}
 	n, err := binary.ReadUvarint(c.br)
 	if err != nil {
 		if err == io.EOF {
@@ -227,6 +297,13 @@ func (c *Conn) Close() error {
 	c.closeOnce.Do(func() { c.closeErr = c.c.Close() })
 	return c.closeErr
 }
+
+// SetReadDeadline bounds blocked reads on the underlying connection;
+// the zero time clears the bound. The coordinator arms it as the
+// recovery backstop: a worker that neither acknowledges an abort nor
+// dies within the window is declared dead by timeout instead of
+// wedging the cluster.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
 
 func uvarintLen(v uint64) int64 {
 	n := int64(1)

@@ -68,6 +68,13 @@ type Stats struct {
 	// cross-partition traffic.
 	RemoteBytesOut int64
 	RemoteBytesIn  int64
+	// WorkerRecoveries counts the job attempts that were abandoned to a
+	// worker death and retried on the survivors (dist backend only): a
+	// job that succeeds first try reports zero. ReseededPartitions
+	// counts resident input partitions restored from the coordinator's
+	// checkpoint mirror onto a new owner before the successful attempt.
+	WorkerRecoveries   int64
+	ReseededPartitions int64
 	// WorkerWall is the largest map+reduce wall clock any single dist
 	// worker reported for the job — the distributed critical path, which
 	// is what a measured scale-out comparison against ClusterModel's
@@ -154,6 +161,8 @@ func (s *Stats) Add(o *Stats) {
 	s.PoolMisses += o.PoolMisses
 	s.RemoteBytesOut += o.RemoteBytesOut
 	s.RemoteBytesIn += o.RemoteBytesIn
+	s.WorkerRecoveries += o.WorkerRecoveries
+	s.ReseededPartitions += o.ReseededPartitions
 	s.WorkerWall += o.WorkerWall
 	s.MapWall += o.MapWall
 	s.ShuffleWall += o.ShuffleWall
@@ -181,6 +190,9 @@ func (s *Stats) String() string {
 	if s.RemoteBytesOut > 0 || s.RemoteBytesIn > 0 {
 		line += fmt.Sprintf(" remote=%dB out/%dB in workerwall=%s",
 			s.RemoteBytesOut, s.RemoteBytesIn, s.WorkerWall.Round(time.Microsecond))
+	}
+	if s.WorkerRecoveries > 0 || s.ReseededPartitions > 0 {
+		line += fmt.Sprintf(" recoveries=%d reseeded=%d", s.WorkerRecoveries, s.ReseededPartitions)
 	}
 	if s.MapWall > 0 || s.ShuffleWall > 0 || s.ReduceWall > 0 {
 		line += fmt.Sprintf(" map=%s shuffle=%s reduce=%s",

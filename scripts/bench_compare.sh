@@ -67,6 +67,26 @@ else
     echo "(ratios > 1.00x mean the new run is better; install benchstat for significance tests)"
 fi
 
+# Checkpoint-overhead gate: within the NEW snapshot, the dist chained
+# rounds with checkpointing on (the default CheckpointEvery) must cost
+# at most 10% more than with checkpointing off. This prices the whole
+# fault-tolerance path — MsgCkpt mirror frames plus coordinator
+# bookkeeping — and pins it as a bounded tax on every round.
+awk '
+/BenchmarkDistChainedCheckpoint\/on/  { on = $3 }
+/BenchmarkDistChainedCheckpoint\/off/ { off = $3 }
+END {
+    if (on > 0 && off > 0 && on > off * 1.10) {
+        printf "CKPT-OVERHEAD BenchmarkDistChainedCheckpoint on=%.0f ns/op vs off=%.0f ns/op (+%.0f%%, limit 10%%)\n",
+            on, off, (on / off - 1) * 100
+        exit 1
+    }
+}
+' "$tmpdir/new.txt" || {
+    echo "checkpointing costs more than 10% over disabled (see CKPT-OVERHEAD line above)" >&2
+    exit 1
+}
+
 # Allocation-regression gate: >10% more allocs/op than the old snapshot
 # fails the comparison (wall clock is noisy on shared runners;
 # allocation counts are deterministic, so this catches real churn).
