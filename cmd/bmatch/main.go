@@ -69,6 +69,8 @@ func run() (err error) {
 		distLate    = flag.Bool("dist-accept-late", false, "keep accepting replacement -dist-connect workers after startup; they adopt a dead worker's partitions at the next recovery")
 		ckptEvery   = flag.Int("ckpt-every", 0, "dist checkpoint throttle: 0 checkpoints every round's resident state, k>0 every k-th round, negative disables (a lost worker then kills the run)")
 		ckptDir     = flag.String("dist-ckpt-dir", "", "worker mode: additionally persist checkpoints as local run files in this directory (default: coordinator mirror only)")
+		distHB      = flag.Duration("dist-heartbeat", 500*time.Millisecond, "dist worker heartbeat interval; a worker silent for 3 intervals is suspected (0 disables health monitoring)")
+		distSpec    = flag.Float64("dist-speculation", 0, "speculatively re-execute a straggler's partitions once it runs past this factor of the round's median worker time (0 disables)")
 	)
 	flag.Parse()
 
@@ -101,12 +103,20 @@ func run() (err error) {
 		ShuffleTempDir:      *tempdir,
 		FlatDataflow:        *flat,
 		CheckpointEvery:     *ckptEvery,
+		SpeculationFactor:   *distSpec,
 	}
 	if *distWorkers > 0 {
 		if *in == "" || *in == "-" {
 			return fmt.Errorf("-dist-workers needs -in to name a file (workers load the same graph)")
 		}
-		clusterOpts := mapreduce.DistClusterOptions{Listen: *distListen, AcceptLate: *distLate}
+		clusterOpts := mapreduce.DistClusterOptions{
+			Listen:         *distListen,
+			AcceptLate:     *distLate,
+			HeartbeatEvery: *distHB,
+		}
+		if *distHB == 0 {
+			clusterOpts.HeartbeatEvery = -1 // flag 0 means off; the options zero value means default
+		}
 		if *distSpawn {
 			workerArgs := []string{"-in", *in}
 			if *sigma > 0 {
@@ -122,11 +132,16 @@ func run() (err error) {
 			return err
 		}
 		defer func() {
-			// Printed only when something was actually lost, so a healthy
+			// Printed only when something actually happened, so a healthy
 			// run's output stays byte-stable for the CI smoke diffs.
-			if lost, retried, reseeded := cluster.RecoveryStats(); lost > 0 {
+			rs := cluster.RecoveryStats()
+			if rs.WorkersLost > 0 {
 				fmt.Fprintf(os.Stderr, "dist recovery:    %d workers lost, %d jobs retried, %d partitions reseeded\n",
-					lost, retried, reseeded)
+					rs.WorkersLost, rs.Recoveries, rs.Reseeded)
+			}
+			if rs.HeartbeatTimeouts > 0 || rs.SpeculativeLaunches > 0 || rs.PartitionsMigrated > 0 {
+				fmt.Fprintf(os.Stderr, "dist scheduling:  %d heartbeat timeouts, %d speculative launches (%d won), %d partitions migrated\n",
+					rs.HeartbeatTimeouts, rs.SpeculativeLaunches, rs.SpeculativeWins, rs.PartitionsMigrated)
 			}
 		}()
 		// The checked close matters here too: it reaps the spawned

@@ -17,25 +17,38 @@ import (
 // below arms them with the same graph the coordinator side uses —
 // exactly what a re-executed CLI worker does after loading the graph.
 func startWorkers(t *testing.T, n int) *mapreduce.DistCluster {
+	return startWorkersOpts(t, n, mapreduce.DistClusterOptions{Timeout: 30 * time.Second}, nil)
+}
+
+// startWorkersOpts is startWorkers with cluster options and per-session
+// worker options (wopts(i) configures the i-th worker goroutine; worker
+// IDs are assigned in accept order, so i only distinguishes sessions).
+func startWorkersOpts(t *testing.T, n int, opts mapreduce.DistClusterOptions, wopts func(i int) mapreduce.DistWorkerOptions) *mapreduce.DistCluster {
 	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
-	cl, err := mapreduce.StartDistCluster(n, mapreduce.DistClusterOptions{
-		Timeout: 30 * time.Second,
-		OnListen: func(addr string) {
-			for i := 0; i < n; i++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					mapreduce.ServeDistWorker(context.Background(), addr)
-				}()
-			}
-		},
-	})
+	opts.OnListen = func(addr string) {
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var o mapreduce.DistWorkerOptions
+				if wopts != nil {
+					o = wopts(i)
+				}
+				mapreduce.ServeDistWorkerOpts(ctx, addr, o)
+			}()
+		}
+	}
+	cl, err := mapreduce.StartDistCluster(n, opts)
 	if err != nil {
+		cancel()
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {
 		cl.Close()
+		cancel()
 		wg.Wait()
 	})
 	return cl
@@ -177,11 +190,147 @@ func TestDistMatchingSurvivesWorkerLoss(t *testing.T) {
 			if mem.Rounds != dist.Rounds {
 				t.Fatalf("rounds diverge: memory %d, dist %d", mem.Rounds, dist.Rounds)
 			}
-			lost, retried, reseeded := cl.RecoveryStats()
-			if lost < 1 || retried < 1 {
-				t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", lost, retried)
+			// The loss must be observed, but how the cluster recovers
+			// depends on where the sever lands: a death mid-job aborts and
+			// retries the attempt (Recoveries), while a death caught at
+			// materialize time is repaired from the checkpoint mirror and
+			// the next job simply schedules around the dead worker — no
+			// attempt is wasted, so Recoveries legitimately stays zero.
+			rs := cl.RecoveryStats()
+			if rs.WorkersLost < 1 {
+				t.Fatalf("recovery stats report lost=%d, want >= 1", rs.WorkersLost)
 			}
-			t.Logf("%s: lost=%d retried=%d reseeded=%d", r.name, lost, retried, reseeded)
+			t.Logf("%s: lost=%d retried=%d reseeded=%d", r.name, rs.WorkersLost, rs.Recoveries, rs.Reseeded)
 		})
+	}
+}
+
+// TestDistMatchingSurvivesStraggler extends the acceptance gate to
+// elastic scheduling: every MapReduce matching algorithm runs on a
+// cluster where one worker misbehaves without dying, in two modes. In
+// "slow" mode the worker delays every job frame it writes — a
+// responsive straggler, not a corpse — and tail-lag speculation must
+// bench it without it ever being declared dead. In "stall" mode the
+// worker freezes at a seed-derived frame with its socket open (the gray
+// failure no transport error reports) and suspect-silence speculation
+// must complete the job on the healthy worker. Both modes must finish
+// inside a wall-clock budget and stay bit-identical to the fault-free
+// memory run.
+func TestDistMatchingSurvivesStraggler(t *testing.T) {
+	g := graph.RandomBipartite(graph.RandomConfig{
+		NumItems: 16, NumConsumers: 12, EdgeProb: 0.4,
+		MaxWeight: 3, MaxCapacity: 3, Seed: 13,
+	})
+	RegisterDistJobs(g)
+	ctx := context.Background()
+	memMR := mapreduce.Config{Mappers: 2, Reducers: 2}
+
+	schedOpts := mapreduce.DistClusterOptions{
+		Timeout:         30 * time.Second,
+		HeartbeatEvery:  20 * time.Millisecond,
+		HeartbeatMisses: 2,
+		AbortTimeout:    2 * time.Second,
+	}
+	faulty := func(f *remote.Fault) func(i int) mapreduce.DistWorkerOptions {
+		return func(i int) mapreduce.DistWorkerOptions {
+			if i != 0 {
+				return mapreduce.DistWorkerOptions{}
+			}
+			return mapreduce.DistWorkerOptions{Fault: f}
+		}
+	}
+
+	type runner struct {
+		name string
+		// stallSeed picks the FaultPoint frame the stall mode freezes
+		// at. Each algorithm has its own frame sequence, and the frame
+		// must land mid-job: a stall during an inter-job fetch is
+		// detected by the fetch deadline and recovered without
+		// speculation — a different path, pinned by the worker-loss
+		// test above.
+		stallSeed int64
+		run       func(mr mapreduce.Config) (*Result, error)
+	}
+	runners := []runner{
+		{"greedymr", 2, func(mr mapreduce.Config) (*Result, error) {
+			return GreedyMR(ctx, g.Clone(), GreedyMROptions{MR: mr})
+		}},
+		{"stackmr", 3, func(mr mapreduce.Config) (*Result, error) {
+			return StackMR(ctx, g.Clone(), StackOptions{MR: mr, Eps: 1, Seed: 5})
+		}},
+		{"stackgreedymr", 4, func(mr mapreduce.Config) (*Result, error) {
+			return StackGreedyMR(ctx, g.Clone(), StackOptions{MR: mr, Eps: 0.5, Seed: 5})
+		}},
+		{"stackmrstrict", 4, func(mr mapreduce.Config) (*Result, error) {
+			return StackMRStrict(ctx, g.Clone(), StackOptions{MR: mr, Eps: 1, Seed: 5})
+		}},
+	}
+	modes := []struct {
+		name  string
+		fault func(seed int64) *remote.Fault
+		// alive: a responsive straggler must never be declared dead. A
+		// stalled worker legitimately may be (if the death escalation
+		// wins the race against the speculative completion), so the
+		// stall mode asserts only detection + completion.
+		alive bool
+	}{
+		{"slow", func(int64) *remote.Fault {
+			return &remote.Fault{Op: remote.FaultDelay, AfterWrites: 1, Delay: 50 * time.Millisecond, Repeat: true}
+		}, true},
+		{"stall", func(seed int64) *remote.Fault {
+			return &remote.Fault{Op: remote.FaultStall, AfterWrites: remote.FaultPoint(seed, 2, 8)}
+		}, false},
+	}
+
+	// The budget prices detection + speculation, not luck: a stalled
+	// worker costs one suspect window (~40ms here) before its share
+	// re-executes, so a full matching run staying under the budget
+	// means no round ever waited out a silent worker.
+	const budget = 15 * time.Second
+	for _, m := range modes {
+		for _, r := range runners {
+			t.Run(m.name+"/"+r.name, func(t *testing.T) {
+				mem, err := r.run(memMR)
+				if err != nil {
+					t.Fatalf("memory: %v", err)
+				}
+				// A fresh cluster per algorithm: a benched straggler
+				// stays benched for the cluster's lifetime.
+				cl := startWorkersOpts(t, 2, schedOpts, faulty(m.fault(r.stallSeed)))
+				distMR := mapreduce.Config{
+					Mappers: 2, Reducers: 2,
+					Shuffle:           mapreduce.ShuffleConfig{Backend: mapreduce.ShuffleDist},
+					Dist:              cl,
+					SpeculationFactor: 2,
+				}
+				start := time.Now()
+				dist, err := r.run(distMR)
+				elapsed := time.Since(start)
+				if err != nil {
+					t.Fatalf("dist with straggling worker: %v", err)
+				}
+				if elapsed > budget {
+					t.Fatalf("run took %v, budget %v", elapsed, budget)
+				}
+				if mem.Matching.Value() != dist.Matching.Value() {
+					t.Fatalf("value diverges: memory %v, dist %v", mem.Matching.Value(), dist.Matching.Value())
+				}
+				if !reflect.DeepEqual(mem.Matching.Edges(), dist.Matching.Edges()) {
+					t.Fatalf("matched edges diverge:\nmemory %v\ndist   %v", mem.Matching.Edges(), dist.Matching.Edges())
+				}
+				if mem.Rounds != dist.Rounds {
+					t.Fatalf("rounds diverge: memory %d, dist %d", mem.Rounds, dist.Rounds)
+				}
+				rs := cl.RecoveryStats()
+				if m.alive && rs.WorkersLost != 0 {
+					t.Fatalf("a responsive straggler was declared dead (lost=%d)", rs.WorkersLost)
+				}
+				if rs.SpeculativeLaunches < 1 {
+					t.Fatalf("speculation never launched (launches=%d)", rs.SpeculativeLaunches)
+				}
+				t.Logf("%s/%s: %v, launches=%d wins=%d lost=%d migrated=%d", m.name, r.name, elapsed,
+					rs.SpeculativeLaunches, rs.SpeculativeWins, rs.WorkersLost, rs.PartitionsMigrated)
+			})
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"reflect"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,8 +83,55 @@ type DistCluster struct {
 	late []*remote.Conn
 	ln   net.Listener
 
-	recoveries atomic.Int64
-	reseeded   atomic.Int64
+	// Elastic-scheduling configuration (resolved from
+	// DistClusterOptions at startup) and state. health parallels conns;
+	// activeJob/hbFloor are what the monitor goroutine watches.
+	hbEvery      time.Duration
+	hbMisses     int
+	drainTimeout time.Duration
+	abortTimeout time.Duration
+	health       []*workerHealth
+	activeJob    distActiveJob
+	hbFloor      time.Time
+	monitorStop  chan struct{}
+	monitorWG    sync.WaitGroup
+
+	recoveries  atomic.Int64
+	reseeded    atomic.Int64
+	hbTimeouts  atomic.Int64
+	specLaunch  atomic.Int64
+	specWins    atomic.Int64
+	migratedCnt atomic.Int64
+}
+
+// workerHealth is the monitor's per-worker scheduling state. suspect is
+// the demoted-but-not-dead verdict (silent past the heartbeat window,
+// or speculated around as a straggler); tainted marks workers a
+// speculative re-execution was ever launched against — they stay
+// benched from future schedules, because re-admitting a known straggler
+// invites abort/retry oscillation, while a genuinely recovered machine
+// can always rejoin as a fresh late worker. pongParts/pongRecords
+// mirror the last heartbeat's progress counters, for observability.
+type workerHealth struct {
+	suspect     atomic.Bool
+	suspectedAt atomic.Int64 // unixnano of the demotion
+	probes      atomic.Int32
+	tainted     atomic.Bool
+	pongParts   atomic.Int64
+	pongRecords atomic.Int64
+}
+
+// distActiveJob is the monitor's view of the job in flight — the
+// untyped face of distJobRun, registered by startDistJob and cleared
+// when finish returns.
+type distActiveJob interface {
+	liveSet() []int
+	specFactor() float64
+	canSpeculate(w int) bool
+	speculateLost(w int, cause error)
+	lost(w int, cause error)
+	doneWith(w int) bool
+	tailLaggard(now time.Time, factor float64, floor time.Duration) (int, time.Duration, bool)
 }
 
 // distMirror is the residency record of one retained job output.
@@ -111,6 +159,11 @@ type WorkerLostError struct {
 	Job string
 	// Err is the underlying transport or recovery failure.
 	Err error
+	// Speculative marks an abort the scheduler initiated to re-execute
+	// a straggler's partitions elsewhere: the worker was demoted, not
+	// declared dead, and the retry that follows is a backup execution
+	// rather than a recovery.
+	Speculative bool
 }
 
 func (e *WorkerLostError) Error() string {
@@ -152,10 +205,30 @@ type DistClusterOptions struct {
 	OnListen func(addr string)
 	// AcceptLate keeps the coordinator's listener open after the initial
 	// n workers connect, so replacement workers can join a running
-	// cluster with -dist-connect. Recovery adopts them and hands them
-	// the partitions of dead workers. Off by default (the listener
-	// closes once startup completes).
+	// cluster with -dist-connect. Rebalancing adopts them at the next
+	// job boundary — they pick up partitions from dead workers, and
+	// (when checkpoint mirrors exist) a fair share of resident
+	// partitions from loaded survivors, without waiting for a failure.
+	// Off by default (the listener closes once startup completes).
 	AcceptLate bool
+	// HeartbeatEvery is the health cadence: workers send a progress
+	// heartbeat every interval and the coordinator's monitor ticks at
+	// the same rate. Zero means the 500ms default; negative disables
+	// health monitoring entirely (no pongs, no monitor, no
+	// speculation).
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many consecutive silent intervals demote a
+	// worker to suspect (default 3). A suspect is benched from new
+	// schedules but not killed; it is declared dead only after further
+	// exponentially backed-off probes go unanswered.
+	HeartbeatMisses int
+	// DrainTimeout bounds the read for a parting MsgError after a write
+	// to a worker fails (default 500ms).
+	DrainTimeout time.Duration
+	// AbortTimeout bounds recovery waits — abort acknowledgements,
+	// resident-partition fetches from a possibly-hung worker, late-join
+	// handshakes (default 30s).
+	AbortTimeout time.Duration
 }
 
 // StartDistCluster listens for n workers, optionally spawning them via
@@ -178,7 +251,24 @@ func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
 		return nil, fmt.Errorf("mapreduce: dist listen: %w", err)
 	}
 
-	cl := &DistCluster{}
+	cl := &DistCluster{
+		hbEvery:      opts.HeartbeatEvery,
+		hbMisses:     opts.HeartbeatMisses,
+		drainTimeout: opts.DrainTimeout,
+		abortTimeout: opts.AbortTimeout,
+	}
+	if cl.hbEvery == 0 {
+		cl.hbEvery = 500 * time.Millisecond
+	}
+	if cl.hbMisses <= 0 {
+		cl.hbMisses = 3
+	}
+	if cl.drainTimeout <= 0 {
+		cl.drainTimeout = 500 * time.Millisecond
+	}
+	if cl.abortTimeout <= 0 {
+		cl.abortTimeout = distAbortTimeout
+	}
 	if opts.OnListen != nil {
 		opts.OnListen(ln.Addr().String())
 	}
@@ -216,7 +306,7 @@ func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
 			cl.abort()
 			return nil, fmt.Errorf("mapreduce: dist worker handshake: %w", err)
 		}
-		if err := remote.Welcome(conn, i, n); err != nil {
+		if err := remote.Welcome(conn, i, n, cl.hbEvery); err != nil {
 			conn.Close()
 			ln.Close()
 			cl.abort()
@@ -224,6 +314,15 @@ func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
 		}
 		nc.SetReadDeadline(time.Time{})
 		cl.conns = append(cl.conns, conn)
+	}
+	cl.health = make([]*workerHealth, len(cl.conns))
+	for i := range cl.health {
+		cl.health[i] = &workerHealth{}
+	}
+	if cl.hbEvery > 0 {
+		cl.monitorStop = make(chan struct{})
+		cl.monitorWG.Add(1)
+		go cl.monitor()
 	}
 	if opts.AcceptLate {
 		cl.ln = ln
@@ -246,7 +345,7 @@ func (cl *DistCluster) acceptLate(ln net.Listener) {
 		if err != nil {
 			return
 		}
-		nc.SetReadDeadline(time.Now().Add(distAbortTimeout))
+		nc.SetReadDeadline(time.Now().Add(cl.abortTimeout))
 		conn := remote.NewConn(nc)
 		if err := remote.AwaitHello(conn); err != nil {
 			conn.Close()
@@ -255,7 +354,7 @@ func (cl *DistCluster) acceptLate(ln net.Listener) {
 		cl.mu.Lock()
 		id := len(cl.conns) + len(cl.late)
 		cl.mu.Unlock()
-		if err := remote.Welcome(conn, id, id+1); err != nil {
+		if err := remote.Welcome(conn, id, id+1, cl.hbEvery); err != nil {
 			conn.Close()
 			continue
 		}
@@ -426,45 +525,78 @@ func (cl *DistCluster) liveWorkers() []int {
 // silently — the recoverable case.
 func (cl *DistCluster) drainFatal(w int) string {
 	c := cl.conns[w]
-	c.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	c.SetReadDeadline(time.Now().Add(cl.drainTimeout))
 	defer c.SetReadDeadline(time.Time{})
-	for i := 0; i < 16; i++ {
+	for i := 0; i < 16; {
 		payload, err := c.ReadFrame()
 		if err != nil {
 			return ""
 		}
 		cur := remote.NewCursor(payload)
-		if remote.MsgType(cur.Byte()) == remote.MsgError {
+		switch remote.MsgType(cur.Byte()) {
+		case remote.MsgPong:
+			continue // heartbeats don't spend the frame budget
+		case remote.MsgError:
 			cur.Uvarint() // seq
 			return cur.String()
 		}
+		i++
 	}
 	return ""
 }
 
 // reassignLocked rewrites an assignment array so no partition names a
-// dead worker: the dead workers' partitions go round-robin, in
-// partition order, over the live workers. Deterministic in the dead
-// set, and a no-op for partitions whose owner is alive — surviving
-// partitions never move, which is what lets recovery re-seed only what
-// was actually lost.
+// dead or benched (suspect/tainted) worker: their partitions go
+// round-robin, in partition order, over the healthy workers.
+// Deterministic in the dead and benched sets, and a no-op for
+// partitions whose owner is healthy — surviving partitions never move,
+// which is what lets recovery re-seed only what was actually lost. When
+// demotions would leave no healthy worker, benched workers stay
+// schedulable (the cluster must limp on) and only dead-owned
+// partitions move.
 func (cl *DistCluster) reassignLocked(owners []int) {
-	var live []int
+	var targets []int
 	for w := range cl.conns {
-		if !cl.deadLocked(w) {
-			live = append(live, w)
+		if !cl.deadLocked(w) && !cl.benchedLocked(w) {
+			targets = append(targets, w)
 		}
 	}
-	if len(live) == 0 {
+	moveBenched := len(targets) > 0
+	if !moveBenched {
+		for w := range cl.conns {
+			if !cl.deadLocked(w) {
+				targets = append(targets, w)
+			}
+		}
+	}
+	if len(targets) == 0 {
 		return
 	}
 	k := 0
 	for p, w := range owners {
-		if cl.deadLocked(w) {
-			owners[p] = live[k%len(live)]
+		if cl.deadLocked(w) || (moveBenched && cl.benchedLocked(w)) {
+			owners[p] = targets[k%len(targets)]
 			k++
 		}
 	}
+}
+
+// benchedLocked reports whether worker w is demoted from scheduling:
+// currently suspect (silent past the heartbeat window) or tainted (a
+// speculative re-execution was launched against it).
+func (cl *DistCluster) benchedLocked(w int) bool {
+	if w < 0 || w >= len(cl.health) {
+		return false
+	}
+	h := cl.health[w]
+	return h.suspect.Load() || h.tainted.Load()
+}
+
+// isSuspect reports whether worker w is currently demoted to suspect.
+func (cl *DistCluster) isSuspect(w int) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return w >= 0 && w < len(cl.health) && cl.health[w].suspect.Load()
 }
 
 // ownersFor returns a snapshot of the sticky partition assignment for
@@ -498,19 +630,139 @@ func (cl *DistCluster) ownersForLocked(parts int) []int {
 
 // recoverAssignments runs between a lost job attempt and its retry:
 // adopt any late-joined replacement workers, then rewrite every stored
-// assignment so dead workers own nothing.
+// assignment so dead and benched workers own nothing.
 func (cl *DistCluster) recoverAssignments() {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	cl.adoptLateLocked()
+	for _, o := range cl.owners {
+		cl.reassignLocked(o)
+	}
+}
+
+// adoptLateLocked folds late-joined replacement workers into the
+// cluster: each gets the next connection slot and a fresh health
+// record.
+func (cl *DistCluster) adoptLateLocked() {
 	for _, c := range cl.late {
 		cl.conns = append(cl.conns, c)
+		cl.health = append(cl.health, &workerHealth{})
 		if cl.dead != nil {
 			cl.dead = append(cl.dead, false)
 		}
 	}
 	cl.late = nil
-	for _, o := range cl.owners {
-		cl.reassignLocked(o)
+}
+
+// reviveLocked lifts suspicion from workers that have spoken since
+// their demotion — but never from tainted (speculated-around) workers,
+// which stay benched: re-admitting a straggler that already cost one
+// speculative abort invites abort/retry oscillation, and a genuinely
+// recovered machine can always rejoin as a fresh late worker. Called
+// only at job-success boundaries, so a retry that excluded a suspect
+// cannot re-admit it mid-recovery.
+func (cl *DistCluster) reviveLocked() {
+	for w, h := range cl.health {
+		if h == nil || !h.suspect.Load() || h.tainted.Load() || cl.deadLocked(w) {
+			continue
+		}
+		if cl.conns[w].LastRead().After(time.Unix(0, h.suspectedAt.Load())) {
+			h.suspect.Store(false)
+			h.probes.Store(0)
+		}
+	}
+}
+
+// rebalance is the job-boundary scheduling step: adopt healthy late
+// joiners, optionally revive recovered suspects, rewrite the geometry's
+// assignment so dead and benched workers own nothing, and grant idle
+// healthy workers a fair share of partitions from loaded ones — hottest
+// (by resident pair count) first when the upcoming input has a
+// checkpoint mirror to move them with. The assignment is the plan; the
+// data itself moves when ensureResident reconciles the input dataset's
+// partition locations against it.
+func (cl *DistCluster) rebalance(parts int, inputSeq uint64, revive bool) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.adoptLateLocked()
+	if revive {
+		cl.reviveLocked()
+	}
+	owners := cl.ownersForLocked(parts)
+	cl.reassignLocked(owners)
+	var m *distMirror
+	if inputSeq != 0 {
+		m = cl.residency[inputSeq]
+	}
+	cl.balanceLocked(owners, m, inputSeq != 0)
+}
+
+// balanceLocked moves partitions from loaded workers to idle healthy
+// ones. For a chained input the move is real data (seeded from the
+// mirror by ensureResident), so it requires the mirror's blobs; for a
+// flat job the assignment is the only state, and moving it is free.
+func (cl *DistCluster) balanceLocked(owners []int, m *distMirror, chained bool) {
+	if chained && (m == nil || m.blobs == nil) {
+		return // nothing migratable without a mirror
+	}
+	var sched []int
+	for w := range cl.conns {
+		if !cl.deadLocked(w) && !cl.benchedLocked(w) {
+			sched = append(sched, w)
+		}
+	}
+	if len(sched) < 2 {
+		return
+	}
+	load := make(map[int]int, len(sched))
+	for _, w := range owners {
+		load[w]++
+	}
+	var idle []int
+	for _, w := range sched {
+		if load[w] == 0 {
+			idle = append(idle, w)
+		}
+	}
+	if len(idle) == 0 {
+		return
+	}
+	share := len(owners) / len(sched)
+	if share < 1 {
+		share = 1
+	}
+	// Candidate partitions come from owners above their fair share,
+	// hottest first (falling back to partition order), so a migration
+	// moves the work that matters most.
+	type cand struct {
+		p    int
+		heat int64
+	}
+	var cands []cand
+	for p, w := range owners {
+		if load[w] > share {
+			var heat int64
+			if m != nil && p < len(m.counts) {
+				heat = m.counts[p]
+			}
+			cands = append(cands, cand{p: p, heat: heat})
+		}
+	}
+	sort.SliceStable(cands, func(i, k int) bool { return cands[i].heat > cands[k].heat })
+	i := 0
+	for _, w := range idle {
+		for granted := 0; granted < share && i < len(cands); {
+			p := cands[i].p
+			old := owners[p]
+			i++
+			if load[old] <= share {
+				continue // donor already drained by an earlier grant
+			}
+			owners[p] = w
+			load[old]--
+			load[w]++
+			granted++
+		}
 	}
 }
 
@@ -568,56 +820,96 @@ func (cl *DistCluster) mirrorPart(seq uint64, p int) ([]byte, bool) {
 	return m.blobs[p], true
 }
 
-// ensureResident prepares job seq's resident output for use as a
-// chained input: any partition whose worker died is re-seeded, from the
-// checkpoint mirror, onto the worker the current assignment names. A
-// no-op (and zero seeds) while the cluster is healthy. Returns the
-// number of partitions re-seeded, or a WorkerLostError when a lost
-// partition has no mirror to restore it from.
-func (cl *DistCluster) ensureResident(seq uint64, name string) (int, error) {
+// ensureResident reconciles job seq's resident output against the
+// current assignment before the job that consumes it is announced: any
+// partition whose recorded owner is dead is re-seeded from the
+// checkpoint mirror onto the worker the assignment names (recovery),
+// and any partition the assignment moved off a live owner — a
+// rebalancing migration — is seeded onto the new owner and shed from
+// the old one. A partition pinned to a live owner by a missing mirror
+// blob stays put, and the assignment is repaired to match reality. A
+// no-op while the cluster is healthy and balanced. Returns the counts
+// of recovered and migrated partitions, or a WorkerLostError when a
+// lost partition has no mirror to restore it from.
+func (cl *DistCluster) ensureResident(seq uint64, name string) (int, int, error) {
 	cl.mu.Lock()
 	m := cl.residency[seq]
 	if m == nil {
 		cl.mu.Unlock()
-		return 0, fmt.Errorf("mapreduce: dist job %q: input dataset %d is not resident on this cluster", name, seq)
+		return 0, 0, fmt.Errorf("mapreduce: dist job %q: input dataset %d is not resident on this cluster", name, seq)
 	}
 	owners := cl.ownersForLocked(len(m.loc))
-	type seed struct {
+	type move struct {
 		w     int
 		frame []byte
 	}
-	var seeds []seed
+	var seeds, sheds []move
+	migrated := 0
+	reseeded := 0
 	for p, w := range m.loc {
-		if !cl.deadLocked(w) {
+		target := owners[p]
+		dead := cl.deadLocked(w)
+		if target == w && !dead {
 			continue
 		}
 		if m.blobs == nil || (m.blobs[p] == nil && m.counts[p] > 0) {
-			dead := w
+			if !dead {
+				// Unmovable without a mirror, but the copy is intact:
+				// pin the assignment back to the live owner.
+				owners[p] = w
+				continue
+			}
 			cl.mu.Unlock()
-			return 0, &WorkerLostError{Worker: dead, Job: name,
+			return 0, 0, &WorkerLostError{Worker: w, Job: name,
 				Err: fmt.Errorf("resident input partition %d was lost and the producing job was not checkpointed (Config.CheckpointEvery)", p)}
 		}
-		target := owners[p]
+		if target == w {
+			// Owner is dead and the assignment still names it — no live
+			// worker existed to reassign to; the announce will fail with
+			// "no live workers" before this matters.
+			continue
+		}
 		frame := []byte{byte(remote.MsgSeed)}
 		frame = remote.AppendUvarint(frame, seq)
 		frame = remote.AppendUvarint(frame, uint64(p))
 		frame = remote.AppendUvarint(frame, uint64(m.counts[p]))
 		frame = append(frame, m.blobs[p]...)
-		seeds = append(seeds, seed{w: target, frame: frame})
+		seeds = append(seeds, move{w: target, frame: frame})
+		if dead {
+			reseeded++
+		} else {
+			// The old copy survives on a live worker: shed it so a later
+			// fetch or re-seed cannot resurrect a stale image.
+			migrated++
+			shed := []byte{byte(remote.MsgShed)}
+			shed = remote.AppendUvarint(shed, seq)
+			shed = remote.AppendUvarint(shed, uint64(p))
+			sheds = append(sheds, move{w: w, frame: shed})
+		}
 		m.loc[p] = target
 	}
 	cl.mu.Unlock()
 	for _, s := range seeds {
 		if err := cl.conns[s.w].WriteFrame(s.frame); err != nil {
 			cl.markDead(s.w, err)
-			return 0, &WorkerLostError{Worker: s.w, Job: name,
+			return 0, 0, &WorkerLostError{Worker: s.w, Job: name,
 				Err: fmt.Errorf("re-seeding recovered partition: %w", err)}
 		}
 	}
-	if n := int64(len(seeds)); n > 0 {
-		cl.reseeded.Add(n)
+	for _, s := range sheds {
+		// Best effort: a worker that cannot be told sheds its stale copy
+		// when it dies or the dataset is dropped.
+		if err := cl.conns[s.w].WriteFrame(s.frame); err != nil {
+			cl.markDead(s.w, err)
+		}
 	}
-	return len(seeds), nil
+	if reseeded > 0 {
+		cl.reseeded.Add(int64(reseeded))
+	}
+	if migrated > 0 {
+		cl.migratedCnt.Add(int64(migrated))
+	}
+	return reseeded, migrated, nil
 }
 
 // residencySnapshot copies job seq's partition locations, for a fetch
@@ -687,18 +979,242 @@ func (cl *DistCluster) noteRetained() {
 	cl.mu.Unlock()
 }
 
-// RecoveryStats reports the cluster's cumulative recovery activity:
-// workers lost, job attempts retried after a loss, and partitions
-// restored from the checkpoint mirror.
-func (cl *DistCluster) RecoveryStats() (lost int, recoveries, reseeded int64) {
+// RecoveryStats is the cluster's cumulative fault-tolerance and elastic
+// scheduling activity, as reported by DistCluster.RecoveryStats.
+type RecoveryStats struct {
+	// WorkersLost counts worker slots currently marked dead.
+	WorkersLost int
+	// Recoveries counts job attempts retried after a loss (real or
+	// speculative).
+	Recoveries int64
+	// Reseeded counts partitions restored from the checkpoint mirror
+	// onto a new owner because their previous owner died.
+	Reseeded int64
+	// HeartbeatTimeouts counts silence-window expirations that demoted
+	// a worker to suspect.
+	HeartbeatTimeouts int64
+	// SpeculativeLaunches counts straggler aborts launched to
+	// re-execute a laggard's partitions elsewhere; SpeculativeWins
+	// counts the ones whose backup attempt completed the job.
+	SpeculativeLaunches int64
+	SpeculativeWins     int64
+	// PartitionsMigrated counts resident partitions moved between live
+	// workers by rebalancing (not loss recovery).
+	PartitionsMigrated int64
+}
+
+// RecoveryStats reports the cluster's cumulative recovery and elastic
+// scheduling activity.
+func (cl *DistCluster) RecoveryStats() RecoveryStats {
+	var rs RecoveryStats
 	cl.mu.Lock()
 	for w := range cl.conns {
 		if cl.deadLocked(w) {
-			lost++
+			rs.WorkersLost++
 		}
 	}
 	cl.mu.Unlock()
-	return lost, cl.recoveries.Load(), cl.reseeded.Load()
+	rs.Recoveries = cl.recoveries.Load()
+	rs.Reseeded = cl.reseeded.Load()
+	rs.HeartbeatTimeouts = cl.hbTimeouts.Load()
+	rs.SpeculativeLaunches = cl.specLaunch.Load()
+	rs.SpeculativeWins = cl.specWins.Load()
+	rs.PartitionsMigrated = cl.migratedCnt.Load()
+	return rs
+}
+
+// scheduleWorkers picks the workers a job announce includes: every
+// live worker that is not benched, plus any benched worker the
+// assignment still names (a chained input pinned to it by a missing
+// mirror blob). Falls back to all live workers when demotions would
+// otherwise leave the job empty.
+func (cl *DistCluster) scheduleWorkers(owners []int) []int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	needed := make(map[int]bool, len(owners))
+	for _, w := range owners {
+		needed[w] = true
+	}
+	var live []int
+	for w := range cl.conns {
+		if cl.deadLocked(w) {
+			continue
+		}
+		if cl.benchedLocked(w) && !needed[w] {
+			continue
+		}
+		live = append(live, w)
+	}
+	if len(live) == 0 {
+		for w := range cl.conns {
+			if !cl.deadLocked(w) {
+				live = append(live, w)
+			}
+		}
+	}
+	return live
+}
+
+// restorableFrom reports whether every partition the assignment gives
+// worker w could be re-seeded elsewhere from resident input seq's
+// mirror — the precondition for speculating around w on a chained job.
+func (cl *DistCluster) restorableFrom(seq uint64, owners []int, w int) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	m := cl.residency[seq]
+	if m == nil || m.blobs == nil {
+		return false
+	}
+	for p, o := range owners {
+		if o != w {
+			continue
+		}
+		if p >= len(m.blobs) || (m.blobs[p] == nil && m.counts[p] > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// setActiveJob hands the monitor the job in flight. The heartbeat floor
+// resets with it: silence is measured from the announce, not from
+// whenever the worker last happened to speak before the job existed.
+func (cl *DistCluster) setActiveJob(j distActiveJob) {
+	cl.mu.Lock()
+	cl.activeJob = j
+	cl.hbFloor = time.Now()
+	cl.mu.Unlock()
+}
+
+func (cl *DistCluster) clearActiveJob() {
+	cl.mu.Lock()
+	cl.activeJob = nil
+	cl.mu.Unlock()
+}
+
+// hbMaxProbes is how many exponentially backed-off probes a suspect
+// gets before continued silence becomes a death verdict. With the
+// defaults (500ms interval, 3 misses) a worker is suspect after 1.5s of
+// silence, probed at 3s and 6s, and declared dead past 12s.
+const hbMaxProbes = 2
+
+// monitor is the cluster's health loop: at every heartbeat interval it
+// measures each worker's silence against the window, demotes the quiet
+// ones to suspect (launching a speculative re-execution when the job
+// allows it), escalates unanswered probes to a death verdict, and
+// checks the live progress distribution for stragglers worth
+// speculating around. Detection only — all state changes route through
+// the active job's own abort machinery, so the monitor can never race a
+// job into an inconsistent state.
+func (cl *DistCluster) monitor() {
+	defer cl.monitorWG.Done()
+	ticker := time.NewTicker(cl.hbEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cl.monitorStop:
+			return
+		case <-ticker.C:
+		}
+		cl.checkHealth(time.Now())
+	}
+}
+
+func (cl *DistCluster) checkHealth(now time.Time) {
+	cl.mu.Lock()
+	j := cl.activeJob
+	floor := cl.hbFloor
+	conns := cl.conns
+	health := cl.health
+	broken := cl.broken != nil || cl.closed
+	cl.mu.Unlock()
+	if j == nil || broken {
+		return
+	}
+	window := cl.hbEvery * time.Duration(cl.hbMisses)
+	inLive := make(map[int]bool)
+	for _, w := range j.liveSet() {
+		inLive[w] = true
+	}
+	for w := 0; w < len(conns) && w < len(health); w++ {
+		if cl.isDead(w) {
+			continue
+		}
+		// Only workers the active attempt is still waiting on are judged.
+		// A non-participant (benched, adopted-but-idle) and a participant
+		// that already delivered its MsgDone have per-job readers no
+		// longer draining their frames, so their LastRead legitimately
+		// goes stale — silence there is not evidence of a hang, and
+		// condemning the finished survivor of a round that is waiting out
+		// a genuinely hung worker would leave no one to retry on.
+		if !inLive[w] || j.doneWith(w) {
+			continue
+		}
+		h := health[w]
+		last := conns[w].LastRead()
+		if last.Before(floor) {
+			last = floor
+		}
+		silent := now.Sub(last)
+		if silent <= window {
+			continue
+		}
+		if !h.suspect.Load() {
+			// Demote: the worker is suspect, not dead. Probe it, and if
+			// the job can be completed without it, speculatively
+			// re-execute its partitions elsewhere right away — a hung
+			// worker holds the whole round hostage otherwise.
+			h.suspect.Store(true)
+			h.suspectedAt.Store(now.UnixNano())
+			h.probes.Store(0)
+			cl.hbTimeouts.Add(1)
+			cl.ping(w)
+			if j.specFactor() > 0 && j.canSpeculate(w) {
+				h.tainted.Store(true)
+				cl.specLaunch.Add(1)
+				j.speculateLost(w, fmt.Errorf("mapreduce: dist worker %d silent for %v (heartbeat window %v)", w, silent.Round(time.Millisecond), window))
+			}
+			continue
+		}
+		// Escalate: probes at 2x and 4x the window, death past 8x.
+		p := h.probes.Load()
+		if int(p) < hbMaxProbes {
+			if silent > window<<(uint(p)+1) {
+				h.probes.Add(1)
+				cl.ping(w)
+			}
+			continue
+		}
+		if silent > window<<(hbMaxProbes+1) {
+			j.lost(w, fmt.Errorf("mapreduce: dist worker %d heartbeat timeout (silent %v)", w, silent.Round(time.Millisecond)))
+		}
+	}
+	// Tail-lag speculation: a responsive worker can still straggle. When
+	// most of the round is done and the laggard is far past the median,
+	// re-execute its share elsewhere.
+	if f := j.specFactor(); f > 0 {
+		if w, lag, ok := j.tailLaggard(now, f, window); ok && !cl.isSuspect(w) && j.canSpeculate(w) {
+			if w < len(health) {
+				h := health[w]
+				h.suspect.Store(true)
+				h.suspectedAt.Store(now.UnixNano())
+				h.tainted.Store(true)
+			}
+			cl.specLaunch.Add(1)
+			j.speculateLost(w, fmt.Errorf("mapreduce: dist worker %d straggling %v behind the round median", w, lag.Round(time.Millisecond)))
+		}
+	}
+}
+
+// ping nudges a suspect worker: any frame it sends back (the pong)
+// refreshes its LastRead and clears the suspicion at the next job
+// boundary. Sent via the pulse path so probes never shift injected
+// fault points.
+func (cl *DistCluster) ping(w int) {
+	if w < 0 || w >= len(cl.conns) || cl.isDead(w) {
+		return
+	}
+	cl.conns[w].WritePulse([]byte{byte(remote.MsgPing)})
 }
 
 // KillWorker SIGKILLs the i-th spawned worker process — demo and test
@@ -749,6 +1265,10 @@ func (cl *DistCluster) Close() error {
 	late := cl.late
 	cl.late = nil
 	cl.mu.Unlock()
+	if cl.monitorStop != nil {
+		close(cl.monitorStop)
+		cl.monitorWG.Wait()
+	}
 	if cl.ln != nil {
 		cl.ln.Close()
 	}
@@ -764,11 +1284,33 @@ func (cl *DistCluster) Close() error {
 	}
 	var err error
 	for _, cmd := range cl.procs {
-		if werr := cmd.Wait(); werr != nil && reportExits && err == nil {
+		if werr := cl.reapProc(cmd); werr != nil && reportExits && err == nil {
 			err = fmt.Errorf("mapreduce: dist worker exited: %w", werr)
 		}
 	}
 	return err
+}
+
+// reapProc waits for a spawned worker process with a bounded grace. A
+// healthy worker exits within milliseconds of its bye/connection close,
+// but a wedged one — stopped, hung, swapped out — never will, and an
+// unbounded Wait here would hold coordinator shutdown hostage to the
+// exact gray failures the scheduling layer exists to survive. Past the
+// grace the worker is killed and the (now prompt) Wait reaps it.
+func (cl *DistCluster) reapProc(cmd *exec.Cmd) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	grace := 4 * cl.drainTimeout
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(grace):
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		<-done
+		return fmt.Errorf("mapreduce: dist worker did not exit within %v of shutdown, killed", grace)
+	}
 }
 
 // distTypeID names a concrete Go type for the job handshake: the
@@ -965,21 +1507,157 @@ type distJobRun[K2 comparable, V2 any, K3 comparable, V3 any] struct {
 	v3c       spillCodec[V3]
 	bytesIn0  int64
 	bytesOut0 int64
-	// live is the set of workers alive at the announce — the workers
+	// live is the set of workers the announce included — the workers
 	// that received MsgJobStart and owe a MsgJobDone (or MsgAborted).
+	// Benched (suspect/tainted) workers are excluded unless the
+	// assignment still needs them.
 	live []int
+	// spec is the job's straggler threshold (Config.SpeculationFactor);
+	// zero disables speculative re-execution.
+	spec float64
+	// startedAt anchors the progress distribution tailLaggard measures.
+	startedAt time.Time
+
+	// readWG tracks the per-connection reader goroutines, started right
+	// after the announce so heartbeats and early worker traffic are
+	// consumed (and health refreshed) while the coordinator's own map
+	// phase runs.
+	readWG   sync.WaitGroup
+	readErrs []error
+	outcomes []readerOutcome
+	finished atomic.Bool
 
 	mu        sync.Mutex
 	outs      [][]Pair[K3, V3]
 	reports   []distWorkerReport
 	loss      *WorkerLostError
 	ckptBlobs [][]byte
+	doneAt    map[int]time.Time
+	mapDoneAt map[int]time.Time
 
 	mapDones  atomic.Int64
 	aborting  atomic.Bool
 	flushOnce sync.Once
 	flushErr  error
 	records   atomic.Int64
+}
+
+// The distActiveJob face the cluster monitor sees.
+
+func (j *distJobRun[K2, V2, K3, V3]) liveSet() []int      { return j.live }
+func (j *distJobRun[K2, V2, K3, V3]) specFactor() float64 { return j.spec }
+
+// canSpeculate reports whether the job could complete without worker w:
+// the attempt is still running, another healthy worker exists to take
+// over, and — for a chained job — w's share of the resident input can
+// be re-seeded from the checkpoint mirror.
+func (j *distJobRun[K2, V2, K3, V3]) canSpeculate(w int) bool {
+	if j.aborting.Load() || j.finished.Load() {
+		return false
+	}
+	cl := j.cl
+	cl.mu.Lock()
+	others := 0
+	for v := range cl.conns {
+		if v != w && !cl.deadLocked(v) && !cl.benchedLocked(v) {
+			others++
+		}
+	}
+	cl.mu.Unlock()
+	if others == 0 {
+		return false
+	}
+	if j.hdr.mode != remote.ModeChained {
+		return true
+	}
+	return cl.restorableFrom(j.hdr.inputSeq, j.hdr.owners, w)
+}
+
+// speculateLost launches the backup execution: abort this attempt
+// without declaring w dead, so the retry re-runs w's partitions on the
+// healthy workers while w — demoted, not killed — gets the chance to
+// acknowledge and stay in the cluster. First completion wins the race
+// inherent in the abort CAS: if w's MsgJobDone arrives before the abort
+// latches, the attempt simply succeeds and the launch was a no-op.
+func (j *distJobRun[K2, V2, K3, V3]) speculateLost(w int, cause error) {
+	if j.finished.Load() {
+		return
+	}
+	j.abortAttempt(w, cause, true)
+}
+
+func (j *distJobRun[K2, V2, K3, V3]) lost(w int, cause error) {
+	j.initiateAbort(w, cause)
+}
+
+// doneWith reports whether worker w has delivered its full share of this
+// attempt (its MsgDone arrived). A done worker writes nothing more for
+// the job, so monitor-side silence is expected, not evidence of a hang.
+func (j *distJobRun[K2, V2, K3, V3]) doneWith(w int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.doneAt[w]
+	return ok
+}
+
+// noteMapDone/noteDone record when each worker's phase report arrived,
+// feeding the progress distribution tailLaggard judges stragglers by.
+func (j *distJobRun[K2, V2, K3, V3]) noteMapDone(w int) {
+	j.mu.Lock()
+	if _, ok := j.mapDoneAt[w]; !ok {
+		j.mapDoneAt[w] = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+func (j *distJobRun[K2, V2, K3, V3]) noteDone(w int) {
+	j.mu.Lock()
+	if _, ok := j.doneAt[w]; !ok {
+		j.doneAt[w] = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+// tailLaggard finds a worker worth speculating around in the live
+// progress distribution: a majority of the round is done, someone is
+// still pending, and the round has run past factor x the median
+// completion time and at least floor beyond it (the floor keeps tiny
+// medians from declaring microsecond "stragglers"). For a chained job
+// still short of its flush barrier the map-done times are the
+// distribution; otherwise the job-done times are.
+func (j *distJobRun[K2, V2, K3, V3]) tailLaggard(now time.Time, factor float64, floor time.Duration) (int, time.Duration, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	times := j.doneAt
+	if j.hdr.mode == remote.ModeChained && len(j.mapDoneAt) < len(j.live) {
+		times = j.mapDoneAt
+	}
+	n := len(j.live)
+	done := len(times)
+	if done >= n || done*2 < n {
+		return 0, 0, false
+	}
+	durs := make([]time.Duration, 0, done)
+	for _, t := range times {
+		durs = append(durs, t.Sub(j.startedAt))
+	}
+	sort.Slice(durs, func(i, k int) bool { return durs[i] < durs[k] })
+	med := durs[len(durs)/2]
+	elapsed := now.Sub(j.startedAt)
+	lag := elapsed - med
+	if lag < floor || float64(elapsed) <= factor*float64(med) {
+		return 0, 0, false
+	}
+	for _, w := range j.live {
+		if _, ok := times[w]; ok {
+			continue
+		}
+		if j.cl.isDead(w) {
+			continue
+		}
+		return w, lag, true
+	}
+	return 0, 0, false
 }
 
 // startDistJob resolves the four codecs, snapshots the live worker set
@@ -1011,7 +1689,8 @@ func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: dist output value codec: %w", err)
 	}
-	live := cl.liveWorkers()
+	owners := cl.ownersFor(cfg.reducers())
+	live := cl.scheduleWorkers(owners)
 	if len(live) == 0 {
 		return nil, &WorkerLostError{Worker: -1, Job: cfg.Name, Err: errors.New("no live workers")}
 	}
@@ -1026,7 +1705,7 @@ func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
 			wantOutput: wantOutput,
 			ckpt:       ckpt,
 			inputSeq:   inputSeq,
-			owners:     cl.ownersFor(cfg.reducers()),
+			owners:     owners,
 			k2id:       distTypeID[K2](),
 			v2id:       distTypeID[V2](),
 			k3id:       distTypeID[K3](),
@@ -1034,9 +1713,12 @@ func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
 			params:     cfg.DistParams,
 		},
 		k2c: k2c, v2c: v2c, k3c: k3c, v3c: v3c,
-		live:    live,
-		outs:    make([][]Pair[K3, V3], cfg.reducers()),
-		reports: make([]distWorkerReport, cl.Workers()),
+		live:      live,
+		spec:      cfg.SpeculationFactor,
+		outs:      make([][]Pair[K3, V3], cfg.reducers()),
+		reports:   make([]distWorkerReport, cl.Workers()),
+		doneAt:    make(map[int]time.Time, len(live)),
+		mapDoneAt: make(map[int]time.Time, len(live)),
 	}
 	cl.mu.Lock()
 	j.bytesIn0, j.bytesOut0 = cl.lastIn, cl.lastOut
@@ -1049,6 +1731,34 @@ func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
 		}
 		started = append(started, w)
 	}
+	// Readers start at the announce, one per included worker: worker
+	// traffic (heartbeats above all) is consumed — and worker health
+	// refreshed — for the whole life of the attempt, including the
+	// coordinator-side map phase. The monitor watches the attempt from
+	// here until finish clears it.
+	j.startedAt = time.Now()
+	j.readErrs = make([]error, cl.Workers())
+	j.outcomes = make([]readerOutcome, cl.Workers())
+	for _, w := range live {
+		w := w
+		j.readWG.Add(1)
+		go func() {
+			defer j.readWG.Done()
+			out, err := j.reader(w)
+			j.outcomes[w] = out
+			if err != nil {
+				j.readErrs[w] = err
+				// A deterministic failure breaks the cluster
+				// immediately: closing the connections unblocks the
+				// sibling readers, whose workers may be waiting on a
+				// flush that can no longer come. fail latches the first
+				// error, so the root cause wins over the cascade it
+				// triggers.
+				j.cl.fail(err)
+			}
+		}()
+	}
+	cl.setActiveJob(j)
 	return j, nil
 }
 
@@ -1067,14 +1777,14 @@ func (j *distJobRun[K2, V2, K3, V3]) announceFailed(started []int, w int, cause 
 		}
 		j.cl.conns[w].Close()
 	}
-	j.setLoss(w, cause)
+	j.setLoss(w, cause, false)
 	frame := remote.AppendUvarint([]byte{byte(remote.MsgAbort)}, j.hdr.seq)
 	for _, sw := range started {
 		if j.cl.isDead(sw) {
 			continue
 		}
 		c := j.cl.conns[sw]
-		c.SetReadDeadline(time.Now().Add(distAbortTimeout))
+		c.SetReadDeadline(time.Now().Add(j.cl.abortTimeout))
 		if err := c.WriteFrame(frame); err != nil {
 			j.cl.markDead(sw, err)
 			continue
@@ -1086,12 +1796,19 @@ func (j *distJobRun[K2, V2, K3, V3]) announceFailed(started []int, w int, cause 
 }
 
 // setLoss latches the first worker loss of the attempt.
-func (j *distJobRun[K2, V2, K3, V3]) setLoss(w int, cause error) {
+func (j *distJobRun[K2, V2, K3, V3]) setLoss(w int, cause error, speculative bool) {
 	j.mu.Lock()
 	if j.loss == nil {
-		j.loss = &WorkerLostError{Worker: w, Job: j.hdr.name, Err: cause}
+		j.loss = &WorkerLostError{Worker: w, Job: j.hdr.name, Err: cause, Speculative: speculative}
 	}
 	j.mu.Unlock()
+}
+
+// lossWorkerIs reports whether the latched loss names worker w.
+func (j *distJobRun[K2, V2, K3, V3]) lossWorkerIs(w int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.loss != nil && j.loss.Worker == w
 }
 
 // lossErr returns the latched loss (never nil once a loss was set).
@@ -1104,15 +1821,24 @@ func (j *distJobRun[K2, V2, K3, V3]) lossErr() error {
 	return j.loss
 }
 
-// initiateAbort marks worker w dead, latches the loss, and — once per
-// attempt — tells every surviving worker to abandon the job. Each
-// survivor's connection gets a read deadline first: a worker that
-// neither acknowledges the abort nor dies within distAbortTimeout is
-// declared dead by timeout, so recovery cannot wedge on a stuck
-// survivor.
+// initiateAbort marks worker w dead, latches the loss, and aborts the
+// attempt.
 func (j *distJobRun[K2, V2, K3, V3]) initiateAbort(w int, cause error) {
 	j.cl.markDead(w, cause)
-	j.setLoss(w, cause)
+	j.abortAttempt(w, cause, false)
+}
+
+// abortAttempt latches the loss and — once per attempt — tells every
+// worker of the attempt to abandon the job. Every reachable worker's
+// connection gets read and write deadlines first: a worker that neither
+// acknowledges the abort nor dies within AbortTimeout is declared dead
+// by timeout, so recovery cannot wedge on a stuck worker. A speculative
+// abort (straggler, not corpse) marks no one dead up front: the laggard
+// keeps its session, acknowledges like any survivor, and is merely
+// benched from future schedules — while a truly hung straggler fails to
+// ack and the deadline converts the demotion into a real death.
+func (j *distJobRun[K2, V2, K3, V3]) abortAttempt(w int, cause error, speculative bool) {
+	j.setLoss(w, cause, speculative)
 	if !j.aborting.CompareAndSwap(false, true) {
 		return
 	}
@@ -1122,27 +1848,27 @@ func (j *distJobRun[K2, V2, K3, V3]) initiateAbort(w int, cause error) {
 			continue
 		}
 		c := j.cl.conns[lw]
-		c.SetReadDeadline(time.Now().Add(distAbortTimeout))
+		c.SetReadDeadline(time.Now().Add(j.cl.abortTimeout))
+		c.SetWriteDeadline(time.Now().Add(j.cl.abortTimeout))
 		if err := c.WriteFrame(frame); err != nil {
 			j.cl.markDead(lw, err)
 		}
+		c.SetWriteDeadline(time.Time{})
 	}
 }
 
-// senderLost handles a write failure to worker w from a path with no
-// active reader on the connection (flat-mode bucket streaming): drain
-// for a deterministic parting error, then abort the attempt.
+// senderLost handles a write failure to worker w from the flat-mode
+// bucket streaming path. The worker is marked dead but its connection
+// stays open: the reader goroutine owns it and must get the chance to
+// consume a parting MsgError off the socket before it dies — a
+// deterministic user-function or registration failure surfaces as
+// itself, not as the transport error it caused. The deadline bounds the
+// reader's wait; its error path closes the connection.
 func (j *distJobRun[K2, V2, K3, V3]) senderLost(w int, cause error) error {
 	if j.cl.noteDead(w) {
-		if msg := j.cl.drainFatal(w); msg != "" {
-			err := fmt.Errorf("mapreduce: dist job %q: worker %d: %s", j.hdr.name, w, msg)
-			j.cl.conns[w].Close()
-			j.cl.fail(err)
-			return err
-		}
-		j.cl.conns[w].Close()
+		j.cl.conns[w].SetReadDeadline(time.Now().Add(j.cl.drainTimeout))
 	}
-	j.initiateAbort(w, cause)
+	j.abortAttempt(w, cause, false)
 	return j.lossErr()
 }
 
@@ -1233,6 +1959,10 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) (readerOutcome, error) {
 	for {
 		payload, err := conn.ReadFrame()
 		if err != nil {
+			// Close explicitly: when the worker was noted dead without a
+			// close (senderLost's parting-error window), nobody else
+			// will.
+			conn.Close()
 			j.initiateAbort(w, fmt.Errorf("transport error: %w", err))
 			return outcomeLost, nil
 		}
@@ -1256,6 +1986,22 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) (readerOutcome, error) {
 				// MsgAborted ack.
 				j.initiateAbort(owner, fmt.Errorf("relaying bucket: %w", err))
 			}
+		case remote.MsgPong:
+			// Heartbeat: the frame's arrival already refreshed the
+			// connection's LastRead; stash the progress counters for
+			// observability. Never counted against any protocol state.
+			cur.Uvarint() // running job seq
+			cur.Byte()    // phase
+			nParts := int(cur.Uvarint())
+			for i := 0; i < nParts && cur.Err() == nil; i++ {
+				cur.Uvarint()
+			}
+			recs := cur.Uvarint()
+			if cur.Err() == nil && w < len(j.cl.health) {
+				h := j.cl.health[w]
+				h.pongParts.Store(int64(nParts))
+				h.pongRecords.Store(int64(recs))
+			}
 		case remote.MsgMapDone:
 			cur.Uvarint() // seq
 			rep := &j.reports[w]
@@ -1266,6 +2012,7 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) (readerOutcome, error) {
 			if err := cur.Err(); err != nil {
 				return 0, fmt.Errorf("mapreduce: dist job %q: malformed map-done from worker %d", j.hdr.name, w)
 			}
+			j.noteMapDone(w)
 			if j.aborting.Load() {
 				continue
 			}
@@ -1338,6 +2085,7 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) (readerOutcome, error) {
 			if err := cur.Err(); err != nil {
 				return 0, fmt.Errorf("mapreduce: dist job %q: malformed job-done from worker %d", j.hdr.name, w)
 			}
+			j.noteDone(w)
 			if j.aborting.Load() {
 				// The worker finished before seeing the abort; its
 				// MsgAborted ack is still coming. Keep reading so finish
@@ -1350,10 +2098,13 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) (readerOutcome, error) {
 		case remote.MsgError:
 			cur.Uvarint() // seq
 			msg := cur.String()
-			if j.aborting.Load() {
-				// A worker that errors while tearing down is as good as
-				// dead; the retry will surface any deterministic failure
-				// on a healthy attempt.
+			if j.aborting.Load() && !j.lossWorkerIs(w) {
+				// A survivor that errors while tearing down is as good
+				// as dead; the retry will surface any deterministic
+				// failure on a healthy attempt. But when the error comes
+				// from the worker whose loss started the abort, it IS
+				// the root cause — a user function or registration
+				// failure that must surface as itself.
 				j.cl.markDead(w, fmt.Errorf("worker error during abort: %s", msg))
 				return outcomeLost, nil
 			}
@@ -1365,33 +2116,15 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) (readerOutcome, error) {
 }
 
 // finish drives the job to completion after the coordinator's own
-// sending is done (mapErr carries a local map-phase failure): runs the
-// per-connection readers, observes the flush barrier, aggregates the
-// worker reports into stats, and burns the coordinator-side failure
-// coins so injected-failure statistics match the local backends.
+// sending is done (mapErr carries a local map-phase failure): waits for
+// the per-connection readers startDistJob launched at the announce,
+// observes the flush barrier, aggregates the worker reports into stats,
+// and burns the coordinator-side failure coins so injected-failure
+// statistics match the local backends.
 func (j *distJobRun[K2, V2, K3, V3]) finish(ctx context.Context, cfg Config, stats *Stats, mapErr error) ([][]Pair[K3, V3], []int64, error) {
-	readErrs := make([]error, j.cl.Workers())
-	outcomes := make([]readerOutcome, j.cl.Workers())
-	var wg sync.WaitGroup
-	for _, w := range j.live {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			out, err := j.reader(w)
-			outcomes[w] = out
-			if err != nil {
-				readErrs[w] = err
-				// A deterministic failure breaks the cluster
-				// immediately: closing the connections unblocks the
-				// sibling readers, whose workers may be waiting on a
-				// flush that can no longer come. fail latches the first
-				// error, so the root cause wins over the cascade it
-				// triggers.
-				j.cl.fail(err)
-			}
-		}()
-	}
+	defer j.cl.clearActiveJob()
+	readErrs := j.readErrs
+	outcomes := j.outcomes
 	// A cancelled context must unblock the readers: break the cluster,
 	// which closes the connections under them.
 	watchDone := make(chan struct{})
@@ -1424,7 +2157,8 @@ func (j *distJobRun[K2, V2, K3, V3]) finish(ctx context.Context, cfg Config, sta
 			mapErr = err
 		}
 	}
-	wg.Wait()
+	j.readWG.Wait()
+	j.finished.Store(true)
 	close(watchDone)
 	watchWG.Wait()
 
@@ -1559,20 +2293,70 @@ func runDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	stats *Stats,
 ) ([]Pair[K3, V3], error) {
 	cl := cfg.Dist
+	var sched schedSnapshot
+	sched.start(cl)
 	for attempt := 0; ; attempt++ {
+		if cl != nil {
+			// The job-boundary scheduling step: adopt late joiners,
+			// revive recovered suspects (first attempt only — a retry
+			// must not re-admit the worker it is retrying around), and
+			// balance the assignment onto idle workers.
+			cl.rebalance(cfg.reducers(), 0, attempt == 0)
+		}
 		as := newStats(cfg.Name)
 		out, err := tryDistFlat[K1, V1, K2, V2, K3, V3](ctx, cfg, input, mapFn, as)
 		if err == nil {
 			as.WorkerRecoveries = int64(attempt)
+			sched.settle(cl, as)
 			stats.Add(as)
 			return out, nil
 		}
 		if cl == nil || !isWorkerLost(err) || !cl.retryAfterLoss(attempt) {
 			return nil, err
 		}
+		sched.noteLoss(err)
 		cl.recoveries.Add(1)
 		cl.recoverAssignments()
 	}
+}
+
+// schedSnapshot brackets one logical job's elastic-scheduling activity:
+// deltas of the cluster counters across all its attempts, plus the
+// speculative launches whose backup attempt won (counted when the job
+// ultimately succeeds after a speculative loss).
+type schedSnapshot struct {
+	hb0, sl0, mg0, sw0 int64
+	specPending        int64
+}
+
+func (s *schedSnapshot) start(cl *DistCluster) {
+	if cl == nil {
+		return
+	}
+	s.hb0 = cl.hbTimeouts.Load()
+	s.sl0 = cl.specLaunch.Load()
+	s.mg0 = cl.migratedCnt.Load()
+	s.sw0 = cl.specWins.Load()
+}
+
+func (s *schedSnapshot) noteLoss(err error) {
+	var wl *WorkerLostError
+	if errors.As(err, &wl) && wl.Speculative {
+		s.specPending++
+	}
+}
+
+func (s *schedSnapshot) settle(cl *DistCluster, as *Stats) {
+	if cl == nil {
+		return
+	}
+	if s.specPending > 0 {
+		cl.specWins.Add(s.specPending)
+	}
+	as.HeartbeatTimeouts = cl.hbTimeouts.Load() - s.hb0
+	as.SpeculativeLaunches = cl.specLaunch.Load() - s.sl0
+	as.SpeculativeWins = cl.specWins.Load() - s.sw0
+	as.PartitionsMigrated = cl.migratedCnt.Load() - s.mg0
 }
 
 // tryDistFlat is one flat-job attempt: local map phase, buckets
@@ -1642,11 +2426,24 @@ func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 	// One checkpoint decision per job, not per attempt: a retried job
 	// checkpoints iff the original would have.
 	ckpt := cl.checkpointNext(cfg.CheckpointEvery)
+	var inputSeq uint64
+	if remoteChained {
+		inputSeq = input.rem.seq
+	}
+	var sched schedSnapshot
+	sched.start(cl)
 	for attempt := 0; ; attempt++ {
+		// The job-boundary scheduling step: adopt late joiners, revive
+		// recovered suspects (first attempt only — a retry must not
+		// re-admit the worker it is retrying around), and plan
+		// migrations of resident partitions onto idle workers;
+		// ensureResident moves the data the plan calls for.
+		cl.rebalance(cfg.reducers(), inputSeq, attempt == 0)
 		as := newStats(cfg.Name)
 		out, err := tryDistDS[K1, V1, K2, V2, K3, V3](ctx, cfg, input, mapFn, as, remoteChained, ckpt)
 		if err == nil {
 			as.WorkerRecoveries = int64(attempt)
+			sched.settle(cl, as)
 			stats.Add(as)
 			cl.noteRetained()
 			return out, nil
@@ -1661,6 +2458,7 @@ func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 			// round boundary.
 			return nil, err
 		}
+		sched.noteLoss(err)
 		cl.recoveries.Add(1)
 		cl.recoverAssignments()
 	}
@@ -1683,10 +2481,10 @@ func tryDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 	var err error
 	phase := time.Now()
 	if remoteChained {
-		// Re-seed any input partition whose owner died: stream the
-		// mirrored checkpoint blob to the partition's new owner before
-		// announcing the job that consumes it.
-		reseeded, err := cl.ensureResident(input.rem.seq, cfg.Name)
+		// Reconcile the input's partition locations against the current
+		// assignment: re-seed what a dead owner lost, migrate what the
+		// rebalance moved, before announcing the job that consumes it.
+		reseeded, _, err := cl.ensureResident(input.rem.seq, cfg.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -1801,6 +2599,23 @@ func (d *Dataset[K, V]) Materialize() error {
 	// owner's copy is accepted.
 	loc := rem.cl.residencySnapshot(rem.seq)
 	live := rem.cl.liveWorkers()
+	// A live worker that owns nothing under the residency map has nothing
+	// to contribute — skip its round-trip. This keeps a benched straggler
+	// (slow, not dead, rebalanced down to zero partitions) off the
+	// materialization critical path.
+	if loc != nil {
+		owned := make(map[int]bool, len(live))
+		for _, w := range loc {
+			owned[w] = true
+		}
+		kept := live[:0]
+		for _, w := range live {
+			if owned[w] {
+				kept = append(kept, w)
+			}
+		}
+		live = kept
+	}
 	errs := make([]error, len(rem.cl.conns))
 	var wg sync.WaitGroup
 	for _, w := range live {
@@ -1857,13 +2672,24 @@ func (d *Dataset[K, V]) fetchFrom(conn *remote.Conn, w int, loc []int, fetch []b
 	if err := conn.WriteFrame(fetch); err != nil {
 		return err
 	}
+	// Rolling read deadline: a gray-failed worker (socket open, no
+	// frames) must not hang materialization forever — on timeout the
+	// caller marks it dead and its partitions restore from the mirror.
+	timeout := distAbortTimeout
+	if d.rem != nil && d.rem.cl != nil {
+		timeout = d.rem.cl.abortTimeout
+	}
+	defer conn.SetReadDeadline(time.Time{})
 	for {
+		conn.SetReadDeadline(time.Now().Add(timeout))
 		payload, err := conn.ReadFrame()
 		if err != nil {
 			return err
 		}
 		cur := remote.NewCursor(payload)
 		switch t := remote.MsgType(cur.Byte()); t {
+		case remote.MsgPong:
+			// heartbeat interleaved with the fetch stream
 		case remote.MsgPart:
 			cur.Uvarint() // seq
 			part := int(cur.Uvarint())

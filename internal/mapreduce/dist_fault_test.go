@@ -68,11 +68,11 @@ func TestDistFaultMatrix(t *testing.T) {
 			if !reflect.DeepEqual(got, want) {
 				t.Fatal("faulted run diverges from memory backend")
 			}
-			lost, retried, _ := cl.RecoveryStats()
-			if lost < 1 || retried < 1 {
-				t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", lost, retried)
+			rs := cl.RecoveryStats()
+			if rs.WorkersLost < 1 || rs.Recoveries < 1 {
+				t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", rs.WorkersLost, rs.Recoveries)
 			}
-			t.Logf("seed %d: lost=%d retried=%d", seed, lost, retried)
+			t.Logf("seed %d: lost=%d retried=%d", seed, rs.WorkersLost, rs.Recoveries)
 		})
 	}
 }
@@ -93,8 +93,8 @@ func TestDistFaultDelayHarmless(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("delayed run diverges from memory backend")
 	}
-	if lost, retried, _ := cl.RecoveryStats(); lost != 0 || retried != 0 {
-		t.Fatalf("a delay fault triggered recovery: lost=%d retried=%d", lost, retried)
+	if rs := cl.RecoveryStats(); rs.WorkersLost != 0 || rs.Recoveries != 0 {
+		t.Fatalf("a delay fault triggered recovery: lost=%d retried=%d", rs.WorkersLost, rs.Recoveries)
 	}
 }
 
@@ -146,12 +146,12 @@ func TestDistChaosKilledWorkers(t *testing.T) {
 			if !reflect.DeepEqual(got, want) {
 				t.Fatal("post-SIGKILL run diverges from memory backend")
 			}
-			lost, retried, reseeded := cl.RecoveryStats()
-			if lost < 1 || retried < 1 {
-				t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", lost, retried)
+			rs := cl.RecoveryStats()
+			if rs.WorkersLost < 1 || rs.Recoveries < 1 {
+				t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", rs.WorkersLost, rs.Recoveries)
 			}
 			t.Logf("seed %d: killed worker %d after %v; lost=%d retried=%d reseeded=%d",
-				seed, victim, delay, lost, retried, reseeded)
+				seed, victim, delay, rs.WorkersLost, rs.Recoveries, rs.Reseeded)
 		})
 	}
 }
@@ -160,32 +160,25 @@ func TestDistChaosKilledWorkers(t *testing.T) {
 // identical chained ring rounds with checkpointing at the default
 // (every retained round: MsgCkpt mirror frames plus worker run files)
 // and disabled. The /on vs /off delta is the checkpoint overhead the
-// CI bench comparison pins to <= 10%.
+// CI bench comparison pins to <= 10%. The /on-sched case additionally
+// arms the elastic-scheduling machinery (a 50ms heartbeat and
+// speculation ready to fire) on the healthy cluster; its delta over /on
+// is the chained-round idle overhead of scheduling, pinned to <= 5%.
 func BenchmarkDistChainedCheckpoint(b *testing.B) {
 	for _, bench := range []struct {
 		name  string
 		every int
-	}{{"on", 0}, {"off", -1}} {
+		hb    time.Duration
+		spec  float64
+	}{{"on", 0, 0, 0}, {"off", -1, 0, 0}, {"on-sched", 0, 50 * time.Millisecond, 4}} {
 		b.Run(bench.name, func(b *testing.B) {
-			var wg sync.WaitGroup
-			cl, err := StartDistCluster(2, DistClusterOptions{
-				Timeout: 30 * time.Second,
-				OnListen: func(addr string) {
-					for i := 0; i < 2; i++ {
-						wg.Add(1)
-						go func() {
-							defer wg.Done()
-							ServeDistWorker(context.Background(), addr)
-						}()
-					}
-				},
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer func() { cl.Close(); wg.Wait() }()
+			cl := startSchedCluster(b, 2, DistClusterOptions{
+				Timeout:        30 * time.Second,
+				HeartbeatEvery: bench.hb,
+			}, nil)
 			cfg := distCfg4(cl, "ring-step")
 			cfg.CheckpointEvery = bench.every
+			cfg.SpeculationFactor = bench.spec
 			ctx := context.Background()
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -353,8 +346,9 @@ func TestDistLateJoinAdoptsPartitions(t *testing.T) {
 	if cl.Workers() != 3 {
 		t.Fatalf("cluster holds %d workers after adoption, want 3 (2 initial + 1 late)", cl.Workers())
 	}
-	lost, retried, reseeded := cl.RecoveryStats()
-	if lost != 1 || retried < 1 || reseeded < 1 {
-		t.Fatalf("recovery stats report lost=%d retried=%d reseeded=%d, want 1/>=1/>=1", lost, retried, reseeded)
+	rs := cl.RecoveryStats()
+	if rs.WorkersLost != 1 || rs.Recoveries < 1 || rs.Reseeded < 1 {
+		t.Fatalf("recovery stats report lost=%d retried=%d reseeded=%d, want 1/>=1/>=1",
+			rs.WorkersLost, rs.Recoveries, rs.Reseeded)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -19,6 +20,8 @@ import (
 // so registered test closures are available on "both" sides.
 func startTestCluster(t *testing.T, n int) *DistCluster {
 	t.Helper()
+	leakCheck(t) // registered first so it runs after the teardown below
+	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
 	cl, err := StartDistCluster(n, DistClusterOptions{
 		Timeout: 30 * time.Second,
@@ -27,7 +30,7 @@ func startTestCluster(t *testing.T, n int) *DistCluster {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					if err := ServeDistWorker(context.Background(), addr); err != nil {
+					if err := ServeDistWorker(ctx, addr); err != nil {
 						t.Logf("in-process worker: %v", err)
 					}
 				}()
@@ -35,10 +38,12 @@ func startTestCluster(t *testing.T, n int) *DistCluster {
 		},
 	})
 	if err != nil {
+		cancel()
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {
 		cl.Close()
+		cancel()
 		wg.Wait()
 	})
 	return cl
@@ -264,7 +269,7 @@ func TestDistWorkerDisconnectMidShuffle(t *testing.T) {
 				if err := remote.Hello(conn); err != nil {
 					return
 				}
-				if _, _, err := remote.AwaitWelcome(conn); err != nil {
+				if _, err := remote.AwaitWelcome(conn); err != nil {
 					return
 				}
 				conn.ReadFrame() // the job start
@@ -308,8 +313,8 @@ func TestDistWorkerDisconnectMidShuffle(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("recovered run diverges from memory backend")
 	}
-	if lost, retried, _ := cl.RecoveryStats(); lost < 1 || retried < 1 {
-		t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", lost, retried)
+	if rs := cl.RecoveryStats(); rs.WorkersLost < 1 || rs.Recoveries < 1 {
+		t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", rs.WorkersLost, rs.Recoveries)
 	}
 }
 
@@ -385,14 +390,63 @@ func TestDistKilledWorkerProcess(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("recovered run diverges from memory backend")
 	}
-	if lost, retried, _ := cl.RecoveryStats(); lost < 1 || retried < 1 {
-		t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", lost, retried)
+	if rs := cl.RecoveryStats(); rs.WorkersLost < 1 || rs.Recoveries < 1 {
+		t.Fatalf("recovery stats report lost=%d retried=%d, want >= 1 each", rs.WorkersLost, rs.Recoveries)
 	}
 
 	// The cluster latched the round, not itself: it must still run jobs
 	// on the survivor.
 	if _, err := slowJob(); err != nil {
 		t.Fatalf("recovered cluster rejected a follow-up job: %v", err)
+	}
+}
+
+// TestDistCloseReapsWedgedWorker pins the shutdown bound: a worker
+// process frozen with SIGSTOP keeps its socket open and its exit
+// pending forever, so an unbounded Wait in Close would hang the
+// coordinator after an otherwise successful run. Close must escalate to
+// a kill within its grace and return.
+func TestDistCloseReapsWedgedWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := StartDistCluster(2, DistClusterOptions{
+		Timeout: 30 * time.Second,
+		Spawn: func(addr string) *exec.Cmd {
+			cmd := exec.Command(exe, "-test.run", "^$")
+			cmd.Env = append(os.Environ(), distWorkerEnv+"="+addr)
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(context.Background(), distCfg(cl, "eq-int32"),
+		int32Input(), int32Map, int32Reduce); err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	if err := cl.procs[0].Process.Signal(syscall.SIGSTOP); err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- cl.Close() }()
+	select {
+	case err := <-closed:
+		// The frozen worker was killed at the grace boundary; Close
+		// reports that instead of pretending the shutdown was clean.
+		if err == nil {
+			t.Fatal("Close reported a clean shutdown despite killing a wedged worker")
+		}
+		t.Logf("wedged worker surfaced: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close hung on a wedged worker process")
 	}
 }
 
@@ -436,32 +490,32 @@ func TestDistStartupStalledHandshake(t *testing.T) {
 // BenchmarkDistShuffle measures a full flat job on two loopback
 // workers: the cost of encode + TCP + decode + remote group-sort-reduce
 // + result streaming, comparable with BenchmarkShuffleHeavy on the
-// local backends.
+// local backends. The sched case arms the elastic-scheduling machinery
+// (heartbeats, progress tracking, the monitor, speculation ready to
+// fire) on an entirely healthy cluster; nosched turns it all off. The
+// delta is the idle overhead of scheduling, pinned to <= 5% by
+// bench_compare.sh.
 func BenchmarkDistShuffle(b *testing.B) {
-	var wg sync.WaitGroup
-	cl, err := StartDistCluster(2, DistClusterOptions{
-		Timeout: 30 * time.Second,
-		OnListen: func(addr string) {
-			for i := 0; i < 2; i++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					ServeDistWorker(context.Background(), addr)
-				}()
+	for _, bench := range []struct {
+		name string
+		hb   time.Duration
+		spec float64
+	}{{"sched", 50 * time.Millisecond, 4}, {"nosched", -1, 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			cl := startSchedCluster(b, 2, DistClusterOptions{
+				Timeout:        30 * time.Second,
+				HeartbeatEvery: bench.hb,
+			}, nil)
+			cfg := distCfg4(cl, "eq-int32")
+			cfg.SpeculationFactor = bench.spec
+			input := int32Input()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Run(context.Background(), cfg, input, int32Map, int32Reduce); err != nil {
+					b.Fatal(err)
+				}
 			}
-		},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer func() { cl.Close(); wg.Wait() }()
-	cfg := distCfg4(cl, "eq-int32")
-	input := int32Input()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := Run(context.Background(), cfg, input, int32Map, int32Reduce); err != nil {
-			b.Fatal(err)
-		}
+		})
 	}
 }

@@ -99,6 +99,10 @@ func lookupDistJob(name string, params []byte) (distJobRunner, error) {
 type residentSet interface {
 	fetch(conn *remote.Conn, seq uint64) error
 	drop()
+	// shed releases one partition whose ownership migrated elsewhere
+	// (MsgShed): the copy here is superseded, keeping it would serve
+	// stale data if this worker were ever asked for it.
+	shed(part int)
 }
 
 // residentData retains one job's reduce output per owned partition
@@ -141,6 +145,14 @@ func (r *residentData[K, V]) drop() {
 		}
 	}
 	r.parts = nil
+}
+
+// shed releases a single migrated-away partition.
+func (r *residentData[K, V]) shed(part int) {
+	if part >= 0 && part < len(r.parts) && r.parts[part] != nil {
+		r.ar.putPairs(part, r.parts[part])
+		r.parts[part] = nil
+	}
 }
 
 // chainedInput resolves a chained job's worker-resident input,
@@ -221,6 +233,65 @@ type workerSession struct {
 	// tax every small round for a copy nothing reads by default.
 	ckpt    *checkpointWriter
 	ckptDir string
+
+	// Heartbeat state: the interval the welcome announced, and the live
+	// progress counters the pong carries — written by the job
+	// goroutines, read by the pong sender. progParts lists the
+	// partitions the current job has finished reducing.
+	hbEvery   time.Duration
+	curSeq    atomic.Uint64
+	phase     atomic.Uint32 // 0 idle, 1 shuffle, 2 reduce
+	records   atomic.Int64
+	progMu    sync.Mutex
+	progParts []int32
+}
+
+// Worker phases as reported in pong frames.
+const (
+	phaseIdle uint32 = iota
+	phaseShuffle
+	phaseReduce
+)
+
+// pong sends one heartbeat frame: current job sequence, phase, the
+// partitions reduced so far, and records emitted. It rides WritePulse
+// so heartbeats never perturb seeded fault-injection frame counts.
+func (s *workerSession) pong() error {
+	frame := []byte{byte(remote.MsgPong)}
+	frame = remote.AppendUvarint(frame, s.curSeq.Load())
+	frame = append(frame, byte(s.phase.Load()))
+	s.progMu.Lock()
+	frame = remote.AppendUvarint(frame, uint64(len(s.progParts)))
+	for _, p := range s.progParts {
+		frame = remote.AppendUvarint(frame, uint64(p))
+	}
+	s.progMu.Unlock()
+	frame = remote.AppendUvarint(frame, uint64(s.records.Load()))
+	return s.conn.WritePulse(frame)
+}
+
+// noteProgress records one finished reduce partition for the heartbeat.
+func (s *workerSession) noteProgress(part int, records int64) {
+	s.progMu.Lock()
+	s.progParts = append(s.progParts, int32(part))
+	s.progMu.Unlock()
+	s.records.Add(records)
+}
+
+// startJobProgress resets the heartbeat counters for a new job.
+func (s *workerSession) startJobProgress(seq uint64) {
+	s.progMu.Lock()
+	s.progParts = s.progParts[:0]
+	s.progMu.Unlock()
+	s.records.Store(0)
+	s.curSeq.Store(seq)
+	s.phase.Store(phaseShuffle)
+}
+
+// endJobProgress marks the session idle again.
+func (s *workerSession) endJobProgress() {
+	s.phase.Store(phaseIdle)
+	s.curSeq.Store(0)
 }
 
 // errJobAborted is the sentinel a job handler returns when the
@@ -253,6 +324,12 @@ type DistWorkerOptions struct {
 	// operator-inspectable copy). Empty — the default — keeps
 	// checkpoints mirror-only on the coordinator.
 	CheckpointDir string
+	// Fault, when non-nil, arms a deterministic fault on this worker's
+	// endpoint once the handshake completes, so its frame indices count
+	// job traffic only. Test instrumentation for in-process workers —
+	// the gray-failure (stall) chaos tests hang a worker from the
+	// inside, where the coordinator cannot see a transport error.
+	Fault *remote.Fault
 }
 
 // ServeDistWorker connects to a coordinator and serves jobs until the
@@ -275,9 +352,12 @@ func ServeDistWorkerOpts(ctx context.Context, addr string, opts DistWorkerOption
 	if err := remote.Hello(conn); err != nil {
 		return fmt.Errorf("mapreduce: dist worker handshake: %w", err)
 	}
-	id, workers, err := remote.AwaitWelcome(conn)
+	info, err := remote.AwaitWelcome(conn)
 	if err != nil {
 		return fmt.Errorf("mapreduce: dist worker handshake: %w", err)
+	}
+	if opts.Fault != nil {
+		conn.Arm(opts.Fault)
 	}
 	if ctx != nil {
 		watchDone := make(chan struct{})
@@ -292,13 +372,37 @@ func ServeDistWorkerOpts(ctx context.Context, addr string, opts DistWorkerOption
 	}
 	s := &workerSession{
 		conn:     conn,
-		id:       id,
-		workers:  workers,
+		id:       info.WorkerID,
+		workers:  info.NumWorkers,
 		pool:     NewBufferPool(),
 		resident: make(map[uint64]residentSet),
 		seeds:    make(map[uint64]map[int]seedBlob),
 		aborted:  make(map[uint64]bool),
 		ckptDir:  opts.CheckpointDir,
+		hbEvery:  info.HeartbeatEvery,
+	}
+	if s.hbEvery > 0 {
+		// Unsolicited pongs on the announced interval, from a dedicated
+		// goroutine: the read loops below are busy or blocked during a
+		// job, but liveness must keep flowing coordinator-ward — a
+		// worker deep in a long reduce is slow, not dead, and the
+		// monitor can only know that if pongs keep arriving.
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		go func() {
+			t := time.NewTicker(s.hbEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					if s.pong() != nil {
+						return
+					}
+				}
+			}
+		}()
 	}
 	return s.serve()
 }
@@ -406,6 +510,22 @@ func (s *workerSession) serve() error {
 				delete(s.resident, seq)
 			}
 			delete(s.seeds, seq)
+		case remote.MsgPing:
+			if err := s.pong(); err != nil {
+				return nil
+			}
+		case remote.MsgShed:
+			// A resident partition migrated to another worker; this copy
+			// is superseded. Sheds arrive between jobs, ordered after
+			// the migration's seeds on the new owner's connection.
+			seq := cur.Uvarint()
+			part := int(cur.Uvarint())
+			if ent, ok := s.resident[seq]; ok {
+				ent.shed(part)
+			}
+			if m := s.seeds[seq]; m != nil {
+				delete(m, part)
+			}
 		case remote.MsgBye:
 			return nil
 		default:
@@ -511,6 +631,9 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 	ar := arenaFor[K2, V2](s.pool, h.reducers)
 	shuffle := newMemoryShuffle[K2, V2](h.reducers, h.splits, ar)
 
+	s.startJobProgress(h.seq)
+	defer s.endJobProgress()
+
 	// Ingest: either the coordinator streams every bucket (flat), or
 	// this worker maps its resident input partitions while the main
 	// loop below keeps receiving the buckets other workers relay here.
@@ -579,6 +702,12 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 			cur.Uvarint()
 			break
 		}
+		if t == remote.MsgPing {
+			if err := s.pong(); err != nil {
+				return fmt.Errorf("job %q: answering ping: %w", h.name, err)
+			}
+			continue
+		}
 		if t == remote.MsgAbort {
 			seq := cur.Uvarint()
 			if seq != h.seq {
@@ -625,11 +754,64 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 	// Group-sort and reduce the owned partitions, in parallel — the
 	// memory backend's radix group path runs inside each goroutine,
 	// checked out of this worker's round-recycled pool.
+	s.phase.Store(phaseReduce)
 	reduceStart := time.Now()
 	streams, err := shuffle.Finalize()
 	if err != nil {
 		return err
 	}
+
+	// While the reduce runs, this watcher owns the connection's read
+	// side: it answers pings (a worker deep in a reduce is busy, not
+	// hung) and observes aborts. On an abort for this job it raises
+	// cancel, which the reduce goroutines check between key groups —
+	// a speculated-around straggler releases the round within one
+	// group's work instead of finishing output nobody wants. The ack
+	// waits for every goroutine to drain so it stays the sequence's
+	// final frame.
+	var cancel, abortSeen atomic.Bool
+	watchStop := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		for {
+			select {
+			case <-watchStop:
+				return
+			default:
+			}
+			payload, err := s.conn.PollFrame(20 * time.Millisecond)
+			if err == remote.ErrPollTimeout {
+				continue
+			}
+			if err != nil {
+				return // transport gone; the job's own writes surface it
+			}
+			cur := remote.NewCursor(payload)
+			switch t := remote.MsgType(cur.Byte()); t {
+			case remote.MsgPing:
+				s.pong()
+			case remote.MsgAbort:
+				seq := cur.Uvarint()
+				if seq != h.seq {
+					s.ackAbort(seq) // stale abort for an earlier attempt
+					continue
+				}
+				abortSeen.Store(true)
+				cancel.Store(true)
+				return
+			case remote.MsgBucket, remote.MsgFlush:
+				if seq := cur.Uvarint(); s.aborted[seq] {
+					continue // stray frames from an aborted attempt
+				}
+				return
+			default:
+				return
+			}
+		}
+	}()
+
 	arOut := arenaFor[K3, V3](s.pool, h.reducers)
 	outs := make([][]Pair[K3, V3], h.reducers)
 	outCounts := make([]int64, h.reducers)
@@ -648,6 +830,11 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 			defer st.Close()
 			buf := &emitBuf[K3, V3]{pairs: arOut.getPairs(p, 0)}
 			for {
+				if cancel.Load() {
+					errs[p] = errJobAborted
+					outs[p] = buf.pairs // recycled by the abort path below
+					return
+				}
 				k, values, ok, err := st.Next()
 				if err != nil {
 					errs[p] = fmt.Errorf("partition %d: %w", p, err)
@@ -682,9 +869,25 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 				arOut.putPairs(p, buf.pairs)
 				outs[p] = nil
 			}
+			s.noteProgress(p, int64(outCounts[p]))
 		}()
 	}
 	wg.Wait()
+	close(watchStop)
+	s.conn.BreakPoll() // don't hold job completion for the poll interval
+	watchWG.Wait()
+	if abortSeen.Load() {
+		for p, out := range outs {
+			if out != nil {
+				arOut.putPairs(p, out)
+				outs[p] = nil
+			}
+		}
+		if err := s.ackAbort(h.seq); err != nil {
+			return fmt.Errorf("job %q: acking abort: %w", h.name, err)
+		}
+		return errJobAborted
+	}
 	for _, err := range errs {
 		if err != nil {
 			return fmt.Errorf("job %q: %w", h.name, err)

@@ -1,11 +1,14 @@
 // Deterministic fault injection for the framed transport. A Fault is
 // armed on one Conn endpoint and counts the frames that endpoint moves
 // in a single direction; when the count reaches the trigger it severs
-// the connection (simulating a worker death observed mid-stream) or
-// stalls it once (simulating a network hiccup). Counting one direction
-// only keeps the trigger deterministic: reads and writes interleave
-// differently run to run, but the k-th frame written to a given peer is
-// always the same frame for a fixed job and seed.
+// the connection (simulating a worker death observed mid-stream),
+// stalls the frame (simulating a network hiccup or a hung process), or
+// delays it. Counting one direction only keeps the trigger
+// deterministic: reads and writes interleave differently run to run,
+// but the k-th frame written to a given peer is always the same frame
+// for a fixed job and seed. Heartbeat pongs are exempt in both
+// directions (they travel via WritePulse and are skipped by ReadFrame's
+// post-read charge), so arming heartbeats does not shift fault points.
 package remote
 
 import (
@@ -22,26 +25,40 @@ const (
 	// every later writer observe a transport error — exactly what a
 	// SIGKILLed worker process produces, without the process.
 	FaultSever FaultOp = iota
-	// FaultDelay stalls the triggering frame once for Delay and then
-	// lets traffic continue; it exercises the slow-worker paths (abort
-	// backstop deadlines) without killing anyone.
+	// FaultDelay stalls the triggering frame for Delay and then lets
+	// traffic continue; it exercises the slow-worker paths (abort
+	// backstop deadlines, straggler speculation) without killing
+	// anyone. With Repeat set it fires on the triggering frame and
+	// every later one — a worker that is uniformly slow rather than
+	// hiccuping once.
 	FaultDelay
+	// FaultStall is the gray failure: from the triggering frame on, the
+	// endpoint stops moving frames in *both* directions without closing
+	// the connection — the peer sees an open, silent socket, which no
+	// transport error will ever report. Blocked goroutines release with
+	// an error when the local endpoint is closed, or silently resume
+	// after Delay if Delay is nonzero (a stall that heals).
+	FaultStall
 )
 
 // Fault is one armed failure. AfterWrites and AfterReads are 1-based
 // frame triggers for their direction: AfterWrites = k fires in place of
 // the k-th WriteFrame on the armed endpoint, AfterReads = k in place of
 // the k-th ReadFrame. Zero leaves a direction unarmed. A Fault fires at
-// most once (a severed connection keeps failing on its own afterwards).
+// most once (a severed connection keeps failing on its own afterwards;
+// a stalled one keeps holding frames), except FaultDelay with Repeat,
+// which delays every frame from the trigger on.
 type Fault struct {
 	Op          FaultOp
 	AfterWrites int
 	AfterReads  int
 	Delay       time.Duration
+	Repeat      bool
 
-	writes atomic.Int64
-	reads  atomic.Int64
-	fired  atomic.Bool
+	writes  atomic.Int64
+	reads   atomic.Int64
+	fired   atomic.Bool
+	stalled atomic.Bool
 }
 
 // errSevered is what the armed endpoint reports once a FaultSever has
@@ -49,7 +66,14 @@ type Fault struct {
 // transport errors from the socket.
 var errSevered = fmt.Errorf("remote: injected fault severed the connection")
 
+// errStalled is what a goroutine blocked on an injected stall reports
+// once the local endpoint is closed out from under it.
+var errStalled = fmt.Errorf("remote: injected stall released by close")
+
 func (f *Fault) beforeWrite(c *Conn) error {
+	if f.stalled.Load() {
+		return f.hold(c)
+	}
 	if f.AfterWrites <= 0 {
 		return nil
 	}
@@ -60,6 +84,9 @@ func (f *Fault) beforeWrite(c *Conn) error {
 }
 
 func (f *Fault) beforeRead(c *Conn) error {
+	if f.stalled.Load() {
+		return f.hold(c)
+	}
 	if f.AfterReads <= 0 {
 		return nil
 	}
@@ -69,20 +96,60 @@ func (f *Fault) beforeRead(c *Conn) error {
 	return f.fire(c)
 }
 
+// holdIfStalled is the pulse-path check: heartbeat writes are exempt
+// from frame counting but must still freeze once a stall has fired —
+// a hung worker that kept heartbeating would never look hung.
+func (f *Fault) holdIfStalled(c *Conn) error {
+	if f.stalled.Load() {
+		return f.hold(c)
+	}
+	return nil
+}
+
 func (f *Fault) fire(c *Conn) error {
-	if !f.fired.CompareAndSwap(false, true) {
-		if f.Op == FaultSever {
-			return errSevered
+	if f.Op == FaultDelay {
+		if f.Repeat || f.fired.CompareAndSwap(false, true) {
+			time.Sleep(f.Delay)
 		}
 		return nil
 	}
+	if !f.fired.CompareAndSwap(false, true) {
+		if f.Op == FaultStall {
+			return f.hold(c)
+		}
+		return errSevered
+	}
 	switch f.Op {
-	case FaultDelay:
-		time.Sleep(f.Delay)
-		return nil
+	case FaultStall:
+		f.stalled.Store(true)
+		return f.hold(c)
 	default:
 		c.Close()
 		return errSevered
+	}
+}
+
+// hold blocks the calling goroutine for as long as the stall is in
+// effect: until the local Conn is closed (error) or, when Delay is
+// nonzero, until Delay has elapsed since the hold began (the stall
+// heals and the frame proceeds).
+func (f *Fault) hold(c *Conn) error {
+	var deadline time.Time
+	if f.Delay > 0 {
+		deadline = time.Now().Add(f.Delay)
+	}
+	for {
+		if c.Closed() {
+			return errStalled
+		}
+		if !f.stalled.Load() {
+			return nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			f.stalled.Store(false)
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

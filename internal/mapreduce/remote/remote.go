@@ -28,8 +28,9 @@ import (
 
 // Proto is the protocol version exchanged in the handshake. A
 // coordinator and worker built from different engine revisions refuse
-// to pair rather than diverge silently.
-const Proto = 1
+// to pair rather than diverge silently. Version 2 added the heartbeat
+// interval to the welcome and the ping/pong/shed messages.
+const Proto = 2
 
 // MsgType identifies one protocol message. The direction annotations
 // are the only ones that occur; receiving a type from the wrong
@@ -103,6 +104,21 @@ const (
 	// before the retried job's MsgJobStart on the same connection, so no
 	// acknowledgement is needed.
 	MsgSeed
+	// MsgPing (coordinator → worker) probes a worker that has gone
+	// quiet: answer with MsgPong from whatever loop currently owns the
+	// connection's read side.
+	MsgPing
+	// MsgPong (worker → coordinator) is the heartbeat: the current job
+	// sequence number, phase, completed-partition count, completed
+	// partition ids, and records emitted so far. Workers send it
+	// unsolicited on the interval the welcome announced, and immediately
+	// in response to MsgPing. Pongs travel outside the fault-injection
+	// frame count so seeded fault points stay stable.
+	MsgPong
+	// MsgShed (coordinator → worker) tells the previous owner of a
+	// migrated resident partition to drop its now-superseded copy:
+	// sequence number, partition. No reply.
+	MsgShed
 )
 
 // String names the message type for error text.
@@ -144,6 +160,12 @@ func (t MsgType) String() string {
 		return "checkpoint"
 	case MsgSeed:
 		return "seed"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgShed:
+		return "shed"
 	}
 	return fmt.Sprintf("msg(%d)", byte(t))
 }
@@ -185,6 +207,18 @@ type Conn struct {
 	// endpoint's frame stream (see fault.go). Nil in production.
 	fault atomic.Pointer[Fault]
 
+	// lastRead is the unixnano timestamp of the last successfully read
+	// frame — the raw signal the coordinator's health monitor works
+	// from: any frame a worker sends (pong or payload) proves liveness.
+	lastRead atomic.Int64
+
+	// pollMu serializes BreakPoll against PollFrame's peek phase, so a
+	// break can only ever expire the non-consuming Peek — never a frame
+	// that has already started arriving.
+	pollMu sync.Mutex
+	inPoll bool
+
+	closed    atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -206,6 +240,22 @@ func (c *Conn) BytesIn() int64 { return c.bytesIn.Load() }
 
 // BytesOut returns the cumulative payload bytes written to the peer.
 func (c *Conn) BytesOut() int64 { return c.bytesOut.Load() }
+
+// LastRead returns the time the last complete frame was read from the
+// peer, or the zero time if none has been. Any frame counts: a silent
+// peer is one whose connection has moved nothing toward us.
+func (c *Conn) LastRead() time.Time {
+	ns := c.lastRead.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Closed reports whether Close has been called on this endpoint. An
+// armed stall fault polls it so an injected hang releases its blocked
+// goroutines when the local endpoint is torn down.
+func (c *Conn) Closed() bool { return c.closed.Load() }
 
 // WriteFrame sends one whole frame (the payload's first byte must be
 // the message type) and flushes it, so a frame is visible to the peer
@@ -260,12 +310,41 @@ func (c *Conn) WriteFrameBuffered(payload []byte) error {
 	return nil
 }
 
+// WritePulse sends one whole frame like WriteFrame but outside the
+// armed fault's frame count: heartbeat pongs ride this path so arming a
+// seeded fault does not shift its trigger index by however many pongs
+// the ticker happened to emit. A fault that has already fired as a
+// stall still blocks the pulse — a stalled endpoint must fall silent in
+// both directions, heartbeats included, or it would never look hung.
+func (c *Conn) WritePulse(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if f := c.fault.Load(); f != nil {
+		if err := f.holdIfStalled(c); err != nil {
+			return err
+		}
+	}
+	n := binary.PutUvarint(c.lenBuf[:], uint64(len(payload)))
+	if _, err := c.bw.Write(c.lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	c.bytesOut.Add(int64(n + len(payload)))
+	return nil
+}
+
 // ReadFrame reads the next frame payload. The returned slice is owned
 // by the caller. io.EOF surfaces only on a clean frame boundary; a
 // partial frame reports a truncation error.
 func (c *Conn) ReadFrame() ([]byte, error) {
-	if f := c.fault.Load(); f != nil {
-		if err := f.beforeRead(c); err != nil {
+	f := c.fault.Load()
+	if f != nil {
+		if err := f.holdIfStalled(c); err != nil {
 			return nil, err
 		}
 	}
@@ -287,14 +366,75 @@ func (c *Conn) ReadFrame() ([]byte, error) {
 		return nil, fmt.Errorf("remote: empty frame")
 	}
 	c.bytesIn.Add(uvarintLen(n) + int64(n))
+	c.lastRead.Store(time.Now().UnixNano())
+	// The fault count is charged after the frame type is known, so
+	// heartbeat pongs stay outside it — the read-direction mirror of
+	// WritePulse. A seeded AfterReads index thus means "the k-th protocol
+	// frame" no matter how many pongs interleave. A fault that fires here
+	// withholds the frame it triggered on, exactly as if it had fired
+	// before the read.
+	if f != nil && MsgType(payload[0]) != MsgPong {
+		if err := f.beforeRead(c); err != nil {
+			return nil, err
+		}
+	}
 	return payload, nil
+}
+
+// ErrPollTimeout is PollFrame's no-frame-yet result.
+var ErrPollTimeout = fmt.Errorf("remote: poll timeout")
+
+// PollFrame reads the next frame if one arrives within d, returning
+// ErrPollTimeout otherwise without consuming anything. It lets a worker
+// goroutine that is mostly busy (reducing) service pings and aborts
+// between units of work: a timed-out poll leaves the stream exactly as
+// it was, because only the non-consuming Peek runs under the deadline —
+// once a frame has started arriving the deadline is cleared and the
+// frame is read to completion.
+func (c *Conn) PollFrame(d time.Duration) ([]byte, error) {
+	if c.br.Buffered() == 0 {
+		c.pollMu.Lock()
+		c.inPoll = true
+		c.c.SetReadDeadline(time.Now().Add(d))
+		c.pollMu.Unlock()
+		_, err := c.br.Peek(1)
+		c.pollMu.Lock()
+		c.inPoll = false
+		c.c.SetReadDeadline(time.Time{})
+		c.pollMu.Unlock()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil, ErrPollTimeout
+			}
+			return nil, err
+		}
+	}
+	return c.ReadFrame()
+}
+
+// BreakPoll wakes a concurrent PollFrame out of its peek phase
+// immediately, so a poll loop that has been told to stop does not hold
+// its caller for the rest of the poll interval. The woken PollFrame
+// returns ErrPollTimeout. Racing a frame that has already started
+// arriving is safe: once PollFrame leaves the peek phase it clears the
+// deadline under pollMu, so the break is a no-op and the frame is read
+// to completion.
+func (c *Conn) BreakPoll() {
+	c.pollMu.Lock()
+	if c.inPoll {
+		c.c.SetReadDeadline(time.Now())
+	}
+	c.pollMu.Unlock()
 }
 
 // Close tears the connection down. Safe to call from any goroutine and
 // idempotent; a blocked ReadFrame or WriteFrame on another goroutine
 // returns with an error once the underlying connection closes.
 func (c *Conn) Close() error {
-	c.closeOnce.Do(func() { c.closeErr = c.c.Close() })
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		c.closeErr = c.c.Close()
+	})
 	return c.closeErr
 }
 
@@ -304,6 +444,12 @@ func (c *Conn) Close() error {
 // dies within the window is declared dead by timeout instead of
 // wedging the cluster.
 func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds blocked writes on the underlying connection;
+// the zero time clears the bound. Armed around abort frames so a hung
+// peer whose receive window filled up cannot wedge recovery from the
+// write side.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.c.SetWriteDeadline(t) }
 
 func uvarintLen(v uint64) int64 {
 	n := int64(1)
@@ -406,12 +552,18 @@ func Hello(c *Conn) error {
 	return c.WriteFrame(AppendUvarint([]byte{byte(MsgHello)}, Proto))
 }
 
-// Welcome sends the coordinator's handshake reply.
-func Welcome(c *Conn, workerID, numWorkers int) error {
+// Welcome sends the coordinator's handshake reply. heartbeatEvery is
+// the unsolicited-pong interval the worker should keep (zero or
+// negative disables heartbeats on this connection).
+func Welcome(c *Conn, workerID, numWorkers int, heartbeatEvery time.Duration) error {
+	if heartbeatEvery < 0 {
+		heartbeatEvery = 0
+	}
 	buf := []byte{byte(MsgWelcome)}
 	buf = AppendUvarint(buf, Proto)
 	buf = AppendUvarint(buf, uint64(workerID))
 	buf = AppendUvarint(buf, uint64(numWorkers))
+	buf = AppendUvarint(buf, uint64(heartbeatEvery))
 	return c.WriteFrame(buf)
 }
 
@@ -431,29 +583,40 @@ func AwaitHello(c *Conn) error {
 	return nil
 }
 
-// AwaitWelcome reads and validates the coordinator's welcome, returning
-// the worker's id and the worker count.
-func AwaitWelcome(c *Conn) (workerID, numWorkers int, err error) {
+// WelcomeInfo is what the coordinator's welcome tells a worker about
+// its place in the cluster.
+type WelcomeInfo struct {
+	WorkerID   int
+	NumWorkers int
+	// HeartbeatEvery is the interval at which the worker should send
+	// unsolicited MsgPong frames; zero disables them.
+	HeartbeatEvery time.Duration
+}
+
+// AwaitWelcome reads and validates the coordinator's welcome.
+func AwaitWelcome(c *Conn) (WelcomeInfo, error) {
 	payload, err := c.ReadFrame()
 	if err != nil {
-		return 0, 0, err
+		return WelcomeInfo{}, err
 	}
 	cur := NewCursor(payload)
 	if t := MsgType(cur.Byte()); t != MsgWelcome {
-		return 0, 0, fmt.Errorf("remote: expected welcome, got %v", t)
+		return WelcomeInfo{}, fmt.Errorf("remote: expected welcome, got %v", t)
 	}
 	if v := cur.Uvarint(); v != Proto {
-		return 0, 0, fmt.Errorf("remote: protocol version mismatch: coordinator speaks %d, worker %d", v, Proto)
+		return WelcomeInfo{}, fmt.Errorf("remote: protocol version mismatch: coordinator speaks %d, worker %d", v, Proto)
 	}
-	workerID = int(cur.Uvarint())
-	numWorkers = int(cur.Uvarint())
+	var info WelcomeInfo
+	info.WorkerID = int(cur.Uvarint())
+	info.NumWorkers = int(cur.Uvarint())
+	info.HeartbeatEvery = time.Duration(cur.Uvarint())
 	if err := cur.Err(); err != nil {
-		return 0, 0, err
+		return WelcomeInfo{}, err
 	}
-	if numWorkers < 1 || workerID < 0 || workerID >= numWorkers {
-		return 0, 0, fmt.Errorf("remote: malformed welcome: worker %d of %d", workerID, numWorkers)
+	if info.NumWorkers < 1 || info.WorkerID < 0 || info.WorkerID >= info.NumWorkers {
+		return WelcomeInfo{}, fmt.Errorf("remote: malformed welcome: worker %d of %d", info.WorkerID, info.NumWorkers)
 	}
-	return workerID, numWorkers, nil
+	return info, nil
 }
 
 // Owner maps a reduce partition to the worker that owns it: the fixed

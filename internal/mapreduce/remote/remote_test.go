@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // pipePair returns two framed endpoints of an in-memory connection.
@@ -111,20 +112,107 @@ func TestHandshake(t *testing.T) {
 			errc <- err
 			return
 		}
-		errc <- Welcome(b, 2, 5)
+		errc <- Welcome(b, 2, 5, 250*time.Millisecond)
 	}()
 	if err := Hello(a); err != nil {
 		t.Fatal(err)
 	}
-	id, n, err := AwaitWelcome(a)
+	info, err := AwaitWelcome(a)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := <-errc; err != nil {
 		t.Fatal(err)
 	}
-	if id != 2 || n != 5 {
-		t.Fatalf("welcome decoded as worker %d of %d, want 2 of 5", id, n)
+	if info.WorkerID != 2 || info.NumWorkers != 5 {
+		t.Fatalf("welcome decoded as worker %d of %d, want 2 of 5", info.WorkerID, info.NumWorkers)
+	}
+	if info.HeartbeatEvery != 250*time.Millisecond {
+		t.Fatalf("welcome decoded heartbeat %v, want 250ms", info.HeartbeatEvery)
+	}
+}
+
+func TestPollFrameTimesOutWithoutConsuming(t *testing.T) {
+	a, b := pipePair(t)
+	if _, err := b.PollFrame(20 * time.Millisecond); err != ErrPollTimeout {
+		t.Fatalf("idle poll: got %v, want ErrPollTimeout", err)
+	}
+	go a.WriteFrame([]byte{byte(MsgFlush)})
+	var got []byte
+	var err error
+	for i := 0; i < 100; i++ {
+		got, err = b.PollFrame(50 * time.Millisecond)
+		if err != ErrPollTimeout {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MsgType(got[0]) != MsgFlush {
+		t.Fatalf("poll consumed the wrong frame: %v", MsgType(got[0]))
+	}
+	// The timed-out polls must not have corrupted the stream: a normal
+	// read still works.
+	go a.WriteFrame([]byte{byte(MsgBye)})
+	got, err = b.ReadFrame()
+	if err != nil || MsgType(got[0]) != MsgBye {
+		t.Fatalf("post-poll read: %v %v", got, err)
+	}
+}
+
+func TestFaultStallBlocksBothDirectionsUntilClose(t *testing.T) {
+	a, b := pipePair(t)
+	f := &Fault{Op: FaultStall, AfterWrites: 2}
+	a.Arm(f)
+	go b.ReadFrame() // drain so the synchronous pipe write completes
+	if err := a.WriteFrame([]byte{byte(MsgFlush)}); err != nil {
+		t.Fatal(err)
+	}
+	// The second write trips the stall: it must block, not error, and
+	// the read direction plus the pulse path must freeze too.
+	results := make(chan error, 3)
+	go func() { results <- a.WriteFrame([]byte{byte(MsgFlush)}) }()
+	go func() { _, err := a.ReadFrame(); results <- err }()
+	go func() { results <- a.WritePulse([]byte{byte(MsgPong)}) }()
+	select {
+	case err := <-results:
+		t.Fatalf("stalled frame completed: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	a.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-results:
+			if err == nil {
+				t.Fatal("stalled frame reported success after close")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("stalled goroutine did not release on close")
+		}
+	}
+}
+
+func TestFaultDelayRepeatFiresEveryFrame(t *testing.T) {
+	a, b := pipePair(t)
+	f := &Fault{Op: FaultDelay, AfterWrites: 1, Delay: 20 * time.Millisecond, Repeat: true}
+	a.Arm(f)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 3; i++ {
+			b.ReadFrame()
+		}
+		close(done)
+	}()
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := a.WriteFrame([]byte{byte(MsgFlush)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("3 delayed frames took %v, want >= 60ms", d)
 	}
 }
 

@@ -75,6 +75,17 @@ type Stats struct {
 	// checkpoint mirror onto a new owner before the successful attempt.
 	WorkerRecoveries   int64
 	ReseededPartitions int64
+	// Elastic-scheduling activity during the job (dist backend only).
+	// HeartbeatTimeouts counts workers demoted to suspect for silence;
+	// SpeculativeLaunches counts straggler aborts launched to re-execute
+	// a laggard's partitions elsewhere, SpeculativeWins the ones whose
+	// backup attempt completed the job; PartitionsMigrated counts
+	// resident partitions rebalanced between live workers (late-joiner
+	// adoption, idle-worker feeding) rather than restored after a death.
+	HeartbeatTimeouts   int64
+	SpeculativeLaunches int64
+	SpeculativeWins     int64
+	PartitionsMigrated  int64
 	// WorkerWall is the largest map+reduce wall clock any single dist
 	// worker reported for the job — the distributed critical path, which
 	// is what a measured scale-out comparison against ClusterModel's
@@ -163,6 +174,10 @@ func (s *Stats) Add(o *Stats) {
 	s.RemoteBytesIn += o.RemoteBytesIn
 	s.WorkerRecoveries += o.WorkerRecoveries
 	s.ReseededPartitions += o.ReseededPartitions
+	s.HeartbeatTimeouts += o.HeartbeatTimeouts
+	s.SpeculativeLaunches += o.SpeculativeLaunches
+	s.SpeculativeWins += o.SpeculativeWins
+	s.PartitionsMigrated += o.PartitionsMigrated
 	s.WorkerWall += o.WorkerWall
 	s.MapWall += o.MapWall
 	s.ShuffleWall += o.ShuffleWall
@@ -193,6 +208,10 @@ func (s *Stats) String() string {
 	}
 	if s.WorkerRecoveries > 0 || s.ReseededPartitions > 0 {
 		line += fmt.Sprintf(" recoveries=%d reseeded=%d", s.WorkerRecoveries, s.ReseededPartitions)
+	}
+	if s.HeartbeatTimeouts > 0 || s.SpeculativeLaunches > 0 || s.PartitionsMigrated > 0 {
+		line += fmt.Sprintf(" hbtimeouts=%d spec=%d/%d migrated=%d",
+			s.HeartbeatTimeouts, s.SpeculativeLaunches, s.SpeculativeWins, s.PartitionsMigrated)
 	}
 	if s.MapWall > 0 || s.ShuffleWall > 0 || s.ReduceWall > 0 {
 		line += fmt.Sprintf(" map=%s shuffle=%s reduce=%s",

@@ -73,8 +73,11 @@ fi
 # fault-tolerance path — MsgCkpt mirror frames plus coordinator
 # bookkeeping — and pins it as a bounded tax on every round.
 awk '
-/BenchmarkDistChainedCheckpoint\/on/  { on = $3 }
-/BenchmarkDistChainedCheckpoint\/off/ { off = $3 }
+{
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (name == "BenchmarkDistChainedCheckpoint/on") on = $3
+    if (name == "BenchmarkDistChainedCheckpoint/off") off = $3
+}
 END {
     if (on > 0 && off > 0 && on > off * 1.10) {
         printf "CKPT-OVERHEAD BenchmarkDistChainedCheckpoint on=%.0f ns/op vs off=%.0f ns/op (+%.0f%%, limit 10%%)\n",
@@ -84,6 +87,37 @@ END {
 }
 ' "$tmpdir/new.txt" || {
     echo "checkpointing costs more than 10% over disabled (see CKPT-OVERHEAD line above)" >&2
+    exit 1
+}
+
+# Scheduling-overhead gate: within the NEW snapshot, arming the elastic
+# scheduling machinery (heartbeats, progress pongs, the health monitor,
+# speculation ready to fire) on a healthy cluster must cost at most 5%
+# over running with it disabled — for both the flat shuffle
+# (BenchmarkDistShuffle sched vs nosched) and chained checkpointed
+# rounds (BenchmarkDistChainedCheckpoint on-sched vs on). Detection has
+# to be close to free when nothing is failing.
+awk '
+/BenchmarkDistShuffle\/sched/            { ssched = $3 }
+/BenchmarkDistShuffle\/nosched/          { snone = $3 }
+/BenchmarkDistChainedCheckpoint\/on-sched/ { csched = $3 }
+/BenchmarkDistChainedCheckpoint\/on /      { con = $3 }
+END {
+    bad = 0
+    if (ssched > 0 && snone > 0 && ssched > snone * 1.05) {
+        printf "SCHED-OVERHEAD BenchmarkDistShuffle sched=%.0f ns/op vs nosched=%.0f ns/op (+%.0f%%, limit 5%%)\n",
+            ssched, snone, (ssched / snone - 1) * 100
+        bad = 1
+    }
+    if (csched > 0 && con > 0 && csched > con * 1.05) {
+        printf "SCHED-OVERHEAD BenchmarkDistChainedCheckpoint on-sched=%.0f ns/op vs on=%.0f ns/op (+%.0f%%, limit 5%%)\n",
+            csched, con, (csched / con - 1) * 100
+        bad = 1
+    }
+    exit bad
+}
+' "$tmpdir/new.txt" || {
+    echo "armed-but-idle scheduling costs more than 5% (see SCHED-OVERHEAD lines above)" >&2
     exit 1
 }
 
