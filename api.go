@@ -125,6 +125,12 @@ type Options struct {
 	// ShuffleTempDir is the directory for spill files (default
 	// os.TempDir()).
 	ShuffleTempDir string
+	// WireCompression flate-compresses bulk pair frames on the dist
+	// backend's wire paths. Ignored by the local backends.
+	WireCompression bool
+	// SpillCompression flate-compresses the spill backend's run blocks.
+	// Ignored by the memory backend.
+	SpillCompression bool
 	// FlatDataflow disables partition-resident chaining between the
 	// rounds of the iterative algorithms: every round re-partitions its
 	// input from a flat, globally sorted slice — the pre-Dataset engine
@@ -165,6 +171,8 @@ func (o Options) mr() mapreduce.Config {
 		Dist:              o.Dist,
 		CheckpointEvery:   o.CheckpointEvery,
 		SpeculationFactor: o.SpeculationFactor,
+		WireCompression:   o.WireCompression,
+		SpillCompression:  o.SpillCompression,
 	}
 }
 

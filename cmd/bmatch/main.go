@@ -55,6 +55,8 @@ func run() (err error) {
 		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill (-dist-workers selects dist)")
 		budget  = flag.Int("spill-budget", 0, "max in-memory intermediate records per job for -shuffle spill (0 = default 1M)")
 		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
+		wcomp   = flag.Bool("wire-compress", false, "flate-compress bulk pair frames on the dist wire (shuffle buckets, reduce outputs, checkpoints)")
+		scomp   = flag.Bool("spill-compress", false, "flate-compress spill run blocks for -shuffle spill")
 		flat    = flag.Bool("flat", false, "disable partition-resident round chaining (re-partition every round from a flat slice)")
 		verbose = flag.Bool("v", false, "print every matched edge")
 		compare = flag.Bool("compare", false, "run every algorithm and print a comparison table")
@@ -101,6 +103,8 @@ func run() (err error) {
 		Shuffle:             socialmatch.ShuffleKind(*shuffle),
 		ShuffleMemoryBudget: *budget,
 		ShuffleTempDir:      *tempdir,
+		WireCompression:     *wcomp,
+		SpillCompression:    *scomp,
 		FlatDataflow:        *flat,
 		CheckpointEvery:     *ckptEvery,
 		SpeculationFactor:   *distSpec,
@@ -199,6 +203,10 @@ func run() (err error) {
 		fmt.Fprintf(out, "dist transport:   %d bytes out, %d bytes in, worker wall %s (summed over rounds)\n",
 			res.Shuffle.RemoteBytesOut, res.Shuffle.RemoteBytesIn,
 			res.Shuffle.WorkerWall.Round(time.Microsecond))
+	}
+	if res.Shuffle.WireBytesSaved > 0 || res.Shuffle.SpillBytesSaved > 0 {
+		fmt.Fprintf(out, "codec savings:    %d bytes wire, %d bytes spill (block compression)\n",
+			res.Shuffle.WireBytesSaved, res.Shuffle.SpillBytesSaved)
 	}
 	if *verbose {
 		for _, e := range m.Edges() {

@@ -114,6 +114,10 @@ func run() (err error) {
 			fmt.Fprintf(w, "dist:        %d bytes out, %d bytes in, worker wall %s\n",
 				s.RemoteBytesOut, s.RemoteBytesIn, s.WorkerWall.Round(time.Microsecond))
 		}
+		if s.WireBytesSaved > 0 || s.SpillBytesSaved > 0 {
+			fmt.Fprintf(w, "codec:       saved %d bytes wire, %d bytes spill (block compression)\n",
+				s.WireBytesSaved, s.SpillBytesSaved)
+		}
 	}
 
 	run("table1", func() error {

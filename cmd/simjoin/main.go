@@ -48,6 +48,8 @@ func run() (err error) {
 		shuffle = flag.String("shuffle", "memory", "MapReduce shuffle backend: memory | spill (-dist-workers selects dist)")
 		budget  = flag.Int("spill-budget", 0, "max in-memory intermediate records per job for -shuffle spill (0 = default 1M)")
 		tempdir = flag.String("spill-dir", "", "directory for spill files (default: system temp dir)")
+		wcomp   = flag.Bool("wire-compress", false, "flate-compress bulk pair frames on the dist wire (shuffle buckets, reduce outputs, checkpoints)")
+		scomp   = flag.Bool("spill-compress", false, "flate-compress spill run blocks for -shuffle spill")
 		flat    = flag.Bool("flat", false, "disable Dataset-chained jobs (re-partition each job from a flat slice)")
 		out     = flag.String("o", "", "write the candidate graph (with capacities) to this file")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -98,6 +100,8 @@ func run() (err error) {
 		FlatChaining:      *flat,
 		CheckpointEvery:   *ckptEvery,
 		SpeculationFactor: *distSpec,
+		WireCompression:   *wcomp,
+		SpillCompression:  *scomp,
 	}
 	if *distWorkers > 0 {
 		opts := mapreduce.DistClusterOptions{
@@ -186,6 +190,10 @@ func run() (err error) {
 		fmt.Fprintf(w, "dist transport: %d bytes out, %d bytes in, worker wall %s\n",
 			res.Shuffle.RemoteBytesOut, res.Shuffle.RemoteBytesIn,
 			res.Shuffle.WorkerWall.Round(time.Microsecond))
+	}
+	if res.Shuffle.WireBytesSaved > 0 || res.Shuffle.SpillBytesSaved > 0 {
+		fmt.Fprintf(w, "codec savings:  %d bytes wire, %d bytes spill (block compression)\n",
+			res.Shuffle.WireBytesSaved, res.Shuffle.SpillBytesSaved)
 	}
 
 	if *out != "" {

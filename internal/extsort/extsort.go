@@ -33,6 +33,7 @@ import (
 	"os"
 	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // Codec serializes records of type T for spill files. Encode and Decode
@@ -44,6 +45,52 @@ import (
 type Codec[T any] interface {
 	Encode(w io.Writer, rec T) error
 	Decode(r io.Reader) (T, error)
+}
+
+// RunEncoder encodes one run's records in order. Implementations may
+// batch records into blocks and keep dictionary state spanning the run;
+// Flush writes any buffered tail before the run file is sealed.
+type RunEncoder[T any] interface {
+	Encode(w io.Writer, rec T) error
+	Flush(w io.Writer) error
+}
+
+// RunDecoder decodes one run's records in order. Decode returns io.EOF
+// at the clean end of the run.
+type RunDecoder[T any] interface {
+	Decode(r io.Reader) (T, error)
+}
+
+// StreamCodec is an optional Codec extension for formats with per-run
+// state (block framing, dictionaries, compression). When the sorter's
+// codec implements it, every run is written through a fresh RunEncoder
+// and merged through a fresh per-run RunDecoder; the plain Encode and
+// Decode methods go unused.
+type StreamCodec[T any] interface {
+	Codec[T]
+	NewRunEncoder() RunEncoder[T]
+	NewRunDecoder() RunDecoder[T]
+}
+
+// plainRunCodec adapts a record-at-a-time Codec to the run interfaces.
+type plainRunCodec[T any] struct{ c Codec[T] }
+
+func (p plainRunCodec[T]) Encode(w io.Writer, rec T) error { return p.c.Encode(w, rec) }
+func (p plainRunCodec[T]) Flush(io.Writer) error           { return nil }
+func (p plainRunCodec[T]) Decode(r io.Reader) (T, error)   { return p.c.Decode(r) }
+
+func (s *Sorter[T]) runEncoder() RunEncoder[T] {
+	if sc, ok := s.codec.(StreamCodec[T]); ok {
+		return sc.NewRunEncoder()
+	}
+	return plainRunCodec[T]{s.codec}
+}
+
+func (s *Sorter[T]) runDecoder() RunDecoder[T] {
+	if sc, ok := s.codec.(StreamCodec[T]); ok {
+		return sc.NewRunDecoder()
+	}
+	return plainRunCodec[T]{s.codec}
 }
 
 // Config bounds the sorter's resource usage.
@@ -103,6 +150,24 @@ type Sorter[T any] struct {
 	runs    []*os.File
 	spilled int64
 	werr    error
+
+	// runBytes counts encoded bytes written to run files, maintained
+	// atomically so callers can read it while the writer runs.
+	runBytes atomic.Int64
+}
+
+// countingWriter tallies bytes flowing to a run file into the sorter's
+// runBytes counter. It sits between the buffered writer and the file,
+// so it sees few, large writes.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // New creates a Sorter ordering records by less.
@@ -261,13 +326,19 @@ func (s *Sorter[T]) writeRun(buf []T) {
 	// The file is unlinked immediately; the open handle keeps the data
 	// alive for the merge and crashes leak nothing.
 	os.Remove(f.Name())
-	bw := bufio.NewWriterSize(f, s.cfg.writeBufBytes())
+	bw := bufio.NewWriterSize(&countingWriter{w: f, n: &s.runBytes}, s.cfg.writeBufBytes())
+	enc := s.runEncoder()
 	for _, rec := range buf {
-		if err := s.codec.Encode(bw, rec); err != nil {
+		if err := enc.Encode(bw, rec); err != nil {
 			f.Close()
 			s.fail(fmt.Errorf("extsort: encode: %w", err))
 			return
 		}
+	}
+	if err := enc.Flush(bw); err != nil {
+		f.Close()
+		s.fail(fmt.Errorf("extsort: encode: %w", err))
+		return
 	}
 	if err := bw.Flush(); err != nil {
 		f.Close()
@@ -300,6 +371,12 @@ func (s *Sorter[T]) Spilled() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.spilled
+}
+
+// RunBytes returns the encoded bytes written to run files so far — the
+// on-disk cost the codec achieved, for stats and codec comparisons.
+func (s *Sorter[T]) RunBytes() int64 {
+	return s.runBytes.Load()
 }
 
 // closeRuns releases every spilled run file.
@@ -359,10 +436,10 @@ func (s *Sorter[T]) Sort() (*Iterator[T], error) {
 	s.mu.Lock()
 	runs := s.runs
 	s.mu.Unlock()
-	it := &Iterator[T]{codec: s.codec, less: s.less}
+	it := &Iterator[T]{less: s.less}
 	for _, f := range runs {
-		src := &runSource[T]{r: bufio.NewReaderSize(f, runReadBufBytes), f: f}
-		rec, err := s.codec.Decode(src.r)
+		src := &runSource[T]{r: bufio.NewReaderSize(f, runReadBufBytes), f: f, dec: s.runDecoder()}
+		rec, err := src.dec.Decode(src.r)
 		if err == io.EOF {
 			f.Close()
 			continue
@@ -385,10 +462,13 @@ func (s *Sorter[T]) Sort() (*Iterator[T], error) {
 	return it, nil
 }
 
-// runSource is one spilled run during the merge.
+// runSource is one spilled run during the merge. Each run owns its
+// decoder, so codecs with per-run state (blocks, dictionaries) never
+// share state across runs.
 type runSource[T any] struct {
 	r    *bufio.Reader
 	f    *os.File
+	dec  RunDecoder[T]
 	head T
 	done bool
 }
@@ -404,7 +484,6 @@ type Iterator[T any] struct {
 	// interface boxing. Leaf j sits at tree position k+j; internal
 	// nodes 1..k-1 each store the losing leaf of their subtree and
 	// win caches the overall winner.
-	codec Codec[T]
 	less  func(a, b T) bool
 	srcs  []*runSource[T]
 	lt    []int32
@@ -478,7 +557,7 @@ func (it *Iterator[T]) Next() (rec T, ok bool, err error) {
 	w := it.win
 	src := it.srcs[w]
 	rec = src.head
-	next, derr := it.codec.Decode(src.r)
+	next, derr := src.dec.Decode(src.r)
 	switch {
 	case derr == io.EOF:
 		src.f.Close()

@@ -5,6 +5,8 @@ package mapreduce
 import (
 	"context"
 	"testing"
+
+	"repro/internal/mapreduce/remote"
 )
 
 // Allocation-regression guards for the round-recycled engine. These pin
@@ -72,5 +74,41 @@ func TestAllocGuardMemoryAddBucket(t *testing.T) {
 	t.Logf("AddBucket: %.3f allocs amortized", avg)
 	if avg > 0.5 {
 		t.Errorf("memory AddBucket allocates %.3f amortized (> 0.5): ownership transfer regressed", avg)
+	}
+}
+
+// TestAllocGuardDecodePairsV2 pins the codec-v2 columnar decode on the
+// dominant wire shape (int32 keys, int64 values): with the output slice
+// reused, decoding a 4096-pair blob must stay O(1) allocations — the
+// cursor and nothing per pair or per column.
+func TestAllocGuardDecodePairsV2(t *testing.T) {
+	kc, err := resolveSpillCodec[int32]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := resolveSpillCodec[int64]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make([]Pair[int32, int64], 4096)
+	for i := range pairs {
+		pairs[i] = P(int32(i%512), int64(i*7))
+	}
+	blob, err := encodePairs(nil, pairs, kc, vc, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Pair[int32, int64], 0, len(pairs))
+	avg := testing.AllocsPerRun(200, func() {
+		cur := remote.NewCursor(blob)
+		var derr error
+		out, derr = decodePairs(cur, len(pairs), kc, vc, out[:0])
+		if derr != nil {
+			t.Fatal(derr)
+		}
+	})
+	t.Logf("decodePairs v2: %.3f allocs per 4096-pair blob", avg)
+	if avg > 2 {
+		t.Errorf("v2 decode allocates %.3f per blob (> 2): per-pair or per-column churn crept in", avg)
 	}
 }

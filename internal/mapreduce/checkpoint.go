@@ -50,6 +50,12 @@ type ckptManifestEntry struct {
 	seq    uint64
 	file   string
 	frames int
+	// v2 marks files whose frame blobs are versioned pair blobs (a
+	// codec marker byte leads each blob). Files written before codec
+	// v2 have three-field manifest lines and raw v1 row payloads; the
+	// loader tags those blobs with the v1 marker so decodePairs can
+	// dispatch uniformly.
+	v2 bool
 }
 
 // checkpointWriter persists rounds into one directory. Not safe for
@@ -112,7 +118,7 @@ func (w *checkpointWriter) writeFile(seq uint64, parts []ckptPart) error {
 		os.Remove(tmp)
 		return err
 	}
-	w.entries = append(w.entries, ckptManifestEntry{seq: seq, file: name, frames: len(parts)})
+	w.entries = append(w.entries, ckptManifestEntry{seq: seq, file: name, frames: len(parts), v2: true})
 	for len(w.entries) > ckptKeepFiles {
 		os.Remove(filepath.Join(w.dir, w.entries[0].file))
 		w.entries = w.entries[1:]
@@ -123,7 +129,10 @@ func (w *checkpointWriter) writeFile(seq uint64, parts []ckptPart) error {
 func (w *checkpointWriter) writeManifest() error {
 	var sb strings.Builder
 	for _, e := range w.entries {
-		fmt.Fprintf(&sb, "%d %s %d\n", e.seq, e.file, e.frames)
+		// The fourth column is the codec generation; pre-v2 loaders
+		// never see it (a new build writes new files), and the current
+		// loader accepts three-field lines as v1.
+		fmt.Fprintf(&sb, "%d %s %d v2\n", e.seq, e.file, e.frames)
 	}
 	tmp := filepath.Join(w.dir, ckptManifestName+".tmp")
 	if err := os.WriteFile(tmp, []byte(sb.String()), 0o644); err != nil {
@@ -170,14 +179,28 @@ func loadLatestCheckpoint(dir string) (*checkpointData, error) {
 			continue
 		}
 		var e ckptManifestEntry
-		if _, err := fmt.Sscanf(line, "%d %s %d", &e.seq, &e.file, &e.frames); err != nil {
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 4 && fields[3] == "v2":
+			e.v2 = true
+		case len(fields) == 3:
+			// Pre-v2 manifest line: the file's blobs are unversioned
+			// v1 row payloads.
+		default:
+			return nil, fmt.Errorf("mapreduce: malformed checkpoint manifest line %q", line)
+		}
+		if _, err := fmt.Sscanf(fields[0], "%d", &e.seq); err != nil {
+			return nil, fmt.Errorf("mapreduce: malformed checkpoint manifest line %q", line)
+		}
+		e.file = fields[1]
+		if _, err := fmt.Sscanf(fields[2], "%d", &e.frames); err != nil {
 			return nil, fmt.Errorf("mapreduce: malformed checkpoint manifest line %q", line)
 		}
 		entries = append(entries, e)
 	}
 	var firstErr error
 	for i := len(entries) - 1; i >= 0; i-- {
-		ck, err := loadCheckpointFile(filepath.Join(dir, entries[i].file), entries[i].seq, entries[i].frames)
+		ck, err := loadCheckpointFile(filepath.Join(dir, entries[i].file), entries[i].seq, entries[i].frames, entries[i].v2)
 		if err == nil {
 			return ck, nil
 		}
@@ -194,8 +217,10 @@ func loadLatestCheckpoint(dir string) (*checkpointData, error) {
 // loadCheckpointFile validates and decodes one run file. Any truncated
 // frame, CRC mismatch, sequence mismatch, or frame-count shortfall
 // fails the whole file — a checkpoint is restored completely or not at
-// all.
-func loadCheckpointFile(path string, seq uint64, frames int) (*checkpointData, error) {
+// all. v2 reports whether the file's blobs are versioned pair blobs;
+// legacy v1 blobs are tagged with the v1 codec marker on load so every
+// downstream consumer sees a versioned blob.
+func loadCheckpointFile(path string, seq uint64, frames int, v2 bool) (*checkpointData, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -225,7 +250,11 @@ func loadCheckpointFile(path string, seq uint64, frames int) (*checkpointData, e
 		if fseq != seq {
 			return nil, fmt.Errorf("mapreduce: checkpoint %s: frame for job %d in file for job %d", path, fseq, seq)
 		}
-		ck.parts = append(ck.parts, ckptPart{part: int(part), count: int(count), blob: cur})
+		blob := cur
+		if !v2 {
+			blob = append([]byte{pairBlobV1}, cur...)
+		}
+		ck.parts = append(ck.parts, ckptPart{part: int(part), count: int(count), blob: blob})
 	}
 	if len(ck.parts) != frames {
 		return nil, fmt.Errorf("mapreduce: checkpoint %s: %d frames, manifest expects %d", path, len(ck.parts), frames)

@@ -31,7 +31,7 @@ func randomPartition(t *testing.T, rng *rand.Rand, part int) ([]Pair[string, int
 		rng.Read(key)
 		pairs[i] = P(string(key), rng.Int63()-rng.Int63())
 	}
-	blob, err := encodePairs(nil, pairs, kc, vc)
+	blob, err := encodePairs(nil, pairs, kc, vc, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1332,7 +1332,12 @@ type distJobHeader struct {
 	// ckpt asks the workers to checkpoint their retained output at the
 	// flush barrier: persist it to a local run file and stream a mirror
 	// copy (MsgCkpt) to the coordinator before MsgJobDone.
-	ckpt     bool
+	ckpt bool
+	// wireComp asks both sides to flate-compress the pair payload of
+	// every bulk frame they encode for this job (MsgBucket, MsgReduced,
+	// MsgCkpt, MsgPart). Carried in the header so every worker applies
+	// the coordinator's Config.WireCompression choice.
+	wireComp bool
 	inputSeq uint64
 	// owners is the job's partition→worker assignment, one entry per
 	// reduce partition. Carried in the header (rather than derived from
@@ -1365,6 +1370,11 @@ func (h *distJobHeader) encode() []byte {
 	} else {
 		buf = append(buf, 0)
 	}
+	if h.wireComp {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
 	buf = remote.AppendUvarint(buf, h.inputSeq)
 	buf = remote.AppendUvarint(buf, uint64(len(h.owners)))
 	for _, w := range h.owners {
@@ -1389,6 +1399,7 @@ func parseJobHeader(cur *remote.Cursor) (*distJobHeader, error) {
 	h.reducers = int(cur.Uvarint())
 	h.wantOutput = cur.Byte() != 0
 	h.ckpt = cur.Byte() != 0
+	h.wireComp = cur.Byte() != 0
 	h.inputSeq = cur.Uvarint()
 	nOwners := int(cur.Uvarint())
 	if nOwners != h.reducers || nOwners > len(cur.Rest()) {
@@ -1409,66 +1420,18 @@ func parseJobHeader(cur *remote.Cursor) (*distJobHeader, error) {
 	return h, nil
 }
 
-// encodePairs appends count length-prefixed (key, value) encodings.
-func encodePairs[K comparable, V any](buf []byte, pairs []Pair[K, V], kc spillCodec[K], vc spillCodec[V]) ([]byte, error) {
-	var scratch []byte
-	for i := range pairs {
-		var err error
-		if scratch, err = kc.enc(scratch[:0], pairs[i].Key); err != nil {
-			return nil, err
-		}
-		buf = remote.AppendBytes(buf, scratch)
-		if scratch, err = vc.enc(scratch[:0], pairs[i].Value); err != nil {
-			return nil, err
-		}
-		buf = remote.AppendBytes(buf, scratch)
-	}
-	return buf, nil
-}
-
-// pairCap bounds a wire-declared pair count by the remaining payload —
-// every pair carries at least two 1-byte length prefixes — so a
-// corrupted count cannot drive a pre-allocation past the bytes that
-// could possibly back it.
-func pairCap(cur *remote.Cursor, count int) int {
-	if max := len(cur.Rest()) / 2; count > max || count < 0 {
-		return max
-	}
-	return count
-}
-
-// decodePairs appends count decoded pairs to out.
-func decodePairs[K comparable, V any](cur *remote.Cursor, count int, kc spillCodec[K], vc spillCodec[V], out []Pair[K, V]) ([]Pair[K, V], error) {
-	if count > len(cur.Rest())/2 || count < 0 {
-		return out, fmt.Errorf("pair count %d exceeds the %d-byte payload", count, len(cur.Rest()))
-	}
-	for i := 0; i < count; i++ {
-		kb := cur.Bytes()
-		vb := cur.Bytes()
-		if err := cur.Err(); err != nil {
-			return out, err
-		}
-		k, err := kc.dec(kb)
-		if err != nil {
-			return out, err
-		}
-		v, err := vc.dec(vb)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, Pair[K, V]{Key: k, Value: v})
-	}
-	return out, nil
-}
-
-// encodeBucketFrame builds one MsgBucket frame.
-func encodeBucketFrame[K comparable, V any](seq uint64, split, part int, pairs []Pair[K, V], kc spillCodec[K], vc spillCodec[V]) ([]byte, error) {
-	buf := []byte{byte(remote.MsgBucket)}
+// encodeBucketFrame builds one MsgBucket frame, appending to buf (pass
+// a recycled frameScratch buffer; WriteFrame copies, so the buffer is
+// free again as soon as the send returns). The pair payload is a
+// self-contained codec-v2 blob (see codecv2.go), so the coordinator can
+// relay, mirror, and re-seed the frame body without re-encoding.
+func encodeBucketFrame[K comparable, V any](buf []byte, seq uint64, split, part int, pairs []Pair[K, V], kc spillCodec[K], vc spillCodec[V], compress bool, saved *atomic.Int64) ([]byte, error) {
+	buf = append(buf, byte(remote.MsgBucket))
 	buf = remote.AppendUvarint(buf, seq)
 	buf = remote.AppendUvarint(buf, uint64(split))
 	buf = remote.AppendUvarint(buf, uint64(part))
 	buf = remote.AppendUvarint(buf, uint64(len(pairs)))
-	return encodePairs(buf, pairs, kc, vc)
+	return encodePairs(buf, pairs, kc, vc, compress, saved)
 }
 
 // distWorkerReport aggregates what one worker told the coordinator
@@ -1483,6 +1446,7 @@ type distWorkerReport struct {
 	cross      int64
 	counts     map[int]int64
 	counters   map[string]int64
+	wireSaved  int64
 }
 
 // distJobRun is the coordinator's state for one job attempt.
@@ -1540,6 +1504,9 @@ type distJobRun[K2 comparable, V2 any, K3 comparable, V3 any] struct {
 	flushOnce sync.Once
 	flushErr  error
 	records   atomic.Int64
+	// wireSaved counts the bytes wire compression shaved off the
+	// coordinator's own encodes; workers report theirs in MsgJobDone.
+	wireSaved atomic.Int64
 }
 
 // The distActiveJob face the cluster monitor sees.
@@ -1704,6 +1671,7 @@ func startDistJob[K2 comparable, V2 any, K3 comparable, V3 any](
 			reducers:   cfg.reducers(),
 			wantOutput: wantOutput,
 			ckpt:       ckpt,
+			wireComp:   cfg.WireCompression,
 			inputSeq:   inputSeq,
 			owners:     owners,
 			k2id:       distTypeID[K2](),
@@ -1893,12 +1861,17 @@ func (j *distJobRun[K2, V2, K3, V3]) drainAborted(w int) {
 // sendBucket encodes one bucket and streams it to the partition's
 // owner under the job's assignment.
 func (j *distJobRun[K2, V2, K3, V3]) sendBucket(split, part int, pairs []Pair[K2, V2]) error {
-	frame, err := encodeBucketFrame(j.hdr.seq, split, part, pairs, j.k2c, j.v2c)
+	fs := getFrameScratch()
+	frame, err := encodeBucketFrame(fs.b[:0], j.hdr.seq, split, part, pairs, j.k2c, j.v2c, j.hdr.wireComp, &j.wireSaved)
 	if err != nil {
+		putFrameScratch(fs)
 		return fmt.Errorf("mapreduce: dist job %q: encoding bucket: %w", j.hdr.name, err)
 	}
+	fs.b = frame
 	owner := j.hdr.owner(part)
-	if err := j.cl.conns[owner].WriteFrame(frame); err != nil {
+	err = j.cl.conns[owner].WriteFrame(frame)
+	putFrameScratch(fs)
+	if err != nil {
 		return j.senderLost(owner, fmt.Errorf("streaming bucket: %w", err))
 	}
 	j.records.Add(int64(len(pairs)))
@@ -2031,7 +2004,7 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) (readerOutcome, error) {
 			if j.aborting.Load() {
 				continue
 			}
-			pairs, err := decodePairs(cur, count, j.k3c, j.v3c, make([]Pair[K3, V3], 0, pairCap(cur, count)))
+			pairs, err := decodePairs(cur, count, j.k3c, j.v3c, make([]Pair[K3, V3], 0, pairCap(cur, count, j.k3c, j.v3c)))
 			if err != nil {
 				return 0, fmt.Errorf("mapreduce: dist job %q: decoding partition %d: %w", j.hdr.name, part, err)
 			}
@@ -2082,6 +2055,7 @@ func (j *distJobRun[K2, V2, K3, V3]) reader(w int) (readerOutcome, error) {
 					rep.counters[name] = int64(cur.Uvarint())
 				}
 			}
+			rep.wireSaved = int64(cur.Uvarint())
 			if err := cur.Err(); err != nil {
 				return 0, fmt.Errorf("mapreduce: dist job %q: malformed job-done from worker %d", j.hdr.name, w)
 			}
@@ -2222,7 +2196,9 @@ func (j *distJobRun[K2, V2, K3, V3]) finish(ctx context.Context, cfg Config, sta
 			stats.addRouted(rep.local, rep.cross)
 			j.records.Add(rep.local + rep.cross)
 		}
+		stats.WireBytesSaved += rep.wireSaved
 	}
+	stats.WireBytesSaved += j.wireSaved.Load()
 	stats.WorkerWall = workerWall
 	in, out := j.cl.bytesInOut()
 	stats.RemoteBytesIn = in - j.bytesIn0
@@ -2700,7 +2676,7 @@ func (d *Dataset[K, V]) fetchFrom(conn *remote.Conn, w int, loc []int, fetch []b
 			if loc != nil && part < len(loc) && loc[part] != w {
 				continue // stale copy from a previous assignment
 			}
-			pairs, err := decodePairs(cur, count, kc, vc, make([]Pair[K, V], 0, pairCap(cur, count)))
+			pairs, err := decodePairs(cur, count, kc, vc, make([]Pair[K, V], 0, pairCap(cur, count, kc, vc)))
 			if err != nil {
 				return err
 			}

@@ -500,7 +500,12 @@ func BenchmarkDistShuffle(b *testing.B) {
 		name string
 		hb   time.Duration
 		spec float64
-	}{{"sched", 50 * time.Millisecond, 4}, {"nosched", -1, 0}} {
+		comp bool
+	}{
+		{"sched", 50 * time.Millisecond, 4, false},
+		{"nosched", -1, 0, false},
+		{"compressed", -1, 0, true},
+	} {
 		b.Run(bench.name, func(b *testing.B) {
 			cl := startSchedCluster(b, 2, DistClusterOptions{
 				Timeout:        30 * time.Second,
@@ -508,6 +513,7 @@ func BenchmarkDistShuffle(b *testing.B) {
 			}, nil)
 			cfg := distCfg4(cl, "eq-int32")
 			cfg.SpeculationFactor = bench.spec
+			cfg.WireCompression = bench.comp
 			input := int32Input()
 			b.ReportAllocs()
 			b.ResetTimer()

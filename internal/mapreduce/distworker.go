@@ -112,23 +112,29 @@ type residentData[K comparable, V any] struct {
 	kc    spillCodec[K]
 	vc    spillCodec[V]
 	ar    *roundArena[K, V]
+	// comp carries the producing job's wire-compression setting into a
+	// later fetch (Materialize happens after the job is gone).
+	comp bool
 }
 
 // fetch streams every retained partition and releases it (fetch moves;
 // the coordinator's Materialize owns the records afterwards).
 func (r *residentData[K, V]) fetch(conn *remote.Conn, seq uint64) error {
+	fs := getFrameScratch()
+	defer putFrameScratch(fs)
 	for p, pairs := range r.parts {
 		if pairs == nil {
 			continue
 		}
-		frame := []byte{byte(remote.MsgPart)}
+		frame := append(fs.b[:0], byte(remote.MsgPart))
 		frame = remote.AppendUvarint(frame, seq)
 		frame = remote.AppendUvarint(frame, uint64(p))
 		frame = remote.AppendUvarint(frame, uint64(len(pairs)))
-		frame, err := encodePairs(frame, pairs, r.kc, r.vc)
+		frame, err := encodePairs(frame, pairs, r.kc, r.vc, r.comp, nil)
 		if err != nil {
 			return fmt.Errorf("encoding resident partition %d: %w", p, err)
 		}
+		fs.b = frame
 		if err := conn.WriteFrame(frame); err != nil {
 			return err
 		}
@@ -573,6 +579,7 @@ type workerSender[K2 comparable, V2 any] struct {
 	kc       spillCodec[K2]
 	vc       spillCodec[V2]
 	sent     atomic.Int64
+	saved    *atomic.Int64
 	reducers int
 }
 
@@ -584,11 +591,16 @@ func (ws *workerSender[K2, V2]) AddBucket(split, part int, pairs []Pair[K2, V2])
 		// Ownership transfer, exactly like the in-memory backend.
 		return ws.local.AddBucket(split, part, pairs)
 	}
-	frame, err := encodeBucketFrame(ws.seq, split, part, pairs, ws.kc, ws.vc)
+	fs := getFrameScratch()
+	frame, err := encodeBucketFrame(fs.b[:0], ws.seq, split, part, pairs, ws.kc, ws.vc, ws.h.wireComp, ws.saved)
 	if err != nil {
+		putFrameScratch(fs)
 		return fmt.Errorf("encoding bucket: %w", err)
 	}
-	if err := ws.s.conn.WriteFrame(frame); err != nil {
+	fs.b = frame
+	err = ws.s.conn.WriteFrame(frame)
+	putFrameScratch(fs)
+	if err != nil {
 		return err
 	}
 	ws.sent.Add(int64(len(pairs)))
@@ -631,6 +643,11 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 	ar := arenaFor[K2, V2](s.pool, h.reducers)
 	shuffle := newMemoryShuffle[K2, V2](h.reducers, h.splits, ar)
 
+	// wireSaved tallies the bytes wire compression shaved off this
+	// worker's encodes for the job; reported in MsgJobDone. Atomic: the
+	// per-partition reduce goroutines all encode output frames.
+	var wireSaved atomic.Int64
+
 	s.startJobProgress(h.seq)
 	defer s.endJobProgress()
 
@@ -649,7 +666,8 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 			return fmt.Errorf("job %q has no registered map function, cannot consume a worker-resident input", h.name)
 		}
 		sender := &workerSender[K2, V2]{
-			s: s, h: h, seq: h.seq, local: shuffle, ar: ar, kc: k2c, vc: v2c, reducers: h.reducers,
+			s: s, h: h, seq: h.seq, local: shuffle, ar: ar, kc: k2c, vc: v2c,
+			saved: &wireSaved, reducers: h.reducers,
 		}
 		go func() {
 			defer close(mapDone)
@@ -738,7 +756,7 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 			part < 0 || part >= h.reducers || h.owner(part) != s.id {
 			return fmt.Errorf("job %q: malformed bucket (split %d, part %d)", h.name, split, part)
 		}
-		bucket, err := decodePairs(cur, count, k2c, v2c, ar.getBucket(part, pairCap(cur, count)))
+		bucket, err := decodePairs(cur, count, k2c, v2c, ar.getBucket(part, pairCap(cur, count, k2c, v2c)))
 		if err != nil {
 			return fmt.Errorf("job %q: decoding bucket: %w", h.name, err)
 		}
@@ -852,16 +870,21 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 			outs[p] = buf.pairs
 			outCounts[p] = int64(len(buf.pairs)) // survives the streamed-output nil below
 			if h.wantOutput {
-				frame := []byte{byte(remote.MsgReduced)}
+				fs := getFrameScratch()
+				frame := append(fs.b[:0], byte(remote.MsgReduced))
 				frame = remote.AppendUvarint(frame, h.seq)
 				frame = remote.AppendUvarint(frame, uint64(p))
 				frame = remote.AppendUvarint(frame, uint64(len(buf.pairs)))
-				frame, err := encodePairs(frame, buf.pairs, k3c, v3c)
+				frame, err := encodePairs(frame, buf.pairs, k3c, v3c, h.wireComp, &wireSaved)
 				if err != nil {
+					putFrameScratch(fs)
 					errs[p] = fmt.Errorf("encoding partition %d output: %w", p, err)
 					return
 				}
-				if err := s.conn.WriteFrame(frame); err != nil {
+				fs.b = frame
+				err = s.conn.WriteFrame(frame)
+				putFrameScratch(fs)
+				if err != nil {
 					errs[p] = err
 					return
 				}
@@ -913,7 +936,7 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 			frame = remote.AppendUvarint(frame, uint64(p))
 			frame = remote.AppendUvarint(frame, uint64(len(outs[p])))
 			blobStart := len(frame)
-			frame, err := encodePairs(frame, outs[p], k3c, v3c)
+			frame, err := encodePairs(frame, outs[p], k3c, v3c, h.wireComp, &wireSaved)
 			if err != nil {
 				return fmt.Errorf("job %q: encoding checkpoint partition %d: %w", h.name, p, err)
 			}
@@ -954,8 +977,9 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 	} else {
 		frame = remote.AppendUvarint(frame, 0)
 	}
+	frame = remote.AppendUvarint(frame, uint64(wireSaved.Load()))
 	if !h.wantOutput {
-		s.resident[h.seq] = &residentData[K3, V3]{parts: outs, kc: k3c, vc: v3c, ar: arOut}
+		s.resident[h.seq] = &residentData[K3, V3]{parts: outs, kc: k3c, vc: v3c, ar: arOut, comp: h.wireComp}
 	}
 	return s.conn.WriteFrame(frame)
 }

@@ -126,6 +126,20 @@ type Config struct {
 	// The zero value is the in-memory backend.
 	Shuffle ShuffleConfig
 
+	// WireCompression flate-compresses the pair payload of every bulk
+	// dist frame (intermediate buckets, reduce output, checkpoint
+	// mirrors, partition fetches) on top of the columnar v2 encoding.
+	// Worth it when frames are large and the network is the bottleneck;
+	// pure overhead for tiny frames or already-dense payloads. The
+	// bytes avoided are reported in Stats.WireBytesSaved. Ignored by
+	// the local backends.
+	WireCompression bool
+	// SpillCompression flate-compresses the record blocks the spilling
+	// shuffle writes to its extsort run files, trading encode/decode
+	// CPU for disk bandwidth and footprint. The bytes avoided are
+	// reported in Stats.SpillBytesSaved. Ignored by the other backends.
+	SpillCompression bool
+
 	// Dist is the worker cluster jobs run on when Shuffle.Backend is
 	// ShuffleDist (see StartDistCluster). Ignored by the local backends.
 	Dist *DistCluster

@@ -29,8 +29,10 @@ import (
 // Proto is the protocol version exchanged in the handshake. A
 // coordinator and worker built from different engine revisions refuse
 // to pair rather than diverge silently. Version 2 added the heartbeat
-// interval to the welcome and the ping/pong/shed messages.
-const Proto = 2
+// interval to the welcome and the ping/pong/shed messages. Version 3
+// switched bulk pair payloads to versioned codec-v2 blobs and added the
+// wire-compression byte to the job header.
+const Proto = 3
 
 // MsgType identifies one protocol message. The direction annotations
 // are the only ones that occur; receiving a type from the wrong

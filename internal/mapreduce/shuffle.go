@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/extsort"
 )
@@ -132,7 +133,7 @@ func newShuffleBackend[K comparable, V any](cfg Config, splits int, ar *roundAre
 	case ShuffleMemory:
 		return newMemoryShuffle[K, V](cfg.reducers(), splits, ar), nil
 	case ShuffleSpill:
-		return newSpillShuffle[K, V](cfg.reducers(), splits, cfg.Shuffle, ar)
+		return newSpillShuffle[K, V](cfg.reducers(), splits, cfg.Shuffle, cfg.SpillCompression, ar)
 	case ShuffleDist:
 		// Run/RunDS intercept the dist mode before reaching the backend
 		// constructor; only the combiner paths arrive here.
@@ -458,9 +459,10 @@ type spillShuffle[K comparable, V any] struct {
 	records  int64
 	recMu    sync.Mutex
 	streams  []GroupStream[K, V]
+	saved    atomic.Int64 // bytes block compression shaved off run files
 }
 
-func newSpillShuffle[K comparable, V any](reducers, splits int, cfg ShuffleConfig, ar *roundArena[K, V]) (*spillShuffle[K, V], error) {
+func newSpillShuffle[K comparable, V any](reducers, splits int, cfg ShuffleConfig, compress bool, ar *roundArena[K, V]) (*spillShuffle[K, V], error) {
 	keyCodec, err := resolveSpillCodec[K]()
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: spill shuffle key: %w", err)
@@ -514,8 +516,14 @@ func newSpillShuffle[K comparable, V any](reducers, splits int, cfg ShuffleConfi
 			return a.seq < b.seq
 		}
 	}
+	// Runs are written in the codec-v2 block format (columnar batches,
+	// per-run dictionaries, optional flate): one stateless codec shared
+	// by every sorter, per-run state living in the run en/decoders.
+	codec := &spillBlockCodec[K, V]{
+		key: keyCodec, val: valCodec, img: imgFn,
+		compress: compress, saved: &s.saved,
+	}
 	for i := range s.sorters {
-		codec := &spillRecCodec[K, V]{key: keyCodec, val: valCodec, img: imgFn}
 		s.sorters[i] = extsort.New(recLess, codec, extsort.Config{
 			MaxInMemory: perPartition,
 			TempDir:     cfg.TempDir,
@@ -633,6 +641,20 @@ func (s *spillShuffle[K, V]) footprint() (records, spilled, runs int64) {
 		runs += int64(sorter.Runs())
 	}
 	return s.records, spilled, runs
+}
+
+// spillSaved reports the bytes block compression shaved off the run
+// files (zero with SpillCompression off); picked up by recordShuffle.
+func (s *spillShuffle[K, V]) spillSaved() int64 { return s.saved.Load() }
+
+// runBytes sums the encoded bytes actually written to run files.
+func (s *spillShuffle[K, V]) runBytes() (n int64) {
+	for _, sorter := range s.sorters {
+		if sorter != nil {
+			n += sorter.RunBytes()
+		}
+	}
+	return n
 }
 
 // spillGroupStream assembles key groups from a merged (key, seq)-sorted

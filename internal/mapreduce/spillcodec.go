@@ -10,6 +10,9 @@ import (
 	"io"
 	"math"
 	"reflect"
+	"sync/atomic"
+
+	"repro/internal/extsort"
 )
 
 // The spilling shuffle must serialize intermediate keys and values to
@@ -33,14 +36,43 @@ import (
 
 // spillCodec encodes one type for the spill files: enc appends the
 // encoding of v to buf, dec decodes exactly data.
+//
+// min8 is the type's minimum encoded width in eighths of a byte (see
+// minEnc8 in codecv2.go); the batch decoders use it to bound
+// wire-declared counts. stream, when set, returns a fresh paired
+// en/decoder holding per-stream state — the gob fallback uses it so a
+// column encodes through one persistent gob stream instead of one
+// en/decoder (and one type descriptor) per record. A stream codec's
+// enc and dec must be paired over one self-contained byte sequence and
+// used single-threaded; stateless codecs return themselves.
 type spillCodec[T any] struct {
-	enc func(buf []byte, v T) ([]byte, error)
-	dec func(data []byte) (T, error)
+	enc    func(buf []byte, v T) ([]byte, error)
+	dec    func(data []byte) (T, error)
+	stream func() spillCodec[T]
+	min8   int
+}
+
+// forStream returns the codec instance to use for one encode or decode
+// stream (a v2 column, a spill block).
+func (c spillCodec[T]) forStream() spillCodec[T] {
+	if c.stream != nil {
+		return c.stream()
+	}
+	return c
 }
 
 // resolveSpillCodec builds the codec for type T following the
-// resolution order above.
+// resolution order above, and stamps the type's minimum encoded width.
 func resolveSpillCodec[T any]() (spillCodec[T], error) {
+	c, err := resolveSpillCodecFor[T]()
+	if err == nil {
+		var zero T
+		c.min8 = minEnc8(reflect.TypeOf(zero))
+	}
+	return c, err
+}
+
+func resolveSpillCodecFor[T any]() (spillCodec[T], error) {
 	var zero T
 	if c, ok := fastCodec[T](); ok {
 		return c, nil
@@ -396,12 +428,15 @@ func sliceElemCodec(elem reflect.Type) (func([]byte, reflect.Value) ([]byte, err
 		}, true
 }
 
-// gobCodec is the slow-path fallback: one self-describing gob stream per
-// record. Correct for any gob-encodable type, at the cost of repeating
-// the type descriptor; performance-sensitive message types should
-// implement encoding.BinaryMarshaler instead.
+// gobCodec is the slow-path fallback. The record-at-a-time enc/dec pair
+// builds a self-describing gob stream per record — correct for any
+// gob-encodable type, but it re-sends the type descriptor (and
+// allocates an en/decoder) every record, so it exists only for the v1
+// row format, whose records must decode independently. The stream
+// factory is what the batch paths use: one persistent gob en/decoder
+// pair per column, sending the type descriptor once.
 func gobCodec[T any]() spillCodec[T] {
-	return spillCodec[T]{
+	c := spillCodec[T]{
 		enc: func(buf []byte, v T) ([]byte, error) {
 			var b bytes.Buffer
 			if err := gob.NewEncoder(&b).Encode(&v); err != nil {
@@ -415,6 +450,52 @@ func gobCodec[T any]() spillCodec[T] {
 			return v, err
 		},
 	}
+	c.stream = func() spillCodec[T] {
+		var b bytes.Buffer
+		genc := gob.NewEncoder(&b)
+		feed := &gobFeed{}
+		gdec := gob.NewDecoder(feed)
+		return spillCodec[T]{
+			enc: func(buf []byte, v T) ([]byte, error) {
+				b.Reset()
+				if err := genc.Encode(&v); err != nil {
+					return nil, fmt.Errorf("mapreduce: spill gob encode %T: %w", v, err)
+				}
+				return append(buf, b.Bytes()...), nil
+			},
+			dec: func(data []byte) (T, error) {
+				var v T
+				feed.data = data
+				err := gdec.Decode(&v)
+				return v, err
+			},
+		}
+	}
+	return c
+}
+
+// gobFeed lets one persistent gob.Decoder consume a sequence of
+// length-delimited chunks: each dec call points data at the next
+// chunk. It implements io.ByteReader so gob does not wrap it in bufio
+// (which would read ahead past the chunk).
+type gobFeed struct{ data []byte }
+
+func (g *gobFeed) Read(p []byte) (int, error) {
+	if len(g.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, g.data)
+	g.data = g.data[n:]
+	return n, nil
+}
+
+func (g *gobFeed) ReadByte() (byte, error) {
+	if len(g.data) == 0 {
+		return 0, io.EOF
+	}
+	b := g.data[0]
+	g.data = g.data[1:]
+	return b, nil
 }
 
 // spillRecCodec frames (seq, key, value) records for extsort run files
@@ -576,4 +657,323 @@ func frameErr(err error) error {
 		return fmt.Errorf("mapreduce: spill decode: truncated run file")
 	}
 	return err
+}
+
+// spillBlockRecs is the records-per-block granularity of the v2 spill
+// run format: large enough that column and compression overheads
+// amortize, small enough that a block stays well inside the run
+// readers' 64 KiB buffers for typical records.
+const spillBlockRecs = 512
+
+// spillBlockCodec is the codec-v2 run format for extsort: records are
+// gathered into blocks of up to spillBlockRecs and written as
+//
+//	frame   := uvarint payloadLen, payload
+//	payload := marker byte, uvarint n, body
+//	body    := seq column, key column, value column     (marker 0x02)
+//	        |  uvarint rawLen, flate(columns)           (marker 0x03)
+//
+// The seq column delta-encodes the (split<<40 | arrival) sequence
+// numbers — records reach a run sorted by key, so within a key group
+// the seqs ascend and the deltas collapse. Key and value columns use
+// the same pairColCodec lanes as the wire blobs, but with per-run
+// dictionaries: one process writes and reads a run strictly in order,
+// so unlike wire frames the dictionary may span blocks, interning each
+// distinct string once per run. The cached key image is never
+// serialized; decode recomputes it through img.
+//
+// One codec instance serves a whole job (all sorters share it): the
+// instance itself is stateless, per-run state lives in the run
+// en/decoders, and saved accrues the bytes block compression avoided
+// across every run.
+type spillBlockCodec[K comparable, V any] struct {
+	key      spillCodec[K]
+	val      spillCodec[V]
+	img      func(K) uint64
+	compress bool
+	saved    *atomic.Int64
+}
+
+// Encode and Decode satisfy extsort.Codec, but the sorter always takes
+// the StreamCodec path for this type; the record-at-a-time interface
+// cannot express block framing.
+func (c *spillBlockCodec[K, V]) Encode(io.Writer, spillRec[K, V]) error {
+	return fmt.Errorf("mapreduce: spillBlockCodec requires the stream run interface")
+}
+
+func (c *spillBlockCodec[K, V]) Decode(io.Reader) (spillRec[K, V], error) {
+	var rec spillRec[K, V]
+	return rec, fmt.Errorf("mapreduce: spillBlockCodec requires the stream run interface")
+}
+
+// NewRunEncoder and NewRunDecoder recycle en/decoders through pools on
+// the process-cached column codec. Their byte buffers and pair/seq
+// staging grow to steady-state during the first runs; without
+// recycling every spill re-pays that growth (a sorter under a 10x
+// memory deficit writes dozens of runs per job). Encoders re-enter the
+// pool at Flush, decoders at the io.EOF that ends their run — the
+// points where extsort provably drops its reference (a merge source is
+// marked done at EOF and never decoded again). The per-job codec
+// handle c is re-stamped on every Get and cleared on release, so a
+// pooled en/decoder never pins a finished job's state.
+func (c *spillBlockCodec[K, V]) NewRunEncoder() extsort.RunEncoder[spillRec[K, V]] {
+	pc := pairColsFor[K, V](c.key, c.val)
+	if e := pc.getEnc(); e != nil {
+		e.c = c
+		return e
+	}
+	e := &spillRunEnc[K, V]{
+		c:     c,
+		pc:    pc,
+		pairs: make([]Pair[K, V], 0, spillBlockRecs),
+		seqs:  make([]uint64, 0, spillBlockRecs),
+	}
+	if pc.kDict {
+		e.kd = newPairDict()
+	}
+	if pc.vDict {
+		e.vd = newPairDict()
+	}
+	return e
+}
+
+func (c *spillBlockCodec[K, V]) NewRunDecoder() extsort.RunDecoder[spillRec[K, V]] {
+	pc := pairColsFor[K, V](c.key, c.val)
+	if d := pc.getDec(); d != nil {
+		d.c = c
+		return d
+	}
+	d := &spillRunDec[K, V]{
+		c:     c,
+		pc:    pc,
+		pairs: make([]Pair[K, V], spillBlockRecs),
+		seqs:  make([]uint64, spillBlockRecs),
+	}
+	if pc.kDict {
+		d.kd = newPairDict()
+	}
+	if pc.vDict {
+		d.vd = newPairDict()
+	}
+	return d
+}
+
+// spillRunEnc buffers one run's records into blocks. It runs only on
+// the sorter's writer goroutine.
+type spillRunEnc[K comparable, V any] struct {
+	c      *spillBlockCodec[K, V]
+	pc     *pairColCodec[K, V]
+	kd, vd *pairDict
+	pairs  []Pair[K, V]
+	seqs   []uint64
+	raw    []byte // uncompressed block image
+	cbuf   []byte // flate image scratch
+	frame  []byte // length-prefixed frame under construction
+}
+
+func (e *spillRunEnc[K, V]) Encode(w io.Writer, rec spillRec[K, V]) error {
+	e.pairs = append(e.pairs, Pair[K, V]{Key: rec.key, Value: rec.val})
+	e.seqs = append(e.seqs, rec.seq)
+	if len(e.pairs) < spillBlockRecs {
+		return nil
+	}
+	return e.flushBlock(w)
+}
+
+func (e *spillRunEnc[K, V]) Flush(w io.Writer) error {
+	if len(e.pairs) > 0 {
+		if err := e.flushBlock(w); err != nil {
+			return err
+		}
+	}
+	// The run is sealed and the sorter drops its reference after Flush:
+	// recycle the encoder. Dictionaries are per-run state and must
+	// forget their entries; the staging slices are cleared so a pooled
+	// encoder cannot pin the previous run's keys and values; the byte
+	// buffers keep their grown capacity — that is the point.
+	if e.kd != nil {
+		e.kd.reset()
+	}
+	if e.vd != nil {
+		e.vd.reset()
+	}
+	clear(e.pairs[:cap(e.pairs)])
+	e.pairs = e.pairs[:0]
+	e.seqs = e.seqs[:0]
+	e.c = nil
+	e.pc.putEnc(e)
+	return nil
+}
+
+func (e *spillRunEnc[K, V]) flushBlock(w io.Writer) error {
+	raw := e.raw[:0]
+	var prev uint64
+	for _, s := range e.seqs {
+		raw = binary.AppendVarint(raw, int64(s-prev))
+		prev = s
+	}
+	raw, err := e.pc.encK(raw, e.pairs, e.kd)
+	if err != nil {
+		return err
+	}
+	raw, err = e.pc.encV(raw, e.pairs, e.vd)
+	if err != nil {
+		return err
+	}
+	e.raw = raw
+
+	marker := pairBlobV2
+	body := raw
+	if e.c.compress && len(raw) >= compressMinLen {
+		cbuf := binary.AppendUvarint(e.cbuf[:0], uint64(len(raw)))
+		if cbuf, err = deflateBlock(cbuf, raw); err != nil {
+			return err
+		}
+		e.cbuf = cbuf
+		if len(cbuf) < len(raw) {
+			marker = pairBlobV2Flate
+			body = cbuf
+			if e.c.saved != nil {
+				e.c.saved.Add(int64(len(raw) - len(cbuf)))
+			}
+		}
+	}
+
+	var hdr [2 + binary.MaxVarintLen64]byte
+	hdr[0] = marker
+	hn := 1 + binary.PutUvarint(hdr[1:], uint64(len(e.pairs)))
+	frame := binary.AppendUvarint(e.frame[:0], uint64(hn+len(body)))
+	frame = append(frame, hdr[:hn]...)
+	frame = append(frame, body...)
+	e.frame = frame
+	e.pairs = e.pairs[:0]
+	e.seqs = e.seqs[:0]
+	_, err = w.Write(frame)
+	return err
+}
+
+// spillRunDec decodes one run's blocks, serving records by index. It
+// runs only on the goroutine merging that run.
+type spillRunDec[K comparable, V any] struct {
+	c       *spillBlockCodec[K, V]
+	pc      *pairColCodec[K, V]
+	kd, vd  *pairDict
+	pairs   []Pair[K, V]
+	seqs    []uint64
+	rbuf    []byte // frame readback
+	scratch []byte // inflated block image
+	pos, n  int
+}
+
+func (d *spillRunDec[K, V]) Decode(r io.Reader) (spillRec[K, V], error) {
+	var rec spillRec[K, V]
+	if d.pos >= d.n {
+		if err := d.readBlock(r); err != nil {
+			if err == io.EOF {
+				// Clean end of the run: the merge marks this source
+				// done and never decodes it again, so the decoder can
+				// be recycled for the next run.
+				d.release()
+			}
+			return rec, err
+		}
+	}
+	p := d.pairs[d.pos]
+	rec.seq = d.seqs[d.pos]
+	rec.key = p.Key
+	rec.val = p.Value
+	if d.c.img != nil {
+		rec.img = d.c.img(rec.key)
+	}
+	d.pos++
+	return rec, nil
+}
+
+// release resets the per-run state and returns the decoder to its
+// codec's pool; the block slices are cleared so a pooled decoder cannot
+// pin the previous run's keys and values, while rbuf and scratch keep
+// their grown capacity.
+func (d *spillRunDec[K, V]) release() {
+	if d.kd != nil {
+		d.kd.reset()
+	}
+	if d.vd != nil {
+		d.vd.reset()
+	}
+	clear(d.pairs[:cap(d.pairs)])
+	d.pos, d.n = 0, 0
+	d.c = nil
+	d.pc.putDec(d)
+}
+
+func (d *spillRunDec[K, V]) readBlock(r io.Reader) error {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		return fmt.Errorf("mapreduce: spill decode: reader lacks io.ByteReader")
+	}
+	frameLen, err := readUvarint(r, br)
+	if err != nil {
+		// io.EOF at a block boundary is the clean end of the run.
+		return err
+	}
+	if frameLen < 2 || frameLen > maxPairCount {
+		return fmt.Errorf("mapreduce: spill decode: %d-byte block frame", frameLen)
+	}
+	if uint64(cap(d.rbuf)) < frameLen {
+		// Headroom: block frames drift a few bytes in size, and an
+		// exact-fit buffer would realloc on every slightly-larger one.
+		d.rbuf = make([]byte, frameLen+frameLen/4)
+	}
+	d.rbuf = d.rbuf[:frameLen]
+	if _, err = io.ReadFull(r, d.rbuf); err != nil {
+		return frameErr(err)
+	}
+	data := d.rbuf
+	marker := data[0]
+	n, m := binary.Uvarint(data[1:])
+	if m <= 0 || n == 0 || n > spillBlockRecs {
+		return fmt.Errorf("mapreduce: spill decode: block of %d records", n)
+	}
+	data = data[1+m:]
+	if marker == pairBlobV2Flate {
+		rawLen, m := binary.Uvarint(data)
+		if m <= 0 || rawLen > maxPairCount {
+			return errSpillShort
+		}
+		if uint64(cap(d.scratch)) < rawLen {
+			d.scratch = make([]byte, rawLen+rawLen/4)
+		}
+		d.scratch = d.scratch[:rawLen]
+		if err := inflateBlock(d.scratch, data[m:]); err != nil {
+			return err
+		}
+		data = d.scratch
+	} else if marker != pairBlobV2 {
+		return fmt.Errorf("mapreduce: spill decode: unknown block marker 0x%02x", marker)
+	}
+
+	if cap(d.pairs) < int(n) {
+		d.pairs = make([]Pair[K, V], spillBlockRecs)
+		d.seqs = make([]uint64, spillBlockRecs)
+	}
+	d.pairs = d.pairs[:n]
+	d.seqs = d.seqs[:n]
+	var prev uint64
+	for i := range d.seqs {
+		delta, m := binary.Varint(data)
+		if m <= 0 {
+			return errSpillShort
+		}
+		data = data[m:]
+		prev += uint64(delta)
+		d.seqs[i] = prev
+	}
+	if data, err = d.pc.decK(data, d.pairs, d.kd); err != nil {
+		return err
+	}
+	if _, err = d.pc.decV(data, d.pairs, d.vd); err != nil {
+		return err
+	}
+	d.pos, d.n = 0, int(n)
+	return nil
 }

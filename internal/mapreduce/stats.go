@@ -68,6 +68,14 @@ type Stats struct {
 	// cross-partition traffic.
 	RemoteBytesOut int64
 	RemoteBytesIn  int64
+	// WireBytesSaved and SpillBytesSaved count the bytes block
+	// compression shaved off the codec-v2 batch encodings: the
+	// uncompressed column image minus the flate image actually shipped
+	// (wire frames, dist backend) or written (spill run files). Zero
+	// when the corresponding Config knob is off or nothing compressed
+	// well enough to keep.
+	WireBytesSaved  int64
+	SpillBytesSaved int64
 	// WorkerRecoveries counts the job attempts that were abandoned to a
 	// worker death and retried on the survivors (dist backend only): a
 	// job that succeeds first try reports zero. ReseededPartitions
@@ -145,6 +153,9 @@ func (s *Stats) recordShuffle(backend any) {
 	if fp, ok := backend.(shuffleFootprint); ok {
 		s.ShuffleRecords, s.SpilledRecords, s.SpillRuns = fp.footprint()
 	}
+	if sv, ok := backend.(interface{ spillSaved() int64 }); ok {
+		s.SpillBytesSaved = sv.spillSaved()
+	}
 }
 
 func newStats(name string) *Stats {
@@ -172,6 +183,8 @@ func (s *Stats) Add(o *Stats) {
 	s.PoolMisses += o.PoolMisses
 	s.RemoteBytesOut += o.RemoteBytesOut
 	s.RemoteBytesIn += o.RemoteBytesIn
+	s.WireBytesSaved += o.WireBytesSaved
+	s.SpillBytesSaved += o.SpillBytesSaved
 	s.WorkerRecoveries += o.WorkerRecoveries
 	s.ReseededPartitions += o.ReseededPartitions
 	s.HeartbeatTimeouts += o.HeartbeatTimeouts
@@ -205,6 +218,9 @@ func (s *Stats) String() string {
 	if s.RemoteBytesOut > 0 || s.RemoteBytesIn > 0 {
 		line += fmt.Sprintf(" remote=%dB out/%dB in workerwall=%s",
 			s.RemoteBytesOut, s.RemoteBytesIn, s.WorkerWall.Round(time.Microsecond))
+	}
+	if s.WireBytesSaved > 0 || s.SpillBytesSaved > 0 {
+		line += fmt.Sprintf(" saved=%dB wire/%dB spill", s.WireBytesSaved, s.SpillBytesSaved)
 	}
 	if s.WorkerRecoveries > 0 || s.ReseededPartitions > 0 {
 		line += fmt.Sprintf(" recoveries=%d reseeded=%d", s.WorkerRecoveries, s.ReseededPartitions)

@@ -121,6 +121,33 @@ END {
     exit 1
 }
 
+# Bytes-on-the-wire gate: codec v2 exists to shrink the bulk byte
+# paths, so the benchmarks that measure them (the dist shuffle and the
+# disk-bound spill) must not regress bytes/op by more than 10% against
+# the old snapshot. B/op on these benches is dominated by the encoded
+# frames and spill buffers, making it the stable proxy for wire and
+# disk volume.
+awk '
+FNR == NR {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    bytes[name] = $5
+    next
+}
+/BenchmarkDistShuffle\/|BenchmarkShuffleBackendSpill10x/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!(name in bytes)) next
+    if ($5 > bytes[name] * 1.10) {
+        printf "BYTES-REGRESSION %-36s B/op %12d -> %12d (+%.0f%%)\n",
+            name, bytes[name], $5, ($5 / bytes[name] - 1) * 100
+        bad = 1
+    }
+}
+END { exit bad }
+' "$tmpdir/old.txt" "$tmpdir/new.txt" || {
+    echo "bytes/op regressed by more than 10% on a byte-path benchmark (see BYTES-REGRESSION lines above)" >&2
+    exit 1
+}
+
 # Allocation-regression gate: >10% more allocs/op than the old snapshot
 # fails the comparison (wall clock is noisy on shared runners;
 # allocation counts are deterministic, so this catches real churn).
