@@ -73,6 +73,11 @@ func run() (err error) {
 		ckptDir     = flag.String("dist-ckpt-dir", "", "worker mode: additionally persist checkpoints as local run files in this directory (default: coordinator mirror only)")
 		distHB      = flag.Duration("dist-heartbeat", 500*time.Millisecond, "dist worker heartbeat interval; a worker silent for 3 intervals is suspected (0 disables health monitoring)")
 		distSpec    = flag.Float64("dist-speculation", 0, "speculatively re-execute a straggler's partitions once it runs past this factor of the round's median worker time (0 disables)")
+
+		distReconnect = flag.Int("dist-reconnect", 8, "worker redial budget per outage: a severed worker redials and resumes its session instead of dying (0 disables reconnection)")
+		distGrace     = flag.Duration("dist-reconnect-grace", 10*time.Second, "how long the coordinator holds a severed worker's partitions before declaring it dead and reseeding (0 disables session resume)")
+		distJournal   = flag.String("dist-journal-dir", "", "coordinator run journal directory: job outputs and round commits persist here, enabling -dist-resume after a coordinator crash")
+		distResume    = flag.Bool("dist-resume", false, "resume a crashed run from -dist-journal-dir: committed jobs replay from the journal instead of re-running")
 	)
 	flag.Parse()
 
@@ -95,8 +100,12 @@ func run() (err error) {
 		// Worker mode: same graph, same registered jobs, serve until the
 		// coordinator hangs up.
 		core.RegisterDistJobs(g)
+		reconnect := mapreduce.ReconnectPolicy{Attempts: *distReconnect}
+		if *distReconnect <= 0 {
+			reconnect.Attempts = -1 // flag 0 means off; the policy zero value means default
+		}
 		return mapreduce.ServeDistWorkerOpts(context.Background(), *distConnect,
-			mapreduce.DistWorkerOptions{CheckpointDir: *ckptDir})
+			mapreduce.DistWorkerOptions{CheckpointDir: *ckptDir, Reconnect: reconnect})
 	}
 
 	shuffleOpts := socialmatch.Options{
@@ -117,12 +126,15 @@ func run() (err error) {
 			Listen:         *distListen,
 			AcceptLate:     *distLate,
 			HeartbeatEvery: *distHB,
+			ReconnectGrace: *distGrace,
+			JournalDir:     *distJournal,
+			Resume:         *distResume,
 		}
 		if *distHB == 0 {
 			clusterOpts.HeartbeatEvery = -1 // flag 0 means off; the options zero value means default
 		}
 		if *distSpawn {
-			workerArgs := []string{"-in", *in}
+			workerArgs := []string{"-in", *in, "-dist-reconnect", fmt.Sprint(*distReconnect)}
 			if *sigma > 0 {
 				workerArgs = append(workerArgs, "-sigma", fmt.Sprint(*sigma))
 			}
@@ -146,6 +158,10 @@ func run() (err error) {
 			if rs.HeartbeatTimeouts > 0 || rs.SpeculativeLaunches > 0 || rs.PartitionsMigrated > 0 {
 				fmt.Fprintf(os.Stderr, "dist scheduling:  %d heartbeat timeouts, %d speculative launches (%d won), %d partitions migrated\n",
 					rs.HeartbeatTimeouts, rs.SpeculativeLaunches, rs.SpeculativeWins, rs.PartitionsMigrated)
+			}
+			if rs.WorkerReconnects > 0 || rs.JobsReplayed > 0 {
+				fmt.Fprintf(os.Stderr, "dist durability:  %d worker reconnects (%d frames replayed), %d jobs replayed from journal, %d journal bytes\n",
+					rs.WorkerReconnects, rs.FramesReplayed, rs.JobsReplayed, rs.JournalBytes)
 			}
 		}()
 		// The checked close matters here too: it reaps the spawned

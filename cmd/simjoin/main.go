@@ -64,6 +64,11 @@ func run() (err error) {
 		ckptDir     = flag.String("dist-ckpt-dir", "", "worker mode: additionally persist checkpoints as local run files in this directory (default: coordinator mirror only)")
 		distHB      = flag.Duration("dist-heartbeat", 500*time.Millisecond, "dist worker heartbeat interval; a worker silent for 3 intervals is suspected (0 disables health monitoring)")
 		distSpec    = flag.Float64("dist-speculation", 0, "speculatively re-execute a straggler's partitions once it runs past this factor of the round's median worker time (0 disables)")
+
+		distReconnect = flag.Int("dist-reconnect", 8, "worker redial budget per outage: a severed worker redials and resumes its session instead of dying (0 disables reconnection)")
+		distGrace     = flag.Duration("dist-reconnect-grace", 10*time.Second, "how long the coordinator holds a severed worker's partitions before declaring it dead and reseeding (0 disables session resume)")
+		distJournal   = flag.String("dist-journal-dir", "", "coordinator run journal directory: job outputs and round commits persist here, enabling -dist-resume after a coordinator crash")
+		distResume    = flag.Bool("dist-resume", false, "resume a crashed run from -dist-journal-dir: committed jobs replay from the journal instead of re-running")
 	)
 	flag.Parse()
 
@@ -87,8 +92,12 @@ func run() (err error) {
 		// given the flags, so the verification reduces close over the
 		// exact vectors the coordinator probes with.
 		simjoin.RegisterDistJobs(c.Items, c.Consumers, *sigma)
+		reconnect := mapreduce.ReconnectPolicy{Attempts: *distReconnect}
+		if *distReconnect <= 0 {
+			reconnect.Attempts = -1 // flag 0 means off; the policy zero value means default
+		}
 		return mapreduce.ServeDistWorkerOpts(context.Background(), *distConnect,
-			mapreduce.DistWorkerOptions{CheckpointDir: *ckptDir})
+			mapreduce.DistWorkerOptions{CheckpointDir: *ckptDir, Reconnect: reconnect})
 	}
 
 	mr := mapreduce.Config{
@@ -108,6 +117,9 @@ func run() (err error) {
 			Listen:         *distListen,
 			AcceptLate:     *distLate,
 			HeartbeatEvery: *distHB,
+			ReconnectGrace: *distGrace,
+			JournalDir:     *distJournal,
+			Resume:         *distResume,
 		}
 		if *distHB == 0 {
 			opts.HeartbeatEvery = -1 // flag 0 means off; the options zero value means default
@@ -118,6 +130,7 @@ func run() (err error) {
 				"-sigma", fmt.Sprint(*sigma),
 				"-scale", fmt.Sprint(*scale),
 				"-seed", fmt.Sprint(*seed),
+				"-dist-reconnect", fmt.Sprint(*distReconnect),
 			)
 			if err != nil {
 				return err
@@ -138,6 +151,10 @@ func run() (err error) {
 			if rs.HeartbeatTimeouts > 0 || rs.SpeculativeLaunches > 0 || rs.PartitionsMigrated > 0 {
 				fmt.Fprintf(os.Stderr, "dist scheduling: %d heartbeat timeouts, %d speculative launches (%d won), %d partitions migrated\n",
 					rs.HeartbeatTimeouts, rs.SpeculativeLaunches, rs.SpeculativeWins, rs.PartitionsMigrated)
+			}
+			if rs.WorkerReconnects > 0 || rs.JobsReplayed > 0 {
+				fmt.Fprintf(os.Stderr, "dist durability: %d worker reconnects (%d frames replayed), %d jobs replayed from journal, %d journal bytes\n",
+					rs.WorkerReconnects, rs.FramesReplayed, rs.JobsReplayed, rs.JournalBytes)
 			}
 		}()
 		// Checked close: reaps spawned workers; a nonzero worker exit

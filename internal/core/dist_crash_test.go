@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+)
+
+// The coordinator-crash chaos suite re-executes this test binary as a
+// coordinator child process: the child runs one matching algorithm over
+// an in-process dist cluster with a run journal, and — on the first
+// execution — SIGKILLs itself mid-run via the journal's deterministic
+// crash hook. The parent then re-executes it with Resume set and diffs
+// the completed result against a fault-free memory run.
+const (
+	crashChildEnv  = "CORE_DIST_CRASH_CHILD" // algorithm name; presence selects child mode
+	crashDirEnv    = "CORE_DIST_CRASH_DIR"
+	crashAfterEnv  = "CORE_DIST_CRASH_AFTER"
+	crashResumeEnv = "CORE_DIST_CRASH_RESUME"
+	crashOutEnv    = "CORE_DIST_CRASH_OUT"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crashChildEnv) != "" {
+		os.Exit(runCrashChild())
+	}
+	os.Exit(m.Run())
+}
+
+// crashGraph is the fixed workload of the coordinator-crash suite; the
+// child and the parent's memory reference must build the exact same
+// graph.
+func crashGraph() *graph.Bipartite {
+	return graph.RandomBipartite(graph.RandomConfig{
+		NumItems: 16, NumConsumers: 12, EdgeProb: 0.4,
+		MaxWeight: 3, MaxCapacity: 3, Seed: 17,
+	})
+}
+
+// crashRunners enumerates all four MapReduce matching algorithms with
+// fixed seeds, shared between the child and the parent's reference run.
+func crashRunners(ctx context.Context, g *graph.Bipartite) []struct {
+	name string
+	run  func(mr mapreduce.Config) (*Result, error)
+} {
+	return []struct {
+		name string
+		run  func(mr mapreduce.Config) (*Result, error)
+	}{
+		{"greedymr", func(mr mapreduce.Config) (*Result, error) {
+			return GreedyMR(ctx, g.Clone(), GreedyMROptions{MR: mr})
+		}},
+		{"stackmr", func(mr mapreduce.Config) (*Result, error) {
+			return StackMR(ctx, g.Clone(), StackOptions{MR: mr, Eps: 1, Seed: 5})
+		}},
+		{"stackgreedymr", func(mr mapreduce.Config) (*Result, error) {
+			return StackGreedyMR(ctx, g.Clone(), StackOptions{MR: mr, Eps: 0.5, Seed: 5})
+		}},
+		{"stackmrstrict", func(mr mapreduce.Config) (*Result, error) {
+			return StackMRStrict(ctx, g.Clone(), StackOptions{MR: mr, Eps: 1, Seed: 5})
+		}},
+	}
+}
+
+// formatCrashResult renders the bit-identity fingerprint the suite
+// compares: matching value, round count, and every matched edge.
+func formatCrashResult(res *Result) string {
+	return fmt.Sprintf("value=%v rounds=%d edges=%v\n",
+		res.Matching.Value(), res.Rounds, res.Matching.Edges())
+}
+
+// runCrashChild is the coordinator child: in-process workers over
+// loopback, a journaling cluster, one algorithm. With a crash budget it
+// never returns — the journal hook SIGKILLs the process mid-run.
+func runCrashChild() int {
+	algo := os.Getenv(crashChildEnv)
+	after, _ := strconv.Atoi(os.Getenv(crashAfterEnv))
+	g := crashGraph()
+	RegisterDistJobs(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	cl, err := mapreduce.StartDistCluster(2, mapreduce.DistClusterOptions{
+		Timeout:           30 * time.Second,
+		JournalDir:        os.Getenv(crashDirEnv),
+		Resume:            os.Getenv(crashResumeEnv) == "1",
+		JournalCrashAfter: after,
+		OnListen: func(addr string) {
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					mapreduce.ServeDistWorkerOpts(ctx, addr, mapreduce.DistWorkerOptions{})
+				}()
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child: start cluster:", err)
+		return 1
+	}
+	mr := mapreduce.Config{
+		Mappers: 2, Reducers: 2,
+		Shuffle: mapreduce.ShuffleConfig{Backend: mapreduce.ShuffleDist},
+		Dist:    cl,
+	}
+	var res *Result
+	for _, r := range crashRunners(ctx, g) {
+		if r.name == algo {
+			res, err = r.run(mr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash child: %s: %v\n", algo, err)
+		return 1
+	}
+	if res == nil {
+		fmt.Fprintf(os.Stderr, "crash child: unknown algorithm %q\n", algo)
+		return 1
+	}
+	if err := os.WriteFile(os.Getenv(crashOutEnv), []byte(formatCrashResult(res)), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		return 1
+	}
+	// The parent asserts on this line: a resumed child must have
+	// satisfied at least one job from the journal, or the bit-identical
+	// result proves nothing about resume.
+	fmt.Printf("jobs-replayed=%d\n", cl.RecoveryStats().JobsReplayed)
+	if err := cl.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "crash child: close:", err)
+		return 1
+	}
+	cancel()
+	wg.Wait()
+	return 0
+}
+
+// TestDistMatchingSurvivesCoordinatorCrash is the journal's acceptance
+// gate at the algorithm level: for every MapReduce matching algorithm, a
+// coordinator process is SIGKILLed mid-run — mid-journal-append, by the
+// deterministic crash hook — and a restarted coordinator over fresh
+// workers resumes from the journal and completes with a matching
+// bit-identical to the fault-free memory run.
+func TestDistMatchingSurvivesCoordinatorCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns coordinator processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := crashGraph()
+	memMR := mapreduce.Config{Mappers: 2, Reducers: 2}
+	for _, r := range crashRunners(ctx, g) {
+		t.Run(r.name, func(t *testing.T) {
+			mem, err := r.run(memMR)
+			if err != nil {
+				t.Fatalf("memory: %v", err)
+			}
+			want := formatCrashResult(mem)
+
+			dir := t.TempDir()
+			jdir := filepath.Join(dir, "journal")
+			out := filepath.Join(dir, "result")
+			child := func(after int, resume bool) (string, error) {
+				cmd := exec.Command(exe, "-test.run=none")
+				cmd.Env = append(os.Environ(),
+					crashChildEnv+"="+r.name,
+					crashDirEnv+"="+jdir,
+					crashAfterEnv+"="+strconv.Itoa(after),
+					crashResumeEnv+"="+map[bool]string{false: "0", true: "1"}[resume],
+					crashOutEnv+"="+out,
+				)
+				var buf bytes.Buffer
+				cmd.Stdout = &buf
+				cmd.Stderr = &buf
+				err := cmd.Run()
+				return buf.String(), err
+			}
+
+			// First execution: the journal hook SIGKILLs the coordinator
+			// after its 3rd record — mid-run for every algorithm here.
+			logs, err := child(3, false)
+			if err == nil {
+				t.Fatalf("crash run exited cleanly — the SIGKILL hook never fired\n%s", logs)
+			}
+			var exitErr *exec.ExitError
+			if !errors.As(err, &exitErr) || exitErr.ProcessState.ExitCode() != -1 {
+				t.Fatalf("crash run died of %v, want a signal death\n%s", err, logs)
+			}
+
+			// Second execution: resume from the journal and complete.
+			logs, err = child(0, true)
+			if err != nil {
+				t.Fatalf("resumed run: %v\n%s", err, logs)
+			}
+			var replayed int
+			if _, serr := fmt.Sscanf(logs, "jobs-replayed=%d", &replayed); serr != nil || replayed < 1 {
+				t.Fatalf("resumed run replayed %d jobs from the journal (parse err %v)\n%s", replayed, serr, logs)
+			}
+			got, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != want {
+				t.Fatalf("resumed matching diverges from memory run:\nresumed %s\nmemory  %s", got, want)
+			}
+		})
+	}
+}

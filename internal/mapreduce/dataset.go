@@ -517,6 +517,14 @@ func Loop[K comparable, V any](
 		if err != nil {
 			return state, err
 		}
+		// Round boundary: commit the journal, so a coordinator restarted
+		// after this point resumes from the next round rather than
+		// re-running this one. Redundant with the commits Observe issued
+		// for the round's jobs, and deliberately so — a body that runs
+		// jobs without a driver still commits once per round.
+		if cl := d.cfg.Dist; cl != nil {
+			cl.journalCommit(round)
+		}
 		if next == nil {
 			break
 		}

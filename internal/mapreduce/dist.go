@@ -2,6 +2,8 @@ package mapreduce
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -82,6 +84,19 @@ type DistCluster struct {
 	// (DistClusterOptions.AcceptLate); recovery adopts them into conns.
 	late []*remote.Conn
 	ln   net.Listener
+	// acceptFresh gates fresh late joins on the shared accept loop; the
+	// loop also runs with AcceptLate off when ReconnectGrace keeps the
+	// listener open for session re-attachment only.
+	acceptFresh bool
+	// reconnectGrace > 0 enables session resume on every worker
+	// connection: a worker whose transport dies may redial and re-attach
+	// within the grace window, replaying un-acked frames, instead of
+	// being declared dead and reseeded around.
+	reconnectGrace time.Duration
+	// journal, when non-nil, persists the coordinator's run state for
+	// crash-resume (see journal.go).
+	journal  *distJournal
+	closeErr error
 
 	// Elastic-scheduling configuration (resolved from
 	// DistClusterOptions at startup) and state. health parallels conns;
@@ -96,12 +111,13 @@ type DistCluster struct {
 	monitorStop  chan struct{}
 	monitorWG    sync.WaitGroup
 
-	recoveries  atomic.Int64
-	reseeded    atomic.Int64
-	hbTimeouts  atomic.Int64
-	specLaunch  atomic.Int64
-	specWins    atomic.Int64
-	migratedCnt atomic.Int64
+	recoveries   atomic.Int64
+	reseeded     atomic.Int64
+	hbTimeouts   atomic.Int64
+	specLaunch   atomic.Int64
+	specWins     atomic.Int64
+	migratedCnt  atomic.Int64
+	jobsReplayed atomic.Int64
 }
 
 // workerHealth is the monitor's per-worker scheduling state. suspect is
@@ -229,6 +245,33 @@ type DistClusterOptions struct {
 	// resident-partition fetches from a possibly-hung worker, late-join
 	// handshakes (default 30s).
 	AbortTimeout time.Duration
+	// ReconnectGrace, when positive, enables session resume on every
+	// worker connection: frames are sequence-numbered and ringed, and a
+	// worker whose transport errors may redial and re-attach by worker
+	// id + session token within the grace window — both sides replay
+	// un-acked frames and the run continues, with no abort, no reseed.
+	// Only past the grace does the loss escalate to the usual
+	// death/recovery path. Keeps the listener open for re-attachment
+	// even without AcceptLate. Zero disables (the default).
+	ReconnectGrace time.Duration
+	// JournalDir, when set, persists the coordinator's run state — every
+	// job result and round-boundary commit records — to an append-only
+	// journal in that directory, so a crashed coordinator can be
+	// restarted with Resume and replay the run from the last committed
+	// round (see journal.go).
+	JournalDir string
+	// Resume makes StartDistCluster load JournalDir's committed history
+	// before running: the restarted pipeline re-executes
+	// deterministically, satisfying already-journaled jobs from the
+	// journal (resident outputs are re-seeded onto the new workers from
+	// the journaled mirror) and running live from the first uncommitted
+	// job on.
+	Resume bool
+	// JournalCrashAfter, when positive, SIGKILLs the coordinator process
+	// after that many journal records have been appended — the
+	// deterministic crash hook the resume chaos suite drives. Test
+	// instrumentation only.
+	JournalCrashAfter int
 }
 
 // StartDistCluster listens for n workers, optionally spawning them via
@@ -252,10 +295,20 @@ func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
 	}
 
 	cl := &DistCluster{
-		hbEvery:      opts.HeartbeatEvery,
-		hbMisses:     opts.HeartbeatMisses,
-		drainTimeout: opts.DrainTimeout,
-		abortTimeout: opts.AbortTimeout,
+		hbEvery:        opts.HeartbeatEvery,
+		hbMisses:       opts.HeartbeatMisses,
+		drainTimeout:   opts.DrainTimeout,
+		abortTimeout:   opts.AbortTimeout,
+		reconnectGrace: opts.ReconnectGrace,
+		acceptFresh:    opts.AcceptLate,
+	}
+	if opts.JournalDir != "" {
+		j, err := openDistJournal(opts.JournalDir, opts.Resume, opts.JournalCrashAfter)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		cl.journal = j
 	}
 	if cl.hbEvery == 0 {
 		cl.hbEvery = 500 * time.Millisecond
@@ -300,17 +353,31 @@ func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
 		// overall deadline bounds it; cleared once the worker is in.
 		nc.SetReadDeadline(deadline)
 		conn := remote.NewConn(nc)
-		if err := remote.AwaitHello(conn); err != nil {
+		hi, err := remote.AwaitHello(conn)
+		if err != nil {
 			conn.Close()
 			ln.Close()
 			cl.abort()
 			return nil, fmt.Errorf("mapreduce: dist worker handshake: %w", err)
 		}
-		if err := remote.Welcome(conn, i, n, cl.hbEvery); err != nil {
+		if hi.Resume {
+			// A leftover worker from a previous coordinator incarnation
+			// redialing into a fresh cluster: its session does not exist
+			// here. Refuse it and keep waiting for worker i.
+			remote.RefuseResume(nc, "unknown session")
+			i--
+			continue
+		}
+		resumeOn := cl.reconnectGrace > 0 && hi.ResumeCapable
+		token := mintSessionToken()
+		if err := remote.Welcome(conn, i, n, cl.hbEvery, token, resumeOn); err != nil {
 			conn.Close()
 			ln.Close()
 			cl.abort()
 			return nil, fmt.Errorf("mapreduce: dist worker handshake: %w", err)
+		}
+		if resumeOn {
+			conn.EnableResume(remote.ResumeConfig{Token: token, WorkerID: i, Grace: cl.reconnectGrace})
 		}
 		nc.SetReadDeadline(time.Time{})
 		cl.conns = append(cl.conns, conn)
@@ -324,7 +391,9 @@ func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
 		cl.monitorWG.Add(1)
 		go cl.monitor()
 	}
-	if opts.AcceptLate {
+	if opts.AcceptLate || cl.reconnectGrace > 0 {
+		// The listener stays open for late joiners and/or session
+		// re-attachment; the shared accept loop routes by hello type.
 		cl.ln = ln
 		go cl.acceptLate(ln)
 	} else {
@@ -333,9 +402,26 @@ func StartDistCluster(n int, opts DistClusterOptions) (*DistCluster, error) {
 	return cl, nil
 }
 
-// acceptLate admits replacement workers after startup. Each gets the
-// next worker index; recovery (recoverAssignments) adopts them into the
-// cluster between job attempts. Exits when the listener closes.
+// mintSessionToken draws the random session token a resume hello must
+// present to re-attach — what stops a stale worker from a previous run
+// (or a same-id worker of another cluster on a recycled port) from
+// splicing itself into a session it does not own.
+func mintSessionToken() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Degraded randomness beats refusing to run: fall back to a
+		// time-derived token.
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// acceptLate is the post-startup accept loop, serving two kinds of
+// hello: fresh joins (replacement workers, admitted when AcceptLate is
+// on — each gets the next worker index and recovery adopts it between
+// job attempts) and resume hellos (a severed worker's redial,
+// re-attached to its existing session in place). Exits when the
+// listener closes.
 func (cl *DistCluster) acceptLate(ln net.Listener) {
 	for {
 		if tl, ok := ln.(*net.TCPListener); ok {
@@ -347,16 +433,31 @@ func (cl *DistCluster) acceptLate(ln net.Listener) {
 		}
 		nc.SetReadDeadline(time.Now().Add(cl.abortTimeout))
 		conn := remote.NewConn(nc)
-		if err := remote.AwaitHello(conn); err != nil {
+		hi, err := remote.AwaitHello(conn)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		if hi.Resume {
+			nc.SetReadDeadline(time.Time{})
+			cl.reattachWorker(nc, hi)
+			continue
+		}
+		if !cl.acceptFresh {
 			conn.Close()
 			continue
 		}
 		cl.mu.Lock()
 		id := len(cl.conns) + len(cl.late)
 		cl.mu.Unlock()
-		if err := remote.Welcome(conn, id, id+1, cl.hbEvery); err != nil {
+		resumeOn := cl.reconnectGrace > 0 && hi.ResumeCapable
+		token := mintSessionToken()
+		if err := remote.Welcome(conn, id, id+1, cl.hbEvery, token, resumeOn); err != nil {
 			conn.Close()
 			continue
+		}
+		if resumeOn {
+			conn.EnableResume(remote.ResumeConfig{Token: token, WorkerID: id, Grace: cl.reconnectGrace})
 		}
 		nc.SetReadDeadline(time.Time{})
 		cl.mu.Lock()
@@ -367,6 +468,33 @@ func (cl *DistCluster) acceptLate(ln net.Listener) {
 		}
 		cl.late = append(cl.late, conn)
 		cl.mu.Unlock()
+	}
+}
+
+// reattachWorker routes a resume hello to the session it names: find
+// the connection by worker id (adopted or still in the late set), and
+// let its resume layer verify the token, swap the transport, and
+// replay. A session that does not exist, is dead, or refuses the
+// re-attach gets a refusal frame, which stops the worker's redialing.
+func (cl *DistCluster) reattachWorker(nc net.Conn, hi remote.HelloInfo) {
+	cl.mu.Lock()
+	var target *remote.Conn
+	switch {
+	case hi.WorkerID < 0:
+	case hi.WorkerID < len(cl.conns):
+		if !cl.deadLocked(hi.WorkerID) {
+			target = cl.conns[hi.WorkerID]
+		}
+	case hi.WorkerID-len(cl.conns) < len(cl.late):
+		target = cl.late[hi.WorkerID-len(cl.conns)]
+	}
+	cl.mu.Unlock()
+	if target == nil {
+		remote.RefuseResume(nc, "unknown or retired session")
+		return
+	}
+	if _, err := target.Reattach(nc, hi.Token, hi.Received); err != nil {
+		remote.RefuseResume(nc, err.Error())
 	}
 }
 
@@ -457,7 +585,9 @@ func (cl *DistCluster) isDead(w int) bool {
 }
 
 func (cl *DistCluster) deadLocked(w int) bool {
-	return w < len(cl.dead) && cl.dead[w]
+	// Negative indexes name no worker at all (journal-restored residency
+	// uses -1 for "lives nowhere yet"); they are not dead, just absent.
+	return w >= 0 && w < len(cl.dead) && cl.dead[w]
 }
 
 // liveCount returns the number of workers still alive.
@@ -848,7 +978,10 @@ func (cl *DistCluster) ensureResident(seq uint64, name string) (int, int, error)
 	reseeded := 0
 	for p, w := range m.loc {
 		target := owners[p]
-		dead := cl.deadLocked(w)
+		// A negative location means the partition lives on no worker at
+		// all — journal-restored residency on a resumed coordinator. It is
+		// seeded like a lost partition: from the mirror, no shed.
+		dead := w < 0 || cl.deadLocked(w)
 		if target == w && !dead {
 			continue
 		}
@@ -951,7 +1084,7 @@ func (cl *DistCluster) canRestore(seq uint64) bool {
 		return false
 	}
 	for p, w := range m.loc {
-		if cl.deadLocked(w) && (m.blobs == nil || (m.blobs[p] == nil && m.counts[p] > 0)) {
+		if (w < 0 || cl.deadLocked(w)) && (m.blobs == nil || (m.blobs[p] == nil && m.counts[p] > 0)) {
 			return false
 		}
 	}
@@ -1001,6 +1134,19 @@ type RecoveryStats struct {
 	// PartitionsMigrated counts resident partitions moved between live
 	// workers by rebalancing (not loss recovery).
 	PartitionsMigrated int64
+	// WorkerReconnects counts transport losses absorbed by session
+	// resume: a severed worker redialed and re-attached within the grace
+	// window instead of being declared dead.
+	WorkerReconnects int64
+	// FramesReplayed counts ring frames the coordinator re-sent to
+	// re-attached workers across those reconnects.
+	FramesReplayed int64
+	// JournalBytes is the cumulative size of the coordinator run
+	// journal's records, when journaling is enabled.
+	JournalBytes int64
+	// JobsReplayed counts jobs a resumed coordinator satisfied from the
+	// journal instead of re-running.
+	JobsReplayed int64
 }
 
 // RecoveryStats reports the cluster's cumulative recovery and elastic
@@ -1020,7 +1166,124 @@ func (cl *DistCluster) RecoveryStats() RecoveryStats {
 	rs.SpeculativeLaunches = cl.specLaunch.Load()
 	rs.SpeculativeWins = cl.specWins.Load()
 	rs.PartitionsMigrated = cl.migratedCnt.Load()
+	rs.WorkerReconnects, rs.FramesReplayed = cl.resumeTotals()
+	if cl.journal != nil {
+		rs.JournalBytes = cl.journal.bytes.Load()
+	}
+	rs.JobsReplayed = cl.jobsReplayed.Load()
 	return rs
+}
+
+// resumeTotals sums the session-resume counters over every connection.
+func (cl *DistCluster) resumeTotals() (reconnects, replayed int64) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, c := range cl.conns {
+		reconnects += c.Reconnects()
+		replayed += c.FramesReplayed()
+	}
+	for _, c := range cl.late {
+		reconnects += c.Reconnects()
+		replayed += c.FramesReplayed()
+	}
+	return reconnects, replayed
+}
+
+// journalBytes reports the journal's cumulative record bytes (zero
+// when journaling is off).
+func (cl *DistCluster) journalBytes() int64 {
+	if cl.journal == nil {
+		return 0
+	}
+	return cl.journal.bytes.Load()
+}
+
+// journalCommit records a round boundary: every journaled job record
+// before it is durable, anything after a crash point is discarded by
+// the resume loader. Driver.Observe calls it after every observed job
+// and Loop after every completed round; a redundant commit is a cheap
+// no-op frame. Journal write failures surface on the next journaled
+// job — a durability feature that silently stopped journaling would be
+// worse than a failed run.
+func (cl *DistCluster) journalCommit(round int) {
+	if cl.journal == nil {
+		return
+	}
+	cl.journal.commit(round)
+}
+
+// bumpSeq advances the cluster's job sequence counter past a
+// journal-replayed job's number, so live jobs resumed mid-pipeline
+// never reuse a journaled sequence.
+func (cl *DistCluster) bumpSeq(seq uint64) {
+	cl.mu.Lock()
+	if seq > cl.seq {
+		cl.seq = seq
+	}
+	cl.mu.Unlock()
+}
+
+// journalTake pops the next replay-queue record if it matches the job
+// about to run. Implemented on the cluster so job runners can call it
+// without nil-checking the journal.
+func (cl *DistCluster) journalTake(name string, kind byte) (*journalRecord, error) {
+	if cl == nil || cl.journal == nil {
+		return nil, nil
+	}
+	rec, err := cl.journal.takeJob(name, kind)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		cl.jobsReplayed.Add(1)
+		cl.bumpSeq(rec.seq)
+	}
+	return rec, err
+}
+
+// journalAppendFlat journals one flat job's sorted output as a single
+// encodePairs blob.
+func (cl *DistCluster) journalAppendFlat(seq uint64, name string, count int64, blob []byte) error {
+	if cl == nil || cl.journal == nil {
+		return nil
+	}
+	return cl.journal.appendJob(&journalRecord{
+		seq:    seq,
+		kind:   journalKindFlat,
+		name:   name,
+		counts: []int64{count},
+		blobs:  [][]byte{blob},
+	})
+}
+
+// journalAppendResident journals one retained job's residency mirror —
+// the same per-partition blobs recovery re-seeds from.
+func (cl *DistCluster) journalAppendResident(seq uint64, name string) error {
+	if cl == nil || cl.journal == nil {
+		return nil
+	}
+	cl.mu.Lock()
+	m := cl.residency[seq]
+	var counts []int64
+	var blobs [][]byte
+	if m != nil {
+		counts = append([]int64(nil), m.counts...)
+		blobs = append([][]byte(nil), m.blobs...)
+	}
+	cl.mu.Unlock()
+	if m == nil || blobs == nil {
+		// A resident output with no mirror is not journal-restorable;
+		// runDistDS forces checkpointing on whenever the journal is open,
+		// so reaching here means that invariant broke.
+		return fmt.Errorf("mapreduce: dist journal: job %q (seq %d) retained output without a checkpoint mirror", name, seq)
+	}
+	return cl.journal.appendJob(&journalRecord{
+		seq:    seq,
+		kind:   journalKindResident,
+		name:   name,
+		counts: counts,
+		blobs:  blobs,
+	})
 }
 
 // scheduleWorkers picks the workers a job announce includes: every
@@ -1150,6 +1413,15 @@ func (cl *DistCluster) checkHealth(now time.Time) {
 		if !inLive[w] || j.doneWith(w) {
 			continue
 		}
+		// A worker whose transport died but whose session is inside the
+		// reconnect grace window is neither suspect nor dead: the blip is
+		// the resume layer's to absorb, and escalating here would turn a
+		// 2-second reconnect into a full abort/reseed. If the grace
+		// expires, the parked read surfaces its transport error and the
+		// ordinary loss path takes over.
+		if conns[w].Recovering() {
+			continue
+		}
 		h := health[w]
 		last := conns[w].LastRead()
 		if last.Before(floor) {
@@ -1255,8 +1527,12 @@ func (cl *DistCluster) bytesInOut() (in, out int64) {
 func (cl *DistCluster) Close() error {
 	cl.mu.Lock()
 	if cl.closed {
+		// Idempotent: a second Close (the deferred one after an explicit
+		// close) reports the first close's verdict without re-running
+		// teardown.
+		err := cl.closeErr
 		cl.mu.Unlock()
-		return nil
+		return err
 	}
 	cl.closed = true
 	healthy := cl.broken == nil
@@ -1273,14 +1549,22 @@ func (cl *DistCluster) Close() error {
 		cl.ln.Close()
 	}
 	for w, c := range cl.conns {
+		// Retire the resume session first: a worker that is gone for good
+		// must make the goodbye write fail fast, not hold the reconnect
+		// grace window open during shutdown.
+		c.ShutdownResume()
 		if healthy && (w >= len(dead) || !dead[w]) {
 			c.WriteFrame([]byte{byte(remote.MsgBye)})
 		}
 		c.Close()
 	}
 	for _, c := range late {
+		c.ShutdownResume()
 		c.WriteFrame([]byte{byte(remote.MsgBye)})
 		c.Close()
+	}
+	if cl.journal != nil {
+		cl.journal.close()
 	}
 	var err error
 	for _, cmd := range cl.procs {
@@ -1288,6 +1572,9 @@ func (cl *DistCluster) Close() error {
 			err = fmt.Errorf("mapreduce: dist worker exited: %w", werr)
 		}
 	}
+	cl.mu.Lock()
+	cl.closeErr = err
+	cl.mu.Unlock()
 	return err
 }
 
@@ -2269,6 +2556,13 @@ func runDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	stats *Stats,
 ) ([]Pair[K3, V3], error) {
 	cl := cfg.Dist
+	// A resumed coordinator satisfies already-journaled jobs from the
+	// journal instead of re-running them (no-op on a live run).
+	if rec, err := cl.journalTake(cfg.Name, journalKindFlat); err != nil {
+		return nil, err
+	} else if rec != nil {
+		return decodeJournalFlat[K3, V3](rec)
+	}
 	var sched schedSnapshot
 	sched.start(cl)
 	for attempt := 0; ; attempt++ {
@@ -2280,8 +2574,17 @@ func runDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 			cl.rebalance(cfg.reducers(), 0, attempt == 0)
 		}
 		as := newStats(cfg.Name)
-		out, err := tryDistFlat[K1, V1, K2, V2, K3, V3](ctx, cfg, input, mapFn, as)
+		out, seq, err := tryDistFlat[K1, V1, K2, V2, K3, V3](ctx, cfg, input, mapFn, as)
 		if err == nil {
+			if cl != nil && cl.journal != nil {
+				blob, jerr := encodeJournalFlat(out, cfg.WireCompression)
+				if jerr == nil {
+					jerr = cl.journalAppendFlat(seq, cfg.Name, int64(len(out)), blob)
+				}
+				if jerr != nil {
+					return nil, jerr
+				}
+			}
 			as.WorkerRecoveries = int64(attempt)
 			sched.settle(cl, as)
 			stats.Add(as)
@@ -2302,6 +2605,7 @@ func runDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 // ultimately succeeds after a speculative loss).
 type schedSnapshot struct {
 	hb0, sl0, mg0, sw0 int64
+	rc0, fr0, jb0      int64
 	specPending        int64
 }
 
@@ -2313,6 +2617,8 @@ func (s *schedSnapshot) start(cl *DistCluster) {
 	s.sl0 = cl.specLaunch.Load()
 	s.mg0 = cl.migratedCnt.Load()
 	s.sw0 = cl.specWins.Load()
+	s.rc0, s.fr0 = cl.resumeTotals()
+	s.jb0 = cl.journalBytes()
 }
 
 func (s *schedSnapshot) noteLoss(err error) {
@@ -2333,6 +2639,10 @@ func (s *schedSnapshot) settle(cl *DistCluster, as *Stats) {
 	as.SpeculativeLaunches = cl.specLaunch.Load() - s.sl0
 	as.SpeculativeWins = cl.specWins.Load() - s.sw0
 	as.PartitionsMigrated = cl.migratedCnt.Load() - s.mg0
+	rc, fr := cl.resumeTotals()
+	as.WorkerReconnects = rc - s.rc0
+	as.FramesReplayed = fr - s.fr0
+	as.JournalBytes = cl.journalBytes() - s.jb0
 }
 
 // tryDistFlat is one flat-job attempt: local map phase, buckets
@@ -2344,11 +2654,11 @@ func tryDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	input []Pair[K1, V1],
 	mapFn MapFunc[K1, V1, K2, V2],
 	stats *Stats,
-) ([]Pair[K3, V3], error) {
+) ([]Pair[K3, V3], uint64, error) {
 	splits := splitRange(len(input), cfg.mappers())
 	job, err := startDistJob[K2, V2, K3, V3](cfg, remote.ModeFlat, len(splits), 0, true, false)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ar := arenaFor[K2, V2](cfg.Pool, cfg.reducers())
 	sender := &distSender[K2, V2, K3, V3]{j: job, ar: ar}
@@ -2359,7 +2669,7 @@ func tryDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 	outs, _, err := job.finish(ctx, cfg, stats, mapErr)
 	stats.ReduceWall = time.Since(phase)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var total int
 	for _, o := range outs {
@@ -2370,7 +2680,44 @@ func tryDistFlat[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3
 		all = append(all, o...)
 	}
 	sortPairs(all)
-	return all, nil
+	return all, job.hdr.seq, nil
+}
+
+// encodeJournalFlat serializes a flat job's sorted output as one
+// codec-v2 pair blob for the run journal.
+func encodeJournalFlat[K3 comparable, V3 any](pairs []Pair[K3, V3], compress bool) ([]byte, error) {
+	kc, err := resolveSpillCodec[K3]()
+	if err != nil {
+		return nil, err
+	}
+	vc, err := resolveSpillCodec[V3]()
+	if err != nil {
+		return nil, err
+	}
+	return encodePairs(nil, pairs, kc, vc, compress, nil)
+}
+
+// decodeJournalFlat rebuilds a flat job's sorted output from its
+// journal record.
+func decodeJournalFlat[K3 comparable, V3 any](rec *journalRecord) ([]Pair[K3, V3], error) {
+	kc, err := resolveSpillCodec[K3]()
+	if err != nil {
+		return nil, err
+	}
+	vc, err := resolveSpillCodec[V3]()
+	if err != nil {
+		return nil, err
+	}
+	if len(rec.counts) != 1 || len(rec.blobs) != 1 {
+		return nil, fmt.Errorf("mapreduce: dist journal: flat job %q record has %d blobs", rec.name, len(rec.blobs))
+	}
+	count := int(rec.counts[0])
+	cur := remote.NewCursor(rec.blobs[0])
+	out, err := decodePairs(cur, count, kc, vc, make([]Pair[K3, V3], 0, pairCap(cur, count, kc, vc)))
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: dist journal: replaying job %q: %w", rec.name, err)
+	}
+	return out, nil
 }
 
 // runDistDS executes one Dataset job on the dist backend, retrying the
@@ -2390,6 +2737,21 @@ func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 	if cl == nil {
 		return nil, errors.New("mapreduce: shuffle backend \"dist\" requires Config.Dist (a started DistCluster)")
 	}
+	// A resumed coordinator satisfies already-journaled jobs straight from
+	// the journal: the mirror blobs become a residency record whose
+	// partitions live nowhere yet (loc -1) — ensureResident seeds them to
+	// workers the first time a job consumes the dataset.
+	if rec, err := cl.journalTake(cfg.Name, journalKindResident); err != nil {
+		return nil, err
+	} else if rec != nil {
+		owners := make([]int, len(rec.counts))
+		for p := range owners {
+			owners[p] = -1
+		}
+		cl.registerResident(rec.seq, owners, rec.counts, rec.blobs)
+		cl.noteRetained()
+		return newRemoteDataset[K3, V3](cl, rec.seq, rec.counts, keyCast[K2, K3]() != nil, cfg.Pool), nil
+	}
 	remoteChained := input.rem != nil && input.rem.cl == cl && input.aligned &&
 		input.Partitions() == cfg.reducers() && !cfg.FlatChaining
 	if input.rem != nil && !remoteChained {
@@ -2400,8 +2762,10 @@ func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 		}
 	}
 	// One checkpoint decision per job, not per attempt: a retried job
-	// checkpoints iff the original would have.
-	ckpt := cl.checkpointNext(cfg.CheckpointEvery)
+	// checkpoints iff the original would have. An open journal forces the
+	// mirror on for every retained output — a journaled run must be able
+	// to re-seed any resident dataset after a coordinator restart.
+	ckpt := cl.checkpointNext(cfg.CheckpointEvery) || cl.journal != nil
 	var inputSeq uint64
 	if remoteChained {
 		inputSeq = input.rem.seq
@@ -2418,6 +2782,9 @@ func runDistDS[K1 comparable, V1 any, K2 comparable, V2 any, K3 comparable, V3 a
 		as := newStats(cfg.Name)
 		out, err := tryDistDS[K1, V1, K2, V2, K3, V3](ctx, cfg, input, mapFn, as, remoteChained, ckpt)
 		if err == nil {
+			if jerr := cl.journalAppendResident(out.rem.seq, cfg.Name); jerr != nil {
+				return nil, jerr
+			}
 			as.WorkerRecoveries = int64(attempt)
 			sched.settle(cl, as)
 			stats.Add(as)

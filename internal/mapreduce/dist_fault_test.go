@@ -164,18 +164,31 @@ func TestDistChaosKilledWorkers(t *testing.T) {
 // arms the elastic-scheduling machinery (a 50ms heartbeat and
 // speculation ready to fire) on the healthy cluster; its delta over /on
 // is the chained-round idle overhead of scheduling, pinned to <= 5%.
+// The /journal case adds the coordinator run journal on top of /on —
+// every job's result journaled, every round committed — and its delta
+// over /on is the durability overhead, pinned to <= 10%.
 func BenchmarkDistChainedCheckpoint(b *testing.B) {
 	for _, bench := range []struct {
-		name  string
-		every int
-		hb    time.Duration
-		spec  float64
-	}{{"on", 0, 0, 0}, {"off", -1, 0, 0}, {"on-sched", 0, 50 * time.Millisecond, 4}} {
+		name    string
+		every   int
+		hb      time.Duration
+		spec    float64
+		journal bool
+	}{
+		{"on", 0, 0, 0, false},
+		{"off", -1, 0, 0, false},
+		{"on-sched", 0, 50 * time.Millisecond, 4, false},
+		{"journal", 0, 0, 0, true},
+	} {
 		b.Run(bench.name, func(b *testing.B) {
-			cl := startSchedCluster(b, 2, DistClusterOptions{
+			opts := DistClusterOptions{
 				Timeout:        30 * time.Second,
 				HeartbeatEvery: bench.hb,
-			}, nil)
+			}
+			if bench.journal {
+				opts.JournalDir = b.TempDir()
+			}
+			cl := startSchedCluster(b, 2, opts, nil)
 			cfg := distCfg4(cl, "ring-step")
 			cfg.CheckpointEvery = bench.every
 			cfg.SpeculationFactor = bench.spec
@@ -190,6 +203,9 @@ func BenchmarkDistChainedCheckpoint(b *testing.B) {
 						b.Fatal(err)
 					}
 					ds = next
+					// Round boundary, as a driver would commit it; no-op
+					// without a journal.
+					cl.journalCommit(r)
 				}
 				if err := ds.Materialize(); err != nil {
 					b.Fatal(err)

@@ -266,7 +266,7 @@ func TestDistWorkerDisconnectMidShuffle(t *testing.T) {
 					return
 				}
 				conn := remote.NewConn(nc)
-				if err := remote.Hello(conn); err != nil {
+				if err := remote.Hello(conn, false); err != nil {
 					return
 				}
 				if _, err := remote.AwaitWelcome(conn); err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -323,6 +324,29 @@ func (s *workerSession) checkpointTo() *checkpointWriter {
 	return s.ckpt
 }
 
+// ReconnectPolicy shapes a worker's redial behavior, both for the
+// initial connect (a worker started before its coordinator retries
+// until the listener appears) and for session resume after a transport
+// loss mid-run.
+type ReconnectPolicy struct {
+	// Attempts is the redial budget per outage. Zero means the default
+	// (8); negative disables reconnection entirely — the worker
+	// advertises no resume capability and dies with its first transport
+	// error, the pre-resume behavior.
+	Attempts int
+	// BaseDelay and MaxDelay bound the jittered exponential backoff
+	// between attempts (defaults 50ms and 1s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p ReconnectPolicy) attempts() int {
+	if p.Attempts == 0 {
+		return 8
+	}
+	return p.Attempts
+}
+
 // DistWorkerOptions tunes one worker session (ServeDistWorkerOpts).
 type DistWorkerOptions struct {
 	// CheckpointDir, when set, makes the session additionally persist
@@ -336,6 +360,11 @@ type DistWorkerOptions struct {
 	// the gray-failure (stall) chaos tests hang a worker from the
 	// inside, where the coordinator cannot see a transport error.
 	Fault *remote.Fault
+	// Reconnect shapes the worker's startup connect retries and its
+	// session-resume redials. The zero value enables both with the
+	// defaults; Attempts < 0 disables resume (the session dies with its
+	// first transport error) and limits the startup dial to one try.
+	Reconnect ReconnectPolicy
 }
 
 // ServeDistWorker connects to a coordinator and serves jobs until the
@@ -349,18 +378,34 @@ func ServeDistWorker(ctx context.Context, addr string) error {
 
 // ServeDistWorkerOpts is ServeDistWorker with session options.
 func ServeDistWorkerOpts(ctx context.Context, addr string, opts DistWorkerOptions) error {
-	nc, err := net.Dial("tcp", addr)
+	resumeCapable := opts.Reconnect.Attempts >= 0
+	seed := uint64(os.Getpid())
+	nc, err := dialWithRetry(ctx, addr, opts.Reconnect, seed)
 	if err != nil {
 		return fmt.Errorf("mapreduce: dist worker dialing %s: %w", addr, err)
 	}
 	conn := remote.NewConn(nc)
 	defer conn.Close()
-	if err := remote.Hello(conn); err != nil {
+	if err := remote.Hello(conn, resumeCapable); err != nil {
 		return fmt.Errorf("mapreduce: dist worker handshake: %w", err)
 	}
 	info, err := remote.AwaitWelcome(conn)
 	if err != nil {
 		return fmt.Errorf("mapreduce: dist worker handshake: %w", err)
+	}
+	if info.Resume {
+		// The coordinator granted a resumable session: from here on a
+		// transport loss redials and re-attaches instead of ending the
+		// session, transparently to the serve loop below.
+		conn.EnableResume(remote.ResumeConfig{
+			Token:     info.Token,
+			WorkerID:  info.WorkerID,
+			Dial:      func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 5*time.Second) },
+			Attempts:  opts.Reconnect.attempts(),
+			BaseDelay: opts.Reconnect.BaseDelay,
+			MaxDelay:  opts.Reconnect.MaxDelay,
+			Seed:      seed,
+		})
 	}
 	if opts.Fault != nil {
 		conn.Arm(opts.Fault)
@@ -411,6 +456,35 @@ func ServeDistWorkerOpts(ctx context.Context, addr string, opts DistWorkerOption
 		}()
 	}
 	return s.serve()
+}
+
+// dialWithRetry dials the coordinator, retrying with the policy's
+// jittered backoff while the listener isn't there yet — a worker
+// process may legitimately start before its coordinator. Connection
+// refusals and timeouts retry; a cancelled context or an exhausted
+// budget returns the last dial error.
+func dialWithRetry(ctx context.Context, addr string, pol ReconnectPolicy, seed uint64) (net.Conn, error) {
+	attempts := pol.attempts()
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(remote.Backoff(a-1, pol.BaseDelay, pol.MaxDelay, seed))
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err == nil {
+			return nc, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // sendError best-effort reports a fatal job error before the session

@@ -39,6 +39,12 @@ const (
 	// an error when the local endpoint is closed, or silently resume
 	// after Delay if Delay is nonzero (a stall that heals).
 	FaultStall
+	// FaultCut severs the connection *mid-frame*: the triggering write
+	// ships the frame's real length prefix and the first CutBytes
+	// payload bytes, then cuts — the peer reads a frame that dies
+	// partway through its payload, the torn-segment shape a network cut
+	// between two TCP segments produces. Write-direction only.
+	FaultCut
 )
 
 // Fault is one armed failure. AfterWrites and AfterReads are 1-based
@@ -54,6 +60,9 @@ type Fault struct {
 	AfterReads  int
 	Delay       time.Duration
 	Repeat      bool
+	// CutBytes is how many payload bytes a FaultCut ships before
+	// severing (clamped to the triggering frame's length).
+	CutBytes int
 
 	writes  atomic.Int64
 	reads   atomic.Int64
@@ -69,6 +78,10 @@ var errSevered = fmt.Errorf("remote: injected fault severed the connection")
 // errStalled is what a goroutine blocked on an injected stall reports
 // once the local endpoint is closed out from under it.
 var errStalled = fmt.Errorf("remote: injected stall released by close")
+
+// errCutFrame is fire's signal back to the write path that a FaultCut
+// triggered: the writer ships the partial frame and severs itself.
+var errCutFrame = fmt.Errorf("remote: injected fault cut the frame")
 
 func (f *Fault) beforeWrite(c *Conn) error {
 	if f.stalled.Load() {
@@ -117,14 +130,23 @@ func (f *Fault) fire(c *Conn) error {
 		if f.Op == FaultStall {
 			return f.hold(c)
 		}
-		return errSevered
+		// Already fired. A plain severed socket keeps failing on its own,
+		// so there is nothing to add — and a resume-enabled session that
+		// re-attached a fresh transport must see it flow freely, not be
+		// re-poisoned by a stale verdict.
+		return nil
 	}
 	switch f.Op {
 	case FaultStall:
 		f.stalled.Store(true)
 		return f.hold(c)
+	case FaultCut:
+		return errCutFrame
 	default:
-		c.Close()
+		// Sever the transport the way a network cut would: a
+		// resume-enabled session keeps its identity and may re-attach, a
+		// plain connection dies for good.
+		c.sever()
 		return errSevered
 	}
 }
@@ -165,11 +187,18 @@ func FaultPoint(seed int64, lo, hi int) int {
 	if hi <= lo {
 		return lo
 	}
-	x := uint64(seed) + 0x9e3779b97f4a7c15
+	x := mix64(uint64(seed))
+	return lo + int(x%uint64(hi-lo))
+}
+
+// mix64 is the SplitMix64 finalizer: the deterministic hash behind
+// both fault points and reconnect-backoff jitter.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return lo + int(x%uint64(hi-lo))
+	return x
 }

@@ -13,6 +13,15 @@
 // frame is the atomic unit of interleaving: writers serialize whole
 // frames under the connection's lock, so a bucket from one map task
 // never interleaves with another's, and readers need no resynchronization.
+//
+// Session resume (resume.go): a Conn is an endpoint identity that can
+// outlive its transport. When resume is enabled after the handshake,
+// both sides number the frames they exchange and keep a bounded
+// retransmit ring of sent frames; a transport error makes the worker
+// redial and re-attach by worker id + session token, and each side
+// replays the frames the other had not yet received. The engine above
+// never sees the blip — its ReadFrame/WriteFrame simply succeed on the
+// replacement transport.
 package remote
 
 import (
@@ -31,8 +40,10 @@ import (
 // to pair rather than diverge silently. Version 2 added the heartbeat
 // interval to the welcome and the ping/pong/shed messages. Version 3
 // switched bulk pair payloads to versioned codec-v2 blobs and added the
-// wire-compression byte to the job header.
-const Proto = 3
+// wire-compression byte to the job header. Version 4 added the
+// capability flags to the hello, the session token to the welcome, and
+// the resume hello/welcome forms that re-attach a redialed transport.
+const Proto = 4
 
 // MsgType identifies one protocol message. The direction annotations
 // are the only ones that occur; receiving a type from the wrong
@@ -40,10 +51,15 @@ const Proto = 3
 type MsgType byte
 
 const (
-	// MsgHello (worker → coordinator) opens a connection: proto version.
+	// MsgHello (worker → coordinator) opens a connection: proto version
+	// and capability flags. The resume form carries the worker id,
+	// session token, and received-frame count of the session it
+	// re-attaches to.
 	MsgHello MsgType = 1 + iota
 	// MsgWelcome (coordinator → worker) completes the handshake: proto
-	// version, worker id, worker count.
+	// version, worker id, worker count, heartbeat interval, session
+	// token. The resume form carries only the coordinator's
+	// received-frame count.
 	MsgWelcome
 	// MsgJobStart (coordinator → worker) announces one job: sequence
 	// number, job name, mode, split/partition geometry, codec ids, and
@@ -81,7 +97,8 @@ const (
 	// earlier job (Dataset.Recycle's remote half). No reply.
 	MsgDrop
 	// MsgError (worker → coordinator) reports a fatal job error; the
-	// worker closes the connection after sending it.
+	// worker closes the connection after sending it. The coordinator
+	// also sends it raw to refuse a resume attempt.
 	MsgError
 	// MsgBye (coordinator → worker) ends the session; the worker exits
 	// its serve loop cleanly.
@@ -190,17 +207,36 @@ const (
 	ModeChained
 )
 
+// transport is one byte stream carrying the connection: the socket and
+// its buffered reader/writer. A Conn holds exactly one live transport
+// at a time; session resume replaces it wholesale, so no transport
+// state survives a reconnect except the Conn-level frame accounting.
+type transport struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func newTransport(c net.Conn) *transport {
+	return &transport{
+		c:  c,
+		br: bufio.NewReaderSize(c, 1<<16),
+		bw: bufio.NewWriterSize(c, 1<<16),
+	}
+}
+
 // Conn is one framed connection endpoint. Reads and writes are
 // independently safe: any number of goroutines may WriteFrame (whole
 // frames serialize under the write lock), while a single reader owns
 // ReadFrame. BytesIn/BytesOut count frame bytes in both directions —
 // the engine's RemoteBytesIn/RemoteBytesOut stats snapshot them.
 type Conn struct {
-	c  net.Conn
-	br *bufio.Reader
+	// tr is the current transport. It is replaced (never mutated) by
+	// session resume; readers load it once per frame and writers once
+	// per frame under wmu.
+	tr atomic.Pointer[transport]
 
 	wmu      sync.Mutex
-	bw       *bufio.Writer
 	lenBuf   [binary.MaxVarintLen64]byte
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
@@ -220,6 +256,11 @@ type Conn struct {
 	pollMu sync.Mutex
 	inPoll bool
 
+	// res, when non-nil, makes this endpoint survive transport loss by
+	// session resume (see resume.go). Enabled once, right after the
+	// handshake, before any counted frame moves.
+	res atomic.Pointer[resumeState]
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
@@ -227,15 +268,13 @@ type Conn struct {
 
 // NewConn wraps a network connection in the framed protocol.
 func NewConn(c net.Conn) *Conn {
-	return &Conn{
-		c:  c,
-		br: bufio.NewReaderSize(c, 1<<16),
-		bw: bufio.NewWriterSize(c, 1<<16),
-	}
+	conn := &Conn{}
+	conn.tr.Store(newTransport(c))
+	return conn
 }
 
 // RemoteAddr names the peer, for error messages.
-func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+func (c *Conn) RemoteAddr() string { return c.tr.Load().c.RemoteAddr().String() }
 
 // BytesIn returns the cumulative payload bytes read from the peer.
 func (c *Conn) BytesIn() int64 { return c.bytesIn.Load() }
@@ -259,30 +298,98 @@ func (c *Conn) LastRead() time.Time {
 // goroutines when the local endpoint is torn down.
 func (c *Conn) Closed() bool { return c.closed.Load() }
 
+// sever kills the endpoint's byte stream the way a real network cut
+// would: a resume-enabled endpoint loses only its current transport
+// (the session survives and may re-attach), a plain one is closed for
+// good — the pre-resume behavior every legacy fault test pins.
+func (c *Conn) sever() {
+	if c.res.Load() != nil {
+		c.tr.Load().c.Close()
+		return
+	}
+	c.Close()
+}
+
+// writeFrameTo appends one length-prefixed frame to tr's write buffer,
+// optionally flushing. Callers hold wmu.
+func (c *Conn) writeFrameTo(tr *transport, payload []byte, flush bool) error {
+	n := binary.PutUvarint(c.lenBuf[:], uint64(len(payload)))
+	if _, err := tr.bw.Write(c.lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := tr.bw.Write(payload); err != nil {
+		return err
+	}
+	if flush {
+		if err := tr.bw.Flush(); err != nil {
+			return err
+		}
+	}
+	c.bytesOut.Add(int64(n + len(payload)))
+	return nil
+}
+
+// cutFrameTo is FaultCut's trigger action: ship the frame's length
+// prefix and the first CutBytes payload bytes, flush, and sever — the
+// peer reads a frame that dies mid-payload, exactly what a connection
+// cut between two TCP segments produces. Callers hold wmu.
+func (c *Conn) cutFrameTo(tr *transport, f *Fault, payload []byte) error {
+	k := f.CutBytes
+	if k < 0 {
+		k = 0
+	}
+	if k > len(payload) {
+		k = len(payload)
+	}
+	n := binary.PutUvarint(c.lenBuf[:], uint64(len(payload)))
+	tr.bw.Write(c.lenBuf[:n])
+	tr.bw.Write(payload[:k])
+	tr.bw.Flush()
+	c.sever()
+	return errSevered
+}
+
+// writeFrame is the shared body of the three write entry points. pulse
+// frames skip the armed fault's frame count (holdIfStalled only).
+func (c *Conn) writeFrame(payload []byte, flush, pulse bool) error {
+	c.wmu.Lock()
+	tr := c.tr.Load()
+	if rs := c.res.Load(); rs != nil {
+		rs.appendLocked(payload)
+	}
+	var err error
+	if f := c.fault.Load(); f != nil {
+		if pulse {
+			err = f.holdIfStalled(c)
+		} else {
+			err = f.beforeWrite(c)
+		}
+		if err == errCutFrame {
+			err = c.cutFrameTo(tr, f, payload)
+		}
+	}
+	if err == nil {
+		err = c.writeFrameTo(tr, payload, flush)
+	}
+	c.wmu.Unlock()
+	if err == nil || !c.recoverable(err, pulse) {
+		return err
+	}
+	// Resume-enabled and the transport failed: the frame is already in
+	// the retransmit ring, so a successful recovery has delivered it (or
+	// queued it on the replacement transport) — report success.
+	if rerr := c.recover(tr); rerr != nil {
+		return err
+	}
+	return nil
+}
+
 // WriteFrame sends one whole frame (the payload's first byte must be
 // the message type) and flushes it, so a frame is visible to the peer
 // as soon as the call returns — the protocol's barriers (flush, done)
 // rely on that.
 func (c *Conn) WriteFrame(payload []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if f := c.fault.Load(); f != nil {
-		if err := f.beforeWrite(c); err != nil {
-			return err
-		}
-	}
-	n := binary.PutUvarint(c.lenBuf[:], uint64(len(payload)))
-	if _, err := c.bw.Write(c.lenBuf[:n]); err != nil {
-		return err
-	}
-	if _, err := c.bw.Write(payload); err != nil {
-		return err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return err
-	}
-	c.bytesOut.Add(int64(n + len(payload)))
-	return nil
+	return c.writeFrame(payload, true, false)
 }
 
 // WriteFrameBuffered appends one frame to the connection's write buffer
@@ -294,22 +401,7 @@ func (c *Conn) WriteFrame(payload []byte) error {
 // buffered frame exactly like a flushed one, so FaultPoint indices
 // stay stable across both write paths.
 func (c *Conn) WriteFrameBuffered(payload []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if f := c.fault.Load(); f != nil {
-		if err := f.beforeWrite(c); err != nil {
-			return err
-		}
-	}
-	n := binary.PutUvarint(c.lenBuf[:], uint64(len(payload)))
-	if _, err := c.bw.Write(c.lenBuf[:n]); err != nil {
-		return err
-	}
-	if _, err := c.bw.Write(payload); err != nil {
-		return err
-	}
-	c.bytesOut.Add(int64(n + len(payload)))
-	return nil
+	return c.writeFrame(payload, false, false)
 }
 
 // WritePulse sends one whole frame like WriteFrame but outside the
@@ -319,38 +411,19 @@ func (c *Conn) WriteFrameBuffered(payload []byte) error {
 // stall still blocks the pulse — a stalled endpoint must fall silent in
 // both directions, heartbeats included, or it would never look hung.
 func (c *Conn) WritePulse(payload []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if f := c.fault.Load(); f != nil {
-		if err := f.holdIfStalled(c); err != nil {
-			return err
-		}
-	}
-	n := binary.PutUvarint(c.lenBuf[:], uint64(len(payload)))
-	if _, err := c.bw.Write(c.lenBuf[:n]); err != nil {
-		return err
-	}
-	if _, err := c.bw.Write(payload); err != nil {
-		return err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return err
-	}
-	c.bytesOut.Add(int64(n + len(payload)))
-	return nil
+	return c.writeFrame(payload, true, true)
 }
 
-// ReadFrame reads the next frame payload. The returned slice is owned
-// by the caller. io.EOF surfaces only on a clean frame boundary; a
-// partial frame reports a truncation error.
-func (c *Conn) ReadFrame() ([]byte, error) {
+// readFrameFrom reads one frame from tr. Only the connection's single
+// reader calls it.
+func (c *Conn) readFrameFrom(tr *transport) ([]byte, error) {
 	f := c.fault.Load()
 	if f != nil {
 		if err := f.holdIfStalled(c); err != nil {
 			return nil, err
 		}
 	}
-	n, err := binary.ReadUvarint(c.br)
+	n, err := binary.ReadUvarint(tr.br)
 	if err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
@@ -361,7 +434,7 @@ func (c *Conn) ReadFrame() ([]byte, error) {
 		return nil, fmt.Errorf("remote: frame of %d bytes exceeds the %d byte limit", n, maxFrame)
 	}
 	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.br, payload); err != nil {
+	if _, err := io.ReadFull(tr.br, payload); err != nil {
 		return nil, fmt.Errorf("remote: truncated frame: %w", err)
 	}
 	if len(payload) == 0 {
@@ -380,7 +453,35 @@ func (c *Conn) ReadFrame() ([]byte, error) {
 			return nil, err
 		}
 	}
+	// Received-frame accounting happens only after the frame is truly
+	// delivered to the caller: a frame withheld by the fault charge above
+	// must be replayed by the peer after a resume, so it must not count.
+	if rs := c.res.Load(); rs != nil {
+		rs.rcvd.Add(1)
+	}
 	return payload, nil
+}
+
+// ReadFrame reads the next frame payload. The returned slice is owned
+// by the caller. io.EOF surfaces only on a clean frame boundary; a
+// partial frame reports a truncation error. On a resume-enabled
+// endpoint a transport error triggers recovery (worker: redial,
+// coordinator: await re-attach) and the read transparently continues on
+// the replacement transport.
+func (c *Conn) ReadFrame() ([]byte, error) {
+	for {
+		tr := c.tr.Load()
+		payload, err := c.readFrameFrom(tr)
+		if err == nil {
+			return payload, nil
+		}
+		if !c.recoverable(err, false) {
+			return nil, err
+		}
+		if rerr := c.recover(tr); rerr != nil {
+			return nil, err
+		}
+	}
 }
 
 // ErrPollTimeout is PollFrame's no-frame-yet result.
@@ -394,15 +495,16 @@ var ErrPollTimeout = fmt.Errorf("remote: poll timeout")
 // once a frame has started arriving the deadline is cleared and the
 // frame is read to completion.
 func (c *Conn) PollFrame(d time.Duration) ([]byte, error) {
-	if c.br.Buffered() == 0 {
+	tr := c.tr.Load()
+	if tr.br.Buffered() == 0 {
 		c.pollMu.Lock()
 		c.inPoll = true
-		c.c.SetReadDeadline(time.Now().Add(d))
+		tr.c.SetReadDeadline(time.Now().Add(d))
 		c.pollMu.Unlock()
-		_, err := c.br.Peek(1)
+		_, err := tr.br.Peek(1)
 		c.pollMu.Lock()
 		c.inPoll = false
-		c.c.SetReadDeadline(time.Time{})
+		tr.c.SetReadDeadline(time.Time{})
 		c.pollMu.Unlock()
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
@@ -424,18 +526,20 @@ func (c *Conn) PollFrame(d time.Duration) ([]byte, error) {
 func (c *Conn) BreakPoll() {
 	c.pollMu.Lock()
 	if c.inPoll {
-		c.c.SetReadDeadline(time.Now())
+		c.tr.Load().c.SetReadDeadline(time.Now())
 	}
 	c.pollMu.Unlock()
 }
 
 // Close tears the connection down. Safe to call from any goroutine and
 // idempotent; a blocked ReadFrame or WriteFrame on another goroutine
-// returns with an error once the underlying connection closes.
+// returns with an error once the underlying connection closes. Closing
+// also retires the session: a resume-enabled endpoint stops recovering
+// and refuses re-attachment.
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
 		c.closed.Store(true)
-		c.closeErr = c.c.Close()
+		c.closeErr = c.tr.Load().c.Close()
 	})
 	return c.closeErr
 }
@@ -444,14 +548,15 @@ func (c *Conn) Close() error {
 // the zero time clears the bound. The coordinator arms it as the
 // recovery backstop: a worker that neither acknowledges an abort nor
 // dies within the window is declared dead by timeout instead of
-// wedging the cluster.
-func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+// wedging the cluster. Deadline expiries are timeouts, which session
+// resume deliberately does not treat as transport loss.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.tr.Load().c.SetReadDeadline(t) }
 
 // SetWriteDeadline bounds blocked writes on the underlying connection;
 // the zero time clears the bound. Armed around abort frames so a hung
 // peer whose receive window filled up cannot wedge recovery from the
 // write side.
-func (c *Conn) SetWriteDeadline(t time.Time) error { return c.c.SetWriteDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.tr.Load().c.SetWriteDeadline(t) }
 
 func uvarintLen(v uint64) int64 {
 	n := int64(1)
@@ -549,15 +654,80 @@ func (c *Cursor) Bytes() []byte {
 
 // --- handshake --------------------------------------------------------
 
-// Hello sends the worker's opening message.
-func Hello(c *Conn) error {
-	return c.WriteFrame(AppendUvarint([]byte{byte(MsgHello)}, Proto))
+// Hello capability flags (the byte after the proto version).
+const (
+	// helloFlagResumeCapable: the worker can redial and resume its
+	// session if the coordinator enables it in the welcome.
+	helloFlagResumeCapable = 1 << 0
+	// helloFlagResume: this hello re-attaches an existing session; the
+	// worker id, session token, and received-frame count follow.
+	helloFlagResume = 1 << 1
+)
+
+// Hello sends the worker's opening message. resumeCapable announces
+// that the worker is willing to redial and resume its session; the
+// coordinator decides in the welcome whether resume is actually on.
+func Hello(c *Conn, resumeCapable bool) error {
+	buf := AppendUvarint([]byte{byte(MsgHello)}, Proto)
+	var flags byte
+	if resumeCapable {
+		flags |= helloFlagResumeCapable
+	}
+	return c.WriteFrame(append(buf, flags))
+}
+
+// HelloInfo is the parsed form of a worker's hello: either a fresh join
+// or a resume of an existing session.
+type HelloInfo struct {
+	// ResumeCapable reports whether the worker is willing to redial and
+	// resume (fresh hellos only).
+	ResumeCapable bool
+	// Resume marks a re-attach hello; the remaining fields identify the
+	// session.
+	Resume   bool
+	WorkerID int
+	Token    uint64
+	// Received is how many counted frames the worker had read from the
+	// coordinator before the transport died — the coordinator replays
+	// everything after it.
+	Received uint64
+}
+
+// AwaitHello reads and validates a worker's hello.
+func AwaitHello(c *Conn) (HelloInfo, error) {
+	payload, err := c.ReadFrame()
+	if err != nil {
+		return HelloInfo{}, err
+	}
+	cur := NewCursor(payload)
+	if t := MsgType(cur.Byte()); t != MsgHello {
+		return HelloInfo{}, fmt.Errorf("remote: expected hello, got %v", t)
+	}
+	if v := cur.Uvarint(); v != Proto || cur.Err() != nil {
+		return HelloInfo{}, fmt.Errorf("remote: protocol version mismatch: worker speaks %d, coordinator %d", v, Proto)
+	}
+	flags := cur.Byte()
+	info := HelloInfo{
+		ResumeCapable: flags&helloFlagResumeCapable != 0,
+		Resume:        flags&helloFlagResume != 0,
+	}
+	if info.Resume {
+		info.WorkerID = int(cur.Uvarint())
+		info.Token = cur.Uvarint()
+		info.Received = cur.Uvarint()
+	}
+	if err := cur.Err(); err != nil {
+		return HelloInfo{}, fmt.Errorf("remote: malformed hello: %w", err)
+	}
+	return info, nil
 }
 
 // Welcome sends the coordinator's handshake reply. heartbeatEvery is
 // the unsolicited-pong interval the worker should keep (zero or
-// negative disables heartbeats on this connection).
-func Welcome(c *Conn, workerID, numWorkers int, heartbeatEvery time.Duration) error {
+// negative disables heartbeats on this connection). token is the
+// session token a resume hello must present; resume tells the worker
+// whether session resume is enabled on this connection.
+func Welcome(c *Conn, workerID, numWorkers int, heartbeatEvery time.Duration, token uint64, resume bool) error {
 	if heartbeatEvery < 0 {
 		heartbeatEvery = 0
 	}
@@ -566,23 +736,13 @@ func Welcome(c *Conn, workerID, numWorkers int, heartbeatEvery time.Duration) er
 	buf = AppendUvarint(buf, uint64(workerID))
 	buf = AppendUvarint(buf, uint64(numWorkers))
 	buf = AppendUvarint(buf, uint64(heartbeatEvery))
+	buf = AppendUvarint(buf, token)
+	if resume {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
 	return c.WriteFrame(buf)
-}
-
-// AwaitHello reads and validates the worker's hello.
-func AwaitHello(c *Conn) error {
-	payload, err := c.ReadFrame()
-	if err != nil {
-		return err
-	}
-	cur := NewCursor(payload)
-	if t := MsgType(cur.Byte()); t != MsgHello {
-		return fmt.Errorf("remote: expected hello, got %v", t)
-	}
-	if v := cur.Uvarint(); v != Proto || cur.Err() != nil {
-		return fmt.Errorf("remote: protocol version mismatch: worker speaks %d, coordinator %d", v, Proto)
-	}
-	return nil
 }
 
 // WelcomeInfo is what the coordinator's welcome tells a worker about
@@ -593,6 +753,13 @@ type WelcomeInfo struct {
 	// HeartbeatEvery is the interval at which the worker should send
 	// unsolicited MsgPong frames; zero disables them.
 	HeartbeatEvery time.Duration
+	// Token is the session token minted for this connection; a resume
+	// hello presents it to prove it re-attaches this session.
+	Token uint64
+	// Resume reports whether the coordinator enabled session resume on
+	// this connection (the worker announced capability and the cluster
+	// has a reconnect grace window).
+	Resume bool
 }
 
 // AwaitWelcome reads and validates the coordinator's welcome.
@@ -612,6 +779,8 @@ func AwaitWelcome(c *Conn) (WelcomeInfo, error) {
 	info.WorkerID = int(cur.Uvarint())
 	info.NumWorkers = int(cur.Uvarint())
 	info.HeartbeatEvery = time.Duration(cur.Uvarint())
+	info.Token = cur.Uvarint()
+	info.Resume = cur.Byte() != 0
 	if err := cur.Err(); err != nil {
 		return WelcomeInfo{}, err
 	}

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -108,13 +109,18 @@ func TestHandshake(t *testing.T) {
 	a, b := pipePair(t) // a: worker side, b: coordinator side
 	errc := make(chan error, 1)
 	go func() {
-		if err := AwaitHello(b); err != nil {
+		hi, err := AwaitHello(b)
+		if err != nil {
 			errc <- err
 			return
 		}
-		errc <- Welcome(b, 2, 5, 250*time.Millisecond)
+		if !hi.ResumeCapable || hi.Resume {
+			errc <- fmt.Errorf("hello decoded as capable=%v resume=%v, want capable, not resuming", hi.ResumeCapable, hi.Resume)
+			return
+		}
+		errc <- Welcome(b, 2, 5, 250*time.Millisecond, 42, false)
 	}()
-	if err := Hello(a); err != nil {
+	if err := Hello(a, true); err != nil {
 		t.Fatal(err)
 	}
 	info, err := AwaitWelcome(a)

@@ -94,6 +94,15 @@ type Stats struct {
 	SpeculativeLaunches int64
 	SpeculativeWins     int64
 	PartitionsMigrated  int64
+	// Durability activity during the job (dist backend only).
+	// WorkerReconnects counts transport losses absorbed by session
+	// resume — a severed worker redialed and re-attached without losing
+	// its partitions; FramesReplayed counts the un-acked frames re-sent
+	// from the retransmit rings across those reconnects; JournalBytes is
+	// the run-journal growth the job caused (zero with journaling off).
+	WorkerReconnects int64
+	FramesReplayed   int64
+	JournalBytes     int64
 	// WorkerWall is the largest map+reduce wall clock any single dist
 	// worker reported for the job — the distributed critical path, which
 	// is what a measured scale-out comparison against ClusterModel's
@@ -191,6 +200,9 @@ func (s *Stats) Add(o *Stats) {
 	s.SpeculativeLaunches += o.SpeculativeLaunches
 	s.SpeculativeWins += o.SpeculativeWins
 	s.PartitionsMigrated += o.PartitionsMigrated
+	s.WorkerReconnects += o.WorkerReconnects
+	s.FramesReplayed += o.FramesReplayed
+	s.JournalBytes += o.JournalBytes
 	s.WorkerWall += o.WorkerWall
 	s.MapWall += o.MapWall
 	s.ShuffleWall += o.ShuffleWall
@@ -228,6 +240,12 @@ func (s *Stats) String() string {
 	if s.HeartbeatTimeouts > 0 || s.SpeculativeLaunches > 0 || s.PartitionsMigrated > 0 {
 		line += fmt.Sprintf(" hbtimeouts=%d spec=%d/%d migrated=%d",
 			s.HeartbeatTimeouts, s.SpeculativeLaunches, s.SpeculativeWins, s.PartitionsMigrated)
+	}
+	if s.WorkerReconnects > 0 || s.FramesReplayed > 0 {
+		line += fmt.Sprintf(" reconnects=%d replayed=%d", s.WorkerReconnects, s.FramesReplayed)
+	}
+	if s.JournalBytes > 0 {
+		line += fmt.Sprintf(" journal=%dB", s.JournalBytes)
 	}
 	if s.MapWall > 0 || s.ShuffleWall > 0 || s.ReduceWall > 0 {
 		line += fmt.Sprintf(" map=%s shuffle=%s reduce=%s",

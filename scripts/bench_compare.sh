@@ -121,6 +121,26 @@ END {
     exit 1
 }
 
+# Journal-overhead gate: within the NEW snapshot, chained checkpointed
+# rounds with the coordinator run journal on (every job result
+# journaled, every round committed) must cost at most 10% more than the
+# mirror-only configuration. Durable crash-resume has to stay a bounded
+# tax on every round.
+awk '
+/BenchmarkDistChainedCheckpoint\/journal/ { jrnl = $3 }
+/BenchmarkDistChainedCheckpoint\/on /     { con = $3 }
+END {
+    if (jrnl > 0 && con > 0 && jrnl > con * 1.10) {
+        printf "JOURNAL-OVERHEAD BenchmarkDistChainedCheckpoint journal=%.0f ns/op vs on=%.0f ns/op (+%.0f%%, limit 10%%)\n",
+            jrnl, con, (jrnl / con - 1) * 100
+        exit 1
+    }
+}
+' "$tmpdir/new.txt" || {
+    echo "the run journal costs more than 10% over mirror-only checkpointing (see JOURNAL-OVERHEAD line above)" >&2
+    exit 1
+}
+
 # Bytes-on-the-wire gate: codec v2 exists to shrink the bulk byte
 # paths, so the benchmarks that measure them (the dist shuffle and the
 # disk-bound spill) must not regress bytes/op by more than 10% against
