@@ -1,0 +1,171 @@
+// Command repolint runs the repository's invariant analyzers (package
+// internal/lint) over the module and prints findings as
+//
+//	file:line: [rule] message
+//
+// exiting nonzero when any unsuppressed finding remains. It is the
+// machine-checked form of the invariants ARCHITECTURE.md states in
+// prose: bit-identical backend outputs (determinism), the ReduceFunc
+// values contract (noretain), sync.Pool check-in discipline (poolpair),
+// protocol switch coverage (msgexhaustive), and checked durability
+// errors (errdrop). CI runs it on every push; scripts/lint.sh runs the
+// same thing locally.
+//
+// Usage:
+//
+//	repolint [-root dir] [-list] [packages]
+//
+// With no package arguments (or "./..."), the whole module is analyzed.
+// Other arguments select packages by import-path suffix or ./-relative
+// prefix: `repolint ./internal/mapreduce` or `repolint internal/core`.
+//
+// Findings are suppressed one line at a time with a justified
+// directive, checked by the tool itself (missing reasons and stale
+// suppressions are findings):
+//
+//	//lint:allow <rule> — <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cliio"
+	"repro/internal/lint"
+)
+
+func main() {
+	switch err := run(os.Args[1:], os.Stdout); err.(type) {
+	case nil:
+	case findings:
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+}
+
+// findings is the sentinel for "ran fine, found problems" — exit 1,
+// distinct from exit 2 for "could not run".
+type findings int
+
+func (f findings) Error() string { return fmt.Sprintf("%d finding(s)", int(f)) }
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("repolint", flag.ExitOnError)
+	root := fs.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	list := fs.Bool("list", false, "list every rule with its documentation and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	out := cliio.Wrap(stdout)
+
+	analyzers := lint.All()
+	if *list {
+		for i, a := range analyzers {
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			fmt.Fprintf(out, "%s\n", a.Name)
+			for _, line := range strings.Split(a.Doc, "\n") {
+				fmt.Fprintf(out, "    %s\n", line)
+			}
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "Suppress one finding with a justified directive on its line (or the line above):")
+		fmt.Fprintln(out, "    //lint:allow <rule> — <reason>")
+		fmt.Fprintln(out, "Missing reasons and stale suppressions are reported as [directive] findings.")
+		return out.Close()
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		if dir, err = findModuleRoot(); err != nil {
+			return err
+		}
+	}
+	modPath, err := lint.ModulePath(dir)
+	if err != nil {
+		return err
+	}
+	loader := lint.NewLoader()
+	loader.AddRoot(modPath, dir)
+	pkgs, err := loader.LoadModule(modPath)
+	if err != nil {
+		return err
+	}
+	if sel := fs.Args(); len(sel) > 0 && !(len(sel) == 1 && sel[0] == "./...") {
+		pkgs = filterPackages(pkgs, modPath, sel)
+		if len(pkgs) == 0 {
+			return fmt.Errorf("no packages match %v", sel)
+		}
+	}
+
+	diags := lint.Run(loader.Fset, pkgs, analyzers)
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(dir, rel); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Fprintf(out, "%s:%d: [%s] %s\n", rel, d.Pos.Line, d.Rule, d.Message)
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	if n := len(diags); n > 0 {
+		return findings(n)
+	}
+	return nil
+}
+
+// filterPackages keeps packages matching any selector: "./x/..." and
+// "./x" are module-relative, bare paths match by suffix or exact
+// import path.
+func filterPackages(pkgs []*lint.Package, modPath string, sel []string) []*lint.Package {
+	match := func(p *lint.Package) bool {
+		for _, s := range sel {
+			s = strings.TrimSuffix(s, "/...")
+			s = strings.TrimPrefix(s, "./")
+			if s == "" || s == "." {
+				return true
+			}
+			full := modPath + "/" + s
+			if p.Path == full || strings.HasPrefix(p.Path, full+"/") ||
+				p.Path == s || strings.HasSuffix(p.Path, "/"+s) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		if match(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// runCapture invokes run with stdout redirected to a temp file and
+// returns the error plus everything written.
+func runCapture(t *testing.T, args []string) (error, string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "repolint-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runErr, string(data)
+}
+
+// TestRunFailsOnSeededViolation is the negative test the CI step rests
+// on: a module with a known violation must make the driver report
+// findings (exit 1 in main), not pass silently.
+func TestRunFailsOnSeededViolation(t *testing.T) {
+	err, out := runCapture(t, []string{"-root", filepath.Join("testdata", "seeded")})
+	n, ok := err.(findings)
+	if !ok {
+		t.Fatalf("want findings error, got %v (output: %q)", err, out)
+	}
+	if n < 1 {
+		t.Fatalf("findings error with count %d", int(n))
+	}
+	if !strings.Contains(out, "[determinism]") || !strings.Contains(out, "pick.go") {
+		t.Errorf("output missing the seeded determinism finding:\n%s", out)
+	}
+}
+
+func TestRunCleanModule(t *testing.T) {
+	err, out := runCapture(t, []string{"-root", filepath.Join("testdata", "clean")})
+	if err != nil {
+		t.Fatalf("clean module reported: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean module produced output:\n%s", out)
+	}
+}
+
+// TestListMode pins the -list contract: every registered rule appears
+// with its doc summary plus the directive syntax footer.
+func TestListMode(t *testing.T) {
+	err, out := runCapture(t, []string{"-list"})
+	if err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out, a.Name+"\n") {
+			t.Errorf("-list output missing rule %s", a.Name)
+		}
+		summary := strings.SplitN(a.Doc, "\n", 2)[0]
+		if !strings.Contains(out, summary) {
+			t.Errorf("-list output missing doc summary for %s", a.Name)
+		}
+	}
+	if !strings.Contains(out, "//lint:allow <rule>") {
+		t.Error("-list output missing the directive syntax footer")
+	}
+}
+
+// TestFilterSelectsPackage pins the package-selector forms the README
+// documents: ./-relative prefix and bare suffix.
+func TestFilterSelectsPackage(t *testing.T) {
+	err, out := runCapture(t, []string{"-root", filepath.Join("testdata", "seeded"), "./..."})
+	if _, ok := err.(findings); !ok {
+		t.Fatalf("./... selector: want findings, got %v (output: %q)", err, out)
+	}
+	err, _ = runCapture(t, []string{"-root", filepath.Join("testdata", "seeded"), "./nosuchpkg"})
+	if err == nil || !strings.Contains(err.Error(), "no packages match") {
+		t.Fatalf("bad selector: want 'no packages match' error, got %v", err)
+	}
+}

@@ -1,0 +1,15 @@
+// Package clean has nothing for any analyzer to object to; the driver
+// tests assert repolint exits successfully over it.
+package clean
+
+import "sort"
+
+// Keys returns the map's keys in sorted order.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

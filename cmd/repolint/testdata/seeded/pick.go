@@ -1,0 +1,10 @@
+// Package seeded is a deliberately broken module: it draws from the
+// global math/rand source, which the determinism rule bans. The driver
+// tests run repolint over it and assert the run FAILS — proof that the
+// CI lint step catches a seeded violation rather than rubber-stamping.
+package seeded
+
+import "math/rand"
+
+// Pick violates the determinism rule on purpose. Do not fix.
+func Pick() int { return rand.Intn(6) }

@@ -223,6 +223,7 @@ func run() (err error) {
 			return err
 		}
 		if err := graph.Write(f, g); err != nil {
+			//lint:allow errdrop — the write error being returned dominates; Close here only releases the fd on the failure path
 			f.Close()
 			return err
 		}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
 
 	socialmatch "repro"
 	"repro/internal/text"
@@ -69,13 +70,7 @@ func main() {
 		userNames = append(userNames, name)
 	}
 	// Deterministic order for the demo output.
-	for i := 0; i < len(userNames); i++ {
-		for j := i + 1; j < len(userNames); j++ {
-			if userNames[j] < userNames[i] {
-				userNames[i], userNames[j] = userNames[j], userNames[i]
-			}
-		}
-	}
+	sort.Strings(userNames)
 	consumers := make([]vector.Sparse, len(userNames))
 	activity := make([]float64, len(userNames))
 	for j, name := range userNames {

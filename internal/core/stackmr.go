@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
@@ -396,10 +397,7 @@ func (st *stackState) pop(ctx context.Context, driver *mapreduce.Driver) ([]int3
 			perNode[e.Item] = append(perNode[e.Item], ei)
 			perNode[e.Consumer] = append(perNode[e.Consumer], ei)
 		}
-		input := make([]mapreduce.Pair[graph.NodeID, []int32], 0, len(perNode))
-		for v, edges := range perNode {
-			input = append(input, mapreduce.P(v, edges))
-		}
+		input := nodePairsSorted(perNode)
 		// The pop job re-keys from nodes to edges, so every emitted pair
 		// is a cross-partition message (no identity route); its output is
 		// collected flat — in ascending edge order — because the capacity
@@ -438,4 +436,22 @@ func stackPopReduce(ei int32, alive []bool, out mapreduce.Emitter[int32, bool]) 
 		out.Emit(ei, true)
 	}
 	return nil
+}
+
+// nodePairsSorted flattens a per-node adjacency map into job input in
+// ascending node order. The engine's group-sort would normalize key
+// order anyway (keys here are unique), but feeding jobs in map
+// iteration order makes every downstream byte depend on that
+// normalization holding; sorting here keeps the bit-identical-backends
+// invariant locally evident. Flagged by repolint's determinism rule
+// before this existed.
+func nodePairsSorted(perNode map[graph.NodeID][]int32) []mapreduce.Pair[graph.NodeID, []int32] {
+	input := make([]mapreduce.Pair[graph.NodeID, []int32], 0, len(perNode))
+	for v, edges := range perNode {
+		input = append(input, mapreduce.P(v, edges))
+	}
+	slices.SortFunc(input, func(a, b mapreduce.Pair[graph.NodeID, []int32]) int {
+		return int(a.Key) - int(b.Key)
+	})
+	return input
 }

@@ -231,3 +231,40 @@ func TestStackAlgorithmsOnPath(t *testing.T) {
 	t.Logf("path-%d: stack rounds=%d layers=%d, greedymr rounds=%d",
 		k, res.Rounds, res.Phases, greedyRes.Rounds)
 }
+
+// Pins the job-input ordering that repolint's determinism rule enforces:
+// StackMR's pop and strict-filter phases flatten per-node adjacency maps
+// into job input, and that input must come out in ascending node order
+// regardless of map iteration order. If nodePairsSorted regressed to raw
+// map order, every downstream byte would depend on the engine's group-sort
+// alone to restore determinism.
+func TestNodePairsSortedAscending(t *testing.T) {
+	perNode := map[graph.NodeID][]int32{
+		7: {70, 71},
+		0: {1},
+		3: nil,
+		5: {50},
+		1: {10, 11, 12},
+	}
+	for trial := 0; trial < 8; trial++ {
+		got := nodePairsSorted(perNode)
+		if len(got) != len(perNode) {
+			t.Fatalf("trial %d: %d pairs, want %d", trial, len(got), len(perNode))
+		}
+		for i, p := range got {
+			if i > 0 && got[i-1].Key >= p.Key {
+				t.Fatalf("trial %d: keys not strictly ascending at %d: %v then %v",
+					trial, i, got[i-1].Key, p.Key)
+			}
+			want := perNode[p.Key]
+			if len(p.Value) != len(want) {
+				t.Fatalf("trial %d: node %d: got %v want %v", trial, p.Key, p.Value, want)
+			}
+			for j := range want {
+				if p.Value[j] != want[j] {
+					t.Fatalf("trial %d: node %d: got %v want %v", trial, p.Key, p.Value, want)
+				}
+			}
+		}
+	}
+}

@@ -103,10 +103,7 @@ func (st *stackState) popStrict(ctx context.Context, driver *mapreduce.Driver) (
 			perNode[e.Item] = append(perNode[e.Item], ei)
 			perNode[e.Consumer] = append(perNode[e.Consumer], ei)
 		}
-		input := make([]mapreduce.Pair[graph.NodeID, []int32], 0, len(perNode))
-		for v, edges := range perNode {
-			input = append(input, mapreduce.P(v, edges))
-		}
+		input := nodePairsSorted(perNode)
 		outDS, err := mapreduce.RunJobDS(ctx, driver, "strict-pop",
 			mapreduce.PartitionDataset(input, driver.Partitions()),
 			func(v graph.NodeID, edges []int32, out mapreduce.Emitter[int32, bool]) error {
@@ -206,10 +203,7 @@ func (st *stackState) resolveOverflow(
 			perNode[e.Item] = append(perNode[e.Item], ei)
 			perNode[e.Consumer] = append(perNode[e.Consumer], ei)
 		}
-		input := make([]mapreduce.Pair[graph.NodeID, []int32], 0, len(perNode))
-		for v, edges := range perNode {
-			input = append(input, mapreduce.P(v, edges))
-		}
+		input := nodePairsSorted(perNode)
 		delta := st.delta
 		maxOut, err := mapreduce.RunJobDS(ctx, driver, "strict-sublayer-filter",
 			mapreduce.PartitionDataset(input, driver.Partitions()),

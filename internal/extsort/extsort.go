@@ -484,11 +484,11 @@ type Iterator[T any] struct {
 	// interface boxing. Leaf j sits at tree position k+j; internal
 	// nodes 1..k-1 each store the losing leaf of their subtree and
 	// win caches the overall winner.
-	less  func(a, b T) bool
-	srcs  []*runSource[T]
-	lt    []int32
-	win   int32
-	live  int
+	less func(a, b T) bool
+	srcs []*runSource[T]
+	lt   []int32
+	win  int32
+	live int
 }
 
 // beats reports whether leaf a's head precedes leaf b's in the merge.

@@ -1,0 +1,15 @@
+package lint
+
+// All returns every analyzer, in the order repolint runs and lists
+// them. Each rule encodes an invariant a previous PR established (and
+// in several cases debugged the hard way); ARCHITECTURE.md's
+// "Invariants & static analysis" section maps rules to PRs.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		NoRetain,
+		PoolPair,
+		MsgExhaustive,
+		ErrDrop,
+	}
+}

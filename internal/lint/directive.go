@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //lint:allow comment. It suppresses
+// findings of the named rules on its own line (a trailing comment) or
+// on the line directly below (a standalone comment line).
+type directive struct {
+	pos    token.Position
+	rules  []string
+	reason string
+	// usedRules marks the rules that suppressed at least one finding; a
+	// listed rule that suppresses nothing is stale and becomes a
+	// finding itself.
+	usedRules map[string]bool
+	// malformed carries a parse problem (missing reason, empty rule
+	// list) reported instead of honoring the directive.
+	malformed string
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllow parses one comment's text. Returns false when the comment
+// is not a lint directive at all.
+//
+// Grammar: //lint:allow rule[,rule...] — reason
+// The em dash may also be written "--" or a single "-" surrounded by
+// spaces. The reason is mandatory: a suppression with no recorded
+// justification is how invariants rot.
+func parseAllow(text string) (rules []string, reason string, malformed string, ok bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil, "", "", false
+	}
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", "", false // e.g. //lint:allowed — not ours
+	}
+	rest = strings.TrimSpace(rest)
+	var rulePart string
+	for _, sep := range []string{"—", " -- ", " - "} {
+		if i := strings.Index(rest, sep); i >= 0 {
+			rulePart, reason = strings.TrimSpace(rest[:i]), strings.TrimSpace(rest[i+len(sep):])
+			break
+		}
+	}
+	if rulePart == "" {
+		return nil, "", "suppression needs a reason: //lint:allow <rule> — <reason>", true
+	}
+	for _, r := range strings.Split(rulePart, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return nil, "", "suppression names no rule: //lint:allow <rule> — <reason>", true
+	}
+	if reason == "" {
+		return nil, "", "suppression needs a reason: //lint:allow <rule> — <reason>", true
+	}
+	return rules, reason, "", true
+}
+
+// collectDirectives extracts every //lint:allow directive in the files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, reason, malformed, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				out = append(out, directive{
+					pos:       fset.Position(c.Pos()),
+					rules:     rules,
+					reason:    reason,
+					malformed: malformed,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applyDirectives drops suppressed findings and appends directive
+// findings: malformed directives, directives naming unknown rules, and
+// stale directives that matched nothing.
+func applyDirectives(diags []Diagnostic, dirs []directive, knownRules map[string]bool) []Diagnostic {
+	// Index directives by (file, line they cover). A directive on line
+	// L covers L (trailing comment); a directive alone on its line
+	// covers L+1 as well — cheaper to always cover both than to decide
+	// whether the comment trails code, and a directive that ends up
+	// covering two findings of the rule suppresses both, which is what
+	// the author wrote.
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	idx := map[key][]*directive{}
+	for i := range dirs {
+		d := &dirs[i]
+		if d.malformed != "" {
+			continue
+		}
+		d.usedRules = map[string]bool{}
+		for _, r := range d.rules {
+			idx[key{d.pos.Filename, d.pos.Line, r}] = append(idx[key{d.pos.Filename, d.pos.Line, r}], d)
+			idx[key{d.pos.Filename, d.pos.Line + 1, r}] = append(idx[key{d.pos.Filename, d.pos.Line + 1, r}], d)
+		}
+	}
+	var out []Diagnostic
+	for _, dg := range diags {
+		if ds := idx[key{dg.Pos.Filename, dg.Pos.Line, dg.Rule}]; len(ds) > 0 {
+			for _, d := range ds {
+				d.usedRules[dg.Rule] = true
+			}
+			continue
+		}
+		out = append(out, dg)
+	}
+	for i := range dirs {
+		d := &dirs[i]
+		if d.malformed != "" {
+			out = append(out, Diagnostic{Pos: d.pos, Rule: "directive", Message: d.malformed})
+			continue
+		}
+		for _, r := range d.rules {
+			switch {
+			case d.usedRules[r]:
+			case !knownRules[r]:
+				out = append(out, Diagnostic{Pos: d.pos, Rule: "directive",
+					Message: "suppression names unknown rule " + r + " (see repolint -list)"})
+			default:
+				out = append(out, Diagnostic{Pos: d.pos, Rule: "directive",
+					Message: "stale suppression: no " + r + " finding here — remove the //lint:allow"})
+			}
+		}
+	}
+	return out
+}

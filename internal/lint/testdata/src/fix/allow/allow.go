@@ -1,0 +1,33 @@
+// Suppression-directive fixtures: a justified //lint:allow silences a
+// finding on its line or the line below; missing reasons, unknown
+// rules, and stale directives are findings of their own.
+package allow
+
+import "fix/internal/cliio"
+
+func suppressedTrailing(out *cliio.Output) {
+	out.Close() //lint:allow errdrop — golden fixture: this drop is the suppression test's subject
+}
+
+func suppressedAbove(out *cliio.Output) {
+	//lint:allow errdrop — golden fixture: the directive on the line above must cover this call
+	out.Close()
+}
+
+func missingReason(out *cliio.Output) {
+	// want+1 `\[directive\] suppression needs a reason`
+	//lint:allow errdrop —
+	out.Close() // want `\[errdrop\] call discards the error from cliio\.Output\.Close`
+}
+
+func unknownRule(out *cliio.Output) error {
+	// want+1 `\[directive\] suppression names unknown rule flubber`
+	//lint:allow flubber — no analyzer has this name
+	return out.Close()
+}
+
+func staleSuppression(out *cliio.Output) error {
+	// want+1 `\[directive\] stale suppression: no errdrop finding here`
+	//lint:allow errdrop — the error below is propagated, so this directive matches nothing
+	return out.Close()
+}

@@ -1,0 +1,14 @@
+// The file name contains "codec", which puts every function here on a
+// deterministic replay path where wall-clock reads are banned.
+package det
+
+import "time"
+
+func frameStamp() int64 {
+	return time.Now().UnixNano() // want `\[determinism\] time.Now on a deterministic replay path`
+}
+
+func frameBudget(d time.Duration) time.Duration {
+	// Fine: only Now is banned; duration arithmetic is deterministic.
+	return d * 2
+}

@@ -1,0 +1,15 @@
+// Global-randomness fixtures: the package-level math/rand functions
+// draw from the process-wide source and are banned module-wide;
+// explicitly seeded generators are fine.
+package det
+
+import "math/rand"
+
+func globalRand() int {
+	return rand.Intn(10) // want `\[determinism\] rand\.Intn draws from the global process-wide source`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

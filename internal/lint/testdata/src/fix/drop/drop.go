@@ -1,0 +1,34 @@
+// Dropped-error fixtures for the errdrop rule: cliio calls and
+// journal/checkpoint writer methods must not have their errors
+// discarded.
+package drop
+
+import "fix/internal/cliio"
+
+func dropsCliioClose(out *cliio.Output) {
+	out.Close() // want `\[errdrop\] call discards the error from cliio\.Output\.Close`
+}
+
+func defersCliioClose(out *cliio.Output) {
+	defer out.Close() // want `\[errdrop\] defer discards the error from cliio\.Output\.Close`
+}
+
+func goesJournalCommit(j *miniJournal) {
+	go j.commit() // want `\[errdrop\] go statement discards the error from miniJournal\.commit`
+}
+
+func blanksJournalCommit(j *miniJournal) {
+	_ = j.commit() // want `\[errdrop\] blank assignment discards the error from miniJournal\.commit`
+}
+
+func propagates(out *cliio.Output, j *miniJournal) error {
+	if err := j.commit(); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// unguardedDrop calls a method with no error result; nothing to guard.
+func unguardedDrop(j *miniJournal) {
+	j.rotate()
+}

@@ -1,0 +1,13 @@
+// Package cliio stubs the real checked-output package for the errdrop
+// golden tests: everything exported here returns an error the rule
+// insists callers must not discard.
+package cliio
+
+// Output mirrors the real checked writer.
+type Output struct{}
+
+// Write implements io.Writer.
+func (*Output) Write(p []byte) (int, error) { return len(p), nil }
+
+// Close is the call whose error proves the bytes landed.
+func (*Output) Close() error { return nil }

@@ -1,0 +1,16 @@
+// Package mapreduce is a minimal stub of the engine's surface for the
+// analyzer golden tests: isNamedType matches packages by path suffix,
+// so "fix/internal/mapreduce" stands in for the real module path.
+package mapreduce
+
+// Pair mirrors the engine's key/value pair.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Emitter mirrors the engine's emit interface; its name and package
+// suffix are what the determinism and noretain rules key on.
+type Emitter[K comparable, V any] interface {
+	Emit(key K, value V)
+}

@@ -1,0 +1,15 @@
+// Package remote stubs the dist protocol's message-type enum for the
+// msgexhaustive golden tests.
+package remote
+
+// MsgType mirrors the real protocol enum by name and package suffix.
+type MsgType byte
+
+const (
+	// MsgHello opens a connection.
+	MsgHello MsgType = 1 + iota
+	// MsgJob carries work to a worker.
+	MsgJob
+	// MsgResult carries results back.
+	MsgResult
+)

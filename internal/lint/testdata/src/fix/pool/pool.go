@@ -1,0 +1,64 @@
+// sync.Pool check-out/check-in fixtures for the poolpair rule. getBuf
+// and putBuf are discovered as wrappers (a function returning its Get
+// is a check-out wrapper; one that only Puts is a check-in wrapper).
+package pool
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
+func leakNoPut() int {
+	b := getBuf() // want `\[poolpair\] checked out of bufPool but never checked back in`
+	return len(*b)
+}
+
+func leakOnEarlyReturn(fail bool) int {
+	b := getBuf()
+	if fail {
+		return -1 // want `\[poolpair\] return leaks the buffer checked out of bufPool`
+	}
+	n := len(*b)
+	putBuf(b)
+	return n
+}
+
+func balancedDefer() int {
+	b := getBuf()
+	defer putBuf(b)
+	return len(*b)
+}
+
+func balancedEveryPath(fail bool) int {
+	b := getBuf()
+	if fail {
+		putBuf(b)
+		return -1
+	}
+	n := len(*b)
+	putBuf(b)
+	return n
+}
+
+// transfersOwnership hands the buffer to the caller: the caller now
+// owes the check-in, so no finding here.
+func transfersOwnership() *[]byte {
+	return getBuf()
+}
+
+type holder struct{ buf *[]byte }
+
+// storesIntoField hands the buffer to the holder.
+func storesIntoField(h *holder) {
+	h.buf = getBuf()
+}
+
+func fill(b *[]byte) { *b = append((*b)[:0], 'x') }
+
+// handsToCallee passes the fresh buffer straight to a callee: argument
+// position is an ownership transfer.
+func handsToCallee() {
+	fill(getBuf())
+}

@@ -311,7 +311,7 @@ func TestCheckpointV1FileRestore(t *testing.T) {
 	const seq = 7
 	want := map[int][]Pair[string, int64]{
 		0: {P("alpha", int64(1)), P("beta", int64(-2)), P("", int64(40))},
-		1: {P("gamma delta", int64(1 << 50))},
+		1: {P("gamma delta", int64(1<<50))},
 	}
 	var file []byte
 	for part := 0; part < 2; part++ {

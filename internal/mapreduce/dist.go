@@ -669,6 +669,11 @@ func (cl *DistCluster) drainFatal(w int) string {
 		case remote.MsgError:
 			cur.Uvarint() // seq
 			return cur.String()
+		default:
+			// Every other frame type is in-flight job traffic from a
+			// connection we are about to drop: discard it, spending
+			// the drain budget so a chatty worker cannot stall the
+			// fatal path.
 		}
 		i++
 	}
@@ -1209,6 +1214,7 @@ func (cl *DistCluster) journalCommit(round int) {
 	if cl.journal == nil {
 		return
 	}
+	//lint:allow errdrop — commit failure latches distJournal.err, which the next appendJob returns into the job error path; a redundant commit has nothing to report it through
 	cl.journal.commit(round)
 }
 

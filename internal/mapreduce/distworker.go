@@ -1022,7 +1022,8 @@ func (r *distWorkerJob[K1, V1, K2, V2, K3, V3]) run(s *workerSession, h *distJob
 			fileParts = append(fileParts, ckptPart{part: p, count: len(outs[p]), blob: frame[blobStart:]})
 		}
 		if w := s.checkpointTo(); w != nil {
-			w.write(h.seq, fileParts) // self-disables on I/O error
+			//lint:allow errdrop — local checkpoint files are a best-effort fallback (the coordinator mirror is authoritative); the writer self-disables on I/O error and restore falls back to the mirror, pinned by checkpoint_test.go damage tests
+			w.write(h.seq, fileParts)
 		}
 	}
 

@@ -232,6 +232,7 @@ func (b *Builder) Len() int { return len(b.weights) }
 func (b *Builder) Vector() Sparse {
 	entries := make([]Entry, 0, len(b.weights))
 	for t, w := range b.weights {
+		//lint:allow determinism — FromEntries sorts by Term before any caller sees the slice, and map keys are unique, so iteration order never escapes
 		entries = append(entries, Entry{Term: t, Weight: w})
 	}
 	return FromEntries(entries)

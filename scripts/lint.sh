@@ -1,0 +1,32 @@
+#!/bin/sh
+# Runs the repository's static checks exactly as CI's lint job does:
+# gofmt (diff-clean), go vet, and cmd/repolint's invariant analyzers
+# (determinism, noretain, poolpair, msgexhaustive, errdrop — see the
+# "Invariants & static analysis" section of docs/ARCHITECTURE.md).
+#
+# Usage: scripts/lint.sh [package selectors...]
+#        scripts/lint.sh                       # whole module
+#        scripts/lint.sh ./internal/mapreduce  # repolint on one package
+#
+# Selectors are passed to repolint only; gofmt and vet always cover
+# the whole tree. Exits non-zero on the first failing check, so it
+# works as a pre-PR gate: findings are suppressed one line at a time
+# with `//lint:allow <rule> — <reason>` (run `go run ./cmd/repolint
+# -list` for the rules; stale or reasonless suppressions are findings
+# themselves).
+set -e
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "lint.sh: gofmt wants to reformat:" >&2
+    echo "$unformatted" >&2
+    echo "lint.sh: run: gofmt -w ." >&2
+    exit 1
+fi
+
+go vet ./...
+
+go run ./cmd/repolint "$@"
+
+echo "lint.sh: gofmt, vet, and repolint all clean"
